@@ -1,0 +1,612 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md §7 for the experiment index).
+
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- fig10        -- one experiment
+     dune exec bench/main.exe -- fig10 --max 2048
+
+   Experiments:
+     fig10    four algorithms x three tiers on ER graphs, |E|=|V|^1.5
+     fig11    container lifecycle: file read / construct / extract
+     compile  JIT pipeline: cold compile vs disk vs memory dispatch
+     table1   Table I notation conformance (executable check)
+     ablation design-choice ablations (masked mxm, deferred eval, reuse)
+     micro    Bechamel micro-benchmarks of the kernel families *)
+
+open Gbtl
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Best-of-[reps] wall time, with one warmup run (which also warms the
+   JIT caches, as the paper's methodology implies for steady state). *)
+let best_of ?(reps = 3) f =
+  ignore (f ());
+  (* level the GC playing field between configurations *)
+  Gc.full_major ();
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let _, dt = time_once f in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let ms dt = 1000.0 *. dt
+
+(* ---------------------------------------------------------------- *)
+(* Fig. 10: BFS / SSSP / PageRank / triangle counting at three tiers  *)
+(* ---------------------------------------------------------------- *)
+
+type tier_times = { vm : float; dsl : float; whole : float; native : float }
+
+let fig10_algorithms = [ "bfs"; "sssp"; "pagerank"; "triangles" ]
+
+let run_fig10_algo name n =
+  let rng = Graphs.Rng.create ~seed:(2018 + n) in
+  let g = Graphs.Generators.erdos_renyi_paper rng ~nvertices:n in
+  match name with
+  | "bfs" ->
+    let adj = Graphs.Convert.bool_adjacency g in
+    let cont = Ogb.Container.of_smatrix adj in
+    { vm = best_of (fun () -> Algorithms.Bfs.vm_loops cont ~src:0);
+      dsl = best_of (fun () -> Algorithms.Bfs.dsl cont ~src:0);
+      whole = best_of (fun () -> Algorithms.Bfs.vm_whole cont ~src:0);
+      native = best_of (fun () -> Algorithms.Bfs.native adj ~src:0) }
+  | "sssp" ->
+    let adj = Graphs.Convert.matrix_of_edges Dtype.FP64 g in
+    let cont = Ogb.Container.of_smatrix adj in
+    { vm = best_of ~reps:2 (fun () -> Algorithms.Sssp.vm_loops cont ~src:0);
+      dsl = best_of ~reps:2 (fun () -> Algorithms.Sssp.dsl cont ~src:0);
+      whole = best_of ~reps:2 (fun () -> Algorithms.Sssp.vm_whole cont ~src:0);
+      native = best_of ~reps:2 (fun () -> Algorithms.Sssp.native adj ~src:0) }
+  | "pagerank" ->
+    let adj = Graphs.Convert.matrix_of_edges Dtype.FP64 g in
+    let cont = Ogb.Container.of_smatrix adj in
+    { vm = best_of (fun () -> Algorithms.Pagerank.vm_loops cont);
+      dsl = best_of (fun () -> Algorithms.Pagerank.dsl cont);
+      whole = best_of (fun () -> Algorithms.Pagerank.vm_whole cont);
+      native = best_of (fun () -> Algorithms.Pagerank.native adj) }
+  | "triangles" ->
+    let sym = Graphs.Edge_list.symmetrize g in
+    let adj = Graphs.Convert.bool_adjacency sym in
+    let l = Algorithms.Triangle.of_undirected adj in
+    let lc = Ogb.Container.of_smatrix l in
+    { vm = best_of (fun () -> Algorithms.Triangle.vm_loops lc);
+      dsl = best_of (fun () -> Algorithms.Triangle.dsl lc);
+      whole = best_of (fun () -> Algorithms.Triangle.vm_whole lc);
+      native = best_of (fun () -> Algorithms.Triangle.native l) }
+  | _ -> assert false
+
+let fig10 sizes =
+  print_endline "== Fig. 10: algorithm run time across execution tiers ==";
+  print_endline
+    "   tier1 = DSL, outer loops interpreted (MiniVM);\n\
+    \   dsl   = the same DSL program with OCaml outer loops (bonus series);\n\
+    \   tier2 = one interpreted call into the whole compiled algorithm;\n\
+    \   tier3 = native GBTL.  ER graphs with |E| = |V|^1.5.";
+  List.iter
+    (fun algo ->
+      Printf.printf "\n-- %s --\n" algo;
+      Printf.printf "%8s %11s %11s %11s %11s %8s %8s\n" "|V|" "tier1(ms)"
+        "dsl(ms)" "tier2(ms)" "tier3(ms)" "t1/t3" "t2/t3";
+      List.iter
+        (fun n ->
+          let t = run_fig10_algo algo n in
+          Printf.printf "%8d %11.3f %11.3f %11.3f %11.3f %8.2f %8.2f\n" n
+            (ms t.vm) (ms t.dsl) (ms t.whole) (ms t.native)
+            (t.vm /. t.native) (t.whole /. t.native))
+        sizes)
+    fig10_algorithms;
+  print_endline
+    "\nexpected shape (paper): tier1 >= tier2 >= tier3 at small |V|; the\n\
+     tier1/tier3 and tier2/tier3 ratios approach 1 as |V| grows."
+
+(* ---------------------------------------------------------------- *)
+(* Fig. 11: container lifecycle (read file / construct / extract)     *)
+(* ---------------------------------------------------------------- *)
+
+(* The "Python" path loads the file into boxed interpreter lists, builds
+   the container by iterating boxed tuples, and extracts back into boxed
+   lists; the native path uses plain arrays end to end. *)
+
+let boxed_read path =
+  let _, coo = Matrix_market.read_coo Dtype.FP64 path in
+  let cells =
+    List.map
+      (fun (r, c, x) ->
+        Minivm.Value.List
+          (ref
+             [| Minivm.Value.Int r; Minivm.Value.Int c; Minivm.Value.Float x |]))
+      coo
+  in
+  Minivm.Value.List (ref (Array.of_list cells))
+
+let boxed_construct nrows ncols boxed =
+  match boxed with
+  | Minivm.Value.List cells ->
+    let triples = ref [] in
+    Array.iter
+      (fun cell ->
+        match cell with
+        | Minivm.Value.List t -> (
+          match !t with
+          | [| Minivm.Value.Int r; Minivm.Value.Int c; Minivm.Value.Float x |]
+            ->
+            triples := (r, c, x) :: !triples
+          | _ -> failwith "bad cell")
+        | _ -> failwith "bad cell")
+      !cells;
+    Smatrix.of_coo Dtype.FP64 nrows ncols !triples
+  | _ -> failwith "bad boxed data"
+
+let boxed_extract m =
+  let out = ref [] in
+  Smatrix.iter
+    (fun r c x ->
+      out :=
+        Minivm.Value.List
+          (ref
+             [| Minivm.Value.Int r; Minivm.Value.Int c; Minivm.Value.Float x |])
+        :: !out)
+    m;
+  Minivm.Value.List (ref (Array.of_list !out))
+
+let fig11 sizes =
+  print_endline "== Fig. 11: container lifecycle, dynamic vs native path ==";
+  print_endline
+    "   read = parse MatrixMarket file; construct = build the GraphBLAS\n\
+    \   container from the in-memory representation; extract = copy the\n\
+    \   data back out.  dyn = boxed interpreter lists, nat = plain arrays.";
+  Printf.printf "\n%8s %9s | %10s %10s %10s | %10s %10s %10s\n" "|V|" "nnz"
+    "read-dyn" "cons-dyn" "extr-dyn" "read-nat" "cons-nat" "extr-nat";
+  List.iter
+    (fun n ->
+      let rng = Graphs.Rng.create ~seed:4242 in
+      let g = Graphs.Generators.erdos_renyi_paper rng ~nvertices:n in
+      let m = Graphs.Convert.matrix_of_edges Dtype.FP64 g in
+      let path = Filename.temp_file "ogb_fig11" ".mtx" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          Matrix_market.write m path;
+          let nnz = Smatrix.nvals m in
+          (* dynamic path *)
+          let read_dyn = best_of (fun () -> boxed_read path) in
+          let boxed = boxed_read path in
+          let cons_dyn = best_of (fun () -> boxed_construct n n boxed) in
+          let built = boxed_construct n n boxed in
+          let extr_dyn = best_of (fun () -> boxed_extract built) in
+          (* native path *)
+          let read_nat =
+            best_of (fun () -> Matrix_market.read_coo Dtype.FP64 path)
+          in
+          let _, coo = Matrix_market.read_coo Dtype.FP64 path in
+          let cons_nat =
+            best_of (fun () -> Smatrix.of_coo Dtype.FP64 n n coo)
+          in
+          let extr_nat = best_of (fun () -> Smatrix.to_coo built) in
+          Printf.printf
+            "%8d %9d | %10.3f %10.3f %10.3f | %10.3f %10.3f %10.3f\n" n nnz
+            (ms read_dyn) (ms cons_dyn) (ms extr_dyn) (ms read_nat)
+            (ms cons_nat) (ms extr_nat)))
+    sizes;
+  print_endline
+    "\nexpected shape (paper): the file read dominates the dynamic path;\n\
+     once constructed, operations on the container cost the same in both."
+
+(* ---------------------------------------------------------------- *)
+(* Compile-time experiment: the Fig. 9 pipeline                       *)
+(* ---------------------------------------------------------------- *)
+
+let kernel_workload () =
+  (* a representative mix of signatures, as one algorithm suite uses *)
+  let f64v n = Svector.of_dense Dtype.FP64 (Array.make n 1.0) in
+  let f64m n =
+    Smatrix.of_coo Dtype.FP64 n n
+      (List.init n (fun i -> (i, (i + 1) mod n, 1.0)))
+  in
+  let bv n = Svector.of_dense Dtype.Bool (Array.make n true) in
+  let bm n =
+    Smatrix.of_coo Dtype.Bool n n
+      (List.init n (fun i -> (i, (i + 1) mod n, true)))
+  in
+  let n = 64 in
+  [ ( "mxv arithmetic f64",
+      fun () ->
+        ignore
+          (Jit.Kernels.mxv Dtype.FP64 Jit.Op_spec.arithmetic ~transpose:false
+             (f64m n) (f64v n)) );
+    ( "mxv min-plus f64 (T)",
+      fun () ->
+        ignore
+          (Jit.Kernels.mxv Dtype.FP64 Jit.Op_spec.min_plus ~transpose:true
+             (f64m n) (f64v n)) );
+    ( "mxv logical bool (T)",
+      fun () ->
+        ignore
+          (Jit.Kernels.mxv Dtype.Bool Jit.Op_spec.logical ~transpose:true
+             (bm n) (bv n)) );
+    ( "vxm arithmetic f64",
+      fun () ->
+        ignore
+          (Jit.Kernels.vxm Dtype.FP64 Jit.Op_spec.arithmetic ~transpose:false
+             (f64v n) (f64m n)) );
+    ( "ewise_add Plus f64",
+      fun () ->
+        ignore (Jit.Kernels.ewise_v `Add Dtype.FP64 ~op:"Plus" (f64v n) (f64v n))
+    );
+    ( "ewise_mult Times f64",
+      fun () ->
+        ignore
+          (Jit.Kernels.ewise_v `Mult Dtype.FP64 ~op:"Times" (f64v n) (f64v n))
+    );
+    ( "apply bind2nd(Times,.85)",
+      fun () ->
+        ignore
+          (Jit.Kernels.apply_v Dtype.FP64
+             (Jit.Op_spec.Bound { op = "Times"; side = `Second; const = 0.85 })
+             (f64v n)) );
+    ( "reduce Plus f64",
+      fun () ->
+        ignore
+          (Jit.Kernels.reduce_v_scalar Dtype.FP64 ~op:"Plus" ~identity:"Zero"
+             (f64v n)) );
+  ]
+
+let compile_experiment () =
+  print_endline "== Compile-time experiment: the Fig. 9 dispatch pipeline ==";
+  Printf.printf "backend: %s\n\n" (Jit.Native_backend.explain ());
+  let run_backend label backend =
+    Jit.Dispatch.set_backend backend;
+    (* cold: empty disk + memory caches *)
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ogb-bench-cache-%d-%s" (Unix.getpid ()) label)
+    in
+    Jit.Disk_cache.set_dir dir;
+    Jit.Disk_cache.clear ();
+    Jit.Dispatch.clear_memory_cache ();
+    Jit.Jit_stats.reset ();
+    Printf.printf "-- %s backend --\n" label;
+    Printf.printf "%-28s %12s %12s %12s\n" "kernel" "cold(ms)" "disk(ms)"
+      "memory(us)";
+    List.iter
+      (fun (name, call) ->
+        let _, cold = time_once call in
+        (* drop the memory cache so the next dispatch hits the disk *)
+        Jit.Dispatch.clear_memory_cache ();
+        let _, disk = time_once call in
+        let _, warm = time_once call in
+        Printf.printf "%-28s %12.3f %12.3f %12.1f\n" name (ms cold) (ms disk)
+          (1e6 *. warm))
+      (kernel_workload ());
+    Format.printf "totals: %a@\n@." Jit.Jit_stats.pp (Jit.Jit_stats.snapshot ());
+    Jit.Disk_cache.clear ()
+  in
+  if Jit.Native_backend.available () then
+    run_backend "native" Jit.Dispatch.Native;
+  run_backend "closure" Jit.Dispatch.Closure;
+  Jit.Dispatch.set_backend Jit.Dispatch.Auto;
+  print_endline
+    "expected shape (paper): compilation dominates the first call and is\n\
+     amortized away by the disk cache across runs and the memory cache\n\
+     within a run; steady-state dispatch is microseconds."
+
+(* ---------------------------------------------------------------- *)
+(* Table I: executable notation conformance                          *)
+(* ---------------------------------------------------------------- *)
+
+let table1 () =
+  print_endline "== Table I: GraphBLAS operations in DSL notation ==";
+  let open Ogb in
+  let open Ogb.Ops.Infix in
+  let a =
+    Container.matrix_coo ~nrows:3 ~ncols:3
+      [ (0, 0, 1.0); (0, 2, 2.0); (1, 1, 3.0); (2, 0, 4.0) ]
+  in
+  let b = Container.matrix_coo ~nrows:3 ~ncols:3 [ (0, 1, 1.5); (2, 2, 0.5) ] in
+  let u = Container.vector_coo ~size:3 [ (0, 1.0); (2, 2.0) ] in
+  let v = Container.vector_coo ~size:3 [ (1, 3.0); (2, -1.0) ] in
+  let cm = Container.matrix_empty 3 3 in
+  let w = Container.vector_empty 3 in
+  let row fmt_math fmt_dsl check =
+    Printf.printf "  %-34s %-34s %s\n" fmt_math fmt_dsl
+      (if check () then "ok" else "MISMATCH")
+  in
+  Printf.printf "  %-34s %-34s %s\n" "mathematical notation" "DSL form" "check";
+  row "C<M,z> = C (.) A +.x B" "set ~mask c (a @. b)" (fun () ->
+      Ops.set cm (!!a @. !!b);
+      Container.nvals cm > 0);
+  row "w<m,z> = w (.) A +.x u" "set ~mask w (a @. u)" (fun () ->
+      Ops.set w (!!a @. !!u);
+      (* w0 = 1*1 + 2*2 = 5; w2 = 4*1 = 4 *)
+      Container.vector_entries w = [ (0, 5.0); (2, 4.0) ]);
+  row "C = A x B (eWiseMult)" "set c (a *: b)" (fun () ->
+      Ops.set cm (!!a *: !!b);
+      Container.nvals cm = 0 (* disjoint structures here *));
+  row "w = u + v (eWiseAdd)" "set w (u +: v)" (fun () ->
+      Ops.set w (!!u +: !!v);
+      Container.nvals w = 3);
+  row "w = [+_j A(:,j)] (reduce row)" "set w (reduce_rows a)" (fun () ->
+      Ops.set w (Ops.reduce_rows !!a);
+      Container.vector_entries w = [ (0, 3.0); (1, 3.0); (2, 4.0) ]);
+  row "s = [+_ij A(i,j)] (reduce)" "reduce a" (fun () ->
+      Ops.reduce !!a = 10.0);
+  row "C = f(A) (apply)" "set c (apply a)" (fun () ->
+      Context.with_ops [ Context.unary "AdditiveInverse" ] (fun () ->
+          Ops.set cm (Ops.apply !!a));
+      Container.matrix_entries cm
+      = [ (0, 0, -1.0); (0, 2, -2.0); (1, 1, -3.0); (2, 0, -4.0) ]);
+  row "C = A^T" "set c (tr a)" (fun () ->
+      Ops.set cm (tr !!a);
+      Container.get_matrix_element cm 2 0 = Some 2.0);
+  row "C = A(i,j) (extract)" "set c (extract_mat a rows cols)" (fun () ->
+      let sub = Container.matrix_empty 2 3 in
+      Ops.set sub
+        (Expr.extract_mat !!a (Index_set.List [| 0; 2 |]) Index_set.All);
+      Container.nvals sub = 3);
+  row "C<M>(i,j) = A (assign)" "set_region ~rows ~cols c a" (fun () ->
+      let t = Container.matrix_empty 3 3 in
+      Ops.set_region ~rows:(Index_set.List [| 0 |]) ~cols:Index_set.All t
+        (Expr.extract_mat !!a (Index_set.List [| 0 |]) Index_set.All);
+      Container.nvals t = 2);
+  row "w<m>(i) = u (assign)" "set_region ~rows w u" (fun () ->
+      let t = Container.vector_empty 3 in
+      Ops.set_region ~rows:Index_set.All t !!u;
+      Container.nvals t = 2);
+  row "accumulate: C (.)= T" "update c expr" (fun () ->
+      let t = Container.vector_coo ~size:3 [ (0, 10.0) ] in
+      Ops.update t !!u;
+      Container.vector_entries t = [ (0, 11.0); (2, 2.0) ]);
+  ignore v;
+  print_newline ()
+
+(* ---------------------------------------------------------------- *)
+(* Ablations                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let ablation () =
+  print_endline "== Ablations of the design choices (DESIGN.md E5) ==";
+  (* (a) masked mxm pruning: the deferred-evaluation payoff.  With the
+     mask available at evaluation time the dot kernel computes only
+     allowed cells; the naive strategy computes the full product and
+     masks at the write step. *)
+  print_endline "\n(a) triangle counting: mask into the kernel vs full mxm";
+  Printf.printf "%8s %9s %14s %14s %8s\n" "|V|" "nnz(L)" "masked(ms)"
+    "unmasked(ms)" "speedup";
+  List.iter
+    (fun n ->
+      let rng = Graphs.Rng.create ~seed:7 in
+      let g =
+        Graphs.Edge_list.symmetrize
+          (Graphs.Generators.erdos_renyi_paper rng ~nvertices:n)
+      in
+      let l =
+        Algorithms.Triangle.of_undirected (Graphs.Convert.bool_adjacency g)
+      in
+      let masked =
+        best_of (fun () ->
+            let b = Smatrix.create Dtype.Int64 n n in
+            Matmul.mxm ~mask:(Mask.mmask l) ~transpose_b:true
+              (Semiring.arithmetic Dtype.Int64) ~out:b l l;
+            Apply_reduce.reduce_matrix_scalar (Monoid.plus Dtype.Int64) b)
+      in
+      let unmasked =
+        best_of (fun () ->
+            let b = Smatrix.create Dtype.Int64 n n in
+            let full = Smatrix.create Dtype.Int64 n n in
+            Matmul.mxm ~transpose_b:true (Semiring.arithmetic Dtype.Int64)
+              ~out:full l l;
+            Output.write_matrix ~mask:(Mask.mmask l) ~accum:None
+              ~replace:false ~out:b
+              ~t:(Array.init n (fun r -> Smatrix.row_entries full r));
+            Apply_reduce.reduce_matrix_scalar (Monoid.plus Dtype.Int64) b)
+      in
+      Printf.printf "%8d %9d %14.3f %14.3f %8.2f\n" n (Smatrix.nvals l)
+        (ms masked) (ms unmasked) (unmasked /. masked))
+    [ 128; 256; 512 ];
+
+  (* (b) container reuse: C[None] = expr into an existing container vs a
+     fresh container per iteration (paper §IV's object-lifecycle
+     discussion). *)
+  print_endline
+    "\n(b) output container reuse vs fresh allocation (mxv x1000)";
+  let n = 512 in
+  let rng = Graphs.Rng.create ~seed:3 in
+  let g = Graphs.Generators.erdos_renyi_paper rng ~nvertices:n in
+  let a =
+    Ogb.Container.of_smatrix (Graphs.Convert.matrix_of_edges Dtype.FP64 g)
+  in
+  let u = Ogb.Container.vector_dense (List.init n (fun _ -> 1.0)) in
+  let open Ogb.Ops.Infix in
+  let reuse =
+    best_of (fun () ->
+        let out = Ogb.Container.vector_empty n in
+        for _ = 1 to 1000 do
+          Ogb.Ops.set out (!!a @. !!u)
+        done)
+  in
+  let fresh =
+    best_of (fun () ->
+        for _ = 1 to 1000 do
+          ignore (Ogb.Expr.force (!!a @. !!u))
+        done)
+  in
+  Printf.printf "  reuse (C[None] = A @ u): %10.3f ms\n" (ms reuse);
+  Printf.printf "  fresh (C = A @ u):       %10.3f ms\n" (ms fresh);
+
+  (* (c) abstraction penalty per operation: the full DSL path (packed
+     containers, expression objects, context resolution, dispatch, write
+     step) vs a direct call of the same specialized kernel. *)
+  print_endline "\n(c) per-operation abstraction penalty (mxv, 1000 calls)";
+  Printf.printf "%8s %14s %14s %8s\n" "|V|" "dsl(ms)" "kernel(ms)" "ratio";
+  List.iter
+    (fun n ->
+      let rng = Graphs.Rng.create ~seed:4 in
+      let g = Graphs.Generators.erdos_renyi_paper rng ~nvertices:n in
+      let am = Graphs.Convert.matrix_of_edges Dtype.FP64 g in
+      let ac = Ogb.Container.of_smatrix am in
+      let uv = Svector.of_dense Dtype.FP64 (Array.make n 1.0) in
+      let uc = Ogb.Container.of_svector (Svector.dup uv) in
+      let out = Ogb.Container.vector_empty n in
+      let w = Svector.create Dtype.FP64 n in
+      let dsl =
+        best_of (fun () ->
+            for _ = 1 to 1000 do
+              Ogb.Ops.set out (!!ac @. !!uc)
+            done)
+      in
+      let kernel =
+        best_of (fun () ->
+            for _ = 1 to 1000 do
+              let t =
+                Jit.Kernels.mxv Dtype.FP64 Jit.Op_spec.arithmetic
+                  ~transpose:false am uv
+              in
+              Output.write_vector ~mask:Mask.No_vmask ~accum:None
+                ~replace:false ~out:w ~t
+            done)
+      in
+      Printf.printf "%8d %14.3f %14.3f %8.2f\n" n (ms dsl) (ms kernel)
+        (dsl /. kernel))
+    [ 16; 64; 256; 1024 ];
+  print_endline
+    "\nexpected shape: the DSL/kernel ratio is large for tiny operands and\n\
+     approaches 1 as the kernel cost grows (the paper's headline claim).";
+
+  (* (d) operation fusion (paper §V future work, implemented here):
+     apply-after-matmul with the fused in-place evaluation vs two
+     kernels + an extra temporary. *)
+  print_endline "\n(d) operation fusion: apply(A @ u) (1000 evaluations)";
+  Printf.printf "%8s %14s %14s %8s\n" "|V|" "fused(ms)" "unfused(ms)"
+    "speedup";
+  List.iter
+    (fun n ->
+      let rng = Graphs.Rng.create ~seed:9 in
+      let g = Graphs.Generators.erdos_renyi_paper rng ~nvertices:n in
+      let a =
+        Ogb.Container.of_smatrix (Graphs.Convert.matrix_of_edges Dtype.FP64 g)
+      in
+      let u = Ogb.Container.vector_dense (List.init n (fun _ -> 1.0)) in
+      let out = Ogb.Container.vector_empty n in
+      let run () =
+        Ogb.Context.with_ops
+          [ Ogb.Context.unary_bound ~op:"Times" 0.85 ]
+          (fun () ->
+            for _ = 1 to 1000 do
+              Ogb.Ops.set out (Ogb.Ops.apply (!!a @. !!u))
+            done)
+      in
+      Ogb.Expr.set_fusion true;
+      let fused = best_of run in
+      Ogb.Expr.set_fusion false;
+      let unfused = best_of run in
+      Ogb.Expr.set_fusion true;
+      Printf.printf "%8d %14.3f %14.3f %8.2f\n" n (ms fused) (ms unfused)
+        (unfused /. fused))
+    [ 64; 256; 1024 ]
+
+(* ---------------------------------------------------------------- *)
+(* Bechamel micro-benchmarks                                          *)
+(* ---------------------------------------------------------------- *)
+
+let micro () =
+  print_endline "== Bechamel micro-benchmarks (kernel families, n=512) ==";
+  let open Bechamel in
+  let n = 512 in
+  let rng = Graphs.Rng.create ~seed:5 in
+  let g = Graphs.Generators.erdos_renyi_paper rng ~nvertices:n in
+  let a = Graphs.Convert.matrix_of_edges Dtype.FP64 g in
+  let u = Svector.of_dense Dtype.FP64 (Array.make n 1.0) in
+  let v = Svector.of_dense Dtype.FP64 (Array.init n float_of_int) in
+  let w = Svector.create Dtype.FP64 n in
+  let sr = Semiring.arithmetic Dtype.FP64 in
+  let tests =
+    [ Test.make ~name:"mxv" (Staged.stage (fun () -> Matmul.mxv sr ~out:w a u));
+      Test.make ~name:"mxv_transposed"
+        (Staged.stage (fun () -> Matmul.mxv ~transpose_a:true sr ~out:w a u));
+      Test.make ~name:"ewise_add"
+        (Staged.stage (fun () ->
+             Ewise.vector_add (Binop.plus Dtype.FP64) ~out:w u v));
+      Test.make ~name:"ewise_mult"
+        (Staged.stage (fun () ->
+             Ewise.vector_mult (Binop.times Dtype.FP64) ~out:w u v));
+      Test.make ~name:"apply"
+        (Staged.stage (fun () ->
+             Apply_reduce.apply_vector
+               (Unaryop.additive_inverse Dtype.FP64)
+               ~out:w u));
+      Test.make ~name:"reduce"
+        (Staged.stage (fun () ->
+             ignore
+               (Apply_reduce.reduce_vector_scalar (Monoid.plus Dtype.FP64) u)));
+      Test.make ~name:"transpose"
+        (Staged.stage (fun () -> ignore (Smatrix.transpose a)));
+    ]
+  in
+  let test = Test.make_grouped ~name:"kernels" ~fmt:"%s/%s" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:(Some 1000) ()
+  in
+  let raw_results = Benchmark.all cfg instances test in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Printf.printf "%-28s %14s\n" "kernel" "ns/run";
+  Hashtbl.iter
+    (fun _instance tbl ->
+      let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) tbl [] in
+      List.iter
+        (fun (name, o) ->
+          match Analyze.OLS.estimates o with
+          | Some [ est ] -> Printf.printf "%-28s %14.1f\n" name est
+          | _ -> Printf.printf "%-28s %14s\n" name "-")
+        (List.sort compare rows))
+    merged;
+  print_newline ()
+
+(* ---------------------------------------------------------------- *)
+
+let default_sizes max_n =
+  let rec build n acc =
+    if n > max_n then List.rev acc else build (2 * n) (n :: acc)
+  in
+  build 128 []
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has name = List.mem name args in
+  let max_n =
+    let rec find = function
+      | "--max" :: v :: _ -> int_of_string v
+      | _ :: rest -> find rest
+      | [] -> 1024
+    in
+    find args
+  in
+  let all =
+    not
+      (List.exists
+         (fun a ->
+           List.mem a
+             [ "fig10"; "fig11"; "compile"; "table1"; "ablation"; "micro" ])
+         args)
+  in
+  Printf.printf "ogb benchmark harness (JIT: %s)\n\n"
+    (match Jit.Dispatch.effective_backend () with
+    | `Native -> "native"
+    | `Closure -> "closure");
+  if all || has "table1" then table1 ();
+  if all || has "fig10" then fig10 (default_sizes max_n);
+  if all || has "fig11" then fig11 (default_sizes (2 * max_n));
+  if all || has "compile" then compile_experiment ();
+  if all || has "ablation" then ablation ();
+  if all || has "micro" then micro ()

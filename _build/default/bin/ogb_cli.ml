@@ -1,0 +1,348 @@
+(* ogb — command-line front end: generate graphs, inspect matrix-market
+   files, run the paper's algorithms at any execution tier, and inspect
+   the JIT backend. *)
+
+open Cmdliner
+open Gbtl
+
+(* -- graph sources -- *)
+
+let parse_graph_spec spec =
+  (* "er:n=1024[,seed=7]" | "rmat:scale=10[,ef=8][,seed=7]" |
+     "grid:rows=10,cols=10" | "tree:r=2,h=8" | "complete:n=16" |
+     "path:n=100" | "cycle:n=100" | a matrix-market file path *)
+  let params rest =
+    List.filter_map
+      (fun kv ->
+        match String.split_on_char '=' kv with
+        | [ k; v ] -> Some (k, v)
+        | _ -> None)
+      (String.split_on_char ',' rest)
+  in
+  let geti ps key default =
+    match List.assoc_opt key ps with Some v -> int_of_string v | None -> default
+  in
+  match String.index_opt spec ':' with
+  | None -> `File spec
+  | Some i ->
+    let kind = String.sub spec 0 i in
+    let ps = params (String.sub spec (i + 1) (String.length spec - i - 1)) in
+    let seed = geti ps "seed" 2018 in
+    let rng = Graphs.Rng.create ~seed in
+    (match kind with
+    | "er" ->
+      let n = geti ps "n" 1024 in
+      `Edges (Graphs.Generators.erdos_renyi_paper rng ~nvertices:n)
+    | "rmat" ->
+      `Edges
+        (Graphs.Generators.rmat rng ~scale:(geti ps "scale" 10)
+           ~edge_factor:(geti ps "ef" 8))
+    | "grid" ->
+      `Edges
+        (Graphs.Generators.grid2d ~rows:(geti ps "rows" 10)
+           ~cols:(geti ps "cols" 10))
+    | "tree" ->
+      `Edges
+        (Graphs.Generators.balanced_tree ~branching:(geti ps "r" 2)
+           ~height:(geti ps "h" 8))
+    | "complete" -> `Edges (Graphs.Generators.complete (geti ps "n" 16))
+    | "path" -> `Edges (Graphs.Generators.path (geti ps "n" 100))
+    | "cycle" -> `Edges (Graphs.Generators.cycle (geti ps "n" 100))
+    | "ws" ->
+      let beta =
+        match List.assoc_opt "beta" ps with
+        | Some v -> float_of_string v
+        | None -> 0.1
+      in
+      `Edges
+        (Graphs.Generators.watts_strogatz rng ~nvertices:(geti ps "n" 1000)
+           ~k:(geti ps "k" 4) ~beta)
+    | "ba" ->
+      `Edges
+        (Graphs.Generators.barabasi_albert rng ~nvertices:(geti ps "n" 1000)
+           ~m:(geti ps "m" 3))
+    | other -> `Error (Printf.sprintf "unknown generator %S" other))
+
+let load_float_matrix spec symmetrize =
+  match parse_graph_spec spec with
+  | `Error e -> Error e
+  | `File path -> (
+    try Ok (Matrix_market.read Dtype.FP64 path) with
+    | Matrix_market.Parse_error e -> Error e
+    | Sys_error e -> Error e)
+  | `Edges g ->
+    let g = if symmetrize then Graphs.Edge_list.symmetrize g else g in
+    Ok (Graphs.Convert.matrix_of_edges Dtype.FP64 g)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* -- run subcommand -- *)
+
+let run_algorithm algo tier spec src symmetrize top =
+  match load_float_matrix spec symmetrize with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok m ->
+    let n = Smatrix.nrows m in
+    Printf.printf "graph: %d vertices, %d edges; algorithm=%s tier=%s\n" n
+      (Smatrix.nvals m) algo tier;
+    let bool_m = Smatrix.cast ~into:Dtype.Bool m in
+    let cont = Ogb.Container.of_smatrix m in
+    let bool_cont = Ogb.Container.of_smatrix bool_m in
+    let show_vector entries =
+      let entries = List.filteri (fun i _ -> i < top) entries in
+      List.iter (fun (i, x) -> Printf.printf "  %d: %g\n" i x) entries
+    in
+    let ok =
+      match algo, tier with
+      | "bfs", "native" ->
+        let levels, dt = time (fun () -> Algorithms.Bfs.native bool_m ~src) in
+        Printf.printf "reached %d vertices in %.3f ms\n" (Svector.nvals levels)
+          (1000.0 *. dt);
+        show_vector
+          (List.map (fun (i, l) -> (i, float_of_int l))
+             (Algorithms.Bfs.levels_of_svector levels));
+        true
+      | "bfs", "dsl" ->
+        let levels, dt = time (fun () -> Algorithms.Bfs.dsl bool_cont ~src) in
+        Printf.printf "reached %d vertices in %.3f ms\n"
+          (Ogb.Container.nvals levels) (1000.0 *. dt);
+        show_vector (Ogb.Container.vector_entries levels);
+        true
+      | "bfs", "vm" ->
+        let levels, dt = time (fun () -> Algorithms.Bfs.vm_loops bool_cont ~src) in
+        Printf.printf "reached %d vertices in %.3f ms\n"
+          (Ogb.Container.nvals levels) (1000.0 *. dt);
+        show_vector (Ogb.Container.vector_entries levels);
+        true
+      | "sssp", "native" ->
+        let d, dt = time (fun () -> Algorithms.Sssp.native m ~src) in
+        Printf.printf "solved in %.3f ms\n" (1000.0 *. dt);
+        show_vector (List.rev (Svector.fold (fun acc i x -> (i, x) :: acc) [] d));
+        true
+      | "sssp", "dsl" ->
+        let d, dt = time (fun () -> Algorithms.Sssp.dsl cont ~src) in
+        Printf.printf "solved in %.3f ms\n" (1000.0 *. dt);
+        show_vector (Algorithms.Sssp.distances_of_container d);
+        true
+      | "sssp", "vm" ->
+        let d, dt = time (fun () -> Algorithms.Sssp.vm_loops cont ~src) in
+        Printf.printf "solved in %.3f ms\n" (1000.0 *. dt);
+        show_vector (Algorithms.Sssp.distances_of_container d);
+        true
+      | "pagerank", "native" ->
+        let (ranks, iters), dt = time (fun () -> Algorithms.Pagerank.native m) in
+        Printf.printf "converged in %d iterations, %.3f ms\n" iters
+          (1000.0 *. dt);
+        show_vector
+          (List.sort (fun (_, a) (_, b) -> compare b a)
+             (List.rev (Svector.fold (fun acc i x -> (i, x) :: acc) [] ranks)));
+        true
+      | "pagerank", "dsl" ->
+        let (ranks, iters), dt = time (fun () -> Algorithms.Pagerank.dsl cont) in
+        Printf.printf "converged in %d iterations, %.3f ms\n" iters
+          (1000.0 *. dt);
+        show_vector
+          (List.sort (fun (_, a) (_, b) -> compare b a)
+             (Algorithms.Pagerank.ranks_of_container ranks));
+        true
+      | "pagerank", "vm" ->
+        let ranks, dt = time (fun () -> Algorithms.Pagerank.vm_loops cont) in
+        Printf.printf "done in %.3f ms\n" (1000.0 *. dt);
+        show_vector
+          (List.sort (fun (_, a) (_, b) -> compare b a)
+             (Algorithms.Pagerank.ranks_of_container ranks));
+        true
+      | "tc", "native" ->
+        let l = Algorithms.Triangle.of_undirected bool_m in
+        let t, dt = time (fun () -> Algorithms.Triangle.native l) in
+        Printf.printf "triangles: %d (%.3f ms)\n" t (1000.0 *. dt);
+        true
+      | "tc", "dsl" ->
+        let l = Algorithms.Triangle.of_undirected bool_m in
+        let t, dt =
+          time (fun () -> Algorithms.Triangle.dsl (Ogb.Container.of_smatrix l))
+        in
+        Printf.printf "triangles: %g (%.3f ms)\n" t (1000.0 *. dt);
+        true
+      | "tc", "vm" ->
+        let l = Algorithms.Triangle.of_undirected bool_m in
+        let t, dt =
+          time (fun () ->
+              Algorithms.Triangle.vm_loops (Ogb.Container.of_smatrix l))
+        in
+        Printf.printf "triangles: %g (%.3f ms)\n" t (1000.0 *. dt);
+        true
+      | "cc", "native" ->
+        let labels, dt =
+          time (fun () -> Algorithms.Connected_components.native bool_m)
+        in
+        Printf.printf "components: %d (%.3f ms)\n"
+          (Algorithms.Connected_components.component_count labels)
+          (1000.0 *. dt);
+        true
+      | "bc", "native" ->
+        let bc, dt =
+          time (fun () -> Algorithms.Bc.native (Smatrix.cast ~into:Dtype.Bool m))
+        in
+        Printf.printf "betweenness centrality in %.3f ms; top vertices:\n"
+          (1000.0 *. dt);
+        show_vector
+          (List.sort (fun (_, a) (_, b) -> compare b a)
+             (List.rev (Svector.fold (fun acc i x -> (i, x) :: acc) [] bc)));
+        true
+      | "ktruss", "native" ->
+        let adj = Smatrix.cast ~into:Dtype.Bool m in
+        let truss, dt = time (fun () -> Algorithms.Ktruss.native ~k:4 adj) in
+        Printf.printf "4-truss has %d edges (%.3f ms)\n"
+          (Algorithms.Ktruss.edge_count truss) (1000.0 *. dt);
+        true
+      | "mis", "native" ->
+        let iset, dt =
+          time (fun () -> Algorithms.Mis.native (Smatrix.cast ~into:Dtype.Bool m))
+        in
+        Printf.printf "independent set of %d vertices (%.3f ms)\n"
+          (Svector.nvals iset) (1000.0 *. dt);
+        true
+      | "cc", "dsl" ->
+        let labels, dt =
+          time (fun () -> Algorithms.Connected_components.dsl bool_cont)
+        in
+        ignore labels;
+        Printf.printf "done (%.3f ms)\n" (1000.0 *. dt);
+        true
+      | _, _ ->
+        Printf.eprintf "unsupported algorithm/tier combination %s/%s\n" algo
+          tier;
+        false
+    in
+    if ok then 0 else 1
+
+let graph_arg =
+  let doc =
+    "Graph source: a generator spec (er:n=1024, rmat:scale=10,ef=8, \
+     grid:rows=10,cols=10, tree:r=2,h=8, complete:n=16, path:n=100, \
+     cycle:n=100, ws:n=1000,k=4,beta=0.1, ba:n=1000,m=3; all accept \
+     seed=N) or a MatrixMarket file path."
+  in
+  Arg.(value & opt string "er:n=1024" & info [ "graph"; "g" ] ~doc)
+
+let run_cmd =
+  let algo =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("bfs", "bfs"); ("sssp", "sssp");
+                            ("pagerank", "pagerank"); ("tc", "tc");
+                            ("cc", "cc"); ("mis", "mis"); ("bc", "bc");
+                            ("ktruss", "ktruss") ])) None
+      & info [] ~docv:"ALGORITHM")
+  in
+  let tier =
+    Arg.(
+      value
+      & opt (enum [ ("native", "native"); ("dsl", "dsl"); ("vm", "vm") ])
+          "native"
+      & info [ "tier"; "t" ] ~doc:"Execution tier: native, dsl or vm.")
+  in
+  let src =
+    Arg.(value & opt int 0 & info [ "src"; "s" ] ~doc:"Source vertex.")
+  in
+  let sym =
+    Arg.(value & flag & info [ "symmetrize" ] ~doc:"Mirror every edge.")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~doc:"Entries to print.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a graph algorithm at a chosen execution tier")
+    Term.(const run_algorithm $ algo $ tier $ graph_arg $ src $ sym $ top)
+
+(* -- gen subcommand -- *)
+
+let generate spec out symmetrize =
+  match parse_graph_spec spec with
+  | `Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | `File _ ->
+    Printf.eprintf "error: gen requires a generator spec, not a file\n";
+    1
+  | `Edges g ->
+    let g = if symmetrize then Graphs.Edge_list.symmetrize g else g in
+    let m = Graphs.Convert.matrix_of_edges Dtype.FP64 g in
+    Matrix_market.write ~comment:("generated from " ^ spec) m out;
+    Printf.printf "wrote %d x %d matrix (%d entries) to %s\n"
+      (Smatrix.nrows m) (Smatrix.ncols m) (Smatrix.nvals m) out;
+    0
+
+let gen_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out"; "o" ] ~doc:"Output MatrixMarket file.")
+  in
+  let sym =
+    Arg.(value & flag & info [ "symmetrize" ] ~doc:"Mirror every edge.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a graph and save it as MatrixMarket")
+    Term.(const generate $ graph_arg $ out $ sym)
+
+(* -- info subcommand -- *)
+
+let info_file path =
+  match Matrix_market.read Dtype.FP64 path with
+  | exception (Matrix_market.Parse_error e | Sys_error e) ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | m ->
+    let degrees = Utilities.row_degrees m in
+    let dmax = Array.fold_left max 0 degrees in
+    let total = Array.fold_left ( + ) 0 degrees in
+    Printf.printf "%s: %d x %d, %d stored entries\n" path (Smatrix.nrows m)
+      (Smatrix.ncols m) (Smatrix.nvals m);
+    Printf.printf "out-degree: max %d, mean %.2f\n" dmax
+      (float_of_int total /. float_of_int (max 1 (Smatrix.nrows m)));
+    0
+
+let info_cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Inspect a MatrixMarket file")
+    Term.(const info_file $ path)
+
+(* -- jit subcommand -- *)
+
+let jit_status clear =
+  if clear then begin
+    Jit.Disk_cache.clear ();
+    Printf.printf "cleared kernel cache at %s\n" (Jit.Disk_cache.dir ())
+  end;
+  Printf.printf "backend: %s\n" (Jit.Native_backend.explain ());
+  Printf.printf "effective: %s\n"
+    (match Jit.Dispatch.effective_backend () with
+    | `Native -> "native"
+    | `Closure -> "closure");
+  Printf.printf "cache directory: %s\n" (Jit.Disk_cache.dir ());
+  Format.printf "stats: %a@." Jit.Jit_stats.pp (Jit.Jit_stats.snapshot ());
+  0
+
+let jit_cmd =
+  let clear =
+    Arg.(value & flag & info [ "clear" ] ~doc:"Clear the on-disk kernel cache.")
+  in
+  Cmd.v
+    (Cmd.info "jit" ~doc:"Show (or clear) the dynamic-compilation backend state")
+    Term.(const jit_status $ clear)
+
+let () =
+  let doc = "GraphBLAS DSL with dynamic kernel compilation (PyGB reproduction)" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "ogb" ~version:"1.0.0" ~doc)
+          [ run_cmd; gen_cmd; info_cmd; jit_cmd ]))

@@ -1,0 +1,1 @@
+examples/bfs_levels.ml: Algorithms Array Gbtl Graphs Hashtbl Ogb Option Printf Smatrix String Svector Utilities

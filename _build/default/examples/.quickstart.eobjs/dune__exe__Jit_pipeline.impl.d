@@ -1,0 +1,1 @@
+examples/jit_pipeline.ml: Container Context Format Gbtl Jit List Ogb Ops Printf String

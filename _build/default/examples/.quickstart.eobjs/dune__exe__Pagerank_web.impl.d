@@ -1,0 +1,1 @@
+examples/pagerank_web.ml: Algorithms Dtype Gbtl Graphs List Ogb Printf Smatrix Svector Unix

@@ -1,0 +1,1 @@
+examples/pagerank_web.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algorithms Container Context Gbtl Graphs Ogb Ops Printf

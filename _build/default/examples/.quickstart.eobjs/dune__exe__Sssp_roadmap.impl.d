@@ -1,0 +1,1 @@
+examples/sssp_roadmap.ml: Algorithms Char Dtype Gbtl Graphs List Ogb Option Printf Smatrix Svector Unix

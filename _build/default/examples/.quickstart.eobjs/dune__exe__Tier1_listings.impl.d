@@ -1,0 +1,1 @@
+examples/tier1_listings.ml: Algorithms Gbtl Graphs List Minivm Ogb Printf

@@ -1,0 +1,1 @@
+examples/tier1_listings.mli:

@@ -1,0 +1,1 @@
+examples/triangle_social.ml: Algorithms Array Gbtl Graphs Ogb Printf Smatrix Unix Utilities

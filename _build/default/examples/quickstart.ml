@@ -1,0 +1,56 @@
+(* Quickstart: the DSL in a nutshell — containers, operator contexts,
+   deferred expressions, masks.  Mirrors the paper's introductory
+   examples (Figs. 2-5).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Ogb
+open Ogb.Ops.Infix
+
+let () =
+  (* Containers copy from plain data, like gb.Matrix([[...]]) (Fig. 3a). *)
+  let a = Container.matrix_dense [ [ 1.0; 2.0 ]; [ 3.0; 4.0 ] ] in
+  let u = Container.vector_dense [ 10.0; 100.0 ] in
+  Printf.printf "A = %s\n" (Container.to_string a);
+  Printf.printf "u = %s\n" (Container.to_string u);
+
+  (* w = A @ u under the default arithmetic semiring. *)
+  let w = Container.vector_empty 2 in
+  Ops.set w (!!a @. !!u);
+  Printf.printf "A @ u = %s\n" (Container.to_string w);
+
+  (* The semiring comes from the context: min-plus turns @ into shortest
+     path relaxation (Fig. 4). *)
+  Context.with_ops [ Context.semiring "MinPlus" ] (fun () ->
+      Ops.set w (!!a @. !!u));
+  Printf.printf "A min.+ u = %s\n" (Container.to_string w);
+
+  (* Expressions are deferred: operators are captured at construction,
+     evaluation happens at assignment (paper "deferred operator
+     evaluation"). *)
+  let expr = Context.with_ops [ Context.binary "Minus" ] (fun () -> !!u +: !!u) in
+  Ops.set w expr;
+  Printf.printf "u eWiseAdd(Minus) u = %s\n" (Container.to_string w);
+
+  (* Masks select which outputs are written; ~ complements (Fig. 2). *)
+  let m = Container.vector_coo ~size:2 [ (0, 1.0) ] in
+  let out = Container.vector_coo ~size:2 [ (0, -1.0); (1, -1.0) ] in
+  Ops.set ~mask:(Ops.Mask m) out (!!a @. !!u);
+  Printf.printf "masked write: %s\n" (Container.to_string out);
+  Ops.set ~mask:(~~m) out (!!a @. !!u);
+  Printf.printf "complement:   %s\n" (Container.to_string out);
+
+  (* Reduce terminates an expression to a scalar. *)
+  Printf.printf "reduce(A) = %g\n" (Ops.reduce !!a);
+
+  (* A three-line BFS on the Fig. 1 graph. *)
+  let edges =
+    [ (0, 1); (0, 3); (1, 4); (1, 6); (2, 5); (3, 0); (3, 2); (4, 5);
+      (5, 2); (6, 2); (6, 3); (6, 4) ]
+  in
+  let graph =
+    Container.of_edge_list ~dtype:(Gbtl.Dtype.P Gbtl.Dtype.Bool)
+      (Graphs.Edge_list.of_pairs ~nvertices:7 edges)
+  in
+  let levels = Algorithms.Bfs.dsl graph ~src:3 in
+  Printf.printf "BFS levels from vertex 3: %s\n" (Container.to_string levels)

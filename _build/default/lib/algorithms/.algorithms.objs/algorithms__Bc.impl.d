@@ -1,0 +1,1 @@
+lib/algorithms/bc.ml: Apply_reduce Array Binop Dtype Ewise Fun Gbtl List Mask Matmul Output Semiring Smatrix Svector Unaryop

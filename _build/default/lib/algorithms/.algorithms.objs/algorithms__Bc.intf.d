@@ -1,0 +1,1 @@
+lib/algorithms/bc.mli: Gbtl Smatrix Svector

@@ -1,0 +1,1 @@
+lib/algorithms/bfs.ml: Array Assign Container Context Dtype Gbtl Index_set Jit List Mask Matmul Minivm Obj Ogb Ops Output Semiring Smatrix Svector Vm_runtime

@@ -1,0 +1,1 @@
+lib/algorithms/bfs.mli: Gbtl Minivm Ogb Smatrix Svector

@@ -1,0 +1,1 @@
+lib/algorithms/connected_components.ml: Binop Container Context Dtype Gbtl Hashtbl List Matmul Ogb Ops Semiring Smatrix Svector

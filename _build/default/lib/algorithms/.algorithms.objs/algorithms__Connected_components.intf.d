@@ -1,0 +1,1 @@
+lib/algorithms/connected_components.mli: Gbtl Ogb Smatrix Svector

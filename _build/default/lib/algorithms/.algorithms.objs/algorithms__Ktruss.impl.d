@@ -1,0 +1,1 @@
+lib/algorithms/ktruss.ml: Container Context Dtype Gbtl Mask Matmul Ogb Ops Select Semiring Smatrix

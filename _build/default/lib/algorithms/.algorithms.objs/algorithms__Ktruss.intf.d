@@ -1,0 +1,1 @@
+lib/algorithms/ktruss.mli: Gbtl Ogb Smatrix

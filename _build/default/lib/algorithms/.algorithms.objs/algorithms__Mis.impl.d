@@ -1,0 +1,1 @@
+lib/algorithms/mis.ml: Array Assign Binop Dtype Ewise Gbtl Graphs Index_set Mask Matmul Output Semiring Smatrix Svector Utilities

@@ -1,0 +1,1 @@
+lib/algorithms/mis.mli: Gbtl Smatrix Svector

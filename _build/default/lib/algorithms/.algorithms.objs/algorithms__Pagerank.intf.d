@@ -1,0 +1,1 @@
+lib/algorithms/pagerank.mli: Gbtl Minivm Ogb Smatrix Svector

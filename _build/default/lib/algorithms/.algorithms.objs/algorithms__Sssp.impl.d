@@ -1,0 +1,1 @@
+lib/algorithms/sssp.ml: Binop Container Context Dtype Gbtl Jit Mask Matmul Minivm Obj Ogb Ops Output Semiring Smatrix Svector Vm_runtime

@@ -1,0 +1,1 @@
+lib/algorithms/sssp.mli: Gbtl Minivm Ogb Smatrix Svector

@@ -1,0 +1,1 @@
+lib/algorithms/triangle.ml: Apply_reduce Container Context Dtype Gbtl Mask Matmul Minivm Monoid Obj Ogb Ops Semiring Smatrix Utilities Vm_runtime

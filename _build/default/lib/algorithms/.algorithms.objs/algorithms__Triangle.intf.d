@@ -1,0 +1,1 @@
+lib/algorithms/triangle.mli: Gbtl Minivm Ogb Smatrix

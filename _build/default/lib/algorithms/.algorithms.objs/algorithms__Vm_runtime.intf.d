@@ -1,0 +1,1 @@
+lib/algorithms/vm_runtime.mli: Minivm Obj

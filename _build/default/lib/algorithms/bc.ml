@@ -1,0 +1,68 @@
+open Gbtl
+
+let f64 = Dtype.FP64
+
+(* One source's dependency accumulation (the LAGraph formulation with a
+   dense bcu of ones). *)
+let accumulate_source adj_f centrality s =
+  let n = Smatrix.nrows adj_f in
+  (* forward: frontier carries shortest-path counts *)
+  let nsp = Svector.create f64 n in
+  Svector.set nsp s 1.0;
+  let frontier = Smatrix.extract_row adj_f s in
+  let sigmas = ref [] in
+  let arithmetic = Semiring.arithmetic f64 in
+  while Svector.nvals frontier > 0 do
+    (* record this wave's pattern (counts are >= 1, so truthy) *)
+    sigmas := Svector.cast ~into:Dtype.Bool frontier :: !sigmas;
+    (* nsp += frontier *)
+    Output.write_vector ~mask:Mask.No_vmask ~accum:(Some (Binop.plus f64))
+      ~replace:false ~out:nsp ~t:(Svector.entries frontier);
+    (* frontier<¬nsp, replace> = frontier ⊕.⊗ A *)
+    Matmul.vxm
+      ~mask:(Mask.vmask ~complemented:true nsp)
+      ~replace:true arithmetic ~out:frontier frontier adj_f
+  done;
+  let waves = Array.of_list (List.rev !sigmas) in
+  let depth = Array.length waves in
+  if depth > 0 then begin
+    (* backward: bcu starts as dense ones *)
+    let bcu = Svector.of_dense f64 (Array.make n 1.0) in
+    let nspinv = Svector.create f64 n in
+    Apply_reduce.apply_vector (Unaryop.multiplicative_inverse f64)
+      ~out:nspinv nsp;
+    let w = Svector.create f64 n in
+    for i = depth - 1 downto 1 do
+      (* w<S_i, replace> = bcu ⊗ 1/nsp *)
+      Ewise.vector_mult
+        ~mask:(Mask.vmask waves.(i))
+        ~replace:true (Binop.times f64) ~out:w bcu nspinv;
+      (* w = A ⊕.⊗ w : dependencies flow back along edges *)
+      Matmul.mxv arithmetic ~out:w adj_f w;
+      (* bcu<S_{i-1}> += w ⊗ nsp *)
+      let t = Svector.create f64 n in
+      Ewise.vector_mult (Binop.times f64) ~out:t w nsp;
+      Output.write_vector
+        ~mask:(Mask.vmask waves.(i - 1))
+        ~accum:(Some (Binop.plus f64)) ~replace:false ~out:bcu
+        ~t:(Svector.entries t)
+    done;
+    (* centrality += bcu - 1, excluding the source *)
+    Svector.iter
+      (fun v x ->
+        if v <> s && x <> 1.0 then
+          Svector.set centrality v
+            ((match Svector.get centrality v with Some c -> c | None -> 0.0)
+            +. x -. 1.0))
+      bcu
+  end
+
+let native ?sources graph =
+  let n = Smatrix.nrows graph in
+  let adj_f = Smatrix.cast ~into:f64 graph in
+  let centrality = Svector.of_dense f64 (Array.make n 0.0) in
+  let sources =
+    match sources with Some l -> l | None -> List.init n Fun.id
+  in
+  List.iter (fun s -> accumulate_source adj_f centrality s) sources;
+  centrality

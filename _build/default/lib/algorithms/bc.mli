@@ -1,0 +1,13 @@
+(** Betweenness centrality (Brandes' algorithm in GraphBLAS form, the
+    companion algorithm GBTL ships alongside the paper's four): a forward
+    sweep of masked [vxm] frontier expansions recording per-depth
+    frontiers and shortest-path counts, then a backward dependency
+    accumulation of masked [mxv] / element-wise updates.
+
+    Unweighted directed graphs; BC(v) = Σ_{s≠v≠t} σ_st(v) / σ_st. *)
+
+open Gbtl
+
+val native : ?sources:int list -> bool Smatrix.t -> float Svector.t
+(** Dense centrality vector.  [sources] selects a batch (default: every
+    vertex, i.e. exact BC). *)

@@ -1,0 +1,155 @@
+open Gbtl
+
+(* The generic-library tier: the GBTL program of paper Fig. 2c against
+   the polymorphic operations. *)
+let generic graph ~src =
+  let n = Smatrix.nrows graph in
+  let frontier = Svector.create Dtype.Bool n in
+  Svector.set frontier src true;
+  let levels = Svector.create Dtype.Int64 n in
+  let logical = Semiring.logical Dtype.Bool in
+  let depth = ref 0 in
+  while Svector.nvals frontier > 0 do
+    incr depth;
+    (* levels<frontier, merge> = depth *)
+    Assign.vector_scalar
+      ~mask:(Mask.vmask frontier)
+      ~out:levels !depth Index_set.All;
+    (* frontier<!levels, replace> = graphᵀ ⊕.⊗ frontier *)
+    let lmask =
+      Mask.Vmask
+        { dense = Svector.to_bool_dense (Svector.cast ~into:Dtype.Bool levels);
+          complemented = true }
+    in
+    Matmul.mxv ~mask:lmask ~replace:true ~transpose_a:true logical
+      ~out:frontier graph frontier
+  done;
+  levels
+
+(* Tier 3: the same loop over the specialized kernels. *)
+let native graph ~src =
+  let n = Smatrix.nrows graph in
+  let frontier = Svector.create Dtype.Bool n in
+  Svector.set frontier src true;
+  let levels = Svector.create Dtype.Int64 n in
+  let visited = Array.make n false in
+  let depth = ref 0 in
+  while Svector.nvals frontier > 0 do
+    incr depth;
+    (* levels<frontier, merge> = depth *)
+    Assign.vector_scalar
+      ~mask:(Mask.vmask frontier)
+      ~out:levels !depth Index_set.All;
+    Svector.iter (fun i _ -> visited.(i) <- true) frontier;
+    (* frontier<!levels, replace> = graphᵀ ⊕.⊗ frontier *)
+    let t = Jit.Kernels.mxv Dtype.Bool Jit.Op_spec.logical ~transpose:true graph frontier in
+    Output.write_vector
+      ~mask:(Mask.Vmask { dense = visited; complemented = true })
+      ~accum:None ~replace:true ~out:frontier ~t
+  done;
+  levels
+
+(* Tier "PyGB": deferred expressions + context stack (paper Fig. 2b). *)
+let dsl graph ~src =
+  let open Ogb in
+  let open Ogb.Ops.Infix in
+  let n = fst (Container.shape graph) in
+  let frontier =
+    Container.vector_coo ~dtype:(Dtype.P Dtype.Bool) ~size:n [ (src, 1.0) ]
+  in
+  let levels = Container.vector_empty ~dtype:(Dtype.P Dtype.Int64) n in
+  let depth = ref 0 in
+  while Container.nvals frontier > 0 do
+    incr depth;
+    (* levels[front][:] = depth *)
+    Ops.assign_scalar ~mask:(Ops.Mask frontier) levels (float_of_int !depth);
+    (* with gb.LogicalSemiring, gb.Replace:
+         frontier[~levels] = graph.T @ frontier *)
+    Context.with_ops
+      [ Context.semiring "Logical"; Context.replace ]
+      (fun () ->
+        Ops.set ~mask:(~~levels) frontier (tr !!graph @. !!frontier))
+  done;
+  levels
+
+(* Tier 1: the same program interpreted by the MiniVM. *)
+let vm_program : Minivm.Ast.block =
+  let open Minivm.Ast in
+  [ Def
+      ( "bfs",
+        [ "graph"; "frontier"; "levels" ],
+        [ Assign ("depth", Const (Minivm.Value.Int 0));
+          While
+            ( Binary
+                (">", Attr (Var "frontier", "nvals"), Const (Minivm.Value.Int 0)),
+              [ Assign ("depth", Binary ("+", Var "depth", Const (Minivm.Value.Int 1)));
+                (* levels[front][:] = depth *)
+                SetIndex
+                  (Index (Var "levels", Var "frontier"), Var "AllIndices", Var "depth");
+                (* with gb.LogicalSemiring, gb.Replace: ... *)
+                With
+                  ( [ Call (Var "Semiring", [ Const (Minivm.Value.Str "Logical") ]);
+                      Var "Replace" ],
+                    [ SetIndex
+                        ( Var "frontier",
+                          Unary ("~", Var "levels"),
+                          Binary ("@", Attr (Var "graph", "T"), Var "frontier")
+                        ) ] ) ] );
+          Return (Var "levels") ] ) ]
+
+let vm_loops graph ~src =
+  let open Ogb in
+  let n = fst (Container.shape graph) in
+  let frontier =
+    Container.vector_coo ~dtype:(Dtype.P Dtype.Bool) ~size:n [ (src, 1.0) ]
+  in
+  let levels = Container.vector_empty ~dtype:(Dtype.P Dtype.Int64) n in
+  match
+    Vm_runtime.call_program vm_program "bfs"
+      [ Ogb.Vm_bridge.wrap_container graph;
+        Ogb.Vm_bridge.wrap_container frontier;
+        Ogb.Vm_bridge.wrap_container levels ]
+  with
+  | Minivm.Value.Foreign (Ogb.Vm_bridge.Cont c) -> c
+  | _ -> levels
+
+(* Tier 2: one interpreted call into the whole compiled algorithm. *)
+let vm_whole graph ~src =
+  let kernel =
+    Vm_runtime.whole_algorithm ~name:"bfs" ~dtype:"bool" (fun () ->
+        Obj.repr (fun (g, s) -> native g ~src:s))
+  in
+  let f : bool Smatrix.t * int -> int Svector.t = Obj.obj kernel in
+  let env = Vm_runtime.fresh_env () in
+  Minivm.Env.define env "bfs_compiled"
+    (Minivm.Value.Builtin
+       ( "bfs_compiled",
+         fun args ->
+           match args with
+           | [ g; Minivm.Value.Int s ] ->
+             let c = Ogb.Vm_bridge.unwrap_container g in
+             let c =
+               if Ogb.Container.dtype_name c = "bool" then c
+               else Ogb.Container.cast (Dtype.P Dtype.Bool) c
+             in
+             let m = Ogb.Container.as_matrix Dtype.Bool c in
+             Ogb.Vm_bridge.wrap_container
+               (Ogb.Container.of_svector (f (m, s)))
+           | _ -> raise (Minivm.Value.Type_error "bfs_compiled: bad arguments")
+       ));
+  let open Minivm.Ast in
+  let program =
+    [ Assign ("result", Call (Var "bfs_compiled", [ Var "g"; Var "s" ])) ]
+  in
+  Minivm.Env.define env "g" (Ogb.Vm_bridge.wrap_container graph);
+  Minivm.Env.define env "s" (Minivm.Value.Int src);
+  Minivm.Interp.exec_block env program;
+  Ogb.Vm_bridge.unwrap_container (Minivm.Env.lookup env "result")
+
+let levels_of_svector levels =
+  List.rev (Svector.fold (fun acc i d -> (i, d) :: acc) [] levels)
+
+let levels_of_container c =
+  List.map
+    (fun (i, x) -> (i, int_of_float x))
+    (Ogb.Container.vector_entries c)

@@ -1,0 +1,40 @@
+(** Breadth-first search by repeated masked [mxv] over the logical
+    semiring (paper Figs. 1–2).  [levels] are 1-based: the source vertex
+    gets level 1, unreachable vertices get no entry.
+
+    Three execution tiers, matching the paper's Fig. 10 configurations:
+    - {!native}: direct GBTL calls (Fig. 2c);
+    - {!dsl}: the PyGB-style program, deferred expressions + context
+      stack + per-operation JIT dispatch (Fig. 2b), outer loop in OCaml;
+    - {!vm_loops}: the same program {e interpreted} by the MiniVM (outer
+      loop and every dispatch boxed, tier 1);
+    - {!vm_whole}: one interpreted call into the whole compiled
+      algorithm (tier 2). *)
+
+open Gbtl
+
+val native : bool Smatrix.t -> src:int -> int Svector.t
+(** Tier 3: OCaml loops over the specialized (monomorphic) kernels — the
+    analogue of GBTL C++ with its templates statically instantiated.  All
+    tiers share these kernels; they differ only in dispatch overhead, as
+    in the paper's experiment. *)
+
+val generic : bool Smatrix.t -> src:int -> int Svector.t
+(** The same program against the polymorphic [Gbtl] operations (paper
+    Fig. 2c verbatim) — the closure-parameterized library tier, used as
+    the correctness reference. *)
+
+val dsl : Ogb.Container.t -> src:int -> Ogb.Container.t
+(** [dsl graph ~src] — [graph] must be a square matrix; levels come back
+    as an [int64_t] vector container. *)
+
+val vm_program : Minivm.Ast.block
+(** The tier-1 MiniVM encoding (the paper's Fig. 2b, line for line). *)
+
+val vm_loops : Ogb.Container.t -> src:int -> Ogb.Container.t
+val vm_whole : Ogb.Container.t -> src:int -> Ogb.Container.t
+
+val levels_of_container : Ogb.Container.t -> (int * int) list
+(** (vertex, level) pairs, for comparing tiers in tests. *)
+
+val levels_of_svector : int Svector.t -> (int * int) list

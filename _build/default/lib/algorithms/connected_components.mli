@@ -1,0 +1,16 @@
+(** Connected components by min-label propagation over the
+    MinSelect2nd semiring — an extension beyond the paper's four
+    algorithms (its §VIII argues the DSL generalizes; this exercises the
+    Min* semirings it never benchmarks).
+
+    Works on undirected (symmetric) adjacency; labels converge to the
+    minimum vertex id of each component in O(diameter) pulls. *)
+
+open Gbtl
+
+val native : bool Smatrix.t -> int Svector.t
+(** Dense label vector: every vertex gets its component id. *)
+
+val dsl : Ogb.Container.t -> Ogb.Container.t
+
+val component_count : int Svector.t -> int

@@ -1,0 +1,54 @@
+open Gbtl
+
+let native ~k graph =
+  if k < 3 then invalid_arg "Ktruss.native: k must be >= 3";
+  let n = Smatrix.nrows graph in
+  let threshold = float_of_int (k - 2) in
+  let e = ref (Smatrix.cast ~into:Dtype.Int64 graph) in
+  (* normalize stored values to ones *)
+  e := Smatrix.map !e ~f:(fun _ -> 1);
+  let arithmetic = Semiring.arithmetic Dtype.Int64 in
+  let continue_ = ref true in
+  while !continue_ do
+    (* support<E> = E ⊕.⊗ Eᵀ : common-neighbour count per edge *)
+    let support = Smatrix.create Dtype.Int64 n n in
+    Matmul.mxm ~mask:(Mask.mmask !e) ~transpose_b:true arithmetic
+      ~out:support !e !e;
+    (* keep the edges with enough support *)
+    let keep = Smatrix.create Dtype.Int64 n n in
+    Select.matrix (Select.Value_ge threshold) ~out:keep support;
+    if Smatrix.nvals keep = Smatrix.nvals !e then continue_ := false
+    else e := Smatrix.map keep ~f:(fun _ -> 1)
+  done;
+  Smatrix.cast ~into:Dtype.Bool !e
+
+let edge_count adj = Smatrix.nvals adj / 2
+
+let dsl ~k graph =
+  if k < 3 then invalid_arg "Ktruss.dsl: k must be >= 3";
+  let open Ogb in
+  let open Ogb.Ops.Infix in
+  let nrows, ncols = Container.shape graph in
+  let threshold = float_of_int (k - 2) in
+  let e = ref (Container.cast (Dtype.P Dtype.Int64) graph) in
+  let continue_ = ref true in
+  Context.with_ops
+    [ Context.semiring "Arithmetic" ]
+    (fun () ->
+      while !continue_ do
+        (* support[E] = E @ E.T *)
+        let support = Container.matrix_empty ~dtype:(Dtype.P Dtype.Int64) nrows ncols in
+        Ops.set ~mask:(Ops.Mask !e) support (!!(!e) @. tr !!(!e));
+        (* E' = ones over select(support >= k-2) *)
+        let keep = Container.matrix_empty ~dtype:(Dtype.P Dtype.Int64) nrows ncols in
+        Ops.set keep (Ops.select (Gbtl.Select.Value_ge threshold) !!support);
+        if Container.nvals keep = Container.nvals !e then continue_ := false
+        else begin
+          let next = Container.matrix_empty ~dtype:(Dtype.P Dtype.Int64) nrows ncols in
+          Context.with_ops
+            [ Context.unary_bound ~op:"First" ~side:`First 1.0 ]
+            (fun () -> Ops.set next (Ops.apply !!keep));
+          e := next
+        end
+      done);
+  !e

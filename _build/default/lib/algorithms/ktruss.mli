@@ -1,0 +1,18 @@
+(** k-truss: the maximal subgraph in which every edge participates in at
+    least [k - 2] triangles.  Uses masked [mxm] for per-edge support and
+    {!Gbtl.Select} for pruning — a further extension combining the
+    paper's triangle-counting pattern with the select operation. *)
+
+open Gbtl
+
+val native : k:int -> bool Smatrix.t -> bool Smatrix.t
+(** [native ~k adj] — [adj] must be symmetric and loop-free; the result
+    is the (symmetric) adjacency of the k-truss. *)
+
+val edge_count : bool Smatrix.t -> int
+(** Undirected edge count (stored entries / 2). *)
+
+val dsl : k:int -> Ogb.Container.t -> Ogb.Container.t
+(** The same computation written in the DSL:
+    [support[E] = E @ E.T; E = select (>= k-2) support] iterated to a
+    fixpoint. *)

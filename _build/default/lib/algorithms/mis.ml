@@ -1,0 +1,85 @@
+open Gbtl
+
+let f64 = Dtype.FP64
+
+let native ?(seed = 1) graph =
+  let n = Smatrix.nrows graph in
+  let rng = Graphs.Rng.create ~seed in
+  let degrees = Utilities.row_degrees graph in
+  let iset = Svector.create Dtype.Bool n in
+  let candidates = Svector.create Dtype.Bool n in
+  for v = 0 to n - 1 do
+    (* isolated vertices are independent by definition *)
+    if degrees.(v) = 0 then Svector.set iset v true
+    else Svector.set candidates v true
+  done;
+  let max_select2nd = Semiring.max_select2nd f64 in
+  let fgraph = Smatrix.cast ~into:f64 graph in
+  let logical = Semiring.logical Dtype.Bool in
+  while Svector.nvals candidates > 0 do
+    (* prob[c] = eps + rand / (2 deg(c)) for every candidate *)
+    let prob = Svector.create f64 n in
+    Svector.iter
+      (fun v _ ->
+        Svector.set prob v
+          (0.0001 +. (Graphs.Rng.float rng /. float_of_int (2 * degrees.(v)))))
+      candidates;
+    (* neighbor_max<candidates> = graph max.2nd prob *)
+    let neighbor_max = Svector.create f64 n in
+    Matmul.mxv
+      ~mask:(Mask.vmask candidates)
+      ~replace:true max_select2nd ~out:neighbor_max fgraph prob;
+    (* new_members = prob > neighbor_max; where a candidate has no
+       candidate neighbour the probability passes through unchanged and
+       is truthy, which is exactly "greater than -inf" *)
+    let new_members = Svector.create f64 n in
+    Ewise.vector_add (Binop.greater_than f64) ~out:new_members prob
+      neighbor_max;
+    (* members, as a clean boolean vector of the truthy winners *)
+    let members = Svector.create Dtype.Bool n in
+    Assign.vector_scalar ~mask:(Mask.vmask new_members) ~out:members true
+      Index_set.All;
+    (* iset<members> = true *)
+    Assign.vector_scalar ~mask:(Mask.vmask members) ~out:iset true
+      Index_set.All;
+    (* knock members and their neighbourhoods out of the candidates *)
+    let neighbors = Svector.create Dtype.Bool n in
+    Matmul.mxv logical ~out:neighbors graph members;
+    let selected = Svector.create Dtype.Bool n in
+    Ewise.vector_add (Binop.logical_or Dtype.Bool) ~out:selected members
+      neighbors;
+    Output.write_vector
+      ~mask:(Mask.vmask ~complemented:true selected)
+      ~accum:None ~replace:true ~out:candidates
+      ~t:(Svector.entries candidates)
+  done;
+  iset
+
+let is_independent graph iset =
+  let ok = ref true in
+  Svector.iter
+    (fun v m ->
+      if m then
+        Smatrix.iter_row
+          (fun w _ ->
+            match Svector.get iset w with
+            | Some true -> ok := false
+            | Some false | None -> ())
+          graph v)
+    iset;
+  !ok
+
+let is_maximal graph iset =
+  let n = Smatrix.nrows graph in
+  let covered v =
+    (match Svector.get iset v with Some true -> true | _ -> false)
+    || Smatrix.fold_row
+         (fun acc w _ ->
+           acc || match Svector.get iset w with Some true -> true | _ -> false)
+         false graph v
+  in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if not (covered v) then ok := false
+  done;
+  !ok

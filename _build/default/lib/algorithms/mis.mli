@@ -1,0 +1,14 @@
+(** Maximal independent set — Luby's randomized algorithm in GraphBLAS
+    form (a further extension in the spirit of the paper's §VIII: it
+    exercises masked assigns, value-coerced masks and the MaxSelect2nd
+    semiring, none of which the four benchmark algorithms touch).
+
+    The input adjacency must be symmetric and loop-free. *)
+
+open Gbtl
+
+val native : ?seed:int -> bool Smatrix.t -> bool Svector.t
+(** Membership vector: a stored [true] per selected vertex. *)
+
+val is_independent : bool Smatrix.t -> bool Svector.t -> bool
+val is_maximal : bool Smatrix.t -> bool Svector.t -> bool

@@ -1,0 +1,301 @@
+open Gbtl
+
+let f64 = Dtype.FP64
+
+(* The generic-library tier: the GBTL program of paper Fig. 8. *)
+let generic ?(damping = 0.85) ?(threshold = 1.e-5) ?(max_iters = 100000) graph
+    =
+  let rows = Smatrix.nrows graph in
+  let rows_f = float_of_int rows in
+  let normalized = Smatrix.dup graph in
+  Utilities.normalize_rows normalized;
+  (* m = normalized * damping *)
+  let m = Smatrix.create f64 rows (Smatrix.ncols graph) in
+  Apply_reduce.apply_matrix
+    (Unaryop.bind2nd f64 (Binop.times f64) damping)
+    ~out:m normalized;
+  let add_scaled_teleport =
+    Unaryop.bind2nd f64 (Binop.plus f64) ((1.0 -. damping) /. rows_f)
+  in
+  let page_rank = Svector.create f64 rows in
+  Assign.vector_scalar ~out:page_rank (1.0 /. rows_f) Index_set.All;
+  let new_rank = Svector.create f64 rows in
+  let delta = Svector.create f64 rows in
+  let arithmetic = Semiring.arithmetic f64 in
+  let iters = ref 0 in
+  (try
+     for i = 1 to max_iters do
+       iters := i;
+       (* new_rank[None] += page_rank @ m, accumulating with Second *)
+       Matmul.vxm ~accum:(Binop.second f64) arithmetic ~out:new_rank page_rank
+         m;
+       Apply_reduce.apply_vector add_scaled_teleport ~out:new_rank new_rank;
+       Ewise.vector_add (Binop.minus f64) ~out:delta page_rank new_rank;
+       Ewise.vector_mult (Binop.times f64) ~out:delta delta delta;
+       let squared_error =
+         Apply_reduce.reduce_vector_scalar (Monoid.plus f64) delta
+       in
+       Svector.replace_contents page_rank (Svector.entries new_rank);
+       if squared_error /. rows_f < threshold then raise Exit
+     done
+   with Exit -> ());
+  (* page_rank<~page_rank> = page_rank + teleport: fill untouched entries *)
+  Assign.vector_scalar ~out:new_rank ((1.0 -. damping) /. rows_f)
+    Index_set.All;
+  let mask =
+    Mask.Vmask { dense = Svector.to_bool_dense page_rank; complemented = true }
+  in
+  Ewise.vector_add ~mask (Binop.plus f64) ~out:page_rank page_rank new_rank;
+  (page_rank, !iters)
+
+(* Tier 3: the same program over the specialized kernels. *)
+let native ?(damping = 0.85) ?(threshold = 1.e-5) ?(max_iters = 100000) graph
+    =
+  let rows = Smatrix.nrows graph in
+  let rows_f = float_of_int rows in
+  let normalized = Smatrix.dup graph in
+  Utilities.normalize_rows normalized;
+  let m =
+    Jit.Kernels.apply_m f64
+      (Jit.Op_spec.Bound { op = "Times"; side = `Second; const = damping })
+      ~transpose:false normalized
+  in
+  let teleport = Jit.Op_spec.Bound { op = "Plus"; side = `Second; const = (1.0 -. damping) /. rows_f } in
+  let page_rank = Svector.create f64 rows in
+  Assign.vector_scalar ~out:page_rank (1.0 /. rows_f) Index_set.All;
+  let new_rank = Svector.create f64 rows in
+  let delta = Svector.create f64 rows in
+  let write ?accum out t =
+    Output.write_vector ~mask:Mask.No_vmask ~accum ~replace:false ~out ~t
+  in
+  let iters = ref 0 in
+  (try
+     for i = 1 to max_iters do
+       iters := i;
+       (* new_rank[None] += page_rank @ m, accumulating with Second *)
+       write ~accum:(Binop.second f64) new_rank
+         (Jit.Kernels.vxm f64 Jit.Op_spec.arithmetic ~transpose:false
+            page_rank m);
+       write new_rank (Jit.Kernels.apply_v f64 teleport new_rank);
+       write delta
+         (Jit.Kernels.ewise_v `Add f64 ~op:"Minus" page_rank new_rank);
+       write delta (Jit.Kernels.ewise_v `Mult f64 ~op:"Times" delta delta);
+       let squared_error =
+         Jit.Kernels.reduce_v_scalar f64 ~op:"Plus" ~identity:"Zero" delta
+       in
+       Svector.replace_contents page_rank (Svector.entries new_rank);
+       if squared_error /. rows_f < threshold then raise Exit
+     done
+   with Exit -> ());
+  Assign.vector_scalar ~out:new_rank ((1.0 -. damping) /. rows_f)
+    Index_set.All;
+  let mask =
+    Mask.Vmask { dense = Svector.to_bool_dense page_rank; complemented = true }
+  in
+  Output.write_vector ~mask ~accum:None ~replace:false ~out:page_rank
+    ~t:(Jit.Kernels.ewise_v `Add f64 ~op:"Plus" page_rank new_rank);
+  (page_rank, !iters)
+
+(* Tier "PyGB": the program of paper Fig. 7, statement for statement. *)
+let dsl ?(damping = 0.85) ?(threshold = 1.e-5) ?(max_iters = 100000) graph =
+  let open Ogb in
+  let open Ogb.Ops.Infix in
+  let rows, _cols = Container.shape graph in
+  let rows_f = float_of_int rows in
+  (* m = gb.Matrix(shape, float); m[None] = graph *)
+  let m = Container.matrix_empty ~dtype:(Dtype.P f64) rows rows in
+  Ops.set m !!graph;
+  (* gb.utilities.normalize_rows(m) *)
+  (match m with
+  | Container.Mat (Dtype.FP64, mm) -> Utilities.normalize_rows mm
+  | Container.Mat _ | Container.Vec _ -> assert false);
+  (* with gb.UnaryOp("Times", damping): m[None] = gb.apply(m) *)
+  Context.with_ops
+    [ Context.unary_bound ~op:"Times" damping ]
+    (fun () -> Ops.set m (Ops.apply !!m));
+  (* page_rank[:] = 1.0 / rows *)
+  let page_rank = Container.vector_empty ~dtype:(Dtype.P f64) rows in
+  Ops.assign_scalar page_rank (1.0 /. rows_f);
+  let new_rank = Container.vector_empty ~dtype:(Dtype.P f64) rows in
+  let delta = Container.vector_empty ~dtype:(Dtype.P f64) rows in
+  let iters = ref 0 in
+  let result = ref page_rank in
+  (try
+     for i = 1 to max_iters do
+       iters := i;
+       (* with gb.Accumulator("Second"), gb.Semiring(PlusMonoid, "Times"):
+            new_rank[None] += page_rank @ m *)
+       Context.with_ops
+         [ Context.accum "Second";
+           Context.custom_semiring ~add_op:"Plus" ~add_identity:"Zero"
+             ~mul_op:"Times" ]
+         (fun () -> Ops.update new_rank (!!page_rank @. !!m));
+       (* with gb.UnaryOp("Plus", (1-d)/rows): new_rank[None] = apply(...) *)
+       Context.with_ops
+         [ Context.unary_bound ~op:"Plus" ((1.0 -. damping) /. rows_f) ]
+         (fun () -> Ops.set new_rank (Ops.apply !!new_rank));
+       (* with gb.BinaryOp("Minus"): delta[None] = page_rank + new_rank *)
+       Context.with_ops
+         [ Context.binary "Minus" ]
+         (fun () -> Ops.set delta (!!page_rank +: !!new_rank));
+       (* delta[None] = delta * delta; squared_error = reduce(delta) *)
+       Ops.set delta (!!delta *: !!delta);
+       let squared_error = Ops.reduce !!delta in
+       (* page_rank[:] = new_rank *)
+       Ops.set page_rank !!new_rank;
+       if squared_error /. rows_f < threshold then raise Exit
+     done
+   with Exit -> ());
+  (* new_rank[:] = (1-d)/rows;
+     with gb.BinaryOp("Plus"): page_rank[~page_rank] = page_rank + new_rank *)
+  Ops.assign_scalar new_rank ((1.0 -. damping) /. rows_f);
+  Context.with_ops
+    [ Context.binary "Plus" ]
+    (fun () ->
+      Ops.set ~mask:(~~page_rank) page_rank (!!page_rank +: !!new_rank));
+  (!result, !iters)
+
+(* Tier 1: the MiniVM encoding of Fig. 7. *)
+let vm_program : Minivm.Ast.block =
+  let open Minivm.Ast in
+  let open Minivm.Value in
+  let s x = Const (Str x) in
+  let f x = Const (Float x) in
+  let i x = Const (Int x) in
+  [ Def
+      ( "page_rank",
+        [ "graph"; "m"; "page_rank"; "new_rank"; "delta"; "damping";
+          "threshold"; "max_iters"; "rows" ],
+        [ (* m[None] = graph; normalize_rows(m); m = apply(m) * damping *)
+          SetIndex (Var "m", Const Nil, Var "graph");
+          ExprStmt (Call (Var "normalize_rows", [ Var "m" ]));
+          With
+            ( [ Call (Var "UnaryOp", [ s "Times"; Var "damping" ]) ],
+              [ SetIndex (Var "m", Const Nil, Call (Var "apply", [ Var "m" ])) ]
+            );
+          (* page_rank[:] = 1.0 / rows *)
+          SetIndex
+            ( Var "page_rank",
+              Var "AllIndices",
+              Binary ("/", f 1.0, Var "rows") );
+          Assign ("iters", i 0);
+          Assign ("done_", Const (Bool false));
+          While
+            ( Binary
+                ( "and",
+                  Unary ("not", Var "done_"),
+                  Binary ("<", Var "iters", Var "max_iters") ),
+              [ Assign ("iters", Binary ("+", Var "iters", i 1));
+                With
+                  ( [ Call (Var "Accumulator", [ s "Second" ]);
+                      Call (Var "Semiring", [ s "Plus"; s "Zero"; s "Times" ])
+                    ],
+                    [ ExprStmt
+                        (Method
+                           ( Var "new_rank",
+                             "update",
+                             [ Const Nil;
+                               Binary ("@", Var "page_rank", Var "m") ] )) ] );
+                With
+                  ( [ Call
+                        ( Var "UnaryOp",
+                          [ s "Plus";
+                            Binary
+                              ( "/",
+                                Binary ("-", f 1.0, Var "damping"),
+                                Var "rows" ) ] ) ],
+                    [ SetIndex
+                        ( Var "new_rank",
+                          Const Nil,
+                          Call (Var "apply", [ Var "new_rank" ]) ) ] );
+                With
+                  ( [ Call (Var "BinaryOp", [ s "Minus" ]) ],
+                    [ SetIndex
+                        ( Var "delta",
+                          Const Nil,
+                          Binary ("+", Var "page_rank", Var "new_rank") ) ] );
+                SetIndex
+                  (Var "delta", Const Nil, Binary ("*", Var "delta", Var "delta"));
+                Assign ("squared_error", Call (Var "reduce", [ Var "delta" ]));
+                SetIndex (Var "page_rank", Var "AllIndices", Var "new_rank");
+                If
+                  ( Binary
+                      ( "<",
+                        Binary ("/", Var "squared_error", Var "rows"),
+                        Var "threshold" ),
+                    [ Assign ("done_", Const (Bool true)) ],
+                    [] ) ] );
+          (* new_rank[:] = (1-d)/rows; page_rank[~page_rank] += ... *)
+          SetIndex
+            ( Var "new_rank",
+              Var "AllIndices",
+              Binary ("/", Binary ("-", f 1.0, Var "damping"), Var "rows") );
+          With
+            ( [ Call (Var "BinaryOp", [ s "Plus" ]) ],
+              [ SetIndex
+                  ( Var "page_rank",
+                    Unary ("~", Var "page_rank"),
+                    Binary ("+", Var "page_rank", Var "new_rank") ) ] );
+          Return (Var "page_rank") ] ) ]
+
+let vm_loops ?(damping = 0.85) ?(threshold = 1.e-5) ?(max_iters = 100000)
+    graph =
+  let open Ogb in
+  let rows, _ = Container.shape graph in
+  let m = Container.matrix_empty ~dtype:(Dtype.P f64) rows rows in
+  let page_rank = Container.vector_empty ~dtype:(Dtype.P f64) rows in
+  let new_rank = Container.vector_empty ~dtype:(Dtype.P f64) rows in
+  let delta = Container.vector_empty ~dtype:(Dtype.P f64) rows in
+  match
+    Vm_runtime.call_program vm_program "page_rank"
+      [ Vm_bridge.wrap_container graph;
+        Vm_bridge.wrap_container m;
+        Vm_bridge.wrap_container page_rank;
+        Vm_bridge.wrap_container new_rank;
+        Vm_bridge.wrap_container delta;
+        Minivm.Value.Float damping;
+        Minivm.Value.Float threshold;
+        Minivm.Value.Int max_iters;
+        Minivm.Value.Float (float_of_int rows) ]
+  with
+  | Minivm.Value.Foreign (Vm_bridge.Cont c) -> c
+  | _ -> page_rank
+
+let vm_whole ?(damping = 0.85) ?(threshold = 1.e-5) ?(max_iters = 100000)
+    graph =
+  let kernel =
+    Vm_runtime.whole_algorithm ~name:"page_rank" ~dtype:"double" (fun () ->
+        Obj.repr (fun (g, d, t, mi) ->
+            fst (native ~damping:d ~threshold:t ~max_iters:mi g)))
+  in
+  let f : float Smatrix.t * float * float * int -> float Svector.t =
+    Obj.obj kernel
+  in
+  let env = Vm_runtime.fresh_env () in
+  Minivm.Env.define env "pr_compiled"
+    (Minivm.Value.Builtin
+       ( "pr_compiled",
+         fun args ->
+           match args with
+           | [ g; Minivm.Value.Float d; Minivm.Value.Float t;
+               Minivm.Value.Int mi ] ->
+             let c = Ogb.Vm_bridge.unwrap_container g in
+             let m = Ogb.Container.as_matrix f64 c in
+             Ogb.Vm_bridge.wrap_container
+               (Ogb.Container.of_svector (f (m, d, t, mi)))
+           | _ -> raise (Minivm.Value.Type_error "pr_compiled: bad arguments")
+       ));
+  Minivm.Env.define env "g" (Ogb.Vm_bridge.wrap_container graph);
+  let open Minivm.Ast in
+  Minivm.Interp.exec_block env
+    [ Assign
+        ( "result",
+          Call
+            ( Var "pr_compiled",
+              [ Var "g";
+                Const (Minivm.Value.Float damping);
+                Const (Minivm.Value.Float threshold);
+                Const (Minivm.Value.Int max_iters) ] ) ) ];
+  Ogb.Vm_bridge.unwrap_container (Minivm.Env.lookup env "result")
+
+let ranks_of_container = Ogb.Container.vector_entries

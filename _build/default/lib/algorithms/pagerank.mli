@@ -1,0 +1,48 @@
+(** PageRank (paper Figs. 7–8): power iteration with damping over the
+    row-normalized adjacency matrix, converging on the squared error of
+    successive rank vectors.
+
+    Returns the rank vector and the number of iterations executed. *)
+
+open Gbtl
+
+val native :
+  ?damping:float ->
+  ?threshold:float ->
+  ?max_iters:int ->
+  float Smatrix.t ->
+  float Svector.t * int
+(** Tier 3: specialized kernels (see {!Bfs.native}'s doc). *)
+
+val generic :
+  ?damping:float ->
+  ?threshold:float ->
+  ?max_iters:int ->
+  float Smatrix.t ->
+  float Svector.t * int
+(** Paper Fig. 8 against the polymorphic library — correctness
+    reference. *)
+
+val dsl :
+  ?damping:float ->
+  ?threshold:float ->
+  ?max_iters:int ->
+  Ogb.Container.t ->
+  Ogb.Container.t * int
+
+val vm_program : Minivm.Ast.block
+val vm_loops :
+  ?damping:float ->
+  ?threshold:float ->
+  ?max_iters:int ->
+  Ogb.Container.t ->
+  Ogb.Container.t
+
+val vm_whole :
+  ?damping:float ->
+  ?threshold:float ->
+  ?max_iters:int ->
+  Ogb.Container.t ->
+  Ogb.Container.t
+
+val ranks_of_container : Ogb.Container.t -> (int * float) list

@@ -1,0 +1,26 @@
+(** Single-source shortest paths by Bellman–Ford relaxation over the
+    min-plus semiring (paper Fig. 4): n rounds of
+    [path[None] += graphᵀ min.+ path].
+
+    [path] carries current distances (source seeded with 0); vertices
+    with no entry are unreached. *)
+
+open Gbtl
+
+val native : float Smatrix.t -> src:int -> float Svector.t
+(** Tier 3: specialized kernels (see {!Bfs.native}'s doc). *)
+
+val native_inplace : float Smatrix.t -> path:float Svector.t -> unit
+(** The paper's exact signature: relax [nrows] times into [path]. *)
+
+val generic : float Smatrix.t -> src:int -> float Svector.t
+(** Fig. 4b against the polymorphic library — correctness reference. *)
+
+val generic_inplace : float Smatrix.t -> path:float Svector.t -> unit
+
+val dsl : Ogb.Container.t -> src:int -> Ogb.Container.t
+val vm_program : Minivm.Ast.block
+val vm_loops : Ogb.Container.t -> src:int -> Ogb.Container.t
+val vm_whole : Ogb.Container.t -> src:int -> Ogb.Container.t
+
+val distances_of_container : Ogb.Container.t -> (int * float) list

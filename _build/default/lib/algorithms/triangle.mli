@@ -1,0 +1,27 @@
+(** Triangle counting (paper Fig. 5): with [L] the strict lower triangle
+    of an undirected adjacency matrix,
+
+    {v B<L> = L ⊕.⊗ Lᵀ;  triangles = reduce(B) v}
+
+    Each triangle {i, j, k} is counted exactly once.  The masked
+    [mxm]-with-transposed-B form hits the dot-product kernel that only
+    evaluates mask-allowed output cells. *)
+
+open Gbtl
+
+val native : int Smatrix.t -> int
+(** [native l] — [l] must be strictly lower triangular with unit
+    entries. *)
+
+val generic : int Smatrix.t -> int
+(** Alias of {!native}: the masked [mxm] already runs the shared
+    dot-product kernel, so the library tier and the specialized tier
+    coincide for this algorithm. *)
+
+val of_undirected : bool Smatrix.t -> int Smatrix.t
+(** Extract the strict lower triangle as an int64 matrix of ones. *)
+
+val dsl : Ogb.Container.t -> float
+val vm_program : Minivm.Ast.block
+val vm_loops : Ogb.Container.t -> float
+val vm_whole : Ogb.Container.t -> float

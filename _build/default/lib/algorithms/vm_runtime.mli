@@ -1,0 +1,19 @@
+(** Shared plumbing for the tier-1 / tier-2 encodings: a MiniVM
+    environment with the DSL bridge installed, and the one-dispatch
+    "whole algorithm" kernels of tier 2 (a single interpreted call into a
+    natively compiled algorithm, the paper's second experiment
+    configuration). *)
+
+val fresh_env : unit -> Minivm.Env.t
+(** Builtins + DSL bridge installed. *)
+
+val call_program :
+  Minivm.Ast.block -> string -> Minivm.Value.t list -> Minivm.Value.t
+(** [call_program program fn args] — load the program into a fresh
+    environment and invoke its function [fn]. *)
+
+val whole_algorithm :
+  name:string -> dtype:string -> (unit -> Obj.t) -> Obj.t
+(** Tier-2 dispatch: fetch (or "compile") the whole-algorithm kernel
+    registered under [algo:<name>] — one JIT dispatch per algorithm
+    invocation, closure backend. *)

@@ -1,0 +1,1 @@
+lib/core/container.ml: Array Dtype Format Gbtl Graphs List Matrix_market Option Printf Smatrix Svector

@@ -1,0 +1,1 @@
+lib/core/container.mli: Dtype Format Gbtl Graphs Smatrix Svector

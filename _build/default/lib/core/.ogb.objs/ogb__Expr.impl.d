@@ -1,0 +1,1 @@
+lib/core/expr.ml: Container Context Dtype Extract Gbtl Index_set Jit Printf Select Smatrix Svector Unaryop

@@ -1,0 +1,1 @@
+lib/core/ops.ml: Array Assign Binop Container Context Dtype Expr Gbtl Index_set Output Printf Smatrix Svector

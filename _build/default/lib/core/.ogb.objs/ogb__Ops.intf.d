@@ -1,0 +1,1 @@
+lib/core/ops.mli: Container Expr Gbtl Index_set Jit

@@ -1,0 +1,1 @@
+lib/core/vm_bridge.ml: Array Container Context Env Expr Gbtl Interp Jit Minivm Ops Printf Value

@@ -1,0 +1,1 @@
+lib/core/vm_bridge.mli: Container Context Expr Minivm Ops

@@ -1,0 +1,155 @@
+open Gbtl
+
+type t =
+  | Vec : 'a Dtype.t * 'a Svector.t -> t
+  | Mat : 'a Dtype.t * 'a Smatrix.t -> t
+
+exception Kind_error of string
+
+let kerr fmt = Printf.ksprintf (fun s -> raise (Kind_error s)) fmt
+
+let default_dtype = Dtype.P Dtype.FP64
+
+let vector_dense ?(dtype = default_dtype) data =
+  let (Dtype.P dt) = dtype in
+  Vec
+    ( dt,
+      Svector.of_dense dt
+        (Array.of_list (List.map (Dtype.of_float dt) data)) )
+
+let vector_coo ?(dtype = default_dtype) ~size alist =
+  let (Dtype.P dt) = dtype in
+  Vec (dt, Svector.of_coo dt size (List.map (fun (i, x) -> (i, Dtype.of_float dt x)) alist))
+
+let vector_empty ?(dtype = default_dtype) size =
+  let (Dtype.P dt) = dtype in
+  Vec (dt, Svector.create dt size)
+
+let matrix_dense ?(dtype = default_dtype) rows =
+  let (Dtype.P dt) = dtype in
+  Mat
+    ( dt,
+      Smatrix.of_dense dt
+        (Array.of_list
+           (List.map
+              (fun row ->
+                Array.of_list (List.map (Dtype.of_float dt) row))
+              rows)) )
+
+let matrix_coo ?(dtype = default_dtype) ~nrows ~ncols triples =
+  let (Dtype.P dt) = dtype in
+  Mat
+    ( dt,
+      Smatrix.of_coo dt nrows ncols
+        (List.map (fun (r, c, x) -> (r, c, Dtype.of_float dt x)) triples) )
+
+let matrix_empty ?(dtype = default_dtype) nrows ncols =
+  let (Dtype.P dt) = dtype in
+  Mat (dt, Smatrix.create dt nrows ncols)
+
+let of_edge_list ?(dtype = default_dtype) g =
+  let (Dtype.P dt) = dtype in
+  Mat (dt, Graphs.Convert.matrix_of_edges dt g)
+
+let of_matrix_market ?(dtype = default_dtype) path =
+  let (Dtype.P dt) = dtype in
+  Mat (dt, Matrix_market.read dt path)
+
+let of_svector v = Vec (Svector.dtype v, v)
+let of_smatrix m = Mat (Smatrix.dtype m, m)
+
+let dtype = function Vec (dt, _) -> Dtype.P dt | Mat (dt, _) -> Dtype.P dt
+
+let dtype_name c =
+  let (Dtype.P dt) = dtype c in
+  Dtype.name dt
+
+let is_matrix = function Mat _ -> true | Vec _ -> false
+
+let nvals = function
+  | Vec (_, v) -> Svector.nvals v
+  | Mat (_, m) -> Smatrix.nvals m
+
+let size = function
+  | Vec (_, v) -> Svector.size v
+  | Mat _ -> kerr "size: expected a vector, got a matrix"
+
+let shape = function
+  | Mat (_, m) -> Smatrix.shape m
+  | Vec _ -> kerr "shape: expected a matrix, got a vector"
+
+let vector_entries = function
+  | Vec (dt, v) ->
+    List.map (fun (i, x) -> (i, Dtype.to_float dt x)) (Svector.to_alist v)
+  | Mat _ -> kerr "vector_entries: got a matrix"
+
+let matrix_entries = function
+  | Mat (dt, m) ->
+    List.map (fun (r, c, x) -> (r, c, Dtype.to_float dt x)) (Smatrix.to_coo m)
+  | Vec _ -> kerr "matrix_entries: got a vector"
+
+let get_vector_element c i =
+  match c with
+  | Vec (dt, v) -> Option.map (Dtype.to_float dt) (Svector.get v i)
+  | Mat _ -> kerr "get_vector_element: got a matrix"
+
+let get_matrix_element c r cl =
+  match c with
+  | Mat (dt, m) -> Option.map (Dtype.to_float dt) (Smatrix.get m r cl)
+  | Vec _ -> kerr "get_matrix_element: got a vector"
+
+let set_vector_element c i x =
+  match c with
+  | Vec (dt, v) -> Svector.set v i (Dtype.of_float dt x)
+  | Mat _ -> kerr "set_vector_element: got a matrix"
+
+let set_matrix_element c r cl x =
+  match c with
+  | Mat (dt, m) -> Smatrix.set m r cl (Dtype.of_float dt x)
+  | Vec _ -> kerr "set_matrix_element: got a vector"
+
+let dup = function
+  | Vec (dt, v) -> Vec (dt, Svector.dup v)
+  | Mat (dt, m) -> Mat (dt, Smatrix.dup m)
+
+let clear = function
+  | Vec (_, v) -> Svector.clear v
+  | Mat (_, m) -> Smatrix.clear m
+
+let cast (Dtype.P into) = function
+  | Vec (_, v) -> Vec (into, Svector.cast ~into v)
+  | Mat (_, m) -> Mat (into, Smatrix.cast ~into m)
+
+let equal a b =
+  match a, b with
+  | Vec (da, va), Vec (db, vb) -> (
+    match Dtype.equal_witness da db with
+    | Some Dtype.Equal -> Svector.equal va vb
+    | None -> false)
+  | Mat (da, ma), Mat (db, mb) -> (
+    match Dtype.equal_witness da db with
+    | Some Dtype.Equal -> Smatrix.equal ma mb
+    | None -> false)
+  | Vec _, Mat _ | Mat _, Vec _ -> false
+
+let pp fmt = function
+  | Vec (_, v) -> Svector.pp fmt v
+  | Mat (_, m) -> Smatrix.pp fmt m
+
+let to_string c = Format.asprintf "%a" pp c
+
+let as_vector (type a) (dt : a Dtype.t) c : a Svector.t =
+  match c with
+  | Vec (dt', v) -> (
+    match Dtype.equal_witness dt' dt with
+    | Some Dtype.Equal -> v
+    | None -> kerr "as_vector: dtype %s, expected %s" (Dtype.name dt') (Dtype.name dt))
+  | Mat _ -> kerr "as_vector: got a matrix"
+
+let as_matrix (type a) (dt : a Dtype.t) c : a Smatrix.t =
+  match c with
+  | Mat (dt', m) -> (
+    match Dtype.equal_witness dt' dt with
+    | Some Dtype.Equal -> m
+    | None -> kerr "as_matrix: dtype %s, expected %s" (Dtype.name dt') (Dtype.name dt))
+  | Vec _ -> kerr "as_matrix: got a vector"

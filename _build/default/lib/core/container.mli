@@ -1,0 +1,74 @@
+(** Dynamically typed GraphBLAS containers — the DSL's [gb.Matrix] /
+    [gb.Vector].  The element dtype is packed away existentially and
+    resolved at operation-dispatch time, exactly as PyGB resolves NumPy
+    dtypes when an expression is evaluated (paper §V).
+
+    Constructors take [float] data and cast into the requested dtype; the
+    default dtype is [double] (Python's default float64). *)
+
+open Gbtl
+
+type t = Vec : 'a Dtype.t * 'a Svector.t -> t | Mat : 'a Dtype.t * 'a Smatrix.t -> t
+
+exception Kind_error of string
+(** Raised when a vector is used where a matrix is required, etc. *)
+
+(** {2 Constructors (paper Fig. 3)} *)
+
+val vector_dense : ?dtype:Dtype.packed -> float list -> t
+(** [gb.Vector([1, 2, 3])] — every cell stored. *)
+
+val vector_coo : ?dtype:Dtype.packed -> size:int -> (int * float) list -> t
+(** [gb.Vector((vals, idx), shape=(l,))]. *)
+
+val vector_empty : ?dtype:Dtype.packed -> int -> t
+val matrix_dense : ?dtype:Dtype.packed -> float list list -> t
+val matrix_coo :
+  ?dtype:Dtype.packed -> nrows:int -> ncols:int -> (int * int * float) list -> t
+val matrix_empty : ?dtype:Dtype.packed -> int -> int -> t
+
+val of_edge_list : ?dtype:Dtype.packed -> Graphs.Edge_list.t -> t
+(** [gb.Matrix(nx.balanced_tree(...))] — copy from a foreign graph. *)
+
+val of_matrix_market : ?dtype:Dtype.packed -> string -> t
+val of_svector : 'a Svector.t -> t
+val of_smatrix : 'a Smatrix.t -> t
+
+(** {2 Inspection} *)
+
+val dtype : t -> Dtype.packed
+val dtype_name : t -> string
+val is_matrix : t -> bool
+val nvals : t -> int
+val size : t -> int
+(** Vector length.  @raise Kind_error on matrices. *)
+
+val shape : t -> int * int
+(** Matrix shape.  @raise Kind_error on vectors. *)
+
+val vector_entries : t -> (int * float) list
+(** Entries cast to float.  @raise Kind_error on matrices. *)
+
+val matrix_entries : t -> (int * int * float) list
+val get_vector_element : t -> int -> float option
+val get_matrix_element : t -> int -> int -> float option
+val set_vector_element : t -> int -> float -> unit
+val set_matrix_element : t -> int -> int -> float -> unit
+
+(** {2 Structure} *)
+
+val dup : t -> t
+val clear : t -> unit
+val cast : Dtype.packed -> t -> t
+val equal : t -> t -> bool
+(** Same kind, same dtype, same entries. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {2 Typed views (used by the evaluator)} *)
+
+val as_vector : 'a Dtype.t -> t -> 'a Svector.t
+(** @raise Kind_error if not a vector of exactly this dtype. *)
+
+val as_matrix : 'a Dtype.t -> t -> 'a Smatrix.t

@@ -1,0 +1,110 @@
+type entry =
+  | Semiring of Jit.Op_spec.semiring
+  | Monoid of { op : string; identity : string }
+  | Binary of string
+  | Unary of Jit.Op_spec.unary
+  | Accum of string
+  | Replace
+
+let semiring name = Semiring (Jit.Op_spec.semiring_of_name name)
+
+let custom_semiring ~add_op ~add_identity ~mul_op =
+  Semiring { Jit.Op_spec.add_op; add_identity; mul_op }
+
+let monoid ~op ~identity = Monoid { op; identity }
+let binary name = Binary name
+let unary name = Unary (Jit.Op_spec.Named name)
+
+let unary_bound ~op ?(side = `Second) const =
+  Unary (Jit.Op_spec.Bound { op; side; const })
+
+let accum name = Accum name
+let replace = Replace
+
+(* Innermost entry first.  Domain-local: each OCaml 5 domain gets its own
+   operator stack, which removes the threading limitation PyGB documents
+   in §IV (one global stack under the GIL). *)
+let stack_key : entry list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
+
+let push e =
+  let s = stack () in
+  s := e :: !s
+
+let pop () =
+  let s = stack () in
+  match !s with
+  | [] -> invalid_arg "Context.pop: empty stack"
+  | _ :: rest -> s := rest
+
+let with_ops entries f =
+  let n = List.length entries in
+  List.iter push entries;
+  Fun.protect
+    ~finally:(fun () ->
+      for _ = 1 to n do
+        pop ()
+      done)
+    f
+
+let depth () = List.length !(stack ())
+
+let find_map f = List.find_map f !(stack ())
+
+let current_semiring () =
+  match find_map (function Semiring s -> Some s | _ -> None) with
+  | Some s -> s
+  | None -> Jit.Op_spec.arithmetic
+
+let current_add_binop () =
+  match
+    find_map (function
+      | Binary b -> Some b
+      | Monoid { op; _ } -> Some op
+      | Semiring s -> Some s.Jit.Op_spec.add_op
+      | Unary _ | Accum _ | Replace -> None)
+  with
+  | Some op -> op
+  | None -> "Plus"
+
+let current_mult_binop () =
+  match
+    find_map (function
+      | Binary b -> Some b
+      | Monoid { op; _ } -> Some op
+      | Semiring s -> Some s.Jit.Op_spec.mul_op
+      | Unary _ | Accum _ | Replace -> None)
+  with
+  | Some op -> op
+  | None -> "Times"
+
+(* An explicit accumulator anywhere in scope wins; the fallback to the
+   nearest monoid/semiring ⊕ (the paper's SSSP example) only applies when
+   no accumulator entry exists at all. *)
+let current_accum () =
+  match find_map (function Accum a -> Some a | _ -> None) with
+  | Some a -> Some a
+  | None ->
+    find_map (function
+      | Monoid { op; _ } -> Some op
+      | Semiring s -> Some s.Jit.Op_spec.add_op
+      | Accum _ | Binary _ | Unary _ | Replace -> None)
+
+let current_unary () =
+  match find_map (function Unary u -> Some u | _ -> None) with
+  | Some u -> u
+  | None -> Jit.Op_spec.Named "Identity"
+
+let current_monoid () =
+  match
+    find_map (function
+      | Monoid { op; identity } -> Some (op, identity)
+      | Semiring s -> Some (Jit.Op_spec.monoid_of_semiring s)
+      | Binary _ | Unary _ | Accum _ | Replace -> None)
+  with
+  | Some m -> m
+  | None -> ("Plus", "Zero")
+
+let replace_flag () = List.exists (fun e -> e = Replace) !(stack ())

@@ -1,0 +1,74 @@
+(** The operator context stack — the DSL rendering of PyGB's [with]
+    blocks (paper §IV).
+
+    [with_ops [semiring "MinPlus"; accum "Min"] (fun () -> ...)] pushes a
+    frame for the dynamic extent of the thunk.  When an operation needs an
+    operator it searches the stack top-down for the nearest entry it can
+    use; in particular an accumulator request falls back to the nearest
+    monoid or semiring's additive operator (the paper's
+    [path[None] += ...] example), and the replace flag is itself a context
+    entry ([gb.Replace] in Fig. 2b).
+
+    The stack is {e domain-local} (one independent stack per OCaml 5
+    domain) — lifting the threading limitation PyGB documents in its §IV
+    GIL discussion: parallel domains can each hold their own operator
+    contexts. *)
+
+type entry =
+  | Semiring of Jit.Op_spec.semiring
+  | Monoid of { op : string; identity : string }
+  | Binary of string
+  | Unary of Jit.Op_spec.unary
+  | Accum of string
+  | Replace
+
+(** {2 Convenience constructors (the [gb.*] names)} *)
+
+val semiring : string -> entry
+(** By GBTL name, e.g. [semiring "MinPlus"].
+    @raise Gbtl.Semiring.Unknown_semiring *)
+
+val custom_semiring :
+  add_op:string -> add_identity:string -> mul_op:string -> entry
+
+val monoid : op:string -> identity:string -> entry
+val binary : string -> entry
+val unary : string -> entry
+val unary_bound : op:string -> ?side:[ `First | `Second ] -> float -> entry
+(** [gb.UnaryOp ("Times", 0.85)] — a binary operator with a bound
+    constant (default side: [`Second]). *)
+
+val accum : string -> entry
+val replace : entry
+
+(** {2 Scoping} *)
+
+val with_ops : entry list -> (unit -> 'r) -> 'r
+val push : entry -> unit
+val pop : unit -> unit
+(** Explicit frames for the MiniVM bridge; prefer {!with_ops}. *)
+
+val depth : unit -> int
+
+(** {2 Resolution (used by expression construction)} *)
+
+val current_semiring : unit -> Jit.Op_spec.semiring
+(** Nearest semiring; defaults to Arithmetic. *)
+
+val current_add_binop : unit -> string
+(** For [eWiseAdd] ([+]): nearest binary op, monoid op or semiring ⊕. *)
+
+val current_mult_binop : unit -> string
+(** For [eWiseMult] ([*]): nearest binary op, semiring ⊗ or monoid op. *)
+
+val current_accum : unit -> string option
+(** For [+=]: nearest accumulator, else monoid/semiring ⊕, else [None]. *)
+
+val current_unary : unit -> Jit.Op_spec.unary
+(** For [apply]: nearest unary; defaults to Identity. *)
+
+val current_monoid : unit -> string * string
+(** For [reduce]: nearest monoid or semiring's additive monoid; defaults
+    to (Plus, Zero). *)
+
+val replace_flag : unit -> bool

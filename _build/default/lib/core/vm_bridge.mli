@@ -1,0 +1,28 @@
+(** Hosting the DSL inside the MiniVM — the PyGB experience: containers
+    respond to [@], [+], [*], [~], [.T], [.nvals], subscript assignment
+    with masks, and [with] operator contexts, all dispatched dynamically
+    through the interpreter (paper §IV's magic methods).
+
+    Tier-1 benchmark programs run on the MiniVM with these hooks
+    installed; every GraphBLAS operation they perform goes through
+    expression construction and the JIT dispatch, with the outer loops
+    interpreted. *)
+
+type Minivm.Value.foreign +=
+  | Cont of Container.t
+  | Ex of Expr.t
+  | Op_entry of Context.entry
+  | Mask_arg of Ops.mask
+  | All_indices
+  | Masked_view of Container.t * Ops.mask option
+
+val install : Minivm.Env.t -> unit
+(** Installs the interpreter hooks (process-global) and seeds the
+    environment with the [gb]-style builtins: [Vector], [Matrix],
+    [Semiring], [Monoid], [BinaryOp], [UnaryOp], [Accumulator],
+    [Replace], [NoMask], [AllIndices], [reduce], [apply],
+    [reduce_rows]. *)
+
+val wrap_container : Container.t -> Minivm.Value.t
+val unwrap_container : Minivm.Value.t -> Container.t
+(** @raise Minivm.Value.Type_error *)

@@ -1,0 +1,1 @@
+lib/gbtl/apply_reduce.ml: Array Binop Entries Mask Monoid Output Printf Smatrix Svector Unaryop

@@ -1,0 +1,1 @@
+lib/gbtl/apply_reduce.mli: Binop Mask Monoid Smatrix Svector Unaryop

@@ -1,0 +1,1 @@
+lib/gbtl/arith.ml: Bool Dtype Fun Int Int64

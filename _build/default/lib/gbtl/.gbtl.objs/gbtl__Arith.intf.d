@@ -1,0 +1,1 @@
+lib/gbtl/arith.mli: Dtype

@@ -1,0 +1,1 @@
+lib/gbtl/assign.ml: Array Binop Entries Index_set Int Mask Option Output Printf Smatrix Svector

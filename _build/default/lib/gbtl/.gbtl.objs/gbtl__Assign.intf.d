@@ -1,0 +1,1 @@
+lib/gbtl/assign.mli: Binop Index_set Mask Smatrix Svector

@@ -1,0 +1,1 @@
+lib/gbtl/binop.ml: Arith Dtype Hashtbl List String

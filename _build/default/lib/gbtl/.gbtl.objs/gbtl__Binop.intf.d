@@ -1,0 +1,1 @@
+lib/gbtl/binop.mli: Dtype

@@ -1,0 +1,1 @@
+lib/gbtl/dtype.ml: Bool Float Format Int Int32 Int64 Printf

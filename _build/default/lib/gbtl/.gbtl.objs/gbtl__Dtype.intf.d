@@ -1,0 +1,1 @@
+lib/gbtl/dtype.mli: Format

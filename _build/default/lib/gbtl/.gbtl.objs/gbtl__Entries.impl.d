@@ -1,0 +1,1 @@
+lib/gbtl/entries.ml: Array Int List

@@ -1,0 +1,1 @@
+lib/gbtl/ewise.ml: Array Binop Entries Mask Output Printf Smatrix Svector

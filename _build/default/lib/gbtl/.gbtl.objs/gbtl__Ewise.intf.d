@@ -1,0 +1,1 @@
+lib/gbtl/ewise.mli: Binop Entries Mask Smatrix Svector

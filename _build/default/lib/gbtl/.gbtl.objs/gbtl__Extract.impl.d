@@ -1,0 +1,1 @@
+lib/gbtl/extract.ml: Array Entries Index_set Mask Output Printf Smatrix Svector

@@ -1,0 +1,1 @@
+lib/gbtl/extract.mli: Binop Index_set Mask Smatrix Svector

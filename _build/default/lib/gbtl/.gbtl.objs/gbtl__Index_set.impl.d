@@ -1,0 +1,1 @@
+lib/gbtl/index_set.ml: Array Format Fun Hashtbl Printf String

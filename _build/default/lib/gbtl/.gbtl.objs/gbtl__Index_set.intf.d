@@ -1,0 +1,1 @@
+lib/gbtl/index_set.mli: Format

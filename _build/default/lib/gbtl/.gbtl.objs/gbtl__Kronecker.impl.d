@@ -1,0 +1,1 @@
+lib/gbtl/kronecker.ml: Array Binop Entries Mask Output Printf Smatrix

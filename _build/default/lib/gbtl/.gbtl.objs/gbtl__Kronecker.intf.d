@@ -1,0 +1,1 @@
+lib/gbtl/kronecker.mli: Binop Mask Smatrix

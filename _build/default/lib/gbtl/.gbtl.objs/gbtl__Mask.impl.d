@@ -1,0 +1,1 @@
+lib/gbtl/mask.ml: Array Dtype List Printf Smatrix Svector

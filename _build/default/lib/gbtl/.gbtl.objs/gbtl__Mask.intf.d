@@ -1,0 +1,1 @@
+lib/gbtl/mask.mli: Smatrix Svector

@@ -1,0 +1,1 @@
+lib/gbtl/matmul.ml: Array Entries Mask Output Printf Semiring Smatrix Spa Svector

@@ -1,0 +1,1 @@
+lib/gbtl/matmul.mli: Binop Mask Semiring Smatrix Svector

@@ -1,0 +1,1 @@
+lib/gbtl/matrix_market.ml: Dtype Fun List Printf Smatrix String Unaryop

@@ -1,0 +1,1 @@
+lib/gbtl/matrix_market.mli: Dtype Smatrix

@@ -1,0 +1,1 @@
+lib/gbtl/monoid.ml: Binop Dtype Format

@@ -1,0 +1,1 @@
+lib/gbtl/monoid.mli: Binop Dtype Format

@@ -1,0 +1,1 @@
+lib/gbtl/output.ml: Array Binop Entries Mask Option Smatrix Svector

@@ -1,0 +1,1 @@
+lib/gbtl/output.mli: Binop Entries Mask Smatrix Svector

@@ -1,0 +1,1 @@
+lib/gbtl/select.ml: Array Dtype Entries List Mask Output Printf Smatrix Svector

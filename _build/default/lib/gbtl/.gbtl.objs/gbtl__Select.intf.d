@@ -1,0 +1,1 @@
+lib/gbtl/select.mli: Binop Mask Smatrix Svector

@@ -1,0 +1,1 @@
+lib/gbtl/semiring.ml: Binop Format Monoid Printf

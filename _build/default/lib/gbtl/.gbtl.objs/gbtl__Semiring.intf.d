@@ -1,0 +1,1 @@
+lib/gbtl/semiring.mli: Binop Dtype Format Monoid

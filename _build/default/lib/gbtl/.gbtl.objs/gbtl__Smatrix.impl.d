@@ -1,0 +1,1 @@
+lib/gbtl/smatrix.ml: Array Binop Dtype Entries Format Int List Printf Svector

@@ -1,0 +1,1 @@
+lib/gbtl/smatrix.mli: Binop Dtype Entries Format Svector

@@ -1,0 +1,1 @@
+lib/gbtl/spa.mli: Entries

@@ -1,0 +1,1 @@
+lib/gbtl/svector.ml: Array Binop Dtype Entries Format Int List Printf

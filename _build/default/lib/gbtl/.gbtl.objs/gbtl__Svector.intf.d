@@ -1,0 +1,1 @@
+lib/gbtl/svector.mli: Binop Dtype Entries Format

@@ -1,0 +1,1 @@
+lib/gbtl/transpose_op.ml: Array Mask Output Printf Smatrix

@@ -1,0 +1,1 @@
+lib/gbtl/transpose_op.mli: Binop Mask Smatrix

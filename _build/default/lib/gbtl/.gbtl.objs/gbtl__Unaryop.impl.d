@@ -1,0 +1,1 @@
+lib/gbtl/unaryop.ml: Arith Binop Dtype Fun Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/gbtl/unaryop.mli: Binop Dtype

@@ -1,0 +1,1 @@
+lib/gbtl/utilities.ml: Array Dtype List Smatrix Svector

@@ -1,0 +1,1 @@
+lib/gbtl/utilities.mli: Dtype Smatrix Svector

@@ -1,0 +1,63 @@
+let apply_vector ?(mask = Mask.No_vmask) ?accum ?(replace = false)
+    (f : 'a Unaryop.t) ~out u =
+  if Svector.size out <> Svector.size u then
+    raise
+      (Svector.Dimension_mismatch
+         (Printf.sprintf "apply: output size %d vs input size %d"
+            (Svector.size out) (Svector.size u)));
+  let t = Entries.create () in
+  Svector.iter (fun i x -> Entries.push t i (f.Unaryop.f x)) u;
+  Output.write_vector ~mask ~accum ~replace ~out ~t
+
+let apply_matrix ?(mask = Mask.No_mmask) ?accum ?(replace = false)
+    ?(transpose = false) (f : 'a Unaryop.t) ~out a =
+  let a = if transpose then Smatrix.transpose a else a in
+  if Smatrix.shape out <> Smatrix.shape a then
+    raise
+      (Smatrix.Dimension_mismatch
+         (Printf.sprintf "apply: output %dx%d vs input %dx%d"
+            (Smatrix.nrows out) (Smatrix.ncols out) (Smatrix.nrows a)
+            (Smatrix.ncols a)));
+  let t =
+    Array.init (Smatrix.nrows a) (fun r ->
+        let e = Entries.create () in
+        Smatrix.iter_row (fun c x -> Entries.push e c (f.Unaryop.f x)) a r;
+        e)
+  in
+  Output.write_matrix ~mask ~accum ~replace ~out ~t
+
+let reduce_rows ?(mask = Mask.No_vmask) ?accum ?(replace = false)
+    ?(transpose = false) (m : 'a Monoid.t) ~out a =
+  let a = if transpose then Smatrix.transpose a else a in
+  if Svector.size out <> Smatrix.nrows a then
+    raise
+      (Svector.Dimension_mismatch
+         (Printf.sprintf "reduce: output size %d vs matrix rows %d"
+            (Svector.size out) (Smatrix.nrows a)));
+  let t = Entries.create () in
+  for r = 0 to Smatrix.nrows a - 1 do
+    if Smatrix.row_nvals a r > 0 then begin
+      let acc = ref m.Monoid.identity in
+      Smatrix.iter_row (fun _ x -> acc := m.Monoid.op.Binop.f !acc x) a r;
+      Entries.push t r !acc
+    end
+  done;
+  Output.write_vector ~mask ~accum ~replace ~out ~t
+
+let finish_scalar ?accum ?init (m : 'a Monoid.t) ~nvals total =
+  let reduced = if nvals = 0 then m.Monoid.identity else total in
+  match accum, init with
+  | Some (op : 'a Binop.t), Some s -> op.Binop.f s reduced
+  | Some _, None | None, (Some _ | None) -> reduced
+
+let reduce_vector_scalar ?accum ?init (m : 'a Monoid.t) u =
+  let total =
+    Svector.fold (fun acc _ x -> m.Monoid.op.Binop.f acc x) m.Monoid.identity u
+  in
+  finish_scalar ?accum ?init m ~nvals:(Svector.nvals u) total
+
+let reduce_matrix_scalar ?accum ?init (m : 'a Monoid.t) a =
+  let total =
+    Smatrix.fold (fun acc _ _ x -> m.Monoid.op.Binop.f acc x) m.Monoid.identity a
+  in
+  finish_scalar ?accum ?init m ~nvals:(Smatrix.nvals a) total

@@ -1,0 +1,119 @@
+let dim_err exn fmt = Printf.ksprintf (fun s -> raise (exn s)) fmt
+
+(* Region update for one index space.  [n] is the output dimension,
+   [targets] the (duplicate-free) selected positions, [source pos] the
+   source entry for selection position [pos].  Returns the "T" of the
+   write step: old entries outside the region, updated region inside. *)
+let overlay_entries ~n ~c_lookup ~c_entries ~targets ~source ~accum =
+  let in_region = Array.make n false in
+  let region_value : 'a option array = Array.make n None in
+  Array.iteri
+    (fun pos i ->
+      in_region.(i) <- true;
+      let v =
+        match accum, source pos, c_lookup i with
+        | _, None, None -> None
+        | _, (Some _ as sv), None -> sv
+        | None, None, Some _ -> None (* no accum: uncovered old entry dies *)
+        | None, (Some _ as sv), Some _ -> sv
+        | Some _, None, (Some _ as cv) -> cv
+        | Some f, Some sv, Some cv -> Some (f cv sv)
+      in
+      region_value.(i) <- v)
+    targets;
+  let t = Entries.create () in
+  let push_old i v = if not in_region.(i) then Entries.push t i v in
+  (* Merge walk: old entries (sorted) interleaved with region positions.
+     Region positions can be arbitrary, so walk a sorted copy. *)
+  let sorted_targets = Array.copy targets in
+  Array.sort Int.compare sorted_targets;
+  let nc = Entries.length c_entries and nt = Array.length sorted_targets in
+  let i = ref 0 and j = ref 0 in
+  while !i < nc || !j < nt do
+    let next_c = if !i < nc then Entries.get_idx c_entries !i else max_int in
+    let next_t = if !j < nt then sorted_targets.(!j) else max_int in
+    if next_c < next_t then begin
+      push_old next_c (Entries.get_val c_entries !i);
+      incr i
+    end
+    else begin
+      (match region_value.(next_t) with
+      | Some v -> Entries.push t next_t v
+      | None -> ());
+      if next_c = next_t then incr i;
+      incr j
+    end
+  done;
+  t
+
+let vector ?(mask = Mask.No_vmask) ?accum ?(replace = false) ~out u idx =
+  let n = Svector.size out in
+  let targets = Index_set.resolve idx n in
+  Index_set.check_no_duplicates targets;
+  if Svector.size u <> Array.length targets then
+    dim_err
+      (fun s -> Svector.Dimension_mismatch s)
+      "assign: source size %d vs selection %d" (Svector.size u)
+      (Array.length targets);
+  let accum_f = Option.map (fun (op : _ Binop.t) -> op.Binop.f) accum in
+  let t =
+    overlay_entries ~n ~c_lookup:(Svector.get out)
+      ~c_entries:(Svector.entries out) ~targets ~source:(Svector.get u)
+      ~accum:accum_f
+  in
+  Output.write_vector ~mask ~accum:None ~replace ~out ~t
+
+let vector_scalar ?(mask = Mask.No_vmask) ?accum ?(replace = false) ~out s idx =
+  let n = Svector.size out in
+  let targets = Index_set.resolve idx n in
+  Index_set.check_no_duplicates targets;
+  let accum_f = Option.map (fun (op : _ Binop.t) -> op.Binop.f) accum in
+  let t =
+    overlay_entries ~n ~c_lookup:(Svector.get out)
+      ~c_entries:(Svector.entries out) ~targets
+      ~source:(fun _ -> Some s)
+      ~accum:accum_f
+  in
+  Output.write_vector ~mask ~accum:None ~replace ~out ~t
+
+(* Matrix region assign: per-row overlay over the selected columns. *)
+let matrix_overlay ?(mask = Mask.No_mmask) ?accum ?(replace = false) ~out
+    ~row_targets ~col_targets ~source_row () =
+  Index_set.check_no_duplicates row_targets;
+  Index_set.check_no_duplicates col_targets;
+  let accum_f = Option.map (fun (op : _ Binop.t) -> op.Binop.f) accum in
+  let nrows = Smatrix.nrows out and ncols = Smatrix.ncols out in
+  let row_src = Array.make nrows (-1) in
+  Array.iteri (fun p r -> row_src.(r) <- p) row_targets;
+  let t =
+    Array.init nrows (fun r ->
+        if row_src.(r) < 0 then Smatrix.row_entries out r
+        else
+          overlay_entries ~n:ncols
+            ~c_lookup:(fun c -> Smatrix.get out r c)
+            ~c_entries:(Smatrix.row_entries out r)
+            ~targets:col_targets
+            ~source:(source_row row_src.(r))
+            ~accum:accum_f)
+  in
+  Output.write_matrix ~mask ~accum:None ~replace ~out ~t
+
+let matrix ?mask ?accum ?replace ~out a rows cols =
+  let row_targets = Index_set.resolve rows (Smatrix.nrows out) in
+  let col_targets = Index_set.resolve cols (Smatrix.ncols out) in
+  if Smatrix.shape a <> (Array.length row_targets, Array.length col_targets)
+  then
+    dim_err
+      (fun s -> Smatrix.Dimension_mismatch s)
+      "assign: source %dx%d vs selection %dx%d" (Smatrix.nrows a)
+      (Smatrix.ncols a) (Array.length row_targets) (Array.length col_targets);
+  matrix_overlay ?mask ?accum ?replace ~out ~row_targets ~col_targets
+    ~source_row:(fun p c -> Smatrix.get a p c)
+    ()
+
+let matrix_scalar ?mask ?accum ?replace ~out s rows cols =
+  let row_targets = Index_set.resolve rows (Smatrix.nrows out) in
+  let col_targets = Index_set.resolve cols (Smatrix.ncols out) in
+  matrix_overlay ?mask ?accum ?replace ~out ~row_targets ~col_targets
+    ~source_row:(fun _ _ -> Some s)
+    ()

@@ -1,0 +1,57 @@
+(** Binary operators of GBTL's [algebra.hpp] (paper Fig. 6).
+
+    All seventeen operators are [T -> T -> T] on a single dtype, with
+    comparison operators returning the dtype's 0/1 encoding, as in GBTL.
+    Operators are constructible by string name — the names are what flows
+    through the DSL and into JIT kernel signatures. *)
+
+type 'a t = private { name : string; f : 'a -> 'a -> 'a }
+
+exception Unknown_operator of string
+
+val names : string list
+(** The seventeen GBTL binary operator names. *)
+
+val is_known : string -> bool
+
+val of_name : string -> 'a Dtype.t -> 'a t
+(** @raise Unknown_operator if [name] is not in {!names}. *)
+
+val make : string -> ('a -> 'a -> 'a) -> 'a t
+(** Escape hatch for user-defined operators (a PyGB future-work feature we
+    implement; the name participates in JIT signatures prefixed with
+    ["user:"]). *)
+
+val register_user : string -> (float -> float -> float) -> unit
+(** [register_user "cap" f] makes ["user:cap"] resolvable by {!of_name}
+    at {e every} dtype: operands are converted to float, combined with
+    [f], and converted back (with the dtype's normalization).  This is
+    the paper's §VIII "user-defined operators" feature — names flow
+    through context stacks and JIT signatures like built-in operators
+    (such kernels always use the closure backend).  Re-registering a name
+    replaces it. *)
+
+val user_registered : string -> bool
+(** [user_registered "cap"] — whether the bare name is registered. *)
+
+val apply : 'a t -> 'a -> 'a -> 'a
+
+(** Convenience constructors for the common operators. *)
+
+val plus : 'a Dtype.t -> 'a t
+val minus : 'a Dtype.t -> 'a t
+val times : 'a Dtype.t -> 'a t
+val div : 'a Dtype.t -> 'a t
+val min : 'a Dtype.t -> 'a t
+val max : 'a Dtype.t -> 'a t
+val first : 'a Dtype.t -> 'a t
+val second : 'a Dtype.t -> 'a t
+val logical_or : 'a Dtype.t -> 'a t
+val logical_and : 'a Dtype.t -> 'a t
+val logical_xor : 'a Dtype.t -> 'a t
+val equal : 'a Dtype.t -> 'a t
+val not_equal : 'a Dtype.t -> 'a t
+val greater_than : 'a Dtype.t -> 'a t
+val less_than : 'a Dtype.t -> 'a t
+val greater_equal : 'a Dtype.t -> 'a t
+val less_equal : 'a Dtype.t -> 'a t

@@ -1,0 +1,66 @@
+let union_entries f a b = Output.merge_with f a b
+
+let intersect_entries f a b =
+  let out = Entries.create () in
+  let na = Entries.length a and nb = Entries.length b in
+  let i = ref 0 and j = ref 0 in
+  while !i < na && !j < nb do
+    let ia = Entries.get_idx a !i and ib = Entries.get_idx b !j in
+    if ia < ib then incr i
+    else if ib < ia then incr j
+    else begin
+      Entries.push out ia (f (Entries.get_val a !i) (Entries.get_val b !j));
+      incr i;
+      incr j
+    end
+  done;
+  out
+
+let check_vector_sizes ctx u v =
+  if Svector.size u <> Svector.size v then
+    raise
+      (Svector.Dimension_mismatch
+         (Printf.sprintf "%s: sizes %d and %d differ" ctx (Svector.size u)
+            (Svector.size v)))
+
+let vector_op combine ctx ?(mask = Mask.No_vmask) ?accum ?(replace = false)
+    (op : 'a Binop.t) ~out u v =
+  check_vector_sizes ctx u v;
+  check_vector_sizes ctx out u;
+  let t = combine op.Binop.f (Svector.entries u) (Svector.entries v) in
+  Output.write_vector ~mask ~accum ~replace ~out ~t
+
+let vector_add ?mask ?accum ?replace op ~out u v =
+  vector_op union_entries "eWiseAdd" ?mask ?accum ?replace op ~out u v
+
+let vector_mult ?mask ?accum ?replace op ~out u v =
+  vector_op intersect_entries "eWiseMult" ?mask ?accum ?replace op ~out u v
+
+let oriented m transposed = if transposed then Smatrix.transpose m else m
+
+let check_matrix_shapes ctx a b =
+  if Smatrix.shape a <> Smatrix.shape b then
+    raise
+      (Smatrix.Dimension_mismatch
+         (Printf.sprintf "%s: shapes %dx%d and %dx%d differ" ctx
+            (Smatrix.nrows a) (Smatrix.ncols a) (Smatrix.nrows b)
+            (Smatrix.ncols b)))
+
+let matrix_op combine ctx ?(mask = Mask.No_mmask) ?accum ?(replace = false)
+    ?(transpose_a = false) ?(transpose_b = false) (op : 'a Binop.t) ~out a b =
+  let a = oriented a transpose_a and b = oriented b transpose_b in
+  check_matrix_shapes ctx a b;
+  check_matrix_shapes ctx out a;
+  let t =
+    Array.init (Smatrix.nrows out) (fun r ->
+        combine op.Binop.f (Smatrix.row_entries a r) (Smatrix.row_entries b r))
+  in
+  Output.write_matrix ~mask ~accum ~replace ~out ~t
+
+let matrix_add ?mask ?accum ?replace ?transpose_a ?transpose_b op ~out a b =
+  matrix_op union_entries "eWiseAdd" ?mask ?accum ?replace ?transpose_a
+    ?transpose_b op ~out a b
+
+let matrix_mult ?mask ?accum ?replace ?transpose_a ?transpose_b op ~out a b =
+  matrix_op intersect_entries "eWiseMult" ?mask ?accum ?replace ?transpose_a
+    ?transpose_b op ~out a b

@@ -1,0 +1,58 @@
+(** Element-wise operations (Table I rows [eWiseAdd] / [eWiseMult]).
+
+    [eWiseAdd] operates on the {e union} of the two structures (the
+    operator applies only where both are present; singletons pass
+    through), [eWiseMult] on the {e intersection}. *)
+
+val vector_add :
+  ?mask:Mask.vmask ->
+  ?accum:'a Binop.t ->
+  ?replace:bool ->
+  'a Binop.t ->
+  out:'a Svector.t ->
+  'a Svector.t ->
+  'a Svector.t ->
+  unit
+(** [w<m,z> = w ⊙ (u ⊕ v)].  @raise Svector.Dimension_mismatch *)
+
+val vector_mult :
+  ?mask:Mask.vmask ->
+  ?accum:'a Binop.t ->
+  ?replace:bool ->
+  'a Binop.t ->
+  out:'a Svector.t ->
+  'a Svector.t ->
+  'a Svector.t ->
+  unit
+
+val matrix_add :
+  ?mask:Mask.mmask ->
+  ?accum:'a Binop.t ->
+  ?replace:bool ->
+  ?transpose_a:bool ->
+  ?transpose_b:bool ->
+  'a Binop.t ->
+  out:'a Smatrix.t ->
+  'a Smatrix.t ->
+  'a Smatrix.t ->
+  unit
+
+val matrix_mult :
+  ?mask:Mask.mmask ->
+  ?accum:'a Binop.t ->
+  ?replace:bool ->
+  ?transpose_a:bool ->
+  ?transpose_b:bool ->
+  'a Binop.t ->
+  out:'a Smatrix.t ->
+  'a Smatrix.t ->
+  'a Smatrix.t ->
+  unit
+
+(** Pure structural combinators, exposed for reuse and testing. *)
+
+val union_entries :
+  ('a -> 'a -> 'a) -> 'a Entries.t -> 'a Entries.t -> 'a Entries.t
+
+val intersect_entries :
+  ('a -> 'a -> 'a) -> 'a Entries.t -> 'a Entries.t -> 'a Entries.t

@@ -1,0 +1,63 @@
+let matrix ?(mask = Mask.No_mmask) ?accum ?(replace = false)
+    ?(transpose = false) ~out a rows cols =
+  let a = if transpose then Smatrix.transpose a else a in
+  let ri = Index_set.resolve rows (Smatrix.nrows a) in
+  let ci = Index_set.resolve cols (Smatrix.ncols a) in
+  if Smatrix.shape out <> (Array.length ri, Array.length ci) then
+    raise
+      (Smatrix.Dimension_mismatch
+         (Printf.sprintf "extract: output %dx%d vs selection %dx%d"
+            (Smatrix.nrows out) (Smatrix.ncols out) (Array.length ri)
+            (Array.length ci)));
+  let t =
+    Array.map
+      (fun src_r ->
+        let e = Entries.create () in
+        Array.iteri
+          (fun out_c src_c ->
+            match Smatrix.get a src_r src_c with
+            | Some x -> Entries.push e out_c x
+            | None -> ())
+          ci;
+        e)
+      ri
+  in
+  Output.write_matrix ~mask ~accum ~replace ~out ~t
+
+let column ?(mask = Mask.No_vmask) ?accum ?(replace = false)
+    ?(transpose = false) ~out a rows j =
+  let a = if transpose then Smatrix.transpose a else a in
+  let ri = Index_set.resolve rows (Smatrix.nrows a) in
+  if j < 0 || j >= Smatrix.ncols a then
+    raise
+      (Index_set.Invalid_index
+         (Printf.sprintf "extract column %d outside [0, %d)" j (Smatrix.ncols a)));
+  if Svector.size out <> Array.length ri then
+    raise
+      (Svector.Dimension_mismatch
+         (Printf.sprintf "extract: output size %d vs selection %d"
+            (Svector.size out) (Array.length ri)));
+  let t = Entries.create () in
+  Array.iteri
+    (fun out_i src_r ->
+      match Smatrix.get a src_r j with
+      | Some x -> Entries.push t out_i x
+      | None -> ())
+    ri;
+  Output.write_vector ~mask ~accum ~replace ~out ~t
+
+let vector ?(mask = Mask.No_vmask) ?accum ?(replace = false) ~out u idx =
+  let ii = Index_set.resolve idx (Svector.size u) in
+  if Svector.size out <> Array.length ii then
+    raise
+      (Svector.Dimension_mismatch
+         (Printf.sprintf "extract: output size %d vs selection %d"
+            (Svector.size out) (Array.length ii)));
+  let t = Entries.create () in
+  Array.iteri
+    (fun out_i src_i ->
+      match Svector.get u src_i with
+      | Some x -> Entries.push t out_i x
+      | None -> ())
+    ii;
+  Output.write_vector ~mask ~accum ~replace ~out ~t

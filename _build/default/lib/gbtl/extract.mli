@@ -1,0 +1,37 @@
+(** [extract] — Table I: [C<M,z> = C ⊙ A(i,j)], [w<m,z> = w ⊙ u(i)].
+    Index lists may contain duplicates (an index may be selected twice). *)
+
+val matrix :
+  ?mask:Mask.mmask ->
+  ?accum:'a Binop.t ->
+  ?replace:bool ->
+  ?transpose:bool ->
+  out:'a Smatrix.t ->
+  'a Smatrix.t ->
+  Index_set.t ->
+  Index_set.t ->
+  unit
+(** [matrix ~out a rows cols] — [out] must have shape
+    [length rows × length cols]. *)
+
+val column :
+  ?mask:Mask.vmask ->
+  ?accum:'a Binop.t ->
+  ?replace:bool ->
+  ?transpose:bool ->
+  out:'a Svector.t ->
+  'a Smatrix.t ->
+  Index_set.t ->
+  int ->
+  unit
+(** [column ~out a rows j] — extracts [A(rows, j)] ([A(j, rows)] with
+    [transpose], i.e. a row). *)
+
+val vector :
+  ?mask:Mask.vmask ->
+  ?accum:'a Binop.t ->
+  ?replace:bool ->
+  out:'a Svector.t ->
+  'a Svector.t ->
+  Index_set.t ->
+  unit

@@ -1,0 +1,36 @@
+let kron_rows (op : 'a Binop.t) a b =
+  let nb = Smatrix.nrows b and mb = Smatrix.ncols b in
+  Array.init
+    (Smatrix.nrows a * nb)
+    (fun row ->
+      let ia = row / nb and ib = row mod nb in
+      let e = Entries.create () in
+      Smatrix.iter_row
+        (fun ja va ->
+          Smatrix.iter_row
+            (fun jb vb -> Entries.push e ((ja * mb) + jb) (op.Binop.f va vb))
+            b ib)
+        a ia;
+      e)
+
+let kronecker ?(mask = Mask.No_mmask) ?accum ?(replace = false) op ~out a b =
+  let nrows = Smatrix.nrows a * Smatrix.nrows b in
+  let ncols = Smatrix.ncols a * Smatrix.ncols b in
+  if Smatrix.shape out <> (nrows, ncols) then
+    raise
+      (Smatrix.Dimension_mismatch
+         (Printf.sprintf "kronecker: output %dx%d vs product %dx%d"
+            (Smatrix.nrows out) (Smatrix.ncols out) nrows ncols));
+  Output.write_matrix ~mask ~accum ~replace ~out ~t:(kron_rows op a b)
+
+let power op seed k =
+  if k < 1 then invalid_arg "Kronecker.power: k must be >= 1";
+  let result = ref (Smatrix.dup seed) in
+  for _ = 2 to k do
+    let nrows = Smatrix.nrows !result * Smatrix.nrows seed in
+    let ncols = Smatrix.ncols !result * Smatrix.ncols seed in
+    let out = Smatrix.create (Smatrix.dtype seed) nrows ncols in
+    kronecker op ~out !result seed;
+    result := out
+  done;
+  !result

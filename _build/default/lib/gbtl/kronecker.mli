@@ -1,0 +1,21 @@
+(** Kronecker product (GraphBLAS 1.3's [GrB_kronecker], an extension
+    beyond the paper's Table I): the block matrix
+
+    {v C((ia*nb)+ib, (ja*mb)+jb) = A(ia,ja) ⊗ B(ib,jb) v}
+
+    with ⊗ an arbitrary binary operator.  The generator of Kronecker
+    (Graph500-style) graphs by repeated products of a seed matrix. *)
+
+val kronecker :
+  ?mask:Mask.mmask ->
+  ?accum:'a Binop.t ->
+  ?replace:bool ->
+  'a Binop.t ->
+  out:'a Smatrix.t ->
+  'a Smatrix.t ->
+  'a Smatrix.t ->
+  unit
+(** [out] must have shape [(nrows A * nrows B, ncols A * ncols B)]. *)
+
+val power : 'a Binop.t -> 'a Smatrix.t -> int -> 'a Smatrix.t
+(** [power op seed k] — the k-fold Kronecker power of [seed] (k >= 1). *)

@@ -1,0 +1,61 @@
+type vmask = No_vmask | Vmask of { dense : bool array; complemented : bool }
+
+type mmask =
+  | No_mmask
+  | Mmask of { m : bool Smatrix.t; complemented : bool }
+
+let vmask ?(complemented = false) v =
+  Vmask { dense = Svector.to_bool_dense v; complemented }
+
+let coerce_bool_matrix (type a) (m : a Smatrix.t) : bool Smatrix.t =
+  let dt = Smatrix.dtype m in
+  match Dtype.equal_witness dt Dtype.Bool with
+  | Some Dtype.Equal -> m
+  | None -> Smatrix.cast ~into:Dtype.Bool m
+
+let mmask ?(complemented = false) m =
+  Mmask { m = coerce_bool_matrix m; complemented }
+
+let v_allowed mask i =
+  match mask with
+  | No_vmask -> true
+  | Vmask { dense; complemented } -> dense.(i) <> complemented
+
+let v_check_size mask n =
+  match mask with
+  | No_vmask -> ()
+  | Vmask { dense; _ } ->
+    if Array.length dense <> n then
+      raise
+        (Svector.Dimension_mismatch
+           (Printf.sprintf "mask size %d does not match vector size %d"
+              (Array.length dense) n))
+
+let m_check_shape mask nrows ncols =
+  match mask with
+  | No_mmask -> ()
+  | Mmask { m; _ } ->
+    if Smatrix.nrows m <> nrows || Smatrix.ncols m <> ncols then
+      raise
+        (Smatrix.Dimension_mismatch
+           (Printf.sprintf "mask shape %dx%d does not match output %dx%d"
+              (Smatrix.nrows m) (Smatrix.ncols m) nrows ncols))
+
+let m_row_allowed mask r =
+  match mask with
+  | No_mmask -> fun _ -> true
+  | Mmask { m; complemented } ->
+    fun c ->
+      let stored_true =
+        match Smatrix.get m r c with Some b -> b | None -> false
+      in
+      stored_true <> complemented
+
+let m_row_allowed_list mask r =
+  match mask with
+  | No_mmask -> None
+  | Mmask { complemented = true; _ } -> None
+  | Mmask { m; complemented = false } ->
+    let cols = ref [] in
+    Smatrix.iter_row (fun c b -> if b then cols := c :: !cols) m r;
+    Some (Array.of_list (List.rev !cols))

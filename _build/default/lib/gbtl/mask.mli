@@ -1,0 +1,36 @@
+(** Write masks.
+
+    A mask is another container whose stored values, coerced to booleans,
+    select which output positions an operation may write (paper §II).  The
+    complement flag inverts the selection, and absence of a mask allows
+    every position. *)
+
+(** Vector masks are materialized as a dense boolean array — vector
+    dimensions make this cheap and it gives O(1) membership. *)
+type vmask = No_vmask | Vmask of { dense : bool array; complemented : bool }
+
+(** Matrix masks stay sparse (a boolean CSR of coerced values). *)
+type mmask =
+  | No_mmask
+  | Mmask of { m : bool Smatrix.t; complemented : bool }
+
+val vmask : ?complemented:bool -> 'a Svector.t -> vmask
+(** Coerce a vector of any dtype into a mask. *)
+
+val mmask : ?complemented:bool -> 'a Smatrix.t -> mmask
+
+val v_allowed : vmask -> int -> bool
+
+val v_check_size : vmask -> int -> unit
+(** @raise Svector.Dimension_mismatch if the mask length differs. *)
+
+val m_check_shape : mmask -> int -> int -> unit
+
+val m_row_allowed : mmask -> int -> (int -> bool)
+(** Membership predicate for one row (binary search in the mask row). *)
+
+val m_row_allowed_list : mmask -> int -> int array option
+(** For a non-complemented mask: the sorted list of allowed columns in the
+    row — the structural pruning set masked [mxm] iterates over.  [None]
+    when the mask does not restrict structure this way (absent or
+    complemented), in which case callers fall back to {!m_row_allowed}. *)

@@ -1,0 +1,168 @@
+let dim_err fmt = Printf.ksprintf (fun s -> raise (Smatrix.Dimension_mismatch s)) fmt
+
+(* Dense scatter of a sparse vector, reused across rows by gather kernels. *)
+let scatter_vector sr u =
+  let spa = Spa.create (Svector.size u) ~dummy:(Semiring.zero sr) in
+  Svector.iter (fun i x -> Spa.set spa i x) u;
+  spa
+
+(* Gather kernel: out_i = ⊕_j term (row_value_j, u_j) over row i's entries
+   that hit stored positions of [u].  [term] fixes the ⊗ operand order. *)
+let gather_rows sr ~term ~allowed a u =
+  let t = Entries.create () in
+  let uspa = scatter_vector sr u in
+  let add = Semiring.add sr in
+  for i = 0 to Smatrix.nrows a - 1 do
+    if allowed i then begin
+      let acc = ref (Semiring.zero sr) in
+      let hit = ref false in
+      Smatrix.iter_row
+        (fun j x ->
+          if Spa.occupied uspa j then begin
+            let v = term x (Spa.get uspa j) in
+            acc := (if !hit then add !acc v else v);
+            hit := true
+          end)
+        a i;
+      if !hit then Entries.push t i !acc
+    end
+  done;
+  t
+
+(* Scatter kernel: for each stored u_j, fan row j of [a] into an SPA over
+   the output dimension. *)
+let scatter_rows sr ~term ~out_size a u =
+  let spa = Spa.create out_size ~dummy:(Semiring.zero sr) in
+  let add = Semiring.add sr in
+  Svector.iter
+    (fun j uj ->
+      Smatrix.iter_row
+        (fun c x -> Spa.accumulate spa c (term x uj) ~add)
+        a j)
+    u;
+  Spa.extract spa
+
+let mxv ?(mask = Mask.No_vmask) ?accum ?(replace = false)
+    ?(transpose_a = false) sr ~out a u =
+  let arows, acols =
+    if transpose_a then (Smatrix.ncols a, Smatrix.nrows a) else Smatrix.shape a
+  in
+  if acols <> Svector.size u then
+    dim_err "mxv: matrix cols %d vs vector size %d" acols (Svector.size u);
+  if Svector.size out <> arows then
+    dim_err "mxv: output size %d vs matrix rows %d" (Svector.size out) arows;
+  Mask.v_check_size mask (Svector.size out);
+  let mul = Semiring.mul sr in
+  let t =
+    if transpose_a then
+      (* (Aᵀu)_i = ⊕_j A(j,i) ⊗ u(j): scatter over rows of A present in u. *)
+      scatter_rows sr ~term:mul ~out_size:arows a u
+    else
+      gather_rows sr ~term:mul ~allowed:(Mask.v_allowed mask) a u
+  in
+  Output.write_vector ~mask ~accum ~replace ~out ~t
+
+let vxm ?(mask = Mask.No_vmask) ?accum ?(replace = false)
+    ?(transpose_a = false) sr ~out u a =
+  let arows, acols =
+    if transpose_a then (Smatrix.ncols a, Smatrix.nrows a) else Smatrix.shape a
+  in
+  if arows <> Svector.size u then
+    dim_err "vxm: vector size %d vs matrix rows %d" (Svector.size u) arows;
+  if Svector.size out <> acols then
+    dim_err "vxm: output size %d vs matrix cols %d" (Svector.size out) acols;
+  Mask.v_check_size mask (Svector.size out);
+  let mul = Semiring.mul sr in
+  let term a_val u_val = mul u_val a_val in
+  let t =
+    if transpose_a then
+      (* (u Aᵀ)_i = ⊕_j u(j) ⊗ A(i,j): gather over rows of A. *)
+      gather_rows sr ~term ~allowed:(Mask.v_allowed mask) a u
+    else scatter_rows sr ~term ~out_size:acols a u
+  in
+  Output.write_vector ~mask ~accum ~replace ~out ~t
+
+(* Gustavson: C(i,:) = ⊕_k A(i,k) ⊗ B(k,:), SPA per output row. *)
+let mxm_gustavson sr ?keep a b ncols_out =
+  let add = Semiring.add sr and mul = Semiring.mul sr in
+  let spa = Spa.create ncols_out ~dummy:(Semiring.zero sr) in
+  Array.init (Smatrix.nrows a) (fun i ->
+      Spa.clear spa;
+      Smatrix.iter_row
+        (fun k aik ->
+          Smatrix.iter_row
+            (fun j bkj -> Spa.accumulate spa j (mul aik bkj) ~add)
+            b k)
+        a i;
+      match keep with
+      | None -> Spa.extract spa
+      | Some keep -> Spa.extract_filtered spa ~keep:(keep i))
+
+(* Dot kernel for C = A ⊕.⊗ Bᵀ restricted to mask-allowed positions:
+   C(i,j) = ⊕_k A(i,k) ⊗ B(j,k), a sorted two-pointer merge of two rows. *)
+let mxm_dot sr ~allowed_cols a b =
+  let add = Semiring.add sr and mul = Semiring.mul sr in
+  let arp = Smatrix.unsafe_rowptr a
+  and aci = Smatrix.unsafe_colidx a
+  and avs = Smatrix.unsafe_values a in
+  let brp = Smatrix.unsafe_rowptr b
+  and bci = Smatrix.unsafe_colidx b
+  and bvs = Smatrix.unsafe_values b in
+  Array.init (Smatrix.nrows a) (fun i ->
+      let row = Entries.create () in
+      Array.iter
+        (fun j ->
+          let p = ref arp.(i)
+          and pe = arp.(i + 1)
+          and q = ref brp.(j)
+          and qe = brp.(j + 1) in
+          let acc = ref (Semiring.zero sr) and hit = ref false in
+          while !p < pe && !q < qe do
+            let ka = aci.(!p) and kb = bci.(!q) in
+            if ka < kb then incr p
+            else if kb < ka then incr q
+            else begin
+              let v = mul avs.(!p) bvs.(!q) in
+              acc := (if !hit then add !acc v else v);
+              hit := true;
+              incr p;
+              incr q
+            end
+          done;
+          if !hit then Entries.push row j !acc)
+        (allowed_cols i);
+      row)
+
+let mxm ?(mask = Mask.No_mmask) ?accum ?(replace = false)
+    ?(transpose_a = false) ?(transpose_b = false) sr ~out a b =
+  let a = if transpose_a then Smatrix.transpose a else a in
+  let arows, acols = Smatrix.shape a in
+  let brows, bcols =
+    if transpose_b then (Smatrix.ncols b, Smatrix.nrows b) else Smatrix.shape b
+  in
+  if acols <> brows then
+    dim_err "mxm: inner dimensions %d vs %d" acols brows;
+  if Smatrix.shape out <> (arows, bcols) then
+    dim_err "mxm: output %dx%d vs result %dx%d" (Smatrix.nrows out)
+      (Smatrix.ncols out) arows bcols;
+  Mask.m_check_shape mask arows bcols;
+  let structural_mask r = Mask.m_row_allowed_list mask r in
+  let t =
+    match mask with
+    | Mask.Mmask { complemented = false; _ } when transpose_b ->
+      (* Masked dot-product path: only allowed (i, j) cells are computed. *)
+      let allowed_cols i =
+        match structural_mask i with Some cols -> cols | None -> [||]
+      in
+      mxm_dot sr ~allowed_cols a b
+    | Mask.Mmask { complemented = false; _ } ->
+      let keep i =
+        let allow = Mask.m_row_allowed mask i in
+        fun j -> allow j
+      in
+      mxm_gustavson sr ~keep a (if transpose_b then Smatrix.transpose b else b)
+        bcols
+    | Mask.No_mmask | Mask.Mmask { complemented = true; _ } ->
+      mxm_gustavson sr a (if transpose_b then Smatrix.transpose b else b) bcols
+  in
+  Output.write_matrix ~mask ~accum ~replace ~out ~t

@@ -1,0 +1,123 @@
+exception Parse_error of string
+
+type field = Real | Integer | Pattern
+type symmetry = General | Symmetric | Skew_symmetric
+
+type header = {
+  field : field;
+  symmetry : symmetry;
+  nrows : int;
+  ncols : int;
+  nnz : int;
+}
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let read_header ic =
+  let banner = try input_line ic with End_of_file -> fail "empty file" in
+  (match split_ws (String.lowercase_ascii banner) with
+  | [ "%%matrixmarket"; "matrix"; "coordinate"; _; _ ] -> ()
+  | _ -> fail "unsupported banner: %s" banner);
+  let field, symmetry =
+    match split_ws (String.lowercase_ascii banner) with
+    | [ _; _; _; f; s ] ->
+      let field =
+        match f with
+        | "real" -> Real
+        | "integer" -> Integer
+        | "pattern" -> Pattern
+        | _ -> fail "unsupported field type: %s" f
+      in
+      let symmetry =
+        match s with
+        | "general" -> General
+        | "symmetric" -> Symmetric
+        | "skew-symmetric" -> Skew_symmetric
+        | _ -> fail "unsupported symmetry: %s" s
+      in
+      (field, symmetry)
+    | _ -> fail "malformed banner"
+  in
+  let rec size_line () =
+    let line = try input_line ic with End_of_file -> fail "missing size line" in
+    let line = String.trim line in
+    if line = "" || line.[0] = '%' then size_line () else line
+  in
+  match split_ws (size_line ()) with
+  | [ r; c; n ] -> (
+    try { field; symmetry; nrows = int_of_string r; ncols = int_of_string c;
+          nnz = int_of_string n }
+    with Failure _ -> fail "malformed size line")
+  | _ -> fail "malformed size line"
+
+let parse_value (type a) (dt : a Dtype.t) field tokens : a =
+  match field, tokens with
+  | Pattern, [] -> Dtype.one dt
+  | (Real | Integer), [ tok ] -> (
+    match float_of_string_opt tok with
+    | Some f -> Dtype.of_float dt f
+    | None -> fail "bad value token: %s" tok)
+  | _ -> fail "wrong number of value tokens"
+
+let read_coo dt path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let h = read_header ic in
+      let entries = ref [] in
+      let count = ref 0 in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" && line.[0] <> '%' then begin
+             (match split_ws line with
+             | r :: c :: rest ->
+               let r = int_of_string r - 1 and c = int_of_string c - 1 in
+               let v = parse_value dt h.field rest in
+               entries := (r, c, v) :: !entries;
+               (match h.symmetry with
+               | General -> ()
+               | Symmetric ->
+                 if r <> c then entries := (c, r, v) :: !entries
+               | Skew_symmetric ->
+                 if r <> c then
+                   entries :=
+                     (c, r, Unaryop.(apply (additive_inverse dt) v))
+                     :: !entries);
+               incr count
+             | _ -> fail "malformed entry line: %s" line)
+           end
+         done
+       with End_of_file -> ());
+      if !count <> h.nnz then
+        fail "entry count %d does not match declared %d" !count h.nnz;
+      (h, List.rev !entries))
+
+let read dt path =
+  let h, coo = read_coo dt path in
+  Smatrix.of_coo dt h.nrows h.ncols coo
+
+let write ?comment m path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let dt = Smatrix.dtype m in
+      let field = if Dtype.is_integral dt then "integer" else "real" in
+      Printf.fprintf oc "%%%%MatrixMarket matrix coordinate %s general\n"
+        field;
+      (match comment with
+      | Some c -> Printf.fprintf oc "%% %s\n" c
+      | None -> ());
+      Printf.fprintf oc "%d %d %d\n" (Smatrix.nrows m) (Smatrix.ncols m)
+        (Smatrix.nvals m);
+      Smatrix.iter
+        (fun r c x ->
+          Printf.fprintf oc "%d %d %s\n" (r + 1) (c + 1) (Dtype.to_string dt x))
+        m)

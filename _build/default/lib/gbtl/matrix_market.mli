@@ -1,0 +1,36 @@
+(** Matrix Market (coordinate) reader/writer — the file format of the
+    paper's Fig. 11 container-lifecycle experiment.
+
+    Supported: [matrix coordinate real|integer|pattern
+    general|symmetric|skew-symmetric].  Symmetric inputs are expanded to
+    both triangles on read.  One-based indices per the format. *)
+
+exception Parse_error of string
+
+type field = Real | Integer | Pattern
+type symmetry = General | Symmetric | Skew_symmetric
+
+type header = {
+  field : field;
+  symmetry : symmetry;
+  nrows : int;
+  ncols : int;
+  nnz : int;  (** entry count as declared (before symmetry expansion) *)
+}
+
+val read_header : in_channel -> header
+(** Consumes the banner, comments and size line. @raise Parse_error *)
+
+val read : 'a Dtype.t -> string -> 'a Smatrix.t
+(** Read a file into a matrix of the given dtype (values cast from the
+    file's field type; [Pattern] entries become the dtype's one).
+    @raise Parse_error | Sys_error *)
+
+val read_coo : 'a Dtype.t -> string -> header * (int * int * 'a) list
+(** Like {!read} but stops at the coordinate list (already expanded for
+    symmetry and zero-based) — the DSL's "load into interpreter lists
+    first" path measures this stage separately. *)
+
+val write : ?comment:string -> 'a Smatrix.t -> string -> unit
+(** Writes [matrix coordinate real general] (or [integer] for integral
+    dtypes). *)

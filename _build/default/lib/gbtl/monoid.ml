@@ -1,0 +1,41 @@
+type 'a t = { op : 'a Binop.t; identity : 'a; identity_name : string }
+
+exception Unknown_identity of string
+
+let identity_names =
+  [ "Zero"; "One"; "MinIdentity"; "MaxIdentity"; "False"; "True" ]
+
+let make dt op identity = { op; identity; identity_name = Dtype.to_string dt identity }
+
+let identity_of_name (type a) name (dt : a Dtype.t) : a =
+  match name with
+  | "Zero" | "False" -> Dtype.zero dt
+  | "One" | "True" -> Dtype.one dt
+  | "MinIdentity" -> Dtype.max_value dt
+  | "MaxIdentity" -> Dtype.min_value dt
+  | other -> (
+    (* numeric literals make custom (user-operator) monoids expressible
+       by name, e.g. identity "0.5" *)
+    match float_of_string_opt other with
+    | Some f -> Dtype.of_float dt f
+    | None -> raise (Unknown_identity other))
+
+let of_names ~op ~identity dt =
+  {
+    op = Binop.of_name op dt;
+    identity = identity_of_name identity dt;
+    identity_name = identity;
+  }
+
+let plus dt = of_names ~op:"Plus" ~identity:"Zero" dt
+let times dt = of_names ~op:"Times" ~identity:"One" dt
+let min dt = of_names ~op:"Min" ~identity:"MinIdentity" dt
+let max dt = of_names ~op:"Max" ~identity:"MaxIdentity" dt
+let logical_or dt = of_names ~op:"LogicalOr" ~identity:"False" dt
+let logical_and dt = of_names ~op:"LogicalAnd" ~identity:"True" dt
+let logical_xor dt = of_names ~op:"LogicalXor" ~identity:"False" dt
+
+let reduce m x y = m.op.f x y
+
+let pp fmt m =
+  Format.fprintf fmt "Monoid(%s, %s)" m.op.Binop.name m.identity_name

@@ -1,0 +1,37 @@
+(** Monoids: a binary operator together with its identity element.
+
+    Mirrors [gb.Monoid (op, identity)] from the paper's Fig. 6, where the
+    identity can be given by name ("MinIdentity" is the dtype's largest
+    value, so that [Min] has it as identity). *)
+
+type 'a t = private {
+  op : 'a Binop.t;
+  identity : 'a;
+  identity_name : string;
+}
+
+exception Unknown_identity of string
+
+val identity_names : string list
+(** ["Zero"; "One"; "MinIdentity"; "MaxIdentity"; "False"; "True"] —
+    numeric literals (e.g. ["0.5"]) are also accepted by {!of_names},
+    enabling custom monoids over user-defined operators. *)
+
+val make : 'a Dtype.t -> 'a Binop.t -> 'a -> 'a t
+(** Identity given as a value; its printed form becomes the identity
+    name in JIT signatures. *)
+
+val of_names : op:string -> identity:string -> 'a Dtype.t -> 'a t
+(** Both parts by name, e.g. [of_names ~op:"Min" ~identity:"MinIdentity"].
+    @raise Binop.Unknown_operator | Unknown_identity *)
+
+val plus : 'a Dtype.t -> 'a t
+val times : 'a Dtype.t -> 'a t
+val min : 'a Dtype.t -> 'a t
+val max : 'a Dtype.t -> 'a t
+val logical_or : 'a Dtype.t -> 'a t
+val logical_and : 'a Dtype.t -> 'a t
+val logical_xor : 'a Dtype.t -> 'a t
+
+val reduce : 'a t -> 'a -> 'a -> 'a
+val pp : Format.formatter -> 'a t -> unit

@@ -1,0 +1,49 @@
+(** The masked, accumulated output-write step shared by every GraphBLAS
+    operation (C API §2.4; paper §II):
+
+    {v C<M, z> = C ⊙ T v}
+
+    where [T] is the operation's raw result, [⊙] an optional accumulator,
+    [M] the mask and [z] the replace flag.  Semantics:
+
+    - [Z = T] without an accumulator, or the structural union of [C] and
+      [T] (combining shared positions with the accumulator) with one;
+    - at mask-allowed positions, [C] becomes exactly [Z] (including the
+      {e removal} of [C] entries absent from [Z]);
+    - at masked-out positions, [C] keeps its entries ("merge") unless
+      [replace] is set, in which case they are cleared. *)
+
+val merge_with :
+  ('a -> 'a -> 'a) -> 'a Entries.t -> 'a Entries.t -> 'a Entries.t
+(** [merge_with f c t] — structural union; shared indices combined as
+    [f c_value t_value]. *)
+
+val masked_entries :
+  allowed:(int -> bool) ->
+  accum:('a -> 'a -> 'a) option ->
+  replace:bool ->
+  c:'a Entries.t ->
+  t:'a Entries.t ->
+  'a Entries.t
+(** Pure form of the write step on one index space (a vector, or one
+    matrix row). *)
+
+val write_vector :
+  mask:Mask.vmask ->
+  accum:'a Binop.t option ->
+  replace:bool ->
+  out:'a Svector.t ->
+  t:'a Entries.t ->
+  unit
+(** Applies {!masked_entries} against [out]'s current contents and stores
+    the result in place.  @raise Svector.Dimension_mismatch on mask size
+    mismatch. *)
+
+val write_matrix :
+  mask:Mask.mmask ->
+  accum:'a Binop.t option ->
+  replace:bool ->
+  out:'a Smatrix.t ->
+  t:'a Entries.t array ->
+  unit
+(** Row-wise write step; [t] has one entry sequence per output row. *)

@@ -1,0 +1,66 @@
+type predicate =
+  | Tril of int
+  | Triu of int
+  | Diag
+  | Offdiag
+  | Nonzero
+  | Value_gt of float
+  | Value_ge of float
+  | Value_lt of float
+  | Value_le of float
+  | Value_eq of float
+  | Value_ne of float
+
+let accepts (type a) (dt : a Dtype.t) pred r c (x : a) =
+  match pred with
+  | Tril k -> c - r <= k
+  | Triu k -> c - r >= k
+  | Diag -> r = c
+  | Offdiag -> r <> c
+  | Nonzero -> Dtype.to_bool dt x
+  | Value_gt v -> Dtype.to_float dt x > v
+  | Value_ge v -> Dtype.to_float dt x >= v
+  | Value_lt v -> Dtype.to_float dt x < v
+  | Value_le v -> Dtype.to_float dt x <= v
+  | Value_eq v -> Dtype.to_float dt x = v
+  | Value_ne v -> Dtype.to_float dt x <> v
+
+let keep_matrix m pred =
+  let triples =
+    Smatrix.fold
+      (fun acc r c x -> if pred r c x then (r, c, x) :: acc else acc)
+      [] m
+  in
+  Smatrix.of_coo (Smatrix.dtype m) (Smatrix.nrows m) (Smatrix.ncols m)
+    (List.rev triples)
+
+let matrix ?(mask = Mask.No_mmask) ?accum ?(replace = false) pred ~out a =
+  if Smatrix.shape out <> Smatrix.shape a then
+    raise
+      (Smatrix.Dimension_mismatch
+         (Printf.sprintf "select: output %dx%d vs input %dx%d"
+            (Smatrix.nrows out) (Smatrix.ncols out) (Smatrix.nrows a)
+            (Smatrix.ncols a)));
+  let dt = Smatrix.dtype a in
+  let t =
+    Array.init (Smatrix.nrows a) (fun r ->
+        let e = Entries.create () in
+        Smatrix.iter_row
+          (fun c x -> if accepts dt pred r c x then Entries.push e c x)
+          a r;
+        e)
+  in
+  Output.write_matrix ~mask ~accum ~replace ~out ~t
+
+let vector ?(mask = Mask.No_vmask) ?accum ?(replace = false) pred ~out u =
+  if Svector.size out <> Svector.size u then
+    raise
+      (Svector.Dimension_mismatch
+         (Printf.sprintf "select: output size %d vs input size %d"
+            (Svector.size out) (Svector.size u)));
+  let dt = Svector.dtype u in
+  let t = Entries.create () in
+  Svector.iter
+    (fun i x -> if accepts dt pred 0 i x then Entries.push t i x)
+    u;
+  Output.write_vector ~mask ~accum ~replace ~out ~t

@@ -1,0 +1,38 @@
+(** Semirings: an additive monoid paired with a multiplicative binary
+    operator, the parameterization at the heart of GraphBLAS.
+
+    The named semirings are the GBTL set the paper uses:
+    Arithmetic (plus/times), Logical (or/and), MinPlus, MaxPlus, MinTimes,
+    MaxTimes, MinSelect1st/2nd, MaxSelect1st/2nd. *)
+
+type 'a t = private { name : string; add : 'a Monoid.t; mul : 'a Binop.t }
+
+exception Unknown_semiring of string
+
+val names : string list
+
+val of_name : string -> 'a Dtype.t -> 'a t
+(** @raise Unknown_semiring *)
+
+val make : 'a Monoid.t -> 'a Binop.t -> 'a t
+(** Ad-hoc semiring, [gb.Semiring (monoid, binop)] in the paper; the name
+    is synthesized from the parts. *)
+
+val arithmetic : 'a Dtype.t -> 'a t
+val logical : 'a Dtype.t -> 'a t
+val min_plus : 'a Dtype.t -> 'a t
+val max_plus : 'a Dtype.t -> 'a t
+val min_times : 'a Dtype.t -> 'a t
+val max_times : 'a Dtype.t -> 'a t
+val min_select1st : 'a Dtype.t -> 'a t
+val min_select2nd : 'a Dtype.t -> 'a t
+val max_select1st : 'a Dtype.t -> 'a t
+val max_select2nd : 'a Dtype.t -> 'a t
+
+val zero : 'a t -> 'a
+(** The additive identity (the implied "no entry" value of the sparse
+    computation). *)
+
+val add : 'a t -> 'a -> 'a -> 'a
+val mul : 'a t -> 'a -> 'a -> 'a
+val pp : Format.formatter -> 'a t -> unit

@@ -1,0 +1,336 @@
+type 'a t = {
+  dt : 'a Dtype.t;
+  nrows : int;
+  ncols : int;
+  mutable rowptr : int array; (* length nrows + 1 *)
+  mutable colidx : int array;
+  mutable vals : 'a array;
+}
+
+exception Dimension_mismatch of string
+exception Index_out_of_bounds of string
+
+let create dt nrows ncols =
+  if nrows < 0 || ncols < 0 then invalid_arg "Smatrix.create: negative shape";
+  { dt; nrows; ncols; rowptr = Array.make (nrows + 1) 0; colidx = [||]; vals = [||] }
+
+let dtype m = m.dt
+let nrows m = m.nrows
+let ncols m = m.ncols
+let shape m = (m.nrows, m.ncols)
+let nvals m = m.rowptr.(m.nrows)
+
+let check_bounds m r c ctx =
+  if r < 0 || r >= m.nrows || c < 0 || c >= m.ncols then
+    raise
+      (Index_out_of_bounds
+         (Printf.sprintf "%s: (%d, %d) outside %dx%d" ctx r c m.nrows m.ncols))
+
+(* Position of column [c] in row [r]: [Ok pos] or [Error insertion_point]. *)
+let find m r c =
+  let lo = ref m.rowptr.(r) and hi = ref m.rowptr.(r + 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if m.colidx.(mid) < c then lo := mid + 1 else hi := mid
+  done;
+  if !lo < m.rowptr.(r + 1) && m.colidx.(!lo) = c then Ok !lo else Error !lo
+
+let get m r c =
+  check_bounds m r c "Smatrix.get";
+  match find m r c with Ok p -> Some m.vals.(p) | Error _ -> None
+
+let get_exn m r c =
+  match get m r c with Some x -> x | None -> raise Not_found
+
+let mem m r c =
+  check_bounds m r c "Smatrix.mem";
+  match find m r c with Ok _ -> true | Error _ -> false
+
+let set m r c x =
+  check_bounds m r c "Smatrix.set";
+  match find m r c with
+  | Ok p -> m.vals.(p) <- x
+  | Error p ->
+    let n = nvals m in
+    let colidx' = Array.make (n + 1) 0 and vals' = Array.make (n + 1) x in
+    Array.blit m.colidx 0 colidx' 0 p;
+    Array.blit m.vals 0 vals' 0 p;
+    colidx'.(p) <- c;
+    vals'.(p) <- x;
+    Array.blit m.colidx p colidx' (p + 1) (n - p);
+    Array.blit m.vals p vals' (p + 1) (n - p);
+    m.colidx <- colidx';
+    m.vals <- vals';
+    for i = r + 1 to m.nrows do
+      m.rowptr.(i) <- m.rowptr.(i) + 1
+    done
+
+let remove m r c =
+  check_bounds m r c "Smatrix.remove";
+  match find m r c with
+  | Error _ -> ()
+  | Ok p ->
+    let n = nvals m in
+    Array.blit m.colidx (p + 1) m.colidx p (n - p - 1);
+    Array.blit m.vals (p + 1) m.vals p (n - p - 1);
+    for i = r + 1 to m.nrows do
+      m.rowptr.(i) <- m.rowptr.(i) - 1
+    done
+
+let clear m =
+  Array.fill m.rowptr 0 (m.nrows + 1) 0;
+  m.colidx <- [||];
+  m.vals <- [||]
+
+let dup m =
+  {
+    dt = m.dt;
+    nrows = m.nrows;
+    ncols = m.ncols;
+    rowptr = Array.copy m.rowptr;
+    colidx = Array.sub m.colidx 0 (nvals m);
+    vals = Array.sub m.vals 0 (nvals m);
+  }
+
+let replace_contents dst src =
+  if dst.nrows <> src.nrows || dst.ncols <> src.ncols then
+    raise
+      (Dimension_mismatch
+         (Printf.sprintf "Smatrix.replace_contents: %dx%d vs %dx%d" dst.nrows
+            dst.ncols src.nrows src.ncols));
+  dst.rowptr <- Array.copy src.rowptr;
+  dst.colidx <- Array.sub src.colidx 0 (nvals src);
+  dst.vals <- Array.sub src.vals 0 (nvals src)
+
+let of_coo ?dup dt nrows ncols triples =
+  let m = create dt nrows ncols in
+  let combine = match dup with Some op -> op.Binop.f | None -> fun _ y -> y in
+  let sorted =
+    List.stable_sort
+      (fun (r1, c1, _) (r2, c2, _) ->
+        match Int.compare r1 r2 with 0 -> Int.compare c1 c2 | n -> n)
+      triples
+  in
+  let n_in = List.length sorted in
+  let colidx = Array.make (max n_in 1) 0 in
+  let vals =
+    match sorted with
+    | [] -> [||]
+    | (_, _, x) :: _ -> Array.make n_in x
+  in
+  let counts = Array.make (nrows + 1) 0 in
+  let k = ref 0 in
+  let prev_r = ref (-1) and prev_c = ref (-1) in
+  List.iter
+    (fun (r, c, x) ->
+      check_bounds m r c "Smatrix.of_coo";
+      if r = !prev_r && c = !prev_c then
+        vals.(!k - 1) <- combine vals.(!k - 1) x
+      else begin
+        colidx.(!k) <- c;
+        vals.(!k) <- x;
+        counts.(r + 1) <- counts.(r + 1) + 1;
+        incr k;
+        prev_r := r;
+        prev_c := c
+      end)
+    sorted;
+  let rowptr = Array.make (nrows + 1) 0 in
+  for r = 1 to nrows do
+    rowptr.(r) <- rowptr.(r - 1) + counts.(r)
+  done;
+  m.rowptr <- rowptr;
+  m.colidx <- Array.sub colidx 0 !k;
+  m.vals <- (if !k = 0 then [||] else Array.sub vals 0 !k);
+  m
+
+let of_dense dt rows =
+  let nrows = Array.length rows in
+  let ncols = if nrows = 0 then 0 else Array.length rows.(0) in
+  Array.iter
+    (fun r ->
+      if Array.length r <> ncols then
+        raise (Dimension_mismatch "Smatrix.of_dense: ragged rows"))
+    rows;
+  let triples = ref [] in
+  for r = nrows - 1 downto 0 do
+    for c = ncols - 1 downto 0 do
+      triples := (r, c, rows.(r).(c)) :: !triples
+    done
+  done;
+  of_coo dt nrows ncols !triples
+
+let of_dense_drop_zeros dt rows =
+  let nrows = Array.length rows in
+  let ncols = if nrows = 0 then 0 else Array.length rows.(0) in
+  let triples = ref [] in
+  for r = nrows - 1 downto 0 do
+    if Array.length rows.(r) <> ncols then
+      raise (Dimension_mismatch "Smatrix.of_dense_drop_zeros: ragged rows");
+    for c = ncols - 1 downto 0 do
+      let x = rows.(r).(c) in
+      if not (Dtype.equal_values dt x (Dtype.zero dt)) then
+        triples := (r, c, x) :: !triples
+    done
+  done;
+  of_coo dt nrows ncols !triples
+
+let of_rows_unsafe dt ~nrows ~ncols rows =
+  assert (Array.length rows = nrows);
+  let total = Array.fold_left (fun acc e -> acc + Entries.length e) 0 rows in
+  let rowptr = Array.make (nrows + 1) 0 in
+  let colidx = Array.make (max total 1) 0 in
+  let vals = ref [||] in
+  let k = ref 0 in
+  Array.iteri
+    (fun r e ->
+      rowptr.(r) <- !k;
+      Entries.iter
+        (fun c x ->
+          if !vals = [||] && total > 0 then vals := Array.make total x;
+          colidx.(!k) <- c;
+          !vals.(!k) <- x;
+          incr k)
+        e)
+    rows;
+  rowptr.(nrows) <- !k;
+  { dt; nrows; ncols; rowptr; colidx = Array.sub colidx 0 !k; vals = !vals }
+
+let of_csr_unsafe dt ~nrows ~ncols ~rowptr ~colidx ~values =
+  assert (Array.length rowptr = nrows + 1);
+  assert (rowptr.(nrows) <= Array.length colidx);
+  { dt; nrows; ncols; rowptr; colidx; vals = values }
+
+let row_nvals m r = m.rowptr.(r + 1) - m.rowptr.(r)
+
+let iter_row f m r =
+  for p = m.rowptr.(r) to m.rowptr.(r + 1) - 1 do
+    f m.colidx.(p) m.vals.(p)
+  done
+
+let fold_row f init m r =
+  let acc = ref init in
+  iter_row (fun c x -> acc := f !acc c x) m r;
+  !acc
+
+let row_entries m r =
+  let e = Entries.create () in
+  iter_row (fun c x -> Entries.push e c x) m r;
+  e
+
+let extract_row m r =
+  let v = Svector.create m.dt m.ncols in
+  iter_row (fun c x -> Svector.set v c x) m r;
+  v
+
+let extract_col m c =
+  let v = Svector.create m.dt m.nrows in
+  for r = 0 to m.nrows - 1 do
+    match find m r c with
+    | Ok p -> Svector.set v r m.vals.(p)
+    | Error _ -> ()
+  done;
+  v
+
+let iter f m =
+  for r = 0 to m.nrows - 1 do
+    iter_row (fun c x -> f r c x) m r
+  done
+
+let fold f init m =
+  let acc = ref init in
+  iter (fun r c x -> acc := f !acc r c x) m;
+  !acc
+
+let to_coo m = List.rev (fold (fun acc r c x -> (r, c, x) :: acc) [] m)
+
+let to_dense ~fill m =
+  let d = Array.make_matrix m.nrows m.ncols fill in
+  iter (fun r c x -> d.(r).(c) <- x) m;
+  d
+
+let transpose m =
+  let n = nvals m in
+  let rowptr = Array.make (m.ncols + 1) 0 in
+  (* Count entries per column. *)
+  for p = 0 to n - 1 do
+    rowptr.(m.colidx.(p) + 1) <- rowptr.(m.colidx.(p) + 1) + 1
+  done;
+  for c = 1 to m.ncols do
+    rowptr.(c) <- rowptr.(c) + rowptr.(c - 1)
+  done;
+  let cursor = Array.copy rowptr in
+  let colidx = Array.make (max n 1) 0 in
+  let vals = if n = 0 then [||] else Array.make n m.vals.(0) in
+  for r = 0 to m.nrows - 1 do
+    for p = m.rowptr.(r) to m.rowptr.(r + 1) - 1 do
+      let c = m.colidx.(p) in
+      let q = cursor.(c) in
+      colidx.(q) <- r;
+      vals.(q) <- m.vals.(p);
+      cursor.(c) <- q + 1
+    done
+  done;
+  {
+    dt = m.dt;
+    nrows = m.ncols;
+    ncols = m.nrows;
+    rowptr;
+    colidx = Array.sub colidx 0 n;
+    vals;
+  }
+
+let cast ~into m =
+  let n = nvals m in
+  let vals = Array.make (max n 1) (Dtype.zero into) in
+  for p = 0 to n - 1 do
+    vals.(p) <- Dtype.cast ~from:m.dt ~into m.vals.(p)
+  done;
+  {
+    dt = into;
+    nrows = m.nrows;
+    ncols = m.ncols;
+    rowptr = Array.copy m.rowptr;
+    colidx = Array.sub m.colidx 0 n;
+    vals = Array.sub vals 0 n;
+  }
+
+let map m ~f =
+  let out = dup m in
+  for p = 0 to nvals out - 1 do
+    out.vals.(p) <- f out.vals.(p)
+  done;
+  out
+
+let map_inplace m ~f =
+  for p = 0 to nvals m - 1 do
+    m.vals.(p) <- f m.vals.(p)
+  done
+
+let equal a b =
+  a.nrows = b.nrows && a.ncols = b.ncols && nvals a = nvals b
+  &&
+  let ok = ref true in
+  for r = 0 to a.nrows do
+    if a.rowptr.(r) <> b.rowptr.(r) then ok := false
+  done;
+  if !ok then
+    for p = 0 to nvals a - 1 do
+      if a.colidx.(p) <> b.colidx.(p)
+         || not (Dtype.equal_values a.dt a.vals.(p) b.vals.(p))
+      then ok := false
+    done;
+  !ok
+
+let pp fmt m =
+  Format.fprintf fmt "@[<hov 2>Matrix<%s>(%dx%d, nvals=%d" (Dtype.name m.dt)
+    m.nrows m.ncols (nvals m);
+  iter
+    (fun r c x ->
+      Format.fprintf fmt ",@ (%d,%d):%s" r c (Dtype.to_string m.dt x))
+    m;
+  Format.fprintf fmt ")@]"
+
+let unsafe_rowptr m = m.rowptr
+let unsafe_colidx m = m.colidx
+let unsafe_values m = m.vals

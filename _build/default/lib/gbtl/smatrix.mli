@@ -1,0 +1,87 @@
+(** Sparse GraphBLAS matrix in CSR (compressed sparse row) form.
+
+    Stored entries are explicit; row entries are kept in ascending column
+    order.  Point mutation ([set]/[remove]) rebuilds the affected arrays
+    and is O(nvals); bulk construction goes through {!of_coo}. *)
+
+type 'a t
+
+exception Dimension_mismatch of string
+exception Index_out_of_bounds of string
+
+val create : 'a Dtype.t -> int -> int -> 'a t
+(** [create dt nrows ncols] — empty matrix. *)
+
+val dtype : 'a t -> 'a Dtype.t
+val nrows : 'a t -> int
+val ncols : 'a t -> int
+val shape : 'a t -> int * int
+val nvals : 'a t -> int
+
+val of_coo :
+  ?dup:'a Binop.t -> 'a Dtype.t -> int -> int -> (int * int * 'a) list -> 'a t
+(** Build from (row, col, value) triples; duplicates combined with [dup]
+    (default last-wins). @raise Index_out_of_bounds *)
+
+val of_dense : 'a Dtype.t -> 'a array array -> 'a t
+(** Stores every element including zeros (PyGB's copy-from-nested-list). *)
+
+val of_dense_drop_zeros : 'a Dtype.t -> 'a array array -> 'a t
+
+val of_rows_unsafe : 'a Dtype.t -> nrows:int -> ncols:int -> 'a Entries.t array -> 'a t
+(** Trusted builder from per-row sorted entries; [Entries.t array] must
+    have length [nrows]. *)
+
+val of_csr_unsafe :
+  'a Dtype.t ->
+  nrows:int ->
+  ncols:int ->
+  rowptr:int array ->
+  colidx:int array ->
+  values:'a array ->
+  'a t
+(** Adopts well-formed CSR arrays without copying (kernel results). *)
+
+val get : 'a t -> int -> int -> 'a option
+val get_exn : 'a t -> int -> int -> 'a
+val mem : 'a t -> int -> int -> bool
+val set : 'a t -> int -> int -> 'a -> unit
+val remove : 'a t -> int -> int -> unit
+val clear : 'a t -> unit
+val dup : 'a t -> 'a t
+
+val replace_contents : 'a t -> 'a t -> unit
+(** [replace_contents dst src] copies [src]'s entries into [dst] in place
+    (same shape required). @raise Dimension_mismatch *)
+
+val row_nvals : 'a t -> int -> int
+val iter_row : (int -> 'a -> unit) -> 'a t -> int -> unit
+(** [iter_row f m r] applies [f col value] over row [r]. *)
+
+val fold_row : ('acc -> int -> 'a -> 'acc) -> 'acc -> 'a t -> int -> 'acc
+val row_entries : 'a t -> int -> 'a Entries.t
+val extract_row : 'a t -> int -> 'a Svector.t
+val extract_col : 'a t -> int -> 'a Svector.t
+
+val iter : (int -> int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> int -> int -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_coo : 'a t -> (int * int * 'a) list
+val to_dense : fill:'a -> 'a t -> 'a array array
+val transpose : 'a t -> 'a t
+(** Fresh matrix; O(nvals + nrows + ncols) counting sort. *)
+
+val cast : into:'b Dtype.t -> 'a t -> 'b t
+val map : 'a t -> f:('a -> 'a) -> 'a t
+val map_inplace : 'a t -> f:('a -> 'a) -> unit
+val equal : 'a t -> 'a t -> bool
+val pp : Format.formatter -> 'a t -> unit
+
+(** {2 Direct CSR access for kernels}
+
+    The returned arrays are the live internal buffers: only the first
+    [nvals] cells of [colidx]/[values] are meaningful, and they must not
+    be mutated by callers. *)
+
+val unsafe_rowptr : 'a t -> int array
+val unsafe_colidx : 'a t -> int array
+val unsafe_values : 'a t -> 'a array

@@ -1,0 +1,72 @@
+type 'a t = {
+  vals : 'a array;
+  occ : bool array;
+  mutable touched : int array;
+  mutable ntouched : int;
+}
+
+let create n ~dummy =
+  { vals = Array.make (max n 1) dummy; occ = Array.make (max n 1) false;
+    touched = Array.make 16 0; ntouched = 0 }
+
+let size s = Array.length s.occ
+
+let occupied s i = s.occ.(i)
+
+let get s i = s.vals.(i)
+
+let touch s i =
+  if s.ntouched = Array.length s.touched then begin
+    let t = Array.make (2 * s.ntouched) 0 in
+    Array.blit s.touched 0 t 0 s.ntouched;
+    s.touched <- t
+  end;
+  s.touched.(s.ntouched) <- i;
+  s.ntouched <- s.ntouched + 1
+
+let set s i v =
+  if not s.occ.(i) then begin
+    s.occ.(i) <- true;
+    touch s i
+  end;
+  s.vals.(i) <- v
+
+let accumulate s i v ~add =
+  if s.occ.(i) then s.vals.(i) <- add s.vals.(i) v
+  else begin
+    s.occ.(i) <- true;
+    s.vals.(i) <- v;
+    touch s i
+  end
+
+let count s =
+  let c = ref 0 in
+  for k = 0 to s.ntouched - 1 do
+    if s.occ.(s.touched.(k)) then incr c
+  done;
+  !c
+
+let sorted_touched s =
+  let t = Array.sub s.touched 0 s.ntouched in
+  Array.sort Int.compare t;
+  t
+
+let extract s =
+  let e = Entries.create () in
+  let t = sorted_touched s in
+  Array.iter (fun i -> if s.occ.(i) then Entries.push e i s.vals.(i)) t;
+  e
+
+let extract_filtered s ~keep =
+  let e = Entries.create () in
+  let t = sorted_touched s in
+  Array.iter
+    (fun i -> if s.occ.(i) && keep i then Entries.push e i s.vals.(i))
+    t;
+  e
+
+let clear s =
+  for k = 0 to s.ntouched - 1 do
+    s.occ.(s.touched.(k)) <- false
+  done;
+  s.ntouched <- 0

@@ -1,0 +1,208 @@
+type 'a t = {
+  dt : 'a Dtype.t;
+  size : int;
+  mutable nvals : int;
+  mutable idx : int array;
+  mutable vals : 'a array;
+}
+
+exception Dimension_mismatch of string
+exception Index_out_of_bounds of string
+
+let create dt size =
+  if size < 0 then invalid_arg "Svector.create: negative size";
+  { dt; size; nvals = 0; idx = [||]; vals = [||] }
+
+let dtype v = v.dt
+let size v = v.size
+let nvals v = v.nvals
+
+let check_index v i ctx =
+  if i < 0 || i >= v.size then
+    raise
+      (Index_out_of_bounds
+         (Printf.sprintf "%s: index %d outside [0, %d)" ctx i v.size))
+
+(* Binary search for [i]; returns [Ok pos] if present, [Error ins] with the
+   insertion point otherwise. *)
+let find v i =
+  let lo = ref 0 and hi = ref v.nvals in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if v.idx.(mid) < i then lo := mid + 1 else hi := mid
+  done;
+  if !lo < v.nvals && v.idx.(!lo) = i then Ok !lo else Error !lo
+
+let get v i =
+  check_index v i "Svector.get";
+  match find v i with Ok p -> Some v.vals.(p) | Error _ -> None
+
+let get_exn v i =
+  match get v i with Some x -> x | None -> raise Not_found
+
+let mem v i =
+  check_index v i "Svector.mem";
+  match find v i with Ok _ -> true | Error _ -> false
+
+let ensure_capacity v n dummy =
+  if Array.length v.idx < n then begin
+    let cap = max 8 (max n (2 * Array.length v.idx)) in
+    let idx' = Array.make cap 0 and vals' = Array.make cap dummy in
+    Array.blit v.idx 0 idx' 0 v.nvals;
+    Array.blit v.vals 0 vals' 0 v.nvals;
+    v.idx <- idx';
+    v.vals <- vals'
+  end
+
+let set v i x =
+  check_index v i "Svector.set";
+  match find v i with
+  | Ok p -> v.vals.(p) <- x
+  | Error p ->
+    ensure_capacity v (v.nvals + 1) x;
+    Array.blit v.idx p v.idx (p + 1) (v.nvals - p);
+    Array.blit v.vals p v.vals (p + 1) (v.nvals - p);
+    v.idx.(p) <- i;
+    v.vals.(p) <- x;
+    v.nvals <- v.nvals + 1
+
+let remove v i =
+  check_index v i "Svector.remove";
+  match find v i with
+  | Error _ -> ()
+  | Ok p ->
+    Array.blit v.idx (p + 1) v.idx p (v.nvals - p - 1);
+    Array.blit v.vals (p + 1) v.vals p (v.nvals - p - 1);
+    v.nvals <- v.nvals - 1
+
+let clear v = v.nvals <- 0
+
+let dup v =
+  {
+    dt = v.dt;
+    size = v.size;
+    nvals = v.nvals;
+    idx = Array.sub v.idx 0 v.nvals;
+    vals = Array.sub v.vals 0 v.nvals;
+  }
+
+let of_coo ?dup dt size alist =
+  let v = create dt size in
+  let combine =
+    match dup with
+    | Some op -> op.Binop.f
+    | None -> fun _ y -> y
+  in
+  let sorted = List.stable_sort (fun (i, _) (j, _) -> Int.compare i j) alist in
+  List.iter
+    (fun (i, x) ->
+      check_index v i "Svector.of_coo";
+      match find v i with
+      | Ok p -> v.vals.(p) <- combine v.vals.(p) x
+      | Error _ -> set v i x)
+    sorted;
+  v
+
+let of_dense dt arr =
+  let n = Array.length arr in
+  let v = create dt n in
+  ensure_capacity v n (if n > 0 then arr.(0) else Dtype.zero dt);
+  Array.iteri
+    (fun i x ->
+      v.idx.(i) <- i;
+      v.vals.(i) <- x)
+    arr;
+  v.nvals <- n;
+  v
+
+let of_dense_drop_zeros dt arr =
+  let v = create dt (Array.length arr) in
+  Array.iteri (fun i x -> if not (Dtype.equal_values dt x (Dtype.zero dt)) then set v i x) arr;
+  v
+
+let replace_contents v e =
+  let n = Entries.length e in
+  if n > 0 then begin
+    let last = Entries.get_idx e (n - 1) in
+    if last >= v.size then
+      raise
+        (Index_out_of_bounds
+           (Printf.sprintf "Svector.replace_contents: index %d outside [0, %d)"
+              last v.size));
+    ensure_capacity v n (Entries.get_val e 0)
+  end;
+  for k = 0 to n - 1 do
+    v.idx.(k) <- Entries.get_idx e k;
+    v.vals.(k) <- Entries.get_val e k
+  done;
+  v.nvals <- n
+
+let entries v =
+  let e = Entries.create () in
+  for k = 0 to v.nvals - 1 do
+    Entries.push e v.idx.(k) v.vals.(k)
+  done;
+  e
+
+let iter f v =
+  for k = 0 to v.nvals - 1 do
+    f v.idx.(k) v.vals.(k)
+  done
+
+let fold f init v =
+  let acc = ref init in
+  iter (fun i x -> acc := f !acc i x) v;
+  !acc
+
+let to_alist v = List.rev (fold (fun acc i x -> (i, x) :: acc) [] v)
+
+let to_dense ~fill v =
+  let arr = Array.make v.size fill in
+  iter (fun i x -> arr.(i) <- x) v;
+  arr
+
+let cast ~into v =
+  let out = create into v.size in
+  ensure_capacity out v.nvals (Dtype.zero into);
+  for k = 0 to v.nvals - 1 do
+    out.idx.(k) <- v.idx.(k);
+    out.vals.(k) <- Dtype.cast ~from:v.dt ~into v.vals.(k)
+  done;
+  out.nvals <- v.nvals;
+  out
+
+let map v ~f =
+  let out = dup v in
+  for k = 0 to out.nvals - 1 do
+    out.vals.(k) <- f out.vals.(k)
+  done;
+  out
+
+let map_inplace v ~f =
+  for k = 0 to v.nvals - 1 do
+    v.vals.(k) <- f v.vals.(k)
+  done
+
+let to_bool_dense v =
+  let arr = Array.make v.size false in
+  iter (fun i x -> arr.(i) <- Dtype.to_bool v.dt x) v;
+  arr
+
+let equal a b =
+  a.size = b.size && a.nvals = b.nvals
+  &&
+  let ok = ref true in
+  for k = 0 to a.nvals - 1 do
+    if a.idx.(k) <> b.idx.(k) || not (Dtype.equal_values a.dt a.vals.(k) b.vals.(k))
+    then ok := false
+  done;
+  !ok
+
+let unsafe_indices v = v.idx
+let unsafe_values v = v.vals
+
+let pp fmt v =
+  Format.fprintf fmt "@[<hov 2>Vector<%s>(size=%d, nvals=%d" (Dtype.name v.dt)
+    v.size v.nvals;
+  iter (fun i x -> Format.fprintf fmt ",@ %d:%s" i (Dtype.to_string v.dt x)) v;
+  Format.fprintf fmt ")@]"

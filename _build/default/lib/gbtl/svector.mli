@@ -1,0 +1,71 @@
+(** Sparse GraphBLAS vector: sorted (index, value) arrays plus a logical
+    size.  Stored entries are explicit — a stored zero is distinct from an
+    absent entry, per the GraphBLAS data model.  Outputs of operations are
+    written in place (GBTL's pass-by-reference convention). *)
+
+type 'a t
+
+exception Dimension_mismatch of string
+exception Index_out_of_bounds of string
+
+val create : 'a Dtype.t -> int -> 'a t
+(** Empty vector of the given logical size. *)
+
+val dtype : 'a t -> 'a Dtype.t
+val size : 'a t -> int
+val nvals : 'a t -> int
+
+val of_coo : ?dup:'a Binop.t -> 'a Dtype.t -> int -> (int * 'a) list -> 'a t
+(** Build from coordinate data; duplicates are combined with [dup]
+    (default: last one wins, matching GrB_SECOND).
+    @raise Index_out_of_bounds *)
+
+val of_dense : 'a Dtype.t -> 'a array -> 'a t
+(** Stores every element, including zeros (PyGB's copy-from-list
+    constructor). *)
+
+val of_dense_drop_zeros : 'a Dtype.t -> 'a array -> 'a t
+(** Stores only elements that are not the dtype's zero — the adjacency
+    convention used by the graph converters. *)
+
+val get : 'a t -> int -> 'a option
+val get_exn : 'a t -> int -> 'a
+(** @raise Not_found *)
+
+val mem : 'a t -> int -> bool
+val set : 'a t -> int -> 'a -> unit
+val remove : 'a t -> int -> unit
+val clear : 'a t -> unit
+val dup : 'a t -> 'a t
+
+val replace_contents : 'a t -> 'a Entries.t -> unit
+(** Overwrite the stored entries wholesale (used by the output-write
+    step); indices must lie within [size]. *)
+
+val entries : 'a t -> 'a Entries.t
+(** Snapshot of the stored entries. *)
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> int -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_alist : 'a t -> (int * 'a) list
+val to_dense : fill:'a -> 'a t -> 'a array
+val cast : into:'b Dtype.t -> 'a t -> 'b t
+val map : 'a t -> f:('a -> 'a) -> 'a t
+val map_inplace : 'a t -> f:('a -> 'a) -> unit
+
+val to_bool_dense : 'a t -> bool array
+(** Value-coerced truthiness per index (absent = [false]) — the mask
+    interpretation of a vector. *)
+
+val equal : 'a t -> 'a t -> bool
+(** Same size, same structure, same values (dtype comparison). *)
+
+val pp : Format.formatter -> 'a t -> unit
+
+(** {2 Direct access for kernels}
+
+    Live internal buffers: only the first [nvals] cells are meaningful and
+    they must not be mutated by callers. *)
+
+val unsafe_indices : 'a t -> int array
+val unsafe_values : 'a t -> 'a array

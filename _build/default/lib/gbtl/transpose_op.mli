@@ -1,0 +1,11 @@
+(** The [transpose] {e operation} (Table I): [C<M,z> = C ⊙ Aᵀ], with full
+    mask/accumulate semantics — distinct from the structural
+    {!Smatrix.transpose} it is built on. *)
+
+val transpose :
+  ?mask:Mask.mmask ->
+  ?accum:'a Binop.t ->
+  ?replace:bool ->
+  out:'a Smatrix.t ->
+  'a Smatrix.t ->
+  unit

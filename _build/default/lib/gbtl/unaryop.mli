@@ -1,0 +1,38 @@
+(** Unary operators of GBTL's [algebra.hpp] (paper Fig. 6), plus the
+    bound-binary forms ([BinaryOp_Bind1st]/[Bind2nd] in GBTL) that
+    PageRank's [gb.UnaryOp ("Times", damping)] relies on. *)
+
+type 'a t = private { name : string; f : 'a -> 'a }
+
+exception Unknown_operator of string
+
+val names : string list
+(** ["Identity"; "AdditiveInverse"; "LogicalNot"; "MultiplicativeInverse"] *)
+
+val is_known : string -> bool
+
+val of_name : string -> 'a Dtype.t -> 'a t
+(** @raise Unknown_operator if unknown. *)
+
+val bind1st : 'a Dtype.t -> 'a Binop.t -> 'a -> 'a t
+(** [bind1st dt op k] is [fun x -> op k x]; its name encodes both the
+    binop and the constant so JIT signatures distinguish instantiations,
+    as PyGB's [-DIDENTITY=...] preprocessor defines do. *)
+
+val bind2nd : 'a Dtype.t -> 'a Binop.t -> 'a -> 'a t
+
+val make : string -> ('a -> 'a) -> 'a t
+(** User-defined operator; name is prefixed with ["user:"]. *)
+
+val register_user : string -> (float -> float) -> unit
+(** Like {!Binop.register_user}: ["user:<name>"] becomes resolvable by
+    {!of_name} at every dtype through float conversion. *)
+
+val user_registered : string -> bool
+
+val apply : 'a t -> 'a -> 'a
+
+val identity : 'a Dtype.t -> 'a t
+val additive_inverse : 'a Dtype.t -> 'a t
+val logical_not : 'a Dtype.t -> 'a t
+val multiplicative_inverse : 'a Dtype.t -> 'a t

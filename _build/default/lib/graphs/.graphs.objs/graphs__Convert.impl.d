@@ -1,0 +1,1 @@
+lib/graphs/convert.ml: Array Dtype Edge_list Gbtl List Smatrix Svector

@@ -1,0 +1,1 @@
+lib/graphs/convert.mli: Edge_list Gbtl

@@ -1,0 +1,1 @@
+lib/graphs/generators.ml: Array Edge_list Hashtbl List Printf Rng

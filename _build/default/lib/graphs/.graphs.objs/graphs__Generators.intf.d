@@ -1,0 +1,1 @@
+lib/graphs/generators.mli: Edge_list Rng

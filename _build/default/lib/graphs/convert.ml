@@ -1,0 +1,40 @@
+open Gbtl
+
+let matrix_of_edges ?dup dt (g : Edge_list.t) =
+  let triples =
+    List.map
+      (fun (s, d, w) -> (s, d, Dtype.of_float dt w))
+      g.Edge_list.edges
+  in
+  Smatrix.of_coo ?dup dt g.Edge_list.nvertices g.Edge_list.nvertices triples
+
+let bool_adjacency (g : Edge_list.t) =
+  let triples = List.map (fun (s, d, _) -> (s, d, true)) g.Edge_list.edges in
+  Smatrix.of_coo Dtype.Bool g.Edge_list.nvertices g.Edge_list.nvertices triples
+
+let edges_of_matrix m =
+  let dt = Smatrix.dtype m in
+  { Edge_list.nvertices = Smatrix.nrows m;
+    edges =
+      List.rev
+        (Smatrix.fold
+           (fun acc r c x -> (r, c, Dtype.to_float dt x) :: acc)
+           [] m) }
+
+let vector_of_list dt l =
+  Svector.of_dense dt (Array.of_list (List.map (Dtype.of_float dt) l))
+
+let matrix_of_lists dt rows =
+  Smatrix.of_dense dt
+    (Array.of_list
+       (List.map
+          (fun row -> Array.of_list (List.map (Dtype.of_float dt) row))
+          rows))
+
+let out_degrees m =
+  let v = Svector.create Dtype.Int64 (Smatrix.nrows m) in
+  for r = 0 to Smatrix.nrows m - 1 do
+    let d = Smatrix.row_nvals m r in
+    if d > 0 then Svector.set v r d
+  done;
+  v

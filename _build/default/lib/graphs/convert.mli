@@ -1,0 +1,25 @@
+(** Conversions between foreign representations and GraphBLAS containers —
+    the copying constructors of paper Fig. 3 ([gb.Matrix(nx.balanced_tree
+    (...))] etc.). *)
+
+val matrix_of_edges :
+  ?dup:'a Gbtl.Binop.t -> 'a Gbtl.Dtype.t -> Edge_list.t -> 'a Gbtl.Smatrix.t
+(** Adjacency matrix; weights cast from float into the dtype; parallel
+    edges combined with [dup] (default last-wins). *)
+
+val bool_adjacency : Edge_list.t -> bool Gbtl.Smatrix.t
+(** Unweighted adjacency (every edge stored as [true]). *)
+
+val edges_of_matrix : 'a Gbtl.Smatrix.t -> Edge_list.t
+(** Weights cast to float. *)
+
+val vector_of_list : 'a Gbtl.Dtype.t -> float list -> 'a Gbtl.Svector.t
+(** Dense copy of a "Python list" (every cell stored). *)
+
+val matrix_of_lists : 'a Gbtl.Dtype.t -> float list list -> 'a Gbtl.Smatrix.t
+(** Dense copy of nested lists (paper Fig. 3a).
+    @raise Gbtl.Smatrix.Dimension_mismatch on ragged input. *)
+
+val out_degrees : 'a Gbtl.Smatrix.t -> int Gbtl.Svector.t
+(** Stored-entry out-degree per vertex, as an Int64 vector (degree zero
+    vertices get no entry). *)

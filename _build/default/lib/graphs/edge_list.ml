@@ -1,0 +1,18 @@
+type t = { nvertices : int; edges : (int * int * float) list }
+
+let nedges t = List.length t.edges
+
+let reverse t =
+  { t with edges = List.map (fun (s, d, w) -> (d, s, w)) t.edges }
+
+let symmetrize t =
+  { t with
+    edges =
+      t.edges @ List.filter_map (fun (s, d, w) -> if s = d then None else Some (d, s, w)) t.edges
+  }
+
+let map_weights f t =
+  { t with edges = List.map (fun (s, d, w) -> (s, d, f s d w)) t.edges }
+
+let of_pairs ~nvertices pairs =
+  { nvertices; edges = List.map (fun (s, d) -> (s, d, 1.0)) pairs }

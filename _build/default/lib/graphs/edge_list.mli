@@ -1,0 +1,18 @@
+(** The "foreign container" representation: a plain weighted edge list, as
+    a NetworkX graph or SciPy COO would hand over.  Generators produce
+    these; {!Convert} turns them into GraphBLAS containers (the copying
+    constructor of paper Fig. 3b). *)
+
+type t = {
+  nvertices : int;
+  edges : (int * int * float) list;  (** (src, dst, weight) *)
+}
+
+val nedges : t -> int
+val reverse : t -> t
+val symmetrize : t -> t
+(** Adds the reverse of every edge (duplicates collapse on conversion). *)
+
+val map_weights : (int -> int -> float -> float) -> t -> t
+val of_pairs : nvertices:int -> (int * int) list -> t
+(** Unit weights. *)

@@ -1,0 +1,187 @@
+let erdos_renyi_gnm ?(self_loops = false) ?(weight = fun _ -> 1.0) rng
+    ~nvertices ~nedges =
+  let possible =
+    if self_loops then nvertices * nvertices else nvertices * (nvertices - 1)
+  in
+  if nedges > possible then
+    invalid_arg
+      (Printf.sprintf "erdos_renyi_gnm: %d edges exceed the %d possible"
+         nedges possible);
+  let seen = Hashtbl.create (2 * nedges) in
+  let edges = ref [] in
+  let n = ref 0 in
+  while !n < nedges do
+    let s = Rng.int rng nvertices and d = Rng.int rng nvertices in
+    if (self_loops || s <> d) && not (Hashtbl.mem seen (s, d)) then begin
+      Hashtbl.add seen (s, d) ();
+      edges := (s, d, weight rng) :: !edges;
+      incr n
+    end
+  done;
+  { Edge_list.nvertices; edges = !edges }
+
+let erdos_renyi_paper rng ~nvertices =
+  let nedges =
+    min
+      (int_of_float (ceil (float_of_int nvertices ** 1.5)))
+      (nvertices * (nvertices - 1))
+  in
+  erdos_renyi_gnm rng ~nvertices ~nedges
+
+let balanced_tree ~branching ~height =
+  if branching < 1 || height < 0 then
+    invalid_arg "balanced_tree: branching >= 1, height >= 0 required";
+  (* number of vertices: (r^(h+1) - 1) / (r - 1), or h+1 for r = 1 *)
+  let nvertices =
+    if branching = 1 then height + 1
+    else
+      (int_of_float (float_of_int branching ** float_of_int (height + 1)) - 1)
+      / (branching - 1)
+  in
+  (* children of v in a 0-indexed complete r-ary tree: v*r+1 .. v*r+r *)
+  let edges = ref [] in
+  for v = 0 to nvertices - 1 do
+    for k = 1 to branching do
+      let child = (v * branching) + k in
+      if child < nvertices then edges := (v, child, 1.0) :: !edges
+    done
+  done;
+  { Edge_list.nvertices; edges = List.rev !edges }
+
+let path n =
+  { Edge_list.nvertices = n;
+    edges = List.init (max 0 (n - 1)) (fun i -> (i, i + 1, 1.0)) }
+
+let cycle n =
+  { Edge_list.nvertices = n;
+    edges = List.init n (fun i -> (i, (i + 1) mod n, 1.0)) }
+
+let star n =
+  { Edge_list.nvertices = n;
+    edges = List.init (max 0 (n - 1)) (fun i -> (0, i + 1, 1.0)) }
+
+let complete n =
+  let edges = ref [] in
+  for s = n - 1 downto 0 do
+    for d = n - 1 downto 0 do
+      if s <> d then edges := (s, d, 1.0) :: !edges
+    done
+  done;
+  { Edge_list.nvertices = n; edges = !edges }
+
+let grid2d ~rows ~cols =
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then begin
+        edges := (id r c, id r (c + 1), 1.0) :: !edges;
+        edges := (id r (c + 1), id r c, 1.0) :: !edges
+      end;
+      if r + 1 < rows then begin
+        edges := (id r c, id (r + 1) c, 1.0) :: !edges;
+        edges := (id (r + 1) c, id r c, 1.0) :: !edges
+      end
+    done
+  done;
+  { Edge_list.nvertices = rows * cols; edges = !edges }
+
+let watts_strogatz rng ~nvertices ~k ~beta =
+  if k mod 2 <> 0 || k < 2 then
+    invalid_arg "watts_strogatz: k must be even and >= 2";
+  if k >= nvertices then invalid_arg "watts_strogatz: k must be < n";
+  (* undirected edge set as (min, max) pairs *)
+  let seen = Hashtbl.create (nvertices * k) in
+  let norm u v = if u < v then (u, v) else (v, u) in
+  let add u v = Hashtbl.replace seen (norm u v) () in
+  let mem u v = Hashtbl.mem seen (norm u v) in
+  for v = 0 to nvertices - 1 do
+    for j = 1 to k / 2 do
+      add v ((v + j) mod nvertices)
+    done
+  done;
+  (* rewire: for each original lattice edge, with prob beta replace its
+     far endpoint with a uniform non-duplicate target *)
+  for v = 0 to nvertices - 1 do
+    for j = 1 to k / 2 do
+      let w = (v + j) mod nvertices in
+      if Rng.float rng < beta && mem v w then begin
+        let attempts = ref 0 in
+        let continue_ = ref true in
+        while !continue_ && !attempts < 32 do
+          incr attempts;
+          let t = Rng.int rng nvertices in
+          if t <> v && not (mem v t) then begin
+            Hashtbl.remove seen (norm v w);
+            add v t;
+            continue_ := false
+          end
+        done
+      end
+    done
+  done;
+  let edges =
+    Hashtbl.fold (fun (u, v) () acc -> (u, v, 1.0) :: (v, u, 1.0) :: acc)
+      seen []
+  in
+  { Edge_list.nvertices; edges }
+
+let barabasi_albert rng ~nvertices ~m =
+  if m < 1 || m >= nvertices then
+    invalid_arg "barabasi_albert: need 1 <= m < n";
+  (* repeated-target list: each endpoint appearance weights selection *)
+  let targets = ref [] in
+  let seen = Hashtbl.create (nvertices * m) in
+  let norm u v = if u < v then (u, v) else (v, u) in
+  let edges = ref [] in
+  let add u v =
+    if u <> v && not (Hashtbl.mem seen (norm u v)) then begin
+      Hashtbl.replace seen (norm u v) ();
+      edges := (u, v, 1.0) :: (v, u, 1.0) :: !edges;
+      targets := u :: v :: !targets;
+      true
+    end
+    else false
+  in
+  (* seed: a clique over the first m+1 vertices *)
+  for u = 0 to m do
+    for v = u + 1 to m do
+      ignore (add u v)
+    done
+  done;
+  let pool = ref (Array.of_list !targets) in
+  for v = m + 1 to nvertices - 1 do
+    let added = ref 0 and attempts = ref 0 in
+    while !added < m && !attempts < 64 * m do
+      incr attempts;
+      let t = !pool.(Rng.int rng (Array.length !pool)) in
+      if add v t then incr added
+    done;
+    pool := Array.of_list !targets
+  done;
+  { Edge_list.nvertices; edges = !edges }
+
+let rmat ?(a = 0.57) ?(b = 0.19) ?(c = 0.19) rng ~scale ~edge_factor =
+  if a +. b +. c >= 1.0 then invalid_arg "rmat: a + b + c must be < 1";
+  let n = 1 lsl scale in
+  let sample () =
+    let r = ref 0 and c_ = ref 0 in
+    for _bit = 1 to scale do
+      let p = Rng.float rng in
+      let right, down =
+        if p < a then (0, 0)
+        else if p < a +. b then (1, 0)
+        else if p < a +. b +. c then (0, 1)
+        else (1, 1)
+      in
+      r := (!r lsl 1) lor down;
+      c_ := (!c_ lsl 1) lor right
+    done;
+    (!r, !c_)
+  in
+  let edges = ref [] in
+  for _ = 1 to edge_factor * n do
+    let r, c_ = sample () in
+    if r <> c_ then edges := (r, c_, 1.0) :: !edges
+  done;
+  { Edge_list.nvertices = n; edges = !edges }

@@ -1,0 +1,50 @@
+(** Graph generators standing in for the NumPy/SciPy/NetworkX routines
+    the paper constructs containers from (Fig. 3b), including the
+    evaluation workload: Erdős–Rényi graphs with |E| = O(|V|^1.5)
+    (Figs. 10–11). *)
+
+val erdos_renyi_gnm :
+  ?self_loops:bool ->
+  ?weight:(Rng.t -> float) ->
+  Rng.t ->
+  nvertices:int ->
+  nedges:int ->
+  Edge_list.t
+(** G(n, M): exactly [nedges] distinct directed edges drawn uniformly.
+    Default weight 1.  @raise Invalid_argument if more edges than pairs. *)
+
+val erdos_renyi_paper : Rng.t -> nvertices:int -> Edge_list.t
+(** The paper's workload: |E| = ⌈|V|^1.5⌉ (clamped to the possible
+    maximum), unit weights. *)
+
+val balanced_tree : branching:int -> height:int -> Edge_list.t
+(** NetworkX [balanced_tree(r, h)]: edges parent→child. *)
+
+val path : int -> Edge_list.t
+val cycle : int -> Edge_list.t
+val star : int -> Edge_list.t
+(** [star n]: vertex 0 connected to 1..n-1. *)
+
+val complete : int -> Edge_list.t
+val grid2d : rows:int -> cols:int -> Edge_list.t
+(** 4-neighbour grid, both directions. *)
+
+val watts_strogatz :
+  Rng.t -> nvertices:int -> k:int -> beta:float -> Edge_list.t
+(** Small-world graph: ring lattice with [k] nearest neighbours per side
+    pair ([k] even), each edge rewired with probability [beta].  Both
+    edge directions are emitted (symmetric). *)
+
+val barabasi_albert : Rng.t -> nvertices:int -> m:int -> Edge_list.t
+(** Preferential attachment: each new vertex attaches to [m] existing
+    vertices with probability proportional to degree.  Symmetric. *)
+
+val rmat :
+  ?a:float -> ?b:float -> ?c:float ->
+  Rng.t ->
+  scale:int ->
+  edge_factor:int ->
+  Edge_list.t
+(** Recursive-matrix (Graph500-style) generator: [2^scale] vertices,
+    [edge_factor * 2^scale] edge samples (duplicates collapse on
+    conversion).  Defaults a=0.57, b=0.19, c=0.19. *)

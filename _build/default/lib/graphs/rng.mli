@@ -1,0 +1,18 @@
+(** Deterministic SplitMix64 PRNG — benchmark workloads must be
+    reproducible across runs and machines, so we avoid the stdlib's
+    unsealed [Random] state. *)
+
+type t
+
+val create : seed:int -> t
+val copy : t -> t
+val next_int64 : t -> int64
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** [int t bound] — uniform in [0, bound); [bound] must be positive. *)
+
+val bool : t -> bool
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)

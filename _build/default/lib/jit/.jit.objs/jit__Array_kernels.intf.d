@@ -1,0 +1,1 @@
+lib/jit/array_kernels.mli:

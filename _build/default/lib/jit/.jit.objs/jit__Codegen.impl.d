@@ -1,0 +1,1 @@
+lib/jit/codegen.ml: Fun List Op_spec Option Printf String

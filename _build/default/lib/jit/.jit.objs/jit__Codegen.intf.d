@@ -1,0 +1,1 @@
+lib/jit/codegen.mli: Op_spec

@@ -1,0 +1,1 @@
+lib/jit/disk_cache.ml: Array Filename Printf String Sys Unix

@@ -1,0 +1,1 @@
+lib/jit/disk_cache.mli:

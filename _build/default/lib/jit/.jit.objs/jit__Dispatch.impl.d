@@ -1,0 +1,1 @@
+lib/jit/dispatch.ml: Disk_cache Hashtbl Jit_stats Kernel_sig Mutex Native_backend Obj Unix

@@ -1,0 +1,1 @@
+lib/jit/dispatch.mli: Kernel_sig Obj

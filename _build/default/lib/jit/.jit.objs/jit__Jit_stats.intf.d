@@ -1,0 +1,1 @@
+lib/jit/jit_stats.mli: Format

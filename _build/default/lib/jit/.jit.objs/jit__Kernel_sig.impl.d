@@ -1,0 +1,1 @@
+lib/jit/kernel_sig.ml: Char Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/jit/kernel_sig.mli: Format

@@ -1,0 +1,1 @@
+lib/jit/kernels.ml: Apply_reduce Array Array_kernels Binop Codegen Dispatch Dtype Entries Ewise Gbtl Kernel_sig List Mask Matmul Monoid Obj Op_spec Printf Semiring Smatrix String Svector Unaryop

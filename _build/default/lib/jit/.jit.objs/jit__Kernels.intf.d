@@ -1,0 +1,1 @@
+lib/jit/kernels.mli: Dtype Entries Gbtl Mask Op_spec Smatrix Svector

@@ -1,0 +1,1 @@
+lib/jit/native_backend.ml: Array Disk_cache Dynlink Filename Jit_plugin_api List Logs Printf String Sys Unix

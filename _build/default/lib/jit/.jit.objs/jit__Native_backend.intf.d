@@ -1,0 +1,1 @@
+lib/jit/native_backend.mli: Obj

@@ -1,0 +1,1 @@
+lib/jit/op_spec.ml: Binop Dtype Gbtl List Monoid Printf Semiring Unaryop

@@ -1,0 +1,1 @@
+lib/jit/op_spec.mli: Gbtl

@@ -1,0 +1,255 @@
+type 'a ventry = int array * 'a array * int
+type 'a csr = int array * int array * 'a array
+
+(* Growable output buffer without a dummy element requirement beyond the
+   caller-provided one. *)
+let trim idx vals len = (Array.sub idx 0 len, Array.sub vals 0 len)
+
+let mxv ~add ~mul ~dummy ~nrows ~ncols ~transpose (arp, aci, avs)
+    ((uidx, uvls, un) : 'a ventry) =
+  if not transpose then begin
+    (* gather: w_i = ⊕_j A(i,j) ⊗ u(j) over stored u positions *)
+    let u_dense = Array.make ncols dummy in
+    let u_occ = Array.make ncols false in
+    for k = 0 to un - 1 do
+      u_dense.(uidx.(k)) <- uvls.(k);
+      u_occ.(uidx.(k)) <- true
+    done;
+    let out_idx = Array.make nrows 0 and out_vls = Array.make nrows dummy in
+    let n = ref 0 in
+    for i = 0 to nrows - 1 do
+      let acc = ref dummy and hit = ref false in
+      for p = arp.(i) to arp.(i + 1) - 1 do
+        let j = aci.(p) in
+        if u_occ.(j) then begin
+          let v = mul avs.(p) u_dense.(j) in
+          acc := (if !hit then add !acc v else v);
+          hit := true
+        end
+      done;
+      if !hit then begin
+        out_idx.(!n) <- i;
+        out_vls.(!n) <- !acc;
+        incr n
+      end
+    done;
+    trim out_idx out_vls !n
+  end
+  else begin
+    (* scatter: (Aᵀu)_c = ⊕_j A(j,c) ⊗ u(j) *)
+    let acc = Array.make ncols dummy in
+    let occ = Array.make ncols false in
+    for k = 0 to un - 1 do
+      let j = uidx.(k) in
+      let uj = uvls.(k) in
+      for p = arp.(j) to arp.(j + 1) - 1 do
+        let c = aci.(p) in
+        let v = mul avs.(p) uj in
+        if occ.(c) then acc.(c) <- add acc.(c) v
+        else begin
+          acc.(c) <- v;
+          occ.(c) <- true
+        end
+      done
+    done;
+    let n = ref 0 in
+    for c = 0 to ncols - 1 do
+      if occ.(c) then incr n
+    done;
+    let out_idx = Array.make !n 0 and out_vls = Array.make !n dummy in
+    let k = ref 0 in
+    for c = 0 to ncols - 1 do
+      if occ.(c) then begin
+        out_idx.(!k) <- c;
+        out_vls.(!k) <- acc.(c);
+        incr k
+      end
+    done;
+    (out_idx, out_vls)
+  end
+
+let vxm ~add ~mul ~dummy ~nrows ~ncols ~transpose ((uidx, uvls, un) : 'a ventry)
+    (arp, aci, avs) =
+  if not transpose then begin
+    (* scatter: w_c = ⊕_i u(i) ⊗ A(i,c) *)
+    let acc = Array.make ncols dummy in
+    let occ = Array.make ncols false in
+    for k = 0 to un - 1 do
+      let i = uidx.(k) in
+      let ui = uvls.(k) in
+      for p = arp.(i) to arp.(i + 1) - 1 do
+        let c = aci.(p) in
+        let v = mul ui avs.(p) in
+        if occ.(c) then acc.(c) <- add acc.(c) v
+        else begin
+          acc.(c) <- v;
+          occ.(c) <- true
+        end
+      done
+    done;
+    let n = ref 0 in
+    for c = 0 to ncols - 1 do
+      if occ.(c) then incr n
+    done;
+    let out_idx = Array.make !n 0 and out_vls = Array.make !n dummy in
+    let k = ref 0 in
+    for c = 0 to ncols - 1 do
+      if occ.(c) then begin
+        out_idx.(!k) <- c;
+        out_vls.(!k) <- acc.(c);
+        incr k
+      end
+    done;
+    (out_idx, out_vls)
+  end
+  else begin
+    (* gather: (u Aᵀ)_i = ⊕_j u(j) ⊗ A(i,j) *)
+    let u_dense = Array.make ncols dummy in
+    let u_occ = Array.make ncols false in
+    for k = 0 to un - 1 do
+      u_dense.(uidx.(k)) <- uvls.(k);
+      u_occ.(uidx.(k)) <- true
+    done;
+    let out_idx = Array.make nrows 0 and out_vls = Array.make nrows dummy in
+    let n = ref 0 in
+    for i = 0 to nrows - 1 do
+      let acc = ref dummy and hit = ref false in
+      for p = arp.(i) to arp.(i + 1) - 1 do
+        let j = aci.(p) in
+        if u_occ.(j) then begin
+          let v = mul u_dense.(j) avs.(p) in
+          acc := (if !hit then add !acc v else v);
+          hit := true
+        end
+      done;
+      if !hit then begin
+        out_idx.(!n) <- i;
+        out_vls.(!n) <- !acc;
+        incr n
+      end
+    done;
+    trim out_idx out_vls !n
+  end
+
+let mxm_gustavson ~add ~mul ~dummy ~nrows_a ~ncols_b (arp, aci, avs)
+    (brp, bci, bvs) =
+  let spa_vals = Array.make (max ncols_b 1) dummy in
+  let spa_occ = Array.make (max ncols_b 1) false in
+  let touched = Array.make (max ncols_b 1) 0 in
+  let rowptr = Array.make (nrows_a + 1) 0 in
+  (* growable output *)
+  let cap = ref (max 16 (Array.length avs)) in
+  let out_idx = ref (Array.make !cap 0) in
+  let out_vls = ref (Array.make !cap dummy) in
+  let n = ref 0 in
+  let push c v =
+    if !n = !cap then begin
+      cap := 2 * !cap;
+      let idx' = Array.make !cap 0 and vls' = Array.make !cap dummy in
+      Array.blit !out_idx 0 idx' 0 !n;
+      Array.blit !out_vls 0 vls' 0 !n;
+      out_idx := idx';
+      out_vls := vls'
+    end;
+    !out_idx.(!n) <- c;
+    !out_vls.(!n) <- v;
+    incr n
+  in
+  for i = 0 to nrows_a - 1 do
+    rowptr.(i) <- !n;
+    let nt = ref 0 in
+    for p = arp.(i) to arp.(i + 1) - 1 do
+      let k = aci.(p) in
+      let aik = avs.(p) in
+      for q = brp.(k) to brp.(k + 1) - 1 do
+        let j = bci.(q) in
+        let v = mul aik bvs.(q) in
+        if spa_occ.(j) then spa_vals.(j) <- add spa_vals.(j) v
+        else begin
+          spa_occ.(j) <- true;
+          spa_vals.(j) <- v;
+          touched.(!nt) <- j;
+          incr nt
+        end
+      done
+    done;
+    let row = Array.sub touched 0 !nt in
+    Array.sort Int.compare row;
+    Array.iter
+      (fun j ->
+        push j spa_vals.(j);
+        spa_occ.(j) <- false)
+      row
+  done;
+  rowptr.(nrows_a) <- !n;
+  (rowptr, Array.sub !out_idx 0 !n, Array.sub !out_vls 0 !n)
+
+let ewise_add_v ~op ((aidx, avls, an) : 'a ventry) ((bidx, bvls, bn) : 'a ventry)
+    =
+  let cap = an + bn in
+  if cap = 0 then ([||], [||])
+  else begin
+    let dummy = if an > 0 then avls.(0) else bvls.(0) in
+    let out_idx = Array.make cap 0 and out_vls = Array.make cap dummy in
+    let i = ref 0 and j = ref 0 and n = ref 0 in
+    while !i < an || !j < bn do
+      let push ix v =
+        out_idx.(!n) <- ix;
+        out_vls.(!n) <- v;
+        incr n
+      in
+      if !i >= an then begin
+        push bidx.(!j) bvls.(!j);
+        incr j
+      end
+      else if !j >= bn then begin
+        push aidx.(!i) avls.(!i);
+        incr i
+      end
+      else if aidx.(!i) < bidx.(!j) then begin
+        push aidx.(!i) avls.(!i);
+        incr i
+      end
+      else if bidx.(!j) < aidx.(!i) then begin
+        push bidx.(!j) bvls.(!j);
+        incr j
+      end
+      else begin
+        push aidx.(!i) (op avls.(!i) bvls.(!j));
+        incr i;
+        incr j
+      end
+    done;
+    trim out_idx out_vls !n
+  end
+
+let ewise_mult_v ~op ((aidx, avls, an) : 'a ventry) ((bidx, bvls, bn) : 'a ventry) =
+  let cap = min an bn in
+  if cap = 0 then ([||], [||])
+  else begin
+    let dummy = avls.(0) in
+    let out_idx = Array.make cap 0 and out_vls = Array.make cap dummy in
+    let i = ref 0 and j = ref 0 and n = ref 0 in
+    while !i < an && !j < bn do
+      if aidx.(!i) < bidx.(!j) then incr i
+      else if bidx.(!j) < aidx.(!i) then incr j
+      else begin
+        out_idx.(!n) <- aidx.(!i);
+        out_vls.(!n) <- op avls.(!i) bvls.(!j);
+        incr n;
+        incr i;
+        incr j
+      end
+    done;
+    trim out_idx out_vls !n
+  end
+
+let apply_v ~f ((aidx, avls, an) : 'a ventry) =
+  (Array.sub aidx 0 an, Array.init an (fun k -> f avls.(k)))
+
+let reduce_v ~op ~identity ((_, avls, an) : 'a ventry) =
+  let acc = ref identity in
+  for k = 0 to an - 1 do
+    acc := op !acc avls.(k)
+  done;
+  !acc

@@ -1,0 +1,58 @@
+(** The kernel algorithms on raw arrays — the bodies that dynamic
+    compilation specializes.  The closure backend instantiates these with
+    operator closures; the native backend's generated source is the
+    monomorphized text of the same algorithms ({!Codegen}).
+
+    ABI conventions (what crosses the [Obj.t] boundary):
+    - a sparse vector is [(indices, values, nvals)], indices ascending;
+    - a CSR matrix is [(rowptr, colidx, values)];
+    - results come back as exactly-sized [(indices, values)] pairs. *)
+
+type 'a ventry = int array * 'a array * int
+type 'a csr = int array * int array * 'a array
+
+val mxv :
+  add:('a -> 'a -> 'a) ->
+  mul:('a -> 'a -> 'a) ->
+  dummy:'a ->
+  nrows:int ->
+  ncols:int ->
+  transpose:bool ->
+  'a csr ->
+  'a ventry ->
+  int array * 'a array
+(** [w = A ⊕.⊗ u] (or [Aᵀ ⊕.⊗ u]); output size is [nrows] ([ncols] when
+    transposed). *)
+
+val vxm :
+  add:('a -> 'a -> 'a) ->
+  mul:('a -> 'a -> 'a) ->
+  dummy:'a ->
+  nrows:int ->
+  ncols:int ->
+  transpose:bool ->
+  'a ventry ->
+  'a csr ->
+  int array * 'a array
+
+val mxm_gustavson :
+  add:('a -> 'a -> 'a) ->
+  mul:('a -> 'a -> 'a) ->
+  dummy:'a ->
+  nrows_a:int ->
+  ncols_b:int ->
+  'a csr ->
+  'a csr ->
+  int array * int array * 'a array
+(** Row-wise SPA product [C = A ⊕.⊗ B]; result as CSR
+    (rowptr, colidx, values). *)
+
+val ewise_add_v :
+  op:('a -> 'a -> 'a) -> 'a ventry -> 'a ventry -> int array * 'a array
+
+val ewise_mult_v :
+  op:('a -> 'a -> 'a) -> 'a ventry -> 'a ventry -> int array * 'a array
+
+val apply_v : f:('a -> 'a) -> 'a ventry -> int array * 'a array
+
+val reduce_v : op:('a -> 'a -> 'a) -> identity:'a -> 'a ventry -> 'a

@@ -1,0 +1,51 @@
+(** OCaml source generation for native kernels — the analogue of PyGB's
+    templated [operation_binding.cpp] instantiated through [-D] defines
+    (paper Fig. 9).  Generated modules are self-contained except for the
+    {!Jit_plugin_api.register} call that hands the kernel to the host.
+
+    Codegen covers the vector-kernel family (mxv, vxm, eWiseAdd/Mult,
+    apply, reduce) over the [double], [int64_t] and [bool] dtypes — the
+    kernels the paper's four benchmark algorithms are built from.  Other
+    combinations return [None] and dispatch falls back to the closure
+    backend. *)
+
+val supported_dtype : string -> bool
+
+val binop_expr : dtype:string -> string -> string option
+(** OCaml source text of a named binary operator at a dtype. *)
+
+val identity_expr : dtype:string -> string -> string option
+val unary_expr : dtype:string -> Op_spec.unary -> string option
+
+val mxv_source :
+  dtype:string -> sr:Op_spec.semiring -> key:string -> string option
+
+val vxm_source :
+  dtype:string -> sr:Op_spec.semiring -> key:string -> string option
+
+val ewise_source :
+  kind:[ `Add | `Mult ] -> dtype:string -> op:string -> key:string ->
+  string option
+
+val ewise_fused_source :
+  kind:[ `Add | `Mult ] ->
+  dtype:string ->
+  op:string ->
+  chain:Op_spec.unary list ->
+  key:string ->
+  string option
+(** A {e single} compiled module for [apply fk (... (apply f1 (a ⊕ b)))]
+    — the paper's §V "series of operations deferred until a single binary
+    module containing all of them is compiled".  [chain] is
+    innermost-first. *)
+
+val mxm_source :
+  dtype:string -> sr:Op_spec.semiring -> key:string -> string option
+(** Gustavson row-wise SPA product (unmasked; masked products use the
+    closure backend's dot kernel). *)
+
+val apply_source :
+  dtype:string -> f:Op_spec.unary -> key:string -> string option
+
+val reduce_source :
+  dtype:string -> op:string -> identity:string -> key:string -> string option

@@ -1,0 +1,52 @@
+let default_dir () =
+  match Sys.getenv_opt "OGB_JIT_CACHE" with
+  | Some d -> d
+  | None ->
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ogb-jit-cache-%d" (Unix.getuid ()))
+
+let the_dir = ref None
+
+let set_dir d = the_dir := Some d
+
+let dir () =
+  let d = match !the_dir with Some d -> d | None -> default_dir () in
+  if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+  the_dir := Some d;
+  d
+
+let source_path hash = Filename.concat (dir ()) (Printf.sprintf "Kern_%s.ml" hash)
+let cmxs_path hash = Filename.concat (dir ()) (Printf.sprintf "Kern_%s.cmxs" hash)
+let marker_path hash = Filename.concat (dir ()) (Printf.sprintf "Kern_%s.built" hash)
+
+let store_source hash src =
+  let oc = open_out (source_path hash) in
+  output_string oc src;
+  close_out oc
+
+let read_source hash =
+  let path = source_path hash in
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Some s
+  end
+  else None
+
+let has_cmxs hash = Sys.file_exists (cmxs_path hash)
+let has_marker hash = Sys.file_exists (marker_path hash)
+
+let touch_marker hash =
+  let oc = open_out (marker_path hash) in
+  close_out oc
+
+let clear () =
+  let d = dir () in
+  Array.iter
+    (fun f ->
+      if String.length f >= 5 && String.sub f 0 5 = "Kern_" then
+        try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+    (Sys.readdir d)

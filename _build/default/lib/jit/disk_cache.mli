@@ -1,0 +1,25 @@
+(** On-disk kernel cache (level 2 of the lookup in paper Fig. 9: memory →
+    disk → compile).  Holds generated [.ml] sources, compiled [.cmxs]
+    plugins, and build markers for closure-backend entries. *)
+
+val dir : unit -> string
+(** Cache directory (created on first use).  Defaults to
+    [$OGB_JIT_CACHE] or [<tmpdir>/ogb-jit-cache-<uid>]. *)
+
+val set_dir : string -> unit
+
+val source_path : string -> string
+(** [source_path hash] — where the generated source for a kernel lives. *)
+
+val cmxs_path : string -> string
+val marker_path : string -> string
+
+val store_source : string -> string -> unit
+(** [store_source hash src] *)
+
+val read_source : string -> string option
+val has_cmxs : string -> bool
+val has_marker : string -> bool
+val touch_marker : string -> unit
+val clear : unit -> unit
+(** Remove every cache artifact (used by tests and the compile bench). *)

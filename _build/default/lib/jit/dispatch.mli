@@ -1,0 +1,35 @@
+(** Kernel dispatch: the [get_module] of paper Fig. 9.
+
+    Lookup order is memory table → disk cache → compile.  "Compile" means
+    [ocamlopt -shared] + [Dynlink] under the native backend, or closure
+    instantiation (template instantiation without the external compiler)
+    under the closure backend.  Every step is recorded in {!Jit_stats}.
+
+    Dispatch is domain-safe (a single coarse lock): parallel domains can
+    evaluate DSL programs concurrently, each under its own operator
+    context ({!Ogb.Context} is domain-local). *)
+
+type backend = Auto | Closure | Native
+
+val set_backend : backend -> unit
+val backend : unit -> backend
+
+val effective_backend : unit -> [ `Closure | `Native ]
+(** What [Auto] resolves to after probing the toolchain. *)
+
+val get :
+  Kernel_sig.t ->
+  build:(unit -> Obj.t) ->
+  ?native_source:(key:string -> string option) ->
+  unit ->
+  Obj.t
+(** Returns the kernel for the signature, building/compiling at most once
+    per process.  [build] is the closure-backend instantiation;
+    [native_source] generates plugin source (absent or [None]-returning
+    combinations always use the closure backend). *)
+
+val clear_memory_cache : unit -> unit
+(** Forget in-process kernels (the disk cache persists) — lets benchmarks
+    re-measure disk hits and recompiles. *)
+
+val memory_cache_size : unit -> int

@@ -1,0 +1,53 @@
+type snapshot = {
+  lookups : int;
+  memory_hits : int;
+  disk_hits : int;
+  compiles : int;
+  native_compiles : int;
+  native_failures : int;
+  compile_seconds : float;
+}
+
+let lookups = ref 0
+let memory_hits = ref 0
+let disk_hits = ref 0
+let compiles = ref 0
+let native_compiles = ref 0
+let native_failures = ref 0
+let compile_seconds = ref 0.0
+
+let record_lookup () = incr lookups
+let record_memory_hit () = incr memory_hits
+let record_disk_hit () = incr disk_hits
+
+let record_compile ~native ~seconds =
+  incr compiles;
+  if native then incr native_compiles;
+  compile_seconds := !compile_seconds +. seconds
+
+let record_native_failure () = incr native_failures
+
+let snapshot () =
+  { lookups = !lookups;
+    memory_hits = !memory_hits;
+    disk_hits = !disk_hits;
+    compiles = !compiles;
+    native_compiles = !native_compiles;
+    native_failures = !native_failures;
+    compile_seconds = !compile_seconds }
+
+let reset () =
+  lookups := 0;
+  memory_hits := 0;
+  disk_hits := 0;
+  compiles := 0;
+  native_compiles := 0;
+  native_failures := 0;
+  compile_seconds := 0.0
+
+let pp fmt s =
+  Format.fprintf fmt
+    "lookups=%d memory_hits=%d disk_hits=%d compiles=%d (native=%d, \
+     failures=%d) compile_time=%.6fs"
+    s.lookups s.memory_hits s.disk_hits s.compiles s.native_compiles
+    s.native_failures s.compile_seconds

@@ -1,0 +1,22 @@
+(** Dispatch statistics: how often kernels were served from the in-memory
+    table, from the on-disk cache, or freshly compiled — the data behind
+    the compile-time experiment (E3 in DESIGN.md). *)
+
+type snapshot = {
+  lookups : int;
+  memory_hits : int;
+  disk_hits : int;
+  compiles : int;
+  native_compiles : int;  (** subset of [compiles] that ran ocamlopt *)
+  native_failures : int;  (** native attempts that fell back to closures *)
+  compile_seconds : float;  (** cumulative wall time spent compiling *)
+}
+
+val record_lookup : unit -> unit
+val record_memory_hit : unit -> unit
+val record_disk_hit : unit -> unit
+val record_compile : native:bool -> seconds:float -> unit
+val record_native_failure : unit -> unit
+val snapshot : unit -> snapshot
+val reset : unit -> unit
+val pp : Format.formatter -> snapshot -> unit

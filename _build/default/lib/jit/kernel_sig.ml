@@ -1,0 +1,41 @@
+type t = {
+  op : string;
+  dtypes : (string * string) list;
+  operators : (string * string) list;
+  flags : string list;
+}
+
+let sort_pairs = List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let make ~op ?(dtypes = []) ?(operators = []) ?(flags = []) () =
+  { op;
+    dtypes = sort_pairs dtypes;
+    operators = sort_pairs operators;
+    flags = List.sort_uniq String.compare flags }
+
+let key t =
+  let pairs l = String.concat "," (List.map (fun (k, v) -> k ^ ":" ^ v) l) in
+  Printf.sprintf "%s|%s|%s|%s" t.op (pairs t.dtypes) (pairs t.operators)
+    (String.concat "," t.flags)
+
+(* FNV-1a, 64-bit. *)
+let fnv1a s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+let sanitize op =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    op
+
+let hash_key t = Printf.sprintf "%s_%016Lx" (sanitize t.op) (fnv1a (key t))
+
+let pp fmt t = Format.pp_print_string fmt (key t)

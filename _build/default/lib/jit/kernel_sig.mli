@@ -1,0 +1,27 @@
+(** Kernel signatures: the cache key of the dynamic-compilation pipeline
+    (paper Fig. 9, where the kwargs of [operate] — operation name, operand
+    dtypes, operator names, flags — select or build the compiled module). *)
+
+type t = private {
+  op : string;  (** operation name, e.g. ["mxv"], or ["algo:bfs"] *)
+  dtypes : (string * string) list;  (** role -> dtype name, sorted by role *)
+  operators : (string * string) list;  (** role -> operator name, sorted *)
+  flags : string list;  (** set flags, sorted, e.g. ["transpose_a"] *)
+}
+
+val make :
+  op:string ->
+  ?dtypes:(string * string) list ->
+  ?operators:(string * string) list ->
+  ?flags:string list ->
+  unit ->
+  t
+
+val key : t -> string
+(** Canonical human-readable key, stable across runs. *)
+
+val hash_key : t -> string
+(** [op ^ "_" ^ 16-hex FNV-1a of key] — filesystem- and module-name-safe
+    (used as [Kern_<hash_key>]). *)
+
+val pp : Format.formatter -> t -> unit

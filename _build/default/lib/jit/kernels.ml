@@ -1,0 +1,419 @@
+open Gbtl
+
+let semiring_ops (sr : Op_spec.semiring) =
+  [ ("add", sr.Op_spec.add_op);
+    ("identity", sr.Op_spec.add_identity);
+    ("mul", sr.Op_spec.mul_op) ]
+
+let entries_of_pair (type a) ((idx, vals) : int array * a array) =
+  Entries.of_arrays_unsafe idx vals ~len:(Array.length idx)
+
+(* -- vector family: array ABI with native codegen -- *)
+
+type 'a matvec_arg =
+  int array * int array * 'a array * int array * 'a array * int * int * int
+  * bool
+
+let matvec_arg (type a) (m : a Smatrix.t) (u : a Svector.t) flag : a matvec_arg
+    =
+  ( Smatrix.unsafe_rowptr m,
+    Smatrix.unsafe_colidx m,
+    Smatrix.unsafe_values m,
+    Svector.unsafe_indices u,
+    Svector.unsafe_values u,
+    Svector.nvals u,
+    Smatrix.nrows m,
+    Smatrix.ncols m,
+    flag )
+
+let mxv (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose m u =
+  let sig_ =
+    Kernel_sig.make ~op:"mxv"
+      ~dtypes:[ ("T", Dtype.name dt) ]
+      ~operators:(semiring_ops sr)
+      ~flags:(if transpose then [ "transpose_a" ] else [])
+      ()
+  in
+  let build () =
+    let s = Op_spec.instantiate_semiring dt sr in
+    let add = Semiring.add s and mul = Semiring.mul s in
+    let dummy = Semiring.zero s in
+    Obj.repr (fun (arg : Obj.t) ->
+        let arp, aci, avs, uidx, uvls, un, nrows, ncols, tr =
+          (Obj.obj arg : a matvec_arg)
+        in
+        Obj.repr
+          (Array_kernels.mxv ~add ~mul ~dummy ~nrows ~ncols ~transpose:tr
+             (arp, aci, avs) (uidx, uvls, un)))
+  in
+  let native_source ~key = Codegen.mxv_source ~dtype:(Dtype.name dt) ~sr ~key in
+  let kernel : Obj.t -> Obj.t =
+    Obj.obj (Dispatch.get sig_ ~build ~native_source ())
+  in
+  (* ABI flag for mxv: true selects the scatter (transposed) loop. *)
+  let result = kernel (Obj.repr (matvec_arg m u transpose)) in
+  entries_of_pair (Obj.obj result : int array * a array)
+
+let vxm (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose u m =
+  let sig_ =
+    Kernel_sig.make ~op:"vxm"
+      ~dtypes:[ ("T", Dtype.name dt) ]
+      ~operators:(semiring_ops sr)
+      ~flags:(if transpose then [ "transpose_a" ] else [])
+      ()
+  in
+  let build () =
+    let s = Op_spec.instantiate_semiring dt sr in
+    let add = Semiring.add s and mul = Semiring.mul s in
+    let dummy = Semiring.zero s in
+    Obj.repr (fun (arg : Obj.t) ->
+        let arp, aci, avs, uidx, uvls, un, nrows, ncols, flag =
+          (Obj.obj arg : a matvec_arg)
+        in
+        (* ABI flag false = gather loop; Array_kernels.vxm gathers when
+           its [transpose] is true. *)
+        Obj.repr
+          (Array_kernels.vxm ~add ~mul ~dummy ~nrows ~ncols
+             ~transpose:(not flag) (uidx, uvls, un) (arp, aci, avs)))
+  in
+  let native_source ~key = Codegen.vxm_source ~dtype:(Dtype.name dt) ~sr ~key in
+  let kernel : Obj.t -> Obj.t =
+    Obj.obj (Dispatch.get sig_ ~build ~native_source ())
+  in
+  (* Semantic transpose means the gather loop, which the shared kernel
+     body runs when the ABI flag is false. *)
+  let result = kernel (Obj.repr (matvec_arg m u (not transpose))) in
+  entries_of_pair (Obj.obj result : int array * a array)
+
+type 'a ewise_arg = int array * 'a array * int * int array * 'a array * int
+
+let ewise_v (type a) kind (dt : a Dtype.t) ~op (u : a Svector.t)
+    (v : a Svector.t) =
+  let kind_name = match kind with `Add -> "ewise_add_v" | `Mult -> "ewise_mult_v" in
+  let sig_ =
+    Kernel_sig.make ~op:kind_name
+      ~dtypes:[ ("T", Dtype.name dt) ]
+      ~operators:[ ("op", op) ]
+      ()
+  in
+  let build () =
+    let f = (Binop.of_name op dt).Binop.f in
+    Obj.repr (fun (arg : Obj.t) ->
+        let aidx, avls, an, bidx, bvls, bn = (Obj.obj arg : a ewise_arg) in
+        let result =
+          match kind with
+          | `Add -> Array_kernels.ewise_add_v ~op:f (aidx, avls, an) (bidx, bvls, bn)
+          | `Mult ->
+            Array_kernels.ewise_mult_v ~op:f (aidx, avls, an) (bidx, bvls, bn)
+        in
+        Obj.repr result)
+  in
+  let native_source ~key =
+    Codegen.ewise_source ~kind ~dtype:(Dtype.name dt) ~op ~key
+  in
+  let kernel : Obj.t -> Obj.t =
+    Obj.obj (Dispatch.get sig_ ~build ~native_source ())
+  in
+  let arg : a ewise_arg =
+    ( Svector.unsafe_indices u,
+      Svector.unsafe_values u,
+      Svector.nvals u,
+      Svector.unsafe_indices v,
+      Svector.unsafe_values v,
+      Svector.nvals v )
+  in
+  entries_of_pair (Obj.obj (kernel (Obj.repr arg)) : int array * a array)
+
+let ewise_fused_v (type a) kind (dt : a Dtype.t) ~op ~chain (u : a Svector.t)
+    (v : a Svector.t) =
+  let kind_name =
+    match kind with
+    | `Add -> "ewise_add_fused_v"
+    | `Mult -> "ewise_mult_fused_v"
+  in
+  let chain_name =
+    String.concat ";" (List.map Op_spec.unary_name chain)
+  in
+  let sig_ =
+    Kernel_sig.make ~op:kind_name
+      ~dtypes:[ ("T", Dtype.name dt) ]
+      ~operators:[ ("op", op); ("chain", chain_name) ]
+      ()
+  in
+  let build () =
+    let raw = (Binop.of_name op dt).Binop.f in
+    let fs =
+      List.map (fun u -> (Op_spec.instantiate_unary dt u).Unaryop.f) chain
+    in
+    let g v = List.fold_left (fun acc f -> f acc) v fs in
+    Obj.repr (fun (arg : Obj.t) ->
+        let aidx, avls, an, bidx, bvls, bn = (Obj.obj arg : a ewise_arg) in
+        let ridx, rvls =
+          match kind with
+          | `Add ->
+            Array_kernels.ewise_add_v ~op:raw (aidx, avls, an) (bidx, bvls, bn)
+          | `Mult ->
+            Array_kernels.ewise_mult_v ~op:raw (aidx, avls, an)
+              (bidx, bvls, bn)
+        in
+        (* the chain runs over every output value, passthroughs included *)
+        for k = 0 to Array.length rvls - 1 do
+          rvls.(k) <- g rvls.(k)
+        done;
+        Obj.repr (ridx, rvls))
+  in
+  let native_source ~key =
+    Codegen.ewise_fused_source ~kind ~dtype:(Dtype.name dt) ~op ~chain ~key
+  in
+  let kernel : Obj.t -> Obj.t =
+    Obj.obj (Dispatch.get sig_ ~build ~native_source ())
+  in
+  let arg : a ewise_arg =
+    ( Svector.unsafe_indices u,
+      Svector.unsafe_values u,
+      Svector.nvals u,
+      Svector.unsafe_indices v,
+      Svector.unsafe_values v,
+      Svector.nvals v )
+  in
+  entries_of_pair (Obj.obj (kernel (Obj.repr arg)) : int array * a array)
+
+let apply_v (type a) (dt : a Dtype.t) (f : Op_spec.unary) (u : a Svector.t) =
+  let sig_ =
+    Kernel_sig.make ~op:"apply_v"
+      ~dtypes:[ ("T", Dtype.name dt) ]
+      ~operators:[ ("f", Op_spec.unary_name f) ]
+      ()
+  in
+  let build () =
+    let g = (Op_spec.instantiate_unary dt f).Unaryop.f in
+    Obj.repr (fun (arg : Obj.t) ->
+        let aidx, avls, an = (Obj.obj arg : int array * a array * int) in
+        Obj.repr (Array_kernels.apply_v ~f:g (aidx, avls, an)))
+  in
+  let native_source ~key = Codegen.apply_source ~dtype:(Dtype.name dt) ~f ~key in
+  let kernel : Obj.t -> Obj.t =
+    Obj.obj (Dispatch.get sig_ ~build ~native_source ())
+  in
+  let arg =
+    (Svector.unsafe_indices u, Svector.unsafe_values u, Svector.nvals u)
+  in
+  entries_of_pair (Obj.obj (kernel (Obj.repr arg)) : int array * a array)
+
+let reduce_v_scalar (type a) (dt : a Dtype.t) ~op ~identity (u : a Svector.t) :
+    a =
+  let sig_ =
+    Kernel_sig.make ~op:"reduce_v_scalar"
+      ~dtypes:[ ("T", Dtype.name dt) ]
+      ~operators:[ ("op", op); ("identity", identity) ]
+      ()
+  in
+  let build () =
+    let m = Op_spec.instantiate_monoid dt ~op ~identity in
+    let f = m.Monoid.op.Binop.f and id = m.Monoid.identity in
+    Obj.repr (fun (arg : Obj.t) ->
+        let avls, an = (Obj.obj arg : a array * int) in
+        Obj.repr (Array_kernels.reduce_v ~op:f ~identity:id ([||], avls, an)))
+  in
+  let native_source ~key =
+    Codegen.reduce_source ~dtype:(Dtype.name dt) ~op ~identity ~key
+  in
+  let kernel : Obj.t -> Obj.t =
+    Obj.obj (Dispatch.get sig_ ~build ~native_source ())
+  in
+  let arg = (Svector.unsafe_values u, Svector.nvals u) in
+  (Obj.obj (kernel (Obj.repr arg)) : a)
+
+(* -- matrix family: closure kernels wrapping the GBTL operations -- *)
+
+let mask_flags = function
+  | Mask.No_mmask -> []
+  | Mask.Mmask { complemented; _ } ->
+    if complemented then [ "mask"; "mask_complement" ] else [ "mask" ]
+
+type 'a mxm_arg =
+  int array * int array * 'a array * int array * int array * 'a array * int
+  * int
+
+let mxm (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose_a
+    ~transpose_b ~mask (a : a Smatrix.t) (b : a Smatrix.t) : a Smatrix.t =
+  match mask with
+  | Mask.No_mmask ->
+    (* unmasked: Gustavson over the array ABI, native codegen; input
+       transposes are materialized host-side (as GBTL does) *)
+    let a = if transpose_a then Smatrix.transpose a else a in
+    let b = if transpose_b then Smatrix.transpose b else b in
+    if Smatrix.ncols a <> Smatrix.nrows b then
+      raise
+        (Smatrix.Dimension_mismatch
+           (Printf.sprintf "mxm: inner dimensions %d vs %d" (Smatrix.ncols a)
+              (Smatrix.nrows b)));
+    let sig_ =
+      Kernel_sig.make ~op:"mxm"
+        ~dtypes:[ ("T", Dtype.name dt) ]
+        ~operators:(semiring_ops sr)
+        ~flags:[ "gustavson" ] ()
+    in
+    let build () =
+      let s = Op_spec.instantiate_semiring dt sr in
+      let add = Semiring.add s and mul = Semiring.mul s in
+      let dummy = Semiring.zero s in
+      Obj.repr (fun (arg : Obj.t) ->
+          let arp, aci, avs, brp, bci, bvs, nrows_a, ncols_b =
+            (Obj.obj arg : a mxm_arg)
+          in
+          Obj.repr
+            (Array_kernels.mxm_gustavson ~add ~mul ~dummy ~nrows_a ~ncols_b
+               (arp, aci, avs) (brp, bci, bvs)))
+    in
+    let native_source ~key =
+      Codegen.mxm_source ~dtype:(Dtype.name dt) ~sr ~key
+    in
+    let kernel : Obj.t -> Obj.t =
+      Obj.obj (Dispatch.get sig_ ~build ~native_source ())
+    in
+    let arg : a mxm_arg =
+      ( Smatrix.unsafe_rowptr a,
+        Smatrix.unsafe_colidx a,
+        Smatrix.unsafe_values a,
+        Smatrix.unsafe_rowptr b,
+        Smatrix.unsafe_colidx b,
+        Smatrix.unsafe_values b,
+        Smatrix.nrows a,
+        Smatrix.ncols b )
+    in
+    let rowptr, colidx, values =
+      (Obj.obj (kernel (Obj.repr arg)) : int array * int array * a array)
+    in
+    Smatrix.of_csr_unsafe dt ~nrows:(Smatrix.nrows a) ~ncols:(Smatrix.ncols b)
+      ~rowptr ~colidx ~values
+  | Mask.Mmask _ ->
+    (* masked: the dot-product/pruned kernels of the library, as a
+       closure kernel *)
+    let flags =
+      (if transpose_a then [ "transpose_a" ] else [])
+      @ (if transpose_b then [ "transpose_b" ] else [])
+      @ mask_flags mask
+    in
+    let sig_ =
+      Kernel_sig.make ~op:"mxm"
+        ~dtypes:[ ("T", Dtype.name dt) ]
+        ~operators:(semiring_ops sr) ~flags ()
+    in
+    let build () =
+      let s = Op_spec.instantiate_semiring dt sr in
+      Obj.repr
+        (fun ((a, b, mask) : a Smatrix.t * a Smatrix.t * Mask.mmask) ->
+          let nrows =
+            if transpose_a then Smatrix.ncols a else Smatrix.nrows a
+          in
+          let ncols =
+            if transpose_b then Smatrix.nrows b else Smatrix.ncols b
+          in
+          let out = Smatrix.create dt nrows ncols in
+          Matmul.mxm ~mask ~transpose_a ~transpose_b s ~out a b;
+          out)
+    in
+    let kernel : a Smatrix.t * a Smatrix.t * Mask.mmask -> a Smatrix.t =
+      Obj.obj (Dispatch.get sig_ ~build ())
+    in
+    kernel (a, b, mask)
+
+let ewise_m (type a) kind (dt : a Dtype.t) ~op ~transpose_a ~transpose_b
+    (a : a Smatrix.t) (b : a Smatrix.t) : a Smatrix.t =
+  let kind_name = match kind with `Add -> "ewise_add_m" | `Mult -> "ewise_mult_m" in
+  let flags =
+    (if transpose_a then [ "transpose_a" ] else [])
+    @ if transpose_b then [ "transpose_b" ] else []
+  in
+  let sig_ =
+    Kernel_sig.make ~op:kind_name
+      ~dtypes:[ ("T", Dtype.name dt) ]
+      ~operators:[ ("op", op) ]
+      ~flags ()
+  in
+  let build () =
+    let f = Binop.of_name op dt in
+    Obj.repr (fun ((a, b) : a Smatrix.t * a Smatrix.t) ->
+        let a' = if transpose_a then Smatrix.transpose a else a in
+        let out = Smatrix.create dt (Smatrix.nrows a') (Smatrix.ncols a') in
+        (match kind with
+        | `Add ->
+          Ewise.matrix_add ~transpose_a ~transpose_b f ~out a b
+        | `Mult -> Ewise.matrix_mult ~transpose_a ~transpose_b f ~out a b);
+        out)
+  in
+  let kernel : a Smatrix.t * a Smatrix.t -> a Smatrix.t =
+    Obj.obj (Dispatch.get sig_ ~build ())
+  in
+  kernel (a, b)
+
+let apply_m (type a) (dt : a Dtype.t) (f : Op_spec.unary) ~transpose
+    (a : a Smatrix.t) : a Smatrix.t =
+  let sig_ =
+    Kernel_sig.make ~op:"apply_m"
+      ~dtypes:[ ("T", Dtype.name dt) ]
+      ~operators:[ ("f", Op_spec.unary_name f) ]
+      ~flags:(if transpose then [ "transpose_a" ] else [])
+      ()
+  in
+  let build () =
+    let g = Op_spec.instantiate_unary dt f in
+    Obj.repr (fun (a : a Smatrix.t) ->
+        let nrows = if transpose then Smatrix.ncols a else Smatrix.nrows a in
+        let ncols = if transpose then Smatrix.nrows a else Smatrix.ncols a in
+        let out = Smatrix.create dt nrows ncols in
+        Apply_reduce.apply_matrix ~transpose g ~out a;
+        out)
+  in
+  let kernel : a Smatrix.t -> a Smatrix.t =
+    Obj.obj (Dispatch.get sig_ ~build ())
+  in
+  kernel a
+
+let reduce_rows (type a) (dt : a Dtype.t) ~op ~identity ~transpose
+    (a : a Smatrix.t) : a Entries.t =
+  let sig_ =
+    Kernel_sig.make ~op:"reduce_rows"
+      ~dtypes:[ ("T", Dtype.name dt) ]
+      ~operators:[ ("op", op); ("identity", identity) ]
+      ~flags:(if transpose then [ "transpose_a" ] else [])
+      ()
+  in
+  let build () =
+    let m = Op_spec.instantiate_monoid dt ~op ~identity in
+    Obj.repr (fun (a : a Smatrix.t) ->
+        let size = if transpose then Smatrix.ncols a else Smatrix.nrows a in
+        let out = Svector.create dt size in
+        Apply_reduce.reduce_rows ~transpose m ~out a;
+        Svector.entries out)
+  in
+  let kernel : a Smatrix.t -> a Entries.t =
+    Obj.obj (Dispatch.get sig_ ~build ())
+  in
+  kernel a
+
+let reduce_m_scalar (type a) (dt : a Dtype.t) ~op ~identity (a : a Smatrix.t) :
+    a =
+  let sig_ =
+    Kernel_sig.make ~op:"reduce_m_scalar"
+      ~dtypes:[ ("T", Dtype.name dt) ]
+      ~operators:[ ("op", op); ("identity", identity) ]
+      ()
+  in
+  let build () =
+    let m = Op_spec.instantiate_monoid dt ~op ~identity in
+    Obj.repr (fun (a : a Smatrix.t) -> Apply_reduce.reduce_matrix_scalar m a)
+  in
+  let kernel : a Smatrix.t -> a = Obj.obj (Dispatch.get sig_ ~build ()) in
+  kernel a
+
+let transpose_m (type a) (dt : a Dtype.t) (a : a Smatrix.t) : a Smatrix.t =
+  let sig_ =
+    Kernel_sig.make ~op:"transpose" ~dtypes:[ ("T", Dtype.name dt) ] ()
+  in
+  let build () = Obj.repr (fun (a : a Smatrix.t) -> Smatrix.transpose a) in
+  let kernel : a Smatrix.t -> a Smatrix.t =
+    Obj.obj (Dispatch.get sig_ ~build ())
+  in
+  kernel a

@@ -1,0 +1,91 @@
+(** Typed kernel entry points: each call keys a {!Kernel_sig}, obtains the
+    (closure- or natively-compiled) kernel from {!Dispatch}, and marshals
+    GraphBLAS containers across the ABI boundary.
+
+    The vector family goes through the array ABI and has native codegen;
+    the matrix family wraps the GBTL operations as closure kernels (the
+    signature still flows through the cache, so dispatch statistics count
+    every operation). *)
+
+open Gbtl
+
+val mxv :
+  'a Dtype.t ->
+  Op_spec.semiring ->
+  transpose:bool ->
+  'a Smatrix.t ->
+  'a Svector.t ->
+  'a Entries.t
+(** Raw result [T = A ⊕.⊗ u] as entries; masking/accumulation happen in
+    the caller's write step. *)
+
+val vxm :
+  'a Dtype.t ->
+  Op_spec.semiring ->
+  transpose:bool ->
+  'a Svector.t ->
+  'a Smatrix.t ->
+  'a Entries.t
+
+val ewise_v :
+  [ `Add | `Mult ] ->
+  'a Dtype.t ->
+  op:string ->
+  'a Svector.t ->
+  'a Svector.t ->
+  'a Entries.t
+
+val ewise_fused_v :
+  [ `Add | `Mult ] ->
+  'a Dtype.t ->
+  op:string ->
+  chain:Op_spec.unary list ->
+  'a Svector.t ->
+  'a Svector.t ->
+  'a Entries.t
+(** One kernel (one compiled module) for a whole deferred chain
+    [apply fk (... (a ⊕ b))]; [chain] innermost-first.  The signature
+    carries the entire chain, so each distinct pipeline is its own cached
+    module — the granularity trade-off the paper discusses in §V. *)
+
+val apply_v : 'a Dtype.t -> Op_spec.unary -> 'a Svector.t -> 'a Entries.t
+
+val reduce_v_scalar :
+  'a Dtype.t -> op:string -> identity:string -> 'a Svector.t -> 'a
+
+val mxm :
+  'a Dtype.t ->
+  Op_spec.semiring ->
+  transpose_a:bool ->
+  transpose_b:bool ->
+  mask:Mask.mmask ->
+  'a Smatrix.t ->
+  'a Smatrix.t ->
+  'a Smatrix.t
+(** Fresh result matrix (pruned by the mask's structure when profitable);
+    the caller's write step applies the full mask semantics. *)
+
+val ewise_m :
+  [ `Add | `Mult ] ->
+  'a Dtype.t ->
+  op:string ->
+  transpose_a:bool ->
+  transpose_b:bool ->
+  'a Smatrix.t ->
+  'a Smatrix.t ->
+  'a Smatrix.t
+
+val apply_m : 'a Dtype.t -> Op_spec.unary -> transpose:bool -> 'a Smatrix.t -> 'a Smatrix.t
+
+val reduce_rows :
+  'a Dtype.t ->
+  op:string ->
+  identity:string ->
+  transpose:bool ->
+  'a Smatrix.t ->
+  'a Entries.t
+
+val reduce_m_scalar :
+  'a Dtype.t -> op:string -> identity:string -> 'a Smatrix.t -> 'a
+
+val transpose_m : 'a Dtype.t -> 'a Smatrix.t -> 'a Smatrix.t

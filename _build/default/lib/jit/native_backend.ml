@@ -1,0 +1,149 @@
+let log_src = Logs.Src.create "ogb.jit" ~doc:"ogb JIT backend"
+
+module Log = (val Logs.src_log log_src)
+
+(* -- locating the Jit_plugin_api compiled interfaces -- *)
+
+let api_objs_suffix =
+  Filename.concat
+    (Filename.concat "lib" "jit_api")
+    ".jit_plugin_api.objs"
+
+let candidate_roots () =
+  let rec ancestors acc dir n =
+    if n = 0 || dir = Filename.dirname dir then acc
+    else ancestors (dir :: acc) (Filename.dirname dir) (n - 1)
+  in
+  let from_exe = ancestors [] (Filename.dirname Sys.executable_name) 8 in
+  let from_cwd = ancestors [] (Sys.getcwd ()) 8 in
+  from_exe @ from_cwd
+
+let find_api_dirs () =
+  match Sys.getenv_opt "OGB_JIT_INCLUDE" with
+  | Some dirs -> Some (String.split_on_char ':' dirs)
+  | None ->
+    let check root =
+      let objs =
+        Filename.concat root (Filename.concat "_build/default" api_objs_suffix)
+      in
+      let byte = Filename.concat objs "byte" in
+      let native = Filename.concat objs "native" in
+      if Sys.file_exists (Filename.concat byte "jit_plugin_api.cmi") then
+        Some [ byte; native ]
+      else None
+    in
+    List.find_map check (candidate_roots ())
+
+let find_ocamlopt () =
+  let from_path =
+    match Sys.getenv_opt "PATH" with
+    | None -> None
+    | Some path ->
+      List.find_map
+        (fun dir ->
+          let p = Filename.concat dir "ocamlopt" in
+          if Sys.file_exists p then Some p else None)
+        (String.split_on_char ':' path)
+  in
+  from_path
+
+(* -- compile + load -- *)
+
+let run_command argv ~stderr_file =
+  let fd =
+    Unix.openfile stderr_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+      0o644
+  in
+  let pid =
+    Unix.create_process argv.(0) argv Unix.stdin Unix.stdout fd
+  in
+  Unix.close fd;
+  let _, status = Unix.waitpid [] pid in
+  status
+
+let read_file path =
+  try
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error _ -> ""
+
+let compile ~hash =
+  match find_ocamlopt (), find_api_dirs () with
+  | None, _ -> Error "ocamlopt not found on PATH"
+  | _, None -> Error "Jit_plugin_api build artifacts not found"
+  | Some ocamlopt, Some incs ->
+    let src = Disk_cache.source_path hash in
+    let out = Disk_cache.cmxs_path hash in
+    let inc_args = List.concat_map (fun d -> [ "-I"; d ]) incs in
+    let argv =
+      Array.of_list
+        ([ ocamlopt; "-shared"; "-O2" ] @ inc_args @ [ "-o"; out; src ])
+    in
+    let stderr_file = Filename.concat (Disk_cache.dir ()) (hash ^ ".stderr") in
+    (match run_command argv ~stderr_file with
+    | Unix.WEXITED 0 -> Ok out
+    | Unix.WEXITED n ->
+      Error
+        (Printf.sprintf "ocamlopt exited %d: %s" n (read_file stderr_file))
+    | Unix.WSIGNALED n | Unix.WSTOPPED n ->
+      Error (Printf.sprintf "ocamlopt killed by signal %d" n))
+
+let load ~cmxs ~key =
+  match Dynlink.loadfile_private cmxs with
+  | () -> (
+    match Jit_plugin_api.lookup key with
+    | Some k -> Ok k
+    | None -> Error (Printf.sprintf "plugin loaded but key %S not registered" key))
+  | exception Dynlink.Error e -> Error (Dynlink.error_message e)
+
+let compile_and_load ~hash ~source ~key =
+  Disk_cache.store_source hash source;
+  match compile ~hash with
+  | Error _ as e -> e
+  | Ok cmxs -> load ~cmxs ~key
+
+let load_cached ~hash ~key = load ~cmxs:(Disk_cache.cmxs_path hash) ~key
+
+(* -- availability probe: actually compile and load a trivial kernel -- *)
+
+let probe_result : (unit, string) result option ref = ref None
+
+let probe () =
+  if not Dynlink.is_native then Error "bytecode runtime (Dynlink not native)"
+  else
+    match find_ocamlopt (), find_api_dirs () with
+    | None, _ -> Error "ocamlopt not found on PATH"
+    | _, None -> Error "Jit_plugin_api build artifacts not found"
+    | Some _, Some _ -> (
+      let key = Printf.sprintf "probe|%d" (Unix.getpid ()) in
+      let hash = Printf.sprintf "probe_%d" (Unix.getpid ()) in
+      let source =
+        Printf.sprintf
+          "let kernel (x : Obj.t) : Obj.t = x\n\
+           let () = Jit_plugin_api.register %S (Obj.repr kernel)\n"
+          key
+      in
+      match compile_and_load ~hash ~source ~key with
+      | Ok _ -> Ok ()
+      | Error e -> Error e)
+
+let probe_cached () =
+  match !probe_result with
+  | Some r -> r
+  | None ->
+    let r = probe () in
+    (match r with
+    | Ok () -> Log.info (fun m -> m "native JIT backend available")
+    | Error e -> Log.info (fun m -> m "native JIT backend unavailable: %s" e));
+    probe_result := Some r;
+    r
+
+let available () = match probe_cached () with Ok () -> true | Error _ -> false
+
+let explain () =
+  match probe_cached () with
+  | Ok () -> "native backend available"
+  | Error e -> "native backend unavailable: " ^ e

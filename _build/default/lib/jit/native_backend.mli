@@ -1,0 +1,23 @@
+(** The real dynamic-compilation backend: generated kernel source is
+    compiled with [ocamlopt -shared] into a [.cmxs] plugin and loaded with
+    [Dynlink] — the OCaml analogue of PyGB's [g++ ... -o mod.so] +
+    [import_module] (paper Fig. 9).
+
+    Availability is probed once per process: native [Dynlink] support,
+    an [ocamlopt] on PATH, and the [Jit_plugin_api] compiled interfaces
+    (located via [$OGB_JIT_INCLUDE] or by searching for the dune [_build]
+    tree).  When any piece is missing, dispatch silently uses the closure
+    backend. *)
+
+val available : unit -> bool
+
+val explain : unit -> string
+(** Human-readable probe outcome (for logs and the compile bench). *)
+
+val compile_and_load :
+  hash:string -> source:string -> key:string -> (Obj.t, string) result
+(** Write [source] to the disk cache, compile it, [Dynlink] the result
+    and look up [key] in the plugin registry. *)
+
+val load_cached : hash:string -> key:string -> (Obj.t, string) result
+(** Load a previously compiled [.cmxs] from the disk cache. *)

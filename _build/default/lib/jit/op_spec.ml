@@ -1,0 +1,62 @@
+open Gbtl
+
+type semiring = { add_op : string; add_identity : string; mul_op : string }
+
+type unary =
+  | Named of string
+  | Bound of { op : string; side : [ `First | `Second ]; const : float }
+
+let arithmetic = { add_op = "Plus"; add_identity = "Zero"; mul_op = "Times" }
+let logical =
+  { add_op = "LogicalOr"; add_identity = "False"; mul_op = "LogicalAnd" }
+let min_plus = { add_op = "Min"; add_identity = "MinIdentity"; mul_op = "Plus" }
+
+let named_semirings =
+  [ ("Arithmetic", arithmetic);
+    ("Logical", logical);
+    ("MinPlus", min_plus);
+    ("MaxPlus", { add_op = "Max"; add_identity = "MaxIdentity"; mul_op = "Plus" });
+    ("MinTimes", { add_op = "Min"; add_identity = "MinIdentity"; mul_op = "Times" });
+    ("MaxTimes", { add_op = "Max"; add_identity = "MaxIdentity"; mul_op = "Times" });
+    ("MinSelect1st", { add_op = "Min"; add_identity = "MinIdentity"; mul_op = "First" });
+    ("MinSelect2nd", { add_op = "Min"; add_identity = "MinIdentity"; mul_op = "Second" });
+    ("MaxSelect1st", { add_op = "Max"; add_identity = "MaxIdentity"; mul_op = "First" });
+    ("MaxSelect2nd", { add_op = "Max"; add_identity = "MaxIdentity"; mul_op = "Second" });
+  ]
+
+let semiring_of_name name =
+  match List.assoc_opt name named_semirings with
+  | Some s -> s
+  | None -> raise (Semiring.Unknown_semiring name)
+
+let semiring_name s =
+  match List.find_opt (fun (_, s') -> s' = s) named_semirings with
+  | Some (n, _) -> n
+  | None ->
+    Printf.sprintf "Semiring(%s/%s,%s)" s.add_op s.add_identity s.mul_op
+
+let monoid_of_semiring s = (s.add_op, s.add_identity)
+
+let unary_name = function
+  | Named n -> n
+  | Bound { op; side; const } ->
+    Printf.sprintf "%s$bind%s:%.17g" op
+      (match side with `First -> "1st" | `Second -> "2nd")
+      const
+
+let instantiate_semiring dt s =
+  Semiring.make
+    (Monoid.of_names ~op:s.add_op ~identity:s.add_identity dt)
+    (Binop.of_name s.mul_op dt)
+
+let instantiate_unary (type a) (dt : a Dtype.t) u : a Unaryop.t =
+  match u with
+  | Named n -> Unaryop.of_name n dt
+  | Bound { op; side; const } -> (
+    let b = Binop.of_name op dt in
+    let k = Dtype.of_float dt const in
+    match side with
+    | `First -> Unaryop.bind1st dt b k
+    | `Second -> Unaryop.bind2nd dt b k)
+
+let instantiate_monoid dt ~op ~identity = Monoid.of_names ~op ~identity dt

@@ -1,0 +1,33 @@
+(** Operator specifications by {e name} — what flows from the DSL's
+    context stack into kernel signatures, and only then gets instantiated
+    at a concrete dtype (PyGB's [-DADD_BINOP=Plus -DIDENTITY=0 ...]
+    preprocessor defines, see paper Fig. 9). *)
+
+type semiring = { add_op : string; add_identity : string; mul_op : string }
+
+type unary =
+  | Named of string
+  | Bound of { op : string; side : [ `First | `Second ]; const : float }
+      (** a binary operator with one operand fixed, e.g.
+          [Times $ 0.85] in PageRank's damping step *)
+
+val arithmetic : semiring
+val logical : semiring
+val min_plus : semiring
+
+val semiring_of_name : string -> semiring
+(** Accepts the GBTL names ({!Gbtl.Semiring.names}).
+    @raise Gbtl.Semiring.Unknown_semiring *)
+
+val semiring_name : semiring -> string
+(** Stable name for signatures (the GBTL name when it is one). *)
+
+val monoid_of_semiring : semiring -> string * string
+(** (op, identity) of the additive monoid. *)
+
+val unary_name : unary -> string
+
+val instantiate_semiring : 'a Gbtl.Dtype.t -> semiring -> 'a Gbtl.Semiring.t
+val instantiate_unary : 'a Gbtl.Dtype.t -> unary -> 'a Gbtl.Unaryop.t
+val instantiate_monoid :
+  'a Gbtl.Dtype.t -> op:string -> identity:string -> 'a Gbtl.Monoid.t

@@ -1,0 +1,1 @@
+lib/minivm/ast.ml: Value

@@ -1,0 +1,1 @@
+lib/minivm/builtins.ml: Array Env Hashtbl List Printf String Value

@@ -1,0 +1,1 @@
+lib/minivm/builtins.mli: Env

@@ -1,0 +1,1 @@
+lib/minivm/env.ml: Hashtbl Value

@@ -1,0 +1,1 @@
+lib/minivm/env.mli: Value

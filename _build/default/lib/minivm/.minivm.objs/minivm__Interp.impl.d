@@ -1,0 +1,1 @@
+lib/minivm/interp.ml: Array Ast Builtins Env Fun Hashtbl List Obj Printf Value

@@ -1,0 +1,1 @@
+lib/minivm/interp.mli: Ast Env Value

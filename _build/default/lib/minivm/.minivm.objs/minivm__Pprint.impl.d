@@ -1,0 +1,1 @@
+lib/minivm/pprint.ml: Ast List Printf String Value

@@ -1,0 +1,1 @@
+lib/minivm/pprint.mli: Ast

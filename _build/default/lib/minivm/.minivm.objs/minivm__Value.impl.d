@@ -1,0 +1,1 @@
+lib/minivm/value.ml: Array Hashtbl List Obj Printf String

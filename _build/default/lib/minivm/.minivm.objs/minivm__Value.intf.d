@@ -1,0 +1,1 @@
+lib/minivm/value.mli: Hashtbl Obj

@@ -1,0 +1,28 @@
+type expr =
+  | Const of Value.t
+  | Var of string
+  | Unary of string * expr
+  | Binary of string * expr * expr
+  | Call of expr * expr list
+  | Method of expr * string * expr list
+  | Attr of expr * string
+  | Index of expr * expr
+  | ListLit of expr list
+  | Lambda of string list * block
+
+and stmt =
+  | ExprStmt of expr
+  | Assign of string * expr
+  | SetIndex of expr * expr * expr
+  | SetAttr of expr * string * expr
+  | If of expr * block * block
+  | While of expr * block
+  | For of string * expr * block
+  | With of expr list * block
+  | Def of string * string list * block
+  | Return of expr
+  | Break
+  | Continue
+  | Pass
+
+and block = stmt list

@@ -1,0 +1,37 @@
+(** Program representation of the MiniVM.  Programs are constructed as
+    OCaml values (there is no parser — the tier-1 algorithm encodings in
+    [Algorithms] build these trees directly, like Python bytecode stands
+    behind Python source). *)
+
+type expr =
+  | Const of Value.t
+  | Var of string
+  | Unary of string * expr  (** "-", "not", "~" (mask complement) *)
+  | Binary of string * expr * expr
+      (** "+", "-", "*", "/", "@", "<", "<=", ">", ">=", "==", "!=",
+          "and", "or" — dispatched on runtime tags; container operands are
+          routed to the foreign hook (the DSL bridge) *)
+  | Call of expr * expr list
+  | Method of expr * string * expr list
+  | Attr of expr * string
+  | Index of expr * expr
+  | ListLit of expr list
+  | Lambda of string list * block
+
+and stmt =
+  | ExprStmt of expr
+  | Assign of string * expr
+  | SetIndex of expr * expr * expr  (** [obj[k] = v] — container assign with
+                                        masks goes through here *)
+  | SetAttr of expr * string * expr
+  | If of expr * block * block
+  | While of expr * block
+  | For of string * expr * block
+  | With of expr list * block  (** operator context managers *)
+  | Def of string * string list * block
+  | Return of expr
+  | Break
+  | Continue
+  | Pass
+
+and block = stmt list

@@ -1,0 +1,51 @@
+open Value
+
+let err fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let b name f = Builtin (name, f)
+
+let as_num = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | v -> err "expected number, got %s" (type_name v)
+
+let install env =
+  let def name f = Env.define env name (b name f) in
+  def "print" (fun args ->
+      print_endline (String.concat " " (List.map to_string args));
+      Nil);
+  def "len" (function
+    | [ List l ] -> Int (Array.length !l)
+    | [ Str s ] -> Int (String.length s)
+    | [ Dict d ] -> Int (Hashtbl.length d)
+    | _ -> err "len: expected a container");
+  def "range" (function
+    | [ Int n ] -> List (ref (Array.init (max n 0) (fun i -> Int i)))
+    | [ Int a; Int z ] ->
+      List (ref (Array.init (max (z - a) 0) (fun i -> Int (a + i))))
+    | _ -> err "range: expected int bounds");
+  def "abs" (function
+    | [ Int i ] -> Int (abs i)
+    | [ Float f ] -> Float (abs_float f)
+    | _ -> err "abs: expected a number");
+  def "min" (function
+    | [ a; b ] -> if as_num a <= as_num b then a else b
+    | _ -> err "min: expected two numbers");
+  def "max" (function
+    | [ a; b ] -> if as_num a >= as_num b then a else b
+    | _ -> err "max: expected two numbers");
+  def "float" (function
+    | [ v ] -> Float (as_num v)
+    | _ -> err "float: expected one argument");
+  def "int" (function
+    | [ Float f ] -> Int (int_of_float f)
+    | [ Int i ] -> Int i
+    | [ Bool b ] -> Int (if b then 1 else 0)
+    | _ -> err "int: expected a number");
+  def "str" (function
+    | [ v ] -> Str (to_string v)
+    | _ -> err "str: expected one argument");
+  def "list" (function
+    | [ Int n ] -> List (ref (Array.make (max n 0) Nil))
+    | [] -> List (ref [||])
+    | _ -> err "list: expected a size or nothing")

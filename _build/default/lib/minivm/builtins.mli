@@ -1,0 +1,5 @@
+(** Global builtins seeded into a fresh MiniVM environment: [print],
+    [len], [range], [abs], [min], [max], [float], [int], [str],
+    [append]-free list helpers. *)
+
+val install : Env.t -> unit

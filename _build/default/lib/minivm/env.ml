@@ -1,0 +1,24 @@
+type t = { table : (string, Value.t) Hashtbl.t; parent : t option }
+
+let create ?parent () = { table = Hashtbl.create 16; parent }
+
+let define env name v = Hashtbl.replace env.table name v
+
+let rec assign env name v =
+  if Hashtbl.mem env.table name then Hashtbl.replace env.table name v
+  else
+    match env.parent with
+    | Some p when mem p name -> assign p name v
+    | Some _ | None -> Hashtbl.replace env.table name v
+
+and mem env name =
+  Hashtbl.mem env.table name
+  || match env.parent with Some p -> mem p name | None -> false
+
+let rec lookup env name =
+  match Hashtbl.find_opt env.table name with
+  | Some v -> v
+  | None -> (
+    match env.parent with
+    | Some p -> lookup p name
+    | None -> raise Not_found)

@@ -1,0 +1,17 @@
+(** Lexically chained string-keyed environments (Python-style dict-based
+    scoping: every variable access is a runtime hash lookup). *)
+
+type t
+
+val create : ?parent:t -> unit -> t
+val define : t -> string -> Value.t -> unit
+val assign : t -> string -> Value.t -> unit
+(** Rebinds in the closest scope that defines the name; defines in the
+    current scope if none does (Python's assignment-creates-local rule,
+    simplified: MiniVM assignment rebinds outward — documented difference
+    that algorithm encodings rely on for loop counters). *)
+
+val lookup : t -> string -> Value.t
+(** @raise Not_found *)
+
+val mem : t -> string -> bool

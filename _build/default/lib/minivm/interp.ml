@@ -1,0 +1,269 @@
+open Value
+
+exception Runtime_error of string
+
+exception Return_exc of Value.t
+exception Break_exc
+exception Continue_exc
+
+type hooks = {
+  foreign_binary : string -> Value.t -> Value.t -> Value.t option;
+  foreign_unary : string -> Value.t -> Value.t option;
+  foreign_attr : Value.foreign -> string -> Value.t option;
+  foreign_method : Value.foreign -> string -> Value.t list -> Value.t option;
+  foreign_index_get : Value.foreign -> Value.t -> Value.t option;
+  foreign_index_set : Value.foreign -> Value.t -> Value.t -> bool;
+  context_enter : Value.t -> bool;
+  context_exit : Value.t -> unit;
+}
+
+let no_hooks =
+  { foreign_binary = (fun _ _ _ -> None);
+    foreign_unary = (fun _ _ -> None);
+    foreign_attr = (fun _ _ -> None);
+    foreign_method = (fun _ _ _ -> None);
+    foreign_index_get = (fun _ _ -> None);
+    foreign_index_set = (fun _ _ _ -> false);
+    context_enter = (fun _ -> false);
+    context_exit = (fun _ -> ()) }
+
+let the_hooks = ref no_hooks
+
+let set_hooks h = the_hooks := h
+let hooks () = !the_hooks
+
+let err fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let as_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | v -> err "expected a number, got %s" (type_name v)
+
+let numeric_binary op a b =
+  match op, a, b with
+  | "+", Int x, Int y -> Int (x + y)
+  | "-", Int x, Int y -> Int (x - y)
+  | "*", Int x, Int y -> Int (x * y)
+  | "%", Int x, Int y ->
+    if y = 0 then err "modulo by zero" else Int (((x mod y) + y) mod y)
+  | "//", Int x, Int y ->
+    if y = 0 then err "integer division by zero"
+    else Int (int_of_float (floor (float_of_int x /. float_of_int y)))
+  | "/", (Int _ | Float _), (Int _ | Float _) ->
+    Float (as_float a /. as_float b)
+  | ("+" | "-" | "*"), (Int _ | Float _), (Int _ | Float _) ->
+    let x = as_float a and y = as_float b in
+    Float
+      (match op with
+      | "+" -> x +. y
+      | "-" -> x -. y
+      | _ -> x *. y)
+  | "+", Str x, Str y -> Str (x ^ y)
+  | "+", List x, List y -> List (ref (Array.append !x !y))
+  | _, _, _ ->
+    err "unsupported operand types for %s: %s and %s" op (type_name a)
+      (type_name b)
+
+let compare_values op a b =
+  let c =
+    match a, b with
+    | Int x, Int y -> compare x y
+    | (Int _ | Float _), (Int _ | Float _) -> compare (as_float a) (as_float b)
+    | Str x, Str y -> compare x y
+    | Bool x, Bool y -> compare x y
+    | _, _ ->
+      err "cannot order %s and %s" (type_name a) (type_name b)
+  in
+  Bool
+    (match op with
+    | "<" -> c < 0
+    | "<=" -> c <= 0
+    | ">" -> c > 0
+    | ">=" -> c >= 0
+    | _ -> err "unknown comparison %s" op)
+
+let rec eval env (e : Ast.expr) : Value.t =
+  match e with
+  | Ast.Const v -> v
+  | Ast.Var name -> (
+    try Env.lookup env name with Not_found -> err "unbound variable %s" name)
+  | Ast.Unary (op, e1) -> (
+    let v = eval env e1 in
+    match op, v with
+    | "-", Int i -> Int (-i)
+    | "-", Float f -> Float (-.f)
+    | "not", v -> Bool (not (truthy v))
+    | _, Foreign _ -> (
+      match (hooks ()).foreign_unary op v with
+      | Some r -> r
+      | None -> err "unsupported unary %s on foreign value" op)
+    | _, _ -> err "unsupported unary %s on %s" op (type_name v))
+  | Ast.Binary ("and", e1, e2) ->
+    let v = eval env e1 in
+    if truthy v then eval env e2 else v
+  | Ast.Binary ("or", e1, e2) ->
+    let v = eval env e1 in
+    if truthy v then v else eval env e2
+  | Ast.Binary (op, e1, e2) -> (
+    let a = eval env e1 in
+    let b = eval env e2 in
+    match a, b with
+    | Foreign _, _ | _, Foreign _ -> (
+      match (hooks ()).foreign_binary op a b with
+      | Some r -> r
+      | None -> err "unsupported binary %s on foreign values" op)
+    | _, _ -> (
+      match op with
+      | "==" -> Bool (Value.equal a b)
+      | "!=" -> Bool (not (Value.equal a b))
+      | "<" | "<=" | ">" | ">=" -> compare_values op a b
+      | _ -> numeric_binary op a b))
+  | Ast.Call (f, args) ->
+    let fv = eval env f in
+    let argv = List.map (eval env) args in
+    call_value fv argv
+  | Ast.Method (obj, name, args) -> (
+    let ov = eval env obj in
+    let argv = List.map (eval env) args in
+    match ov with
+    | List l -> (
+      match name, argv with
+      | "append", [ v ] ->
+        l := Array.append !l [| v |];
+        Nil
+      | "pop", [] when Array.length !l > 0 ->
+        let v = !l.(Array.length !l - 1) in
+        l := Array.sub !l 0 (Array.length !l - 1);
+        v
+      | _, _ -> err "unknown list method %s/%d" name (List.length argv))
+    | Dict d -> (
+      match name, argv with
+      | "get", [ Str k ] -> (
+        match Hashtbl.find_opt d k with Some v -> v | None -> Nil)
+      | "set", [ Str k; v ] ->
+        Hashtbl.replace d k v;
+        Nil
+      | _, _ -> err "unknown dict method %s" name)
+    | Foreign f -> (
+      match (hooks ()).foreign_method f name argv with
+      | Some r -> r
+      | None -> err "unknown foreign method %s" name)
+    | v -> err "%s has no methods" (type_name v))
+  | Ast.Attr (obj, name) -> (
+    match eval env obj with
+    | Foreign f -> (
+      match (hooks ()).foreign_attr f name with
+      | Some r -> r
+      | None -> err "unknown foreign attribute %s" name)
+    | List l when name = "length" -> Int (Array.length !l)
+    | v -> err "%s has no attribute %s" (type_name v) name)
+  | Ast.Index (obj, k) -> (
+    let ov = eval env obj in
+    let kv = eval env k in
+    match ov, kv with
+    | List l, Int i ->
+      if i < 0 || i >= Array.length !l then err "list index %d out of range" i
+      else !l.(i)
+    | Dict d, Str s -> (
+      match Hashtbl.find_opt d s with
+      | Some v -> v
+      | None -> err "missing key %s" s)
+    | Foreign f, _ -> (
+      match (hooks ()).foreign_index_get f kv with
+      | Some r -> r
+      | None -> err "unsupported foreign subscript")
+    | v, _ -> err "%s is not subscriptable" (type_name v))
+  | Ast.ListLit es -> List (ref (Array.of_list (List.map (eval env) es)))
+  | Ast.Lambda (params, body) ->
+    Closure { params; body = Obj.repr body; env = Obj.repr env }
+
+and call_value fv argv =
+  match fv with
+  | Builtin (_, f) -> f argv
+  | Closure { params; body; env } ->
+    if List.length params <> List.length argv then
+      err "arity mismatch: expected %d arguments, got %d" (List.length params)
+        (List.length argv);
+    let call_env = Env.create ~parent:(Obj.obj env : Env.t) () in
+    List.iter2 (Env.define call_env) params argv;
+    (try
+       exec_block call_env (Obj.obj body : Ast.block);
+       Nil
+     with Return_exc v -> v)
+  | v -> err "%s is not callable" (type_name v)
+
+and exec env (s : Ast.stmt) : unit =
+  match s with
+  | Ast.ExprStmt e -> ignore (eval env e)
+  | Ast.Assign (name, e) -> Env.assign env name (eval env e)
+  | Ast.SetIndex (obj, k, v) -> (
+    let ov = eval env obj in
+    let kv = eval env k in
+    let vv = eval env v in
+    match ov, kv with
+    | List l, Int i ->
+      if i < 0 || i >= Array.length !l then err "list index %d out of range" i
+      else !l.(i) <- vv
+    | Dict d, Str s -> Hashtbl.replace d s vv
+    | Foreign f, _ ->
+      if not ((hooks ()).foreign_index_set f kv vv) then
+        err "unsupported foreign subscript assignment"
+    | v, _ -> err "%s does not support subscript assignment" (type_name v))
+  | Ast.SetAttr (_, name, _) -> err "attributes are read-only (%s)" name
+  | Ast.If (cond, then_, else_) ->
+    if truthy (eval env cond) then exec_block env then_
+    else exec_block env else_
+  | Ast.While (cond, body) -> (
+    try
+      while truthy (eval env cond) do
+        try exec_block env body with Continue_exc -> ()
+      done
+    with Break_exc -> ())
+  | Ast.For (name, iter, body) -> (
+    let items =
+      match eval env iter with
+      | List l -> !l
+      | Int n -> Array.init (max n 0) (fun i -> Int i)
+      | v -> err "cannot iterate over %s" (type_name v)
+    in
+    try
+      Array.iter
+        (fun item ->
+          Env.define env name item;
+          try exec_block env body with Continue_exc -> ())
+        items
+    with Break_exc -> ())
+  | Ast.With (ctxs, body) ->
+    let entered = ref [] in
+    let enter e =
+      let v = eval env e in
+      if not ((hooks ()).context_enter v) then
+        err "%s is not a context manager" (type_name v);
+      entered := v :: !entered
+    in
+    Fun.protect
+      ~finally:(fun () -> List.iter (hooks ()).context_exit !entered)
+      (fun () ->
+        List.iter enter ctxs;
+        exec_block env body)
+  | Ast.Def (name, params, body) ->
+    Env.define env name
+      (Closure { params; body = Obj.repr body; env = Obj.repr env })
+  | Ast.Return e -> raise (Return_exc (eval env e))
+  | Ast.Break -> raise Break_exc
+  | Ast.Continue -> raise Continue_exc
+  | Ast.Pass -> ()
+
+and exec_block env block = List.iter (exec env) block
+
+let run ?env block =
+  let env =
+    match env with
+    | Some e -> e
+    | None ->
+      let e = Env.create () in
+      Builtins.install e;
+      e
+  in
+  exec_block env block;
+  env

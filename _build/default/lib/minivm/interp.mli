@@ -1,0 +1,35 @@
+(** Tree-walking evaluator.  Bridges (like the DSL bridge) install hooks
+    to give [Foreign] values behaviour under operators, attribute and
+    method access, subscripts and [with]-contexts — the MiniVM analogue of
+    Python magic methods ([__matmul__], [__setitem__], [__enter__], ...,
+    paper §IV). *)
+
+exception Runtime_error of string
+
+type hooks = {
+  foreign_binary : string -> Value.t -> Value.t -> Value.t option;
+      (** called when either operand of a binary operator is [Foreign];
+          [None] means unsupported (a runtime error) *)
+  foreign_unary : string -> Value.t -> Value.t option;
+  foreign_attr : Value.foreign -> string -> Value.t option;
+  foreign_method : Value.foreign -> string -> Value.t list -> Value.t option;
+  foreign_index_get : Value.foreign -> Value.t -> Value.t option;
+  foreign_index_set : Value.foreign -> Value.t -> Value.t -> bool;
+  context_enter : Value.t -> bool;  (** false = not a context manager *)
+  context_exit : Value.t -> unit;
+}
+
+val no_hooks : hooks
+val set_hooks : hooks -> unit
+val hooks : unit -> hooks
+
+val eval : Env.t -> Ast.expr -> Value.t
+val exec_block : Env.t -> Ast.block -> unit
+(** @raise Runtime_error on dynamic type errors, unbound names, etc. *)
+
+val run : ?env:Env.t -> Ast.block -> Env.t
+(** Execute a program in a fresh (or given) global environment seeded
+    with {!Builtins.install}; returns the environment for inspection. *)
+
+val call_value : Value.t -> Value.t list -> Value.t
+(** Apply a [Closure] or [Builtin] value. *)

@@ -1,0 +1,65 @@
+open Ast
+
+let rec expr = function
+  | Const v -> Value.to_string v
+  | Var name -> name
+  | Unary ("not", e) -> Printf.sprintf "not %s" (expr e)
+  | Unary (op, e) -> Printf.sprintf "%s%s" op (expr e)
+  | Binary (op, a, b) -> Printf.sprintf "%s %s %s" (expr a) op (expr b)
+  | Call (f, args) ->
+    Printf.sprintf "%s(%s)" (expr f) (String.concat ", " (List.map expr args))
+  | Method (obj, name, args) ->
+    Printf.sprintf "%s.%s(%s)" (expr obj) name
+      (String.concat ", " (List.map expr args))
+  | Attr (obj, name) -> Printf.sprintf "%s.%s" (expr obj) name
+  | Index (obj, Var "AllIndices") -> Printf.sprintf "%s[:]" (expr obj)
+  | Index (obj, k) -> Printf.sprintf "%s[%s]" (expr obj) (expr k)
+  | ListLit es ->
+    Printf.sprintf "[%s]" (String.concat ", " (List.map expr es))
+  | Lambda (params, _) ->
+    Printf.sprintf "lambda %s: ..." (String.concat ", " params)
+
+let key = function
+  | Const Value.Nil -> "None"
+  | Var "AllIndices" -> ":"
+  | k -> expr k
+
+let rec stmt indent s =
+  let pad = String.make indent ' ' in
+  match s with
+  | ExprStmt (Method (obj, "update", [ m; e ])) ->
+    (* the __iadd__ spelling *)
+    Printf.sprintf "%s%s[%s] += %s" pad (expr obj) (key m) (expr e)
+  | ExprStmt e -> pad ^ expr e
+  | Assign (name, e) -> Printf.sprintf "%s%s = %s" pad name (expr e)
+  | SetIndex (obj, k, v) ->
+    Printf.sprintf "%s%s[%s] = %s" pad (expr obj) (key k) (expr v)
+  | SetAttr (obj, name, v) ->
+    Printf.sprintf "%s%s.%s = %s" pad (expr obj) name (expr v)
+  | If (cond, then_, []) ->
+    Printf.sprintf "%sif %s:\n%s" pad (expr cond) (block (indent + 4) then_)
+  | If (cond, then_, else_) ->
+    Printf.sprintf "%sif %s:\n%s\n%selse:\n%s" pad (expr cond)
+      (block (indent + 4) then_)
+      pad
+      (block (indent + 4) else_)
+  | While (cond, body) ->
+    Printf.sprintf "%swhile %s:\n%s" pad (expr cond) (block (indent + 4) body)
+  | For (name, iter, body) ->
+    Printf.sprintf "%sfor %s in %s:\n%s" pad name (expr iter)
+      (block (indent + 4) body)
+  | With (ctxs, body) ->
+    Printf.sprintf "%swith %s:\n%s" pad
+      (String.concat ", " (List.map expr ctxs))
+      (block (indent + 4) body)
+  | Def (name, params, body) ->
+    Printf.sprintf "%sdef %s(%s):\n%s" pad name (String.concat ", " params)
+      (block (indent + 4) body)
+  | Return e -> Printf.sprintf "%sreturn %s" pad (expr e)
+  | Break -> pad ^ "break"
+  | Continue -> pad ^ "continue"
+  | Pass -> pad ^ "pass"
+
+and block indent stmts = String.concat "\n" (List.map (stmt indent) stmts)
+
+let program stmts = block 0 stmts ^ "\n"

@@ -1,0 +1,7 @@
+(** Render MiniVM programs as Python-like source — what the tier-1
+    encodings "would look like" in PyGB.  Used by examples and docs to
+    show that the interpreted benchmark programs match the paper's
+    listings line for line. *)
+
+val expr : Ast.expr -> string
+val program : Ast.block -> string

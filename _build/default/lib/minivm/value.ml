@@ -1,0 +1,79 @@
+type t =
+  | Nil
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t array ref
+  | Dict of (string, t) Hashtbl.t
+  | Closure of closure
+  | Builtin of string * (t list -> t)
+  | Foreign of foreign
+
+and closure = { params : string list; body : Obj.t; env : Obj.t }
+
+and foreign = ..
+
+exception Type_error of string
+
+let foreign_printer : (foreign -> string option) ref = ref (fun _ -> None)
+
+let truthy = function
+  | Nil -> false
+  | Bool b -> b
+  | Int i -> i <> 0
+  | Float f -> f <> 0.0
+  | Str s -> s <> ""
+  | List l -> Array.length !l > 0
+  | Dict d -> Hashtbl.length d > 0
+  | Closure _ | Builtin _ | Foreign _ -> true
+
+let type_name = function
+  | Nil -> "nil"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Str _ -> "str"
+  | List _ -> "list"
+  | Dict _ -> "dict"
+  | Closure _ -> "function"
+  | Builtin _ -> "builtin"
+  | Foreign _ -> "foreign"
+
+let rec to_string = function
+  | Nil -> "nil"
+  | Bool b -> if b then "true" else "false"
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.12g" f
+  | Str s -> s
+  | List l ->
+    "[" ^ String.concat ", " (Array.to_list (Array.map to_string !l)) ^ "]"
+  | Dict d ->
+    "{"
+    ^ String.concat ", "
+        (Hashtbl.fold (fun k v acc -> (k ^ ": " ^ to_string v) :: acc) d [])
+    ^ "}"
+  | Closure { params; _ } ->
+    Printf.sprintf "<function/%d>" (List.length params)
+  | Builtin (name, _) -> Printf.sprintf "<builtin %s>" name
+  | Foreign f -> (
+    match !foreign_printer f with
+    | Some s -> s
+    | None -> "<foreign>")
+
+let rec equal a b =
+  match a, b with
+  | Nil, Nil -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Int x, Float y | Float y, Int x -> float_of_int x = y
+  | Str x, Str y -> x = y
+  | List x, List y ->
+    Array.length !x = Array.length !y
+    && Array.for_all2 equal !x !y
+  | Dict x, Dict y -> x == y
+  | Closure x, Closure y -> x == y
+  | Builtin (_, f), Builtin (_, g) -> f == g
+  | Foreign x, Foreign y -> x == y
+  | _, _ -> false

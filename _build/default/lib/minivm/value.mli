@@ -1,0 +1,35 @@
+(** Boxed runtime values of the MiniVM — the dynamically typed host
+    language standing in for Python in the tier-1 experiments.  Every
+    value is heap-tagged and every operation dispatches on tags at
+    runtime, reproducing the mechanism (not the constants) of CPython's
+    per-operation overhead. *)
+
+type t =
+  | Nil
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t array ref  (** mutable, growable via reassignment *)
+  | Dict of (string, t) Hashtbl.t
+  | Closure of closure
+  | Builtin of string * (t list -> t)
+  | Foreign of foreign
+      (** host objects (DSL containers, expressions, operator specs) *)
+
+and closure = { params : string list; body : Obj.t; env : Obj.t }
+(** body/env are [Ast.block]/[Env.t]; [Obj.t] breaks the module cycle and
+    is re-typed inside {!Interp}. *)
+
+and foreign = ..
+(** Extended by bridge modules (e.g. the DSL bridge adds containers). *)
+
+exception Type_error of string
+
+val truthy : t -> bool
+val type_name : t -> string
+val to_string : t -> string
+val equal : t -> t -> bool
+
+val foreign_printer : (foreign -> string option) ref
+(** Bridges may install a printer for their foreign constructors. *)

@@ -1,0 +1,1 @@
+test/dense_ref.ml: Alcotest Array Binop Dtype Entries Format Gbtl List Mask Monoid Option Semiring Smatrix Svector Unaryop

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Binop Dense_ref Dtype Gbtl List Mask QCheck QCheck_alcotest Semiring Smatrix String Svector

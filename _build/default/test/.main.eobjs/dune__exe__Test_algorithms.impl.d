@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Algorithms Array Dtype Fun Gbtl Graphs Hashtbl List Ogb Option Printf Queue Smatrix Svector

@@ -1,0 +1,1 @@
+test/test_apply_reduce.ml: Alcotest Apply_reduce Binop Dense_ref Dtype Gbtl Helpers Monoid QCheck Smatrix Svector Unaryop

@@ -1,0 +1,1 @@
+test/test_containers.ml: Alcotest Array Binop Dtype Gbtl Hashtbl Helpers List QCheck Smatrix Svector

@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Container Context Domain Expr Float Gbtl Graphs Jit Ogb Ops

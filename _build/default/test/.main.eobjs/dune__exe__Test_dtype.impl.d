@@ -1,0 +1,1 @@
+test/test_dtype.ml: Alcotest Dtype Gbtl Helpers Int List QCheck

@@ -1,0 +1,1 @@
+test/test_ewise.ml: Alcotest Binop Dense_ref Dtype Ewise Gbtl Helpers QCheck Smatrix Svector

@@ -1,0 +1,1 @@
+test/test_expr_random.ml: Array Binop Dense_ref Dtype Fun Gbtl Helpers Jit Lazy Ogb Printf QCheck Semiring Smatrix Svector Unaryop

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Algorithms Array Binop Dtype Gbtl Graphs Helpers Kronecker List Ogb Printf Select Smatrix Svector Utilities

@@ -1,0 +1,1 @@
+test/test_extract_assign.ml: Alcotest Assign Binop Dtype Extract Gbtl Index_set Mask Smatrix Svector

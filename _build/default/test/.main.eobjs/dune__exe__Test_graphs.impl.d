@@ -1,0 +1,1 @@
+test/test_graphs.ml: Alcotest Algorithms Array Dtype Gbtl Graphs Helpers List Printf QCheck Smatrix Svector Utilities

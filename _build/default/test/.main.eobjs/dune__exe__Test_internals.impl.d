@@ -1,0 +1,1 @@
+test/test_internals.ml: Alcotest Dtype Entries Gbtl Graphs Index_set List Matmul Semiring Smatrix Spa Svector

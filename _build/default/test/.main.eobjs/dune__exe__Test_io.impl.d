@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Dense_ref Dtype Filename Fun Gbtl Helpers Matrix_market Smatrix Sys

@@ -1,0 +1,1 @@
+test/test_jit.ml: Alcotest Dense_ref Dtype Filename Fun Gbtl Helpers Jit List Obj Printf QCheck Random Smatrix Svector Unix

@@ -1,0 +1,1 @@
+test/test_jit_codegen.ml: Alcotest Binop Dtype Entries Filename Fun Gbtl Graphs Jit List Matmul Printf Smatrix Svector Unix

@@ -1,0 +1,1 @@
+test/test_matmul.ml: Alcotest Dense_ref Dtype Gbtl Helpers List Matmul QCheck Semiring Smatrix Svector

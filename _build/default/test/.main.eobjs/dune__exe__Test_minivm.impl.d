@@ -1,0 +1,1 @@
+test/test_minivm.ml: Alcotest Builtins Env Fun Interp List Minivm Value

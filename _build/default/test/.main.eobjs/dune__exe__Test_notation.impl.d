@@ -1,0 +1,1 @@
+test/test_notation.ml: Alcotest Apply_reduce Assign Binop Container Context Dtype Ewise Expr Extract Gbtl Helpers Index_set Mask Matmul Monoid Ogb Ops Semiring Smatrix Svector Transpose_op Unaryop

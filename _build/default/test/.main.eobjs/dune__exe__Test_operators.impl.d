@@ -1,0 +1,1 @@
+test/test_operators.ml: Alcotest Binop Dtype Gbtl Helpers List Monoid QCheck Semiring Unaryop

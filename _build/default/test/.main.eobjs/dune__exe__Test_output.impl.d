@@ -1,0 +1,1 @@
+test/test_output.ml: Alcotest Array Binop Dense_ref Dtype Entries Gbtl Helpers Mask Output QCheck Smatrix Svector

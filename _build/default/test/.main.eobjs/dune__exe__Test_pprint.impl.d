@@ -1,0 +1,1 @@
+test/test_pprint.ml: Alcotest Algorithms Helpers List Minivm

@@ -1,0 +1,1 @@
+test/test_utilities.ml: Alcotest Array Dense_ref Dtype Fun Gbtl Helpers Matmul Option Semiring Smatrix Svector Utilities

@@ -1,0 +1,1 @@
+test/test_vm_bridge.ml: Alcotest Builtins Env Interp List Minivm Ogb Value

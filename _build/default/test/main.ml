@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "ogb"
+    [ ("internals", Test_internals.suite);
+      ("dtype", Test_dtype.suite);
+      ("operators", Test_operators.suite);
+      ("containers", Test_containers.suite);
+      ("output-write", Test_output.suite);
+      ("ewise", Test_ewise.suite);
+      ("matmul", Test_matmul.suite);
+      ("apply-reduce", Test_apply_reduce.suite);
+      ("extract-assign", Test_extract_assign.suite);
+      ("utilities", Test_utilities.suite);
+      ("matrix-market", Test_io.suite);
+      ("graphs", Test_graphs.suite);
+      ("jit", Test_jit.suite);
+      ("jit-codegen", Test_jit_codegen.suite);
+      ("minivm", Test_minivm.suite);
+      ("dsl", Test_dsl.suite);
+      ("vm-bridge", Test_vm_bridge.suite);
+      ("expr-random", Test_expr_random.suite);
+      ("pprint", Test_pprint.suite);
+      ("notation (Table I)", Test_notation.suite);
+      ("algorithms", Test_algorithms.suite);
+      ("extensions", Test_extensions.suite);
+    ]

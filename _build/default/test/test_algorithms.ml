@@ -1,0 +1,479 @@
+(* Algorithm correctness: every tier against an independent reference
+   implementation (plain-OCaml BFS queue, Bellman–Ford on adjacency
+   lists, brute-force triangle enumeration, dense power iteration), and
+   cross-tier agreement on random graphs. *)
+
+open Gbtl
+
+(* -- reference implementations (no GraphBLAS machinery) -- *)
+
+let ref_bfs edges n src =
+  let adj = Array.make n [] in
+  List.iter (fun (s, d) -> adj.(s) <- d :: adj.(s)) edges;
+  let level = Array.make n 0 in
+  level.(src) <- 1;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun w ->
+        if level.(w) = 0 then begin
+          level.(w) <- level.(v) + 1;
+          Queue.add w q
+        end)
+      adj.(v)
+  done;
+  List.filter (fun (_, l) -> l > 0) (Array.to_list (Array.mapi (fun i l -> (i, l)) level))
+
+let ref_bellman_ford edges n src =
+  let dist = Array.make n infinity in
+  dist.(src) <- 0.0;
+  for _ = 1 to n do
+    List.iter
+      (fun (s, d, w) ->
+        if dist.(s) +. w < dist.(d) then dist.(d) <- dist.(s) +. w)
+      edges
+  done;
+  List.filter
+    (fun (_, d) -> d < infinity)
+    (Array.to_list (Array.mapi (fun i d -> (i, d)) dist))
+
+let ref_triangles pairs n =
+  let adj = Array.make_matrix n n false in
+  List.iter
+    (fun (s, d) ->
+      adj.(s).(d) <- true;
+      adj.(d).(s) <- true)
+    pairs;
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      for k = j + 1 to n - 1 do
+        if adj.(i).(j) && adj.(j).(k) && adj.(i).(k) then incr count
+      done
+    done
+  done;
+  !count
+
+let ref_components pairs n =
+  let parent = Array.init n Fun.id in
+  let rec find x = if parent.(x) = x then x else find parent.(x) in
+  List.iter
+    (fun (s, d) ->
+      let rs = find s and rd = find d in
+      if rs <> rd then parent.(rs) <- rd)
+    pairs;
+  let roots = Hashtbl.create 16 in
+  for v = 0 to n - 1 do
+    Hashtbl.replace roots (find v) ()
+  done;
+  Hashtbl.length roots
+
+(* -- fixtures -- *)
+
+let random_digraph seed n =
+  let rng = Graphs.Rng.create ~seed in
+  Graphs.Generators.erdos_renyi_paper rng ~nvertices:n
+
+let pairs_of g = List.map (fun (s, d, _) -> (s, d)) g.Graphs.Edge_list.edges
+
+let sorted_alist l = List.sort compare l
+
+(* -- BFS -- *)
+
+let test_bfs_against_reference () =
+  List.iter
+    (fun seed ->
+      let g = random_digraph seed 24 in
+      let adj = Graphs.Convert.bool_adjacency g in
+      let expected = ref_bfs (pairs_of g) 24 0 in
+      let levels = Algorithms.Bfs.native adj ~src:0 in
+      Alcotest.check
+        Alcotest.(list (pair int int))
+        (Printf.sprintf "bfs matches queue reference (seed %d)" seed)
+        (sorted_alist expected)
+        (sorted_alist (Algorithms.Bfs.levels_of_svector levels)))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_bfs_tiers_agree () =
+  let g = random_digraph 7 20 in
+  let adj = Graphs.Convert.bool_adjacency g in
+  let native =
+    sorted_alist (Algorithms.Bfs.levels_of_svector (Algorithms.Bfs.native adj ~src:0))
+  in
+  let gc = Ogb.Container.of_smatrix adj in
+  let check name levels =
+    Alcotest.check
+      Alcotest.(list (pair int int))
+      (name ^ " agrees with native") native
+      (sorted_alist (Algorithms.Bfs.levels_of_container levels))
+  in
+  check "dsl" (Algorithms.Bfs.dsl gc ~src:0);
+  check "vm_loops" (Algorithms.Bfs.vm_loops gc ~src:0);
+  check "vm_whole" (Algorithms.Bfs.vm_whole gc ~src:0);
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "generic library tier agrees" native
+    (sorted_alist
+       (Algorithms.Bfs.levels_of_svector (Algorithms.Bfs.generic adj ~src:0)))
+
+let test_bfs_disconnected () =
+  let adj = Smatrix.of_coo Dtype.Bool 4 4 [ (0, 1, true) ] in
+  let levels = Algorithms.Bfs.native adj ~src:0 in
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "unreachable vertices have no level"
+    [ (0, 1); (1, 2) ]
+    (Algorithms.Bfs.levels_of_svector levels)
+
+(* -- SSSP -- *)
+
+let weighted_graph seed n =
+  let rng = Graphs.Rng.create ~seed in
+  let g =
+    Graphs.Generators.erdos_renyi_gnm rng ~nvertices:n
+      ~nedges:(3 * n)
+      ~weight:(fun r -> 1.0 +. float_of_int (Graphs.Rng.int r 9))
+  in
+  g
+
+let test_sssp_against_reference () =
+  List.iter
+    (fun seed ->
+      let g = weighted_graph seed 20 in
+      let adj = Graphs.Convert.matrix_of_edges Dtype.FP64 g in
+      let expected = ref_bellman_ford g.Graphs.Edge_list.edges 20 0 in
+      let dist = Algorithms.Sssp.native adj ~src:0 in
+      let actual =
+        List.rev (Svector.fold (fun acc i d -> (i, d) :: acc) [] dist)
+      in
+      Alcotest.check
+        Alcotest.(list (pair int (float 1e-9)))
+        (Printf.sprintf "sssp matches Bellman-Ford (seed %d)" seed)
+        (sorted_alist expected) (sorted_alist actual))
+    [ 11; 12; 13 ]
+
+let test_sssp_tiers_agree () =
+  let g = weighted_graph 21 16 in
+  let adj = Graphs.Convert.matrix_of_edges Dtype.FP64 g in
+  let gc = Ogb.Container.of_smatrix adj in
+  let native =
+    List.rev
+      (Svector.fold (fun acc i d -> (i, d) :: acc) [] (Algorithms.Sssp.native adj ~src:0))
+  in
+  let check name dist =
+    Alcotest.check
+      Alcotest.(list (pair int (float 1e-9)))
+      (name ^ " agrees") (sorted_alist native)
+      (sorted_alist (Algorithms.Sssp.distances_of_container dist))
+  in
+  check "dsl" (Algorithms.Sssp.dsl gc ~src:0);
+  check "vm_loops" (Algorithms.Sssp.vm_loops gc ~src:0);
+  check "vm_whole" (Algorithms.Sssp.vm_whole gc ~src:0);
+  Alcotest.check
+    Alcotest.(list (pair int (float 1e-9)))
+    "generic library tier agrees" (sorted_alist native)
+    (sorted_alist
+       (List.rev
+          (Svector.fold
+             (fun acc i d -> (i, d) :: acc)
+             []
+             (Algorithms.Sssp.generic adj ~src:0))))
+
+(* -- triangle counting -- *)
+
+let test_triangles_against_reference () =
+  List.iter
+    (fun seed ->
+      let rng = Graphs.Rng.create ~seed in
+      let g =
+        Graphs.Generators.erdos_renyi_gnm rng ~nvertices:16 ~nedges:40
+      in
+      let sym = Graphs.Edge_list.symmetrize g in
+      let adj = Graphs.Convert.bool_adjacency sym in
+      let l = Algorithms.Triangle.of_undirected adj in
+      Alcotest.check Alcotest.int
+        (Printf.sprintf "triangle count matches brute force (seed %d)" seed)
+        (ref_triangles (pairs_of g) 16)
+        (Algorithms.Triangle.native l))
+    [ 31; 32; 33; 34 ]
+
+let test_triangles_tiers_agree () =
+  let rng = Graphs.Rng.create ~seed:35 in
+  let g = Graphs.Generators.erdos_renyi_gnm rng ~nvertices:14 ~nedges:40 in
+  let sym = Graphs.Edge_list.symmetrize g in
+  let l = Algorithms.Triangle.of_undirected (Graphs.Convert.bool_adjacency sym) in
+  let native = float_of_int (Algorithms.Triangle.native l) in
+  let lc = Ogb.Container.of_smatrix l in
+  Alcotest.check (Alcotest.float 0.0) "dsl" native (Algorithms.Triangle.dsl lc);
+  Alcotest.check (Alcotest.float 0.0) "vm_loops" native
+    (Algorithms.Triangle.vm_loops lc);
+  Alcotest.check (Alcotest.float 0.0) "vm_whole" native
+    (Algorithms.Triangle.vm_whole lc)
+
+let test_known_triangle_counts () =
+  let complete n = Graphs.Generators.complete n in
+  let count g =
+    Algorithms.Triangle.native
+      (Algorithms.Triangle.of_undirected (Graphs.Convert.bool_adjacency g))
+  in
+  Alcotest.check Alcotest.int "K4 has 4 triangles" 4 (count (complete 4));
+  Alcotest.check Alcotest.int "K5 has 10 triangles" 10 (count (complete 5));
+  Alcotest.check Alcotest.int "a path has none" 0
+    (count (Graphs.Edge_list.symmetrize (Graphs.Generators.path 6)))
+
+(* -- PageRank -- *)
+
+let ref_pagerank edges n damping iters =
+  (* dense power iteration *)
+  let out_deg = Array.make n 0 in
+  List.iter (fun (s, _) -> out_deg.(s) <- out_deg.(s) + 1) edges;
+  let rank = Array.make n (1.0 /. float_of_int n) in
+  let teleport = (1.0 -. damping) /. float_of_int n in
+  for _ = 1 to iters do
+    let next = Array.make n 0.0 in
+    List.iter
+      (fun (s, d) ->
+        next.(d) <- next.(d) +. (damping *. rank.(s) /. float_of_int out_deg.(s)))
+      edges;
+    Array.iteri (fun i x -> rank.(i) <- x +. teleport) next
+  done;
+  rank
+
+let test_pagerank_against_reference () =
+  let g = random_digraph 41 16 in
+  let adj = Graphs.Convert.matrix_of_edges Dtype.FP64 g in
+  let ranks, _ = Algorithms.Pagerank.native ~threshold:1e-12 adj in
+  let expected = ref_pagerank (pairs_of g) 16 0.85 200 in
+  Svector.iter
+    (fun i r ->
+      if abs_float (r -. expected.(i)) > 1e-6 then
+        Alcotest.failf "rank of %d: %f vs reference %f" i r expected.(i))
+    ranks
+
+let test_pagerank_tiers_agree () =
+  let g = random_digraph 42 14 in
+  let adj = Graphs.Convert.matrix_of_edges Dtype.FP64 g in
+  let gc = Ogb.Container.of_smatrix adj in
+  let native, _ = Algorithms.Pagerank.native adj in
+  let native_l =
+    List.rev (Svector.fold (fun acc i x -> (i, x) :: acc) [] native)
+  in
+  let check name ranks =
+    Alcotest.check
+      Alcotest.(list (pair int (float 1e-9)))
+      (name ^ " agrees") (sorted_alist native_l)
+      (sorted_alist (Algorithms.Pagerank.ranks_of_container ranks))
+  in
+  let dsl_ranks, _ = Algorithms.Pagerank.dsl gc in
+  check "dsl" dsl_ranks;
+  check "vm_loops" (Algorithms.Pagerank.vm_loops gc);
+  check "vm_whole" (Algorithms.Pagerank.vm_whole gc);
+  let generic_ranks, _ = Algorithms.Pagerank.generic adj in
+  Alcotest.check
+    Alcotest.(list (pair int (float 1e-9)))
+    "generic library tier agrees" (sorted_alist native_l)
+    (sorted_alist
+       (List.rev (Svector.fold (fun acc i x -> (i, x) :: acc) [] generic_ranks)))
+
+let test_pagerank_sums_to_one () =
+  let g = random_digraph 43 20 in
+  let adj = Graphs.Convert.matrix_of_edges Dtype.FP64 g in
+  let ranks, _ = Algorithms.Pagerank.native adj in
+  let total = Svector.fold (fun acc _ x -> acc +. x) 0.0 ranks in
+  (* rank mass is conserved up to dangling-node leakage; with the paper's
+     teleport fill it stays close to 1 *)
+  Alcotest.check Alcotest.bool "total rank near 1" true
+    (total > 0.8 && total < 1.2)
+
+(* -- connected components -- *)
+
+let test_components_against_reference () =
+  List.iter
+    (fun seed ->
+      let rng = Graphs.Rng.create ~seed in
+      let g =
+        Graphs.Generators.erdos_renyi_gnm rng ~nvertices:30 ~nedges:25
+      in
+      let sym = Graphs.Edge_list.symmetrize g in
+      let adj = Graphs.Convert.bool_adjacency sym in
+      let labels = Algorithms.Connected_components.native adj in
+      Alcotest.check Alcotest.int
+        (Printf.sprintf "component count matches union-find (seed %d)" seed)
+        (ref_components (pairs_of g) 30)
+        (Algorithms.Connected_components.component_count labels))
+    [ 51; 52; 53 ]
+
+let test_components_dsl_agrees () =
+  let rng = Graphs.Rng.create ~seed:54 in
+  let g = Graphs.Generators.erdos_renyi_gnm rng ~nvertices:20 ~nedges:15 in
+  let sym = Graphs.Edge_list.symmetrize g in
+  let adj = Graphs.Convert.bool_adjacency sym in
+  let native = Algorithms.Connected_components.native adj in
+  let dsl = Algorithms.Connected_components.dsl (Ogb.Container.of_smatrix adj) in
+  Alcotest.check
+    Alcotest.(list (pair int (float 0.0)))
+    "labels agree"
+    (List.rev (Svector.fold (fun acc i l -> (i, float_of_int l) :: acc) [] native))
+    (Ogb.Container.vector_entries dsl)
+
+(* -- betweenness centrality -- *)
+
+(* classic Brandes on adjacency lists *)
+let ref_brandes edges n =
+  let adj = Array.make n [] in
+  List.iter (fun (s, d) -> adj.(s) <- d :: adj.(s)) edges;
+  let bc = Array.make n 0.0 in
+  for s = 0 to n - 1 do
+    let sigma = Array.make n 0.0 and dist = Array.make n (-1) in
+    let delta = Array.make n 0.0 in
+    sigma.(s) <- 1.0;
+    dist.(s) <- 0;
+    let order = ref [] in
+    let q = Queue.create () in
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      order := v :: !order;
+      List.iter
+        (fun w ->
+          if dist.(w) < 0 then begin
+            dist.(w) <- dist.(v) + 1;
+            Queue.add w q
+          end;
+          if dist.(w) = dist.(v) + 1 then sigma.(w) <- sigma.(w) +. sigma.(v))
+        adj.(v)
+    done;
+    List.iter
+      (fun w ->
+        List.iter
+          (fun x ->
+            if dist.(x) = dist.(w) + 1 then
+              delta.(w) <-
+                delta.(w) +. (sigma.(w) /. sigma.(x) *. (1.0 +. delta.(x))))
+          adj.(w);
+        if w <> s then bc.(w) <- bc.(w) +. delta.(w))
+      !order
+  done;
+  bc
+
+let test_bc_against_brandes () =
+  List.iter
+    (fun seed ->
+      let rng = Graphs.Rng.create ~seed in
+      let g = Graphs.Generators.erdos_renyi_gnm rng ~nvertices:16 ~nedges:40 in
+      let adj = Graphs.Convert.bool_adjacency g in
+      let expected = ref_brandes (pairs_of g) 16 in
+      let bc = Algorithms.Bc.native adj in
+      Array.iteri
+        (fun v e ->
+          let got = Option.value ~default:0.0 (Svector.get bc v) in
+          if abs_float (got -. e) > 1e-9 then
+            Alcotest.failf "BC(%d) = %f, reference %f (seed %d)" v got e seed)
+        expected)
+    [ 71; 72; 73 ]
+
+let test_bc_path_graph () =
+  (* directed path 0->1->2->3: interior vertices lie on 0->k paths *)
+  let p = Graphs.Convert.bool_adjacency (Graphs.Generators.path 4) in
+  let bc = Algorithms.Bc.native p in
+  Alcotest.check (Alcotest.float 1e-12) "BC(1) = 2" 2.0
+    (Option.value ~default:0.0 (Svector.get bc 1));
+  Alcotest.check (Alcotest.float 1e-12) "BC(2) = 2" 2.0
+    (Option.value ~default:0.0 (Svector.get bc 2));
+  Alcotest.check (Alcotest.float 1e-12) "BC(0) = 0" 0.0
+    (Option.value ~default:0.0 (Svector.get bc 0))
+
+let test_bc_batch_subset () =
+  let rng = Graphs.Rng.create ~seed:74 in
+  let g = Graphs.Generators.erdos_renyi_gnm rng ~nvertices:12 ~nedges:30 in
+  let adj = Graphs.Convert.bool_adjacency g in
+  let full = Algorithms.Bc.native adj in
+  let batched =
+    List.fold_left
+      (fun acc s ->
+        let part = Algorithms.Bc.native ~sources:[ s ] adj in
+        Svector.iter
+          (fun v x -> acc.(v) <- acc.(v) +. x)
+          part;
+        acc)
+      (Array.make 12 0.0) (List.init 12 Fun.id)
+  in
+  Array.iteri
+    (fun v x ->
+      let f = Option.value ~default:0.0 (Svector.get full v) in
+      if abs_float (f -. x) > 1e-9 then
+        Alcotest.failf "batch sum mismatch at %d: %f vs %f" v x f)
+    batched
+
+(* -- maximal independent set -- *)
+
+let test_mis_invariants () =
+  List.iter
+    (fun seed ->
+      let rng = Graphs.Rng.create ~seed in
+      let g =
+        Graphs.Edge_list.symmetrize
+          (Graphs.Generators.erdos_renyi_gnm rng ~nvertices:40 ~nedges:80)
+      in
+      let adj = Graphs.Convert.bool_adjacency g in
+      let iset = Algorithms.Mis.native ~seed adj in
+      Alcotest.check Alcotest.bool
+        (Printf.sprintf "independent (seed %d)" seed)
+        true
+        (Algorithms.Mis.is_independent adj iset);
+      Alcotest.check Alcotest.bool
+        (Printf.sprintf "maximal (seed %d)" seed)
+        true
+        (Algorithms.Mis.is_maximal adj iset))
+    [ 61; 62; 63; 64; 65 ]
+
+let test_mis_isolated_vertices () =
+  (* vertices with no edges must be selected *)
+  let adj = Smatrix.of_coo Dtype.Bool 5 5 [ (0, 1, true); (1, 0, true) ] in
+  let iset = Algorithms.Mis.native adj in
+  List.iter
+    (fun v ->
+      Alcotest.check Alcotest.(option bool)
+        (Printf.sprintf "isolated %d in set" v)
+        (Some true) (Svector.get iset v))
+    [ 2; 3; 4 ]
+
+let test_mis_complete_graph () =
+  let g = Graphs.Generators.complete 6 in
+  let adj = Graphs.Convert.bool_adjacency g in
+  let iset = Algorithms.Mis.native adj in
+  Alcotest.check Alcotest.int "exactly one vertex of a clique" 1
+    (Svector.nvals iset)
+
+let suite =
+  [ Alcotest.test_case "bfs vs reference" `Quick test_bfs_against_reference;
+    Alcotest.test_case "BC vs Brandes" `Quick test_bc_against_brandes;
+    Alcotest.test_case "BC on a path" `Quick test_bc_path_graph;
+    Alcotest.test_case "BC batch additivity" `Quick test_bc_batch_subset;
+    Alcotest.test_case "MIS invariants" `Quick test_mis_invariants;
+    Alcotest.test_case "MIS isolated vertices" `Quick
+      test_mis_isolated_vertices;
+    Alcotest.test_case "MIS on a clique" `Quick test_mis_complete_graph;
+    Alcotest.test_case "bfs tiers agree" `Quick test_bfs_tiers_agree;
+    Alcotest.test_case "bfs disconnected" `Quick test_bfs_disconnected;
+    Alcotest.test_case "sssp vs Bellman-Ford" `Quick
+      test_sssp_against_reference;
+    Alcotest.test_case "sssp tiers agree" `Quick test_sssp_tiers_agree;
+    Alcotest.test_case "triangles vs brute force" `Quick
+      test_triangles_against_reference;
+    Alcotest.test_case "triangle tiers agree" `Quick
+      test_triangles_tiers_agree;
+    Alcotest.test_case "known triangle counts" `Quick
+      test_known_triangle_counts;
+    Alcotest.test_case "pagerank vs power iteration" `Quick
+      test_pagerank_against_reference;
+    Alcotest.test_case "pagerank tiers agree" `Quick
+      test_pagerank_tiers_agree;
+    Alcotest.test_case "pagerank mass" `Quick test_pagerank_sums_to_one;
+    Alcotest.test_case "components vs union-find" `Quick
+      test_components_against_reference;
+    Alcotest.test_case "components dsl agrees" `Quick
+      test_components_dsl_agrees;
+  ]

@@ -1,0 +1,124 @@
+open Gbtl
+
+let f64 = Dtype.FP64
+let mk_vec = Dense_ref.svector_of_vec f64
+let alist = Alcotest.(list (pair int (float 0.0)))
+
+let test_apply_vector () =
+  let u = Svector.of_coo f64 4 [ (0, 2.0); (2, -3.0) ] in
+  let w = Svector.create f64 4 in
+  Apply_reduce.apply_vector (Unaryop.additive_inverse f64) ~out:w u;
+  Alcotest.check alist "negated" [ (0, -2.0); (2, 3.0) ] (Svector.to_alist w)
+
+let test_apply_bound_binop () =
+  (* PageRank's damping step: m = apply(Times(0.85), m) *)
+  let m = Smatrix.of_coo f64 2 2 [ (0, 1, 2.0); (1, 0, 4.0) ] in
+  let out = Smatrix.create f64 2 2 in
+  Apply_reduce.apply_matrix
+    (Unaryop.bind2nd f64 (Binop.times f64) 0.5)
+    ~out m;
+  Alcotest.check
+    Alcotest.(list (triple int int (float 0.0)))
+    "scaled" [ (0, 1, 1.0); (1, 0, 2.0) ] (Smatrix.to_coo out)
+
+let test_apply_preserves_structure () =
+  let u = Svector.of_coo f64 4 [ (1, 0.0) ] in
+  let w = Svector.create f64 4 in
+  Apply_reduce.apply_vector (Unaryop.identity f64) ~out:w u;
+  Alcotest.check Alcotest.int "stored zero stays stored" 1 (Svector.nvals w)
+
+let test_reduce_rows () =
+  let a =
+    Smatrix.of_coo f64 3 3 [ (0, 0, 1.0); (0, 2, 2.0); (2, 1, 5.0) ]
+  in
+  let w = Svector.create f64 3 in
+  Apply_reduce.reduce_rows (Monoid.plus f64) ~out:w a;
+  Alcotest.check alist "row sums; empty row 1 has no entry"
+    [ (0, 3.0); (2, 5.0) ]
+    (Svector.to_alist w)
+
+let test_reduce_cols_via_transpose () =
+  let a = Smatrix.of_coo f64 2 3 [ (0, 0, 1.0); (1, 0, 2.0); (1, 2, 7.0) ] in
+  let w = Svector.create f64 3 in
+  Apply_reduce.reduce_rows ~transpose:true (Monoid.plus f64) ~out:w a;
+  Alcotest.check alist "column sums" [ (0, 3.0); (2, 7.0) ] (Svector.to_alist w)
+
+let test_reduce_scalar () =
+  let a = Smatrix.of_coo f64 3 3 [ (0, 0, 1.0); (1, 2, 2.0); (2, 1, 4.0) ] in
+  Alcotest.check (Alcotest.float 0.0) "sum all" 7.0
+    (Apply_reduce.reduce_matrix_scalar (Monoid.plus f64) a);
+  Alcotest.check (Alcotest.float 0.0) "max all" 4.0
+    (Apply_reduce.reduce_matrix_scalar (Monoid.max f64) a);
+  Alcotest.check (Alcotest.float 0.0) "empty matrix reduces to identity" 0.0
+    (Apply_reduce.reduce_matrix_scalar (Monoid.plus f64)
+       (Smatrix.create f64 2 2))
+
+let test_reduce_scalar_accum () =
+  let u = Svector.of_coo f64 3 [ (0, 1.0); (1, 2.0) ] in
+  Alcotest.check (Alcotest.float 0.0) "s = s + reduce(u)" 13.0
+    (Apply_reduce.reduce_vector_scalar ~accum:(Binop.plus f64) ~init:10.0
+       (Monoid.plus f64) u)
+
+let gen_apply =
+  QCheck.Gen.(
+    Helpers.vec_gen 6 >>= fun u ->
+    Helpers.vec_gen 6 >>= fun c ->
+    Helpers.vmask_gen 6 >>= fun mask ->
+    Helpers.accum_gen >>= fun accum ->
+    bool >|= fun replace -> (u, c, mask, accum, replace))
+
+let qcheck_apply =
+  Helpers.qtest ~count:400 "apply matches dense model" (Helpers.arb gen_apply)
+    (fun (u, c, mask, accum, replace) ->
+      let f = Unaryop.additive_inverse f64 in
+      let out = mk_vec c in
+      Apply_reduce.apply_vector ~mask ?accum ~replace f ~out (mk_vec u);
+      let t = Dense_ref.apply_vec_t f u in
+      let expected =
+        Dense_ref.write_vec ~mask ~accum:(Dense_ref.accum_f accum) ~replace c t
+      in
+      Svector.equal out (mk_vec expected))
+
+let qcheck_reduce_rows =
+  let gen =
+    QCheck.Gen.(
+      Helpers.mat_gen 5 6 >>= fun a ->
+      Helpers.vec_gen 5 >>= fun c ->
+      Helpers.vmask_gen 5 >>= fun mask ->
+      Helpers.accum_gen >>= fun accum ->
+      bool >|= fun replace -> (a, c, mask, accum, replace))
+  in
+  Helpers.qtest ~count:400 "reduce_rows matches dense model"
+    (Helpers.arb gen) (fun (a, c, mask, accum, replace) ->
+      let m = Monoid.plus f64 in
+      let out = mk_vec c in
+      Apply_reduce.reduce_rows ~mask ?accum ~replace m ~out
+        (Dense_ref.smatrix_of_mat f64 5 6 a);
+      let t = Dense_ref.reduce_rows_t m a in
+      let expected =
+        Dense_ref.write_vec ~mask ~accum:(Dense_ref.accum_f accum) ~replace c t
+      in
+      Svector.equal out (mk_vec expected))
+
+let qcheck_reduce_scalar =
+  Helpers.qtest ~count:400 "matrix scalar reduce matches dense model"
+    (Helpers.arb (Helpers.mat_gen 5 6)) (fun a ->
+      let m = Monoid.plus f64 in
+      Apply_reduce.reduce_matrix_scalar m (Dense_ref.smatrix_of_mat f64 5 6 a)
+      = Dense_ref.reduce_scalar_t m a)
+
+let suite =
+  [ Alcotest.test_case "apply vector" `Quick test_apply_vector;
+    Alcotest.test_case "apply bound binop" `Quick test_apply_bound_binop;
+    Alcotest.test_case "apply keeps structure" `Quick
+      test_apply_preserves_structure;
+    Alcotest.test_case "reduce rows" `Quick test_reduce_rows;
+    Alcotest.test_case "reduce cols (transpose)" `Quick
+      test_reduce_cols_via_transpose;
+    Alcotest.test_case "reduce to scalar" `Quick test_reduce_scalar;
+    Alcotest.test_case "reduce scalar with accum" `Quick
+      test_reduce_scalar_accum;
+    Helpers.to_alcotest qcheck_apply;
+    Helpers.to_alcotest qcheck_reduce_rows;
+    Helpers.to_alcotest qcheck_reduce_scalar;
+  ]

@@ -1,0 +1,131 @@
+open Gbtl
+
+let check = Alcotest.check
+
+let test_names () =
+  List.iter
+    (fun (Dtype.P dt) ->
+      let (Dtype.P dt') = Dtype.of_name (Dtype.name dt) in
+      check Alcotest.string "roundtrip via name" (Dtype.name dt)
+        (Dtype.name dt');
+      let (Dtype.P dt'') = Dtype.of_name (Dtype.short_name dt) in
+      check Alcotest.string "roundtrip via short name" (Dtype.name dt)
+        (Dtype.name dt''))
+    Dtype.all
+
+let test_unknown_name () =
+  Alcotest.check_raises "unknown dtype"
+    (Invalid_argument "Dtype.of_name: unknown dtype long") (fun () ->
+      ignore (Dtype.of_name "long"))
+
+let test_rank_order () =
+  let ranks = List.map (fun (Dtype.P dt) -> Dtype.rank dt) Dtype.all in
+  check
+    Alcotest.(list int)
+    "Dtype.all is rank-sorted" (List.sort Int.compare ranks) ranks;
+  check Alcotest.int "eleven dtypes" 11 (List.length ranks)
+
+let test_promote () =
+  let name_of (Dtype.P dt) = Dtype.name dt in
+  check Alcotest.string "int8 + double = double" "double"
+    (name_of (Dtype.promote (P Int8) (P FP64)));
+  check Alcotest.string "uint32 + int64 = int64" "int64_t"
+    (name_of (Dtype.promote (P UInt32) (P Int64)));
+  check Alcotest.string "bool + bool = bool" "bool"
+    (name_of (Dtype.promote (P Bool) (P Bool)));
+  check Alcotest.string "promote is symmetric in rank" "float"
+    (name_of (Dtype.promote (P FP32) (P UInt8)))
+
+let test_wrapping () =
+  check Alcotest.int "int8 wraps at 127+1" (-128)
+    (Dtype.normalize Int8 128);
+  check Alcotest.int "uint8 wraps at 255+1" 0 (Dtype.normalize UInt8 256);
+  check Alcotest.int "int16 wraps" (-32768) (Dtype.normalize Int16 32768);
+  check Alcotest.int "uint16 wraps" 1 (Dtype.normalize UInt16 65537);
+  check Alcotest.int "int32 wraps" (-2147483648)
+    (Dtype.normalize Int32 2147483648);
+  check Alcotest.int "negative uint8 wraps" 255 (Dtype.normalize UInt8 (-1))
+
+let test_fp32_rounding () =
+  let x = Dtype.normalize FP32 0.1 in
+  Alcotest.check (Alcotest.float 1e-9) "fp32 rounding of 0.1"
+    0.100000001490116119 x;
+  check Alcotest.bool "fp32 idempotent" true
+    (Dtype.normalize FP32 x = x)
+
+let test_casts () =
+  check Alcotest.int "double -> int32 truncates" 3
+    (Dtype.cast ~from:FP64 ~into:Int32 3.99);
+  check Alcotest.int "double -> int8 wraps" (-126)
+    (Dtype.cast ~from:FP64 ~into:Int8 130.0);
+  check Alcotest.bool "int -> bool truthiness" true
+    (Dtype.cast ~from:Int64 ~into:Bool 42);
+  check Alcotest.int "bool -> int" 1 (Dtype.cast ~from:Bool ~into:Int32 true);
+  check (Alcotest.float 0.0) "int64 -> double" 42.0
+    (Dtype.cast ~from:Int64 ~into:FP64 42);
+  check Alcotest.int "uint8 255 -> int8 = -1" (-1)
+    (Dtype.cast ~from:UInt8 ~into:Int8 255)
+
+let test_uint64 () =
+  let max_u64 = Dtype.max_value Dtype.UInt64 in
+  check Alcotest.string "uint64 max prints unsigned" "18446744073709551615"
+    (Dtype.to_string UInt64 max_u64);
+  check Alcotest.int "uint64 compare unsigned" 1
+    (Dtype.compare_values UInt64 max_u64 1L);
+  check Alcotest.bool "uint64 roundtrip via float is max" true
+    (Dtype.equal_values UInt64 max_u64
+       (Dtype.of_float UInt64 (Dtype.to_float UInt64 max_u64)))
+
+let test_bounds () =
+  check Alcotest.int "int8 range" 127 (Dtype.max_value Dtype.Int8);
+  check Alcotest.int "uint32 max" 4294967295 (Dtype.max_value Dtype.UInt32);
+  check (Alcotest.float 0.0) "fp64 min is -inf" neg_infinity
+    (Dtype.min_value Dtype.FP64);
+  List.iter
+    (fun (Dtype.P dt) ->
+      Alcotest.check Alcotest.bool
+        (Dtype.name dt ^ " zero is falsy")
+        false
+        (Dtype.to_bool dt (Dtype.zero dt));
+      Alcotest.check Alcotest.bool
+        (Dtype.name dt ^ " one is truthy")
+        true
+        (Dtype.to_bool dt (Dtype.one dt)))
+    Dtype.all
+
+let test_equal_witness () =
+  check Alcotest.bool "same dtype" true (Dtype.equal_packed (P Int32) (P Int32));
+  check Alcotest.bool "same repr, different dtype" false
+    (Dtype.equal_packed (P Int32) (P Int64));
+  check Alcotest.bool "different repr" false
+    (Dtype.equal_packed (P Bool) (P FP64))
+
+let qcheck_cast_roundtrip =
+  Helpers.qtest "int values survive int64 roundtrip for every dtype"
+    (QCheck.make QCheck.Gen.(int_range (-100) 100) ~print:string_of_int)
+    (fun i ->
+      List.for_all
+        (fun (Dtype.P dt) ->
+          (* casting a small int into a dtype and back through float is
+             the identity whenever the value fits *)
+          let fits =
+            Dtype.to_float dt (Dtype.max_value dt) >= float_of_int (abs i)
+            && (Dtype.is_signed dt || i >= 0)
+          in
+          (not fits)
+          || Dtype.to_float dt (Dtype.of_int dt i) = float_of_int i)
+        Dtype.all)
+
+let suite =
+  [ Alcotest.test_case "name roundtrips" `Quick test_names;
+    Alcotest.test_case "unknown name rejected" `Quick test_unknown_name;
+    Alcotest.test_case "rank order" `Quick test_rank_order;
+    Alcotest.test_case "promotion" `Quick test_promote;
+    Alcotest.test_case "integer wrapping" `Quick test_wrapping;
+    Alcotest.test_case "fp32 rounding" `Quick test_fp32_rounding;
+    Alcotest.test_case "casts" `Quick test_casts;
+    Alcotest.test_case "uint64 semantics" `Quick test_uint64;
+    Alcotest.test_case "bounds and truthiness" `Quick test_bounds;
+    Alcotest.test_case "equality witness" `Quick test_equal_witness;
+    Helpers.to_alcotest qcheck_cast_roundtrip;
+  ]

@@ -1,0 +1,177 @@
+(* Random deferred-expression trees: the DSL evaluator against a direct
+   recursive evaluation over the dense reference model.  Exercises
+   operator capture, temp management, fusion, and kernel dispatch over
+   arbitrarily shaped programs. *)
+
+open Gbtl
+
+let f64 = Dtype.FP64
+let size = 6
+
+(* a small random program AST *)
+type rexpr =
+  | Rleaf of int  (* index into the leaf pool *)
+  | Radd of string * rexpr * rexpr
+  | Rmult of string * rexpr * rexpr
+  | Rapply of string * rexpr
+  | Rmxv of rexpr  (* A @ e with a fixed matrix *)
+  | Rtrans_mxv of rexpr  (* A.T @ e *)
+
+let binop_pool = [ "Plus"; "Minus"; "Times"; "Min"; "Max"; "First"; "Second" ]
+let unary_pool = [ "Identity"; "AdditiveInverse" ]
+
+let rexpr_gen =
+  let open QCheck.Gen in
+  let leaf = map (fun i -> Rleaf i) (int_bound 2) in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [ (2, leaf);
+            ( 2,
+              map3
+                (fun op a b -> Radd (op, a, b))
+                (oneofl binop_pool) (self (depth - 1)) (self (depth - 1)) );
+            ( 2,
+              map3
+                (fun op a b -> Rmult (op, a, b))
+                (oneofl binop_pool) (self (depth - 1)) (self (depth - 1)) );
+            ( 1,
+              map2 (fun f x -> Rapply (f, x)) (oneofl unary_pool)
+                (self (depth - 1)) );
+            (1, map (fun x -> Rmxv x) (self (depth - 1)));
+            (1, map (fun x -> Rtrans_mxv x) (self (depth - 1)));
+          ])
+    4
+
+let rec print_rexpr = function
+  | Rleaf i -> Printf.sprintf "v%d" i
+  | Radd (op, a, b) ->
+    Printf.sprintf "(%s +[%s] %s)" (print_rexpr a) op (print_rexpr b)
+  | Rmult (op, a, b) ->
+    Printf.sprintf "(%s *[%s] %s)" (print_rexpr a) op (print_rexpr b)
+  | Rapply (f, x) -> Printf.sprintf "%s(%s)" f (print_rexpr x)
+  | Rmxv x -> Printf.sprintf "(A @ %s)" (print_rexpr x)
+  | Rtrans_mxv x -> Printf.sprintf "(A.T @ %s)" (print_rexpr x)
+
+(* DSL-side build: constructors capture whatever context is active, so we
+   surround each node construction with the right with-block. *)
+let rec to_expr leaves = function
+  | Rleaf i -> Ogb.Expr.of_container leaves.(i)
+  | Radd (op, a, b) ->
+    let ea = to_expr leaves a and eb = to_expr leaves b in
+    Ogb.Context.with_ops [ Ogb.Context.binary op ] (fun () ->
+        Ogb.Expr.add ea eb)
+  | Rmult (op, a, b) ->
+    let ea = to_expr leaves a and eb = to_expr leaves b in
+    Ogb.Context.with_ops [ Ogb.Context.binary op ] (fun () ->
+        Ogb.Expr.mult ea eb)
+  | Rapply (f, x) ->
+    Ogb.Expr.apply ~f:(Jit.Op_spec.Named f) (to_expr leaves x)
+  | Rmxv x ->
+    Ogb.Expr.matmul (Ogb.Expr.of_container (Lazy.force fixed_matrix_cont))
+      (to_expr leaves x)
+  | Rtrans_mxv x ->
+    Ogb.Expr.matmul
+      (Ogb.Expr.transpose (Ogb.Expr.of_container (Lazy.force fixed_matrix_cont)))
+      (to_expr leaves x)
+
+and fixed_matrix : float Smatrix.t Lazy.t =
+  lazy
+    (Smatrix.of_coo f64 size size
+       [ (0, 1, 2.0); (1, 3, -1.0); (2, 2, 3.0); (3, 0, 1.0); (4, 5, 2.0);
+         (5, 4, -2.0); (0, 4, 1.0); (3, 3, 1.0) ])
+
+and fixed_matrix_cont : Ogb.Container.t Lazy.t =
+  lazy (Ogb.Container.of_smatrix (Smatrix.dup (Lazy.force fixed_matrix)))
+
+(* Reference evaluation over the dense model. *)
+let rec ref_eval (leaves : float Dense_ref.vec array) = function
+  | Rleaf i -> Array.copy leaves.(i)
+  | Radd (op, a, b) ->
+    Dense_ref.ewise_vec_t ~union:true (Binop.of_name op f64)
+      (ref_eval leaves a) (ref_eval leaves b)
+  | Rmult (op, a, b) ->
+    Dense_ref.ewise_vec_t ~union:false (Binop.of_name op f64)
+      (ref_eval leaves a) (ref_eval leaves b)
+  | Rapply (f, x) ->
+    Dense_ref.apply_vec_t (Unaryop.of_name f f64) (ref_eval leaves x)
+  | Rmxv x ->
+    Dense_ref.mxv_t (Semiring.arithmetic f64)
+      (Dense_ref.mat_of_smatrix (Lazy.force fixed_matrix))
+      (ref_eval leaves x)
+  | Rtrans_mxv x ->
+    Dense_ref.mxv_t (Semiring.arithmetic f64)
+      (Dense_ref.transpose_mat
+         (Dense_ref.mat_of_smatrix (Lazy.force fixed_matrix)))
+      (ref_eval leaves x)
+
+let case_gen =
+  QCheck.Gen.(
+    rexpr_gen >>= fun e ->
+    Helpers.vec_gen size >>= fun v0 ->
+    Helpers.vec_gen size >>= fun v1 ->
+    Helpers.vec_gen size >|= fun v2 -> (e, [| v0; v1; v2 |]))
+
+let print_case (e, _) = print_rexpr e
+
+let qcheck_random_programs =
+  Helpers.qtest ~count:500 "random expression trees match the dense model"
+    (QCheck.make case_gen ~print:print_case)
+    (fun (e, leaf_models) ->
+      let leaves =
+        Array.map
+          (fun m ->
+            Ogb.Container.of_svector (Dense_ref.svector_of_vec f64 m))
+          leaf_models
+      in
+      let result = Ogb.Expr.force (to_expr leaves e) in
+      let expected = ref_eval leaf_models e in
+      Svector.equal
+        (Ogb.Container.as_vector f64 result)
+        (Dense_ref.svector_of_vec f64 expected))
+
+let qcheck_random_programs_unfused =
+  Helpers.qtest ~count:200 "random trees: fusion off agrees too"
+    (QCheck.make case_gen ~print:print_case)
+    (fun (e, leaf_models) ->
+      let leaves =
+        Array.map
+          (fun m ->
+            Ogb.Container.of_svector (Dense_ref.svector_of_vec f64 m))
+          leaf_models
+      in
+      Ogb.Expr.set_fusion false;
+      Fun.protect
+        ~finally:(fun () -> Ogb.Expr.set_fusion true)
+        (fun () ->
+          let result = Ogb.Expr.force (to_expr leaves e) in
+          let expected = ref_eval leaf_models e in
+          Svector.equal
+            (Ogb.Container.as_vector f64 result)
+            (Dense_ref.svector_of_vec f64 expected)))
+
+let qcheck_leaves_never_mutated =
+  Helpers.qtest ~count:300 "evaluation never mutates leaf containers"
+    (QCheck.make case_gen ~print:print_case)
+    (fun (e, leaf_models) ->
+      let leaves =
+        Array.map
+          (fun m ->
+            Ogb.Container.of_svector (Dense_ref.svector_of_vec f64 m))
+          leaf_models
+      in
+      ignore (Ogb.Expr.force (to_expr leaves e));
+      Array.for_all2
+        (fun c m ->
+          Svector.equal
+            (Ogb.Container.as_vector f64 c)
+            (Dense_ref.svector_of_vec f64 m))
+        leaves leaf_models)
+
+let suite =
+  [ Helpers.to_alcotest qcheck_random_programs;
+    Helpers.to_alcotest qcheck_random_programs_unfused;
+    Helpers.to_alcotest qcheck_leaves_never_mutated;
+  ]

@@ -1,0 +1,229 @@
+(* Extensions beyond the paper's operation set: select, kronecker,
+   k-truss, and the user-operator registry at the gbtl level. *)
+
+open Gbtl
+
+let f64 = Dtype.FP64
+let coolist = Alcotest.(list (triple int int (float 1e-9)))
+
+(* -- select -- *)
+
+let sample () =
+  Smatrix.of_coo f64 3 3
+    [ (0, 0, 1.0); (0, 2, -2.0); (1, 0, 3.0); (1, 1, 0.0); (2, 1, 5.0) ]
+
+let test_select_positional () =
+  let a = sample () in
+  let out = Smatrix.create f64 3 3 in
+  Select.matrix (Select.Tril (-1)) ~out a;
+  Alcotest.check coolist "strict lower"
+    [ (1, 0, 3.0); (2, 1, 5.0) ]
+    (Smatrix.to_coo out);
+  Select.matrix (Select.Triu 1) ~out a;
+  Alcotest.check coolist "strict upper" [ (0, 2, -2.0) ] (Smatrix.to_coo out);
+  Select.matrix Select.Diag ~out a;
+  Alcotest.check coolist "diagonal"
+    [ (0, 0, 1.0); (1, 1, 0.0) ]
+    (Smatrix.to_coo out);
+  Select.matrix Select.Offdiag ~out a;
+  Alcotest.check Alcotest.int "off-diagonal count" 3 (Smatrix.nvals out)
+
+let test_select_value () =
+  let a = sample () in
+  let out = Smatrix.create f64 3 3 in
+  Select.matrix (Select.Value_gt 0.0) ~out a;
+  Alcotest.check coolist "positive entries"
+    [ (0, 0, 1.0); (1, 0, 3.0); (2, 1, 5.0) ]
+    (Smatrix.to_coo out);
+  Select.matrix Select.Nonzero ~out a;
+  Alcotest.check Alcotest.int "nonzero drops stored zero" 4 (Smatrix.nvals out);
+  Select.matrix (Select.Value_eq (-2.0)) ~out a;
+  Alcotest.check coolist "equality" [ (0, 2, -2.0) ] (Smatrix.to_coo out)
+
+let test_select_vector () =
+  let u = Svector.of_coo f64 5 [ (0, 2.0); (2, -1.0); (4, 3.0) ] in
+  let out = Svector.create f64 5 in
+  Select.vector (Select.Value_ge 2.0) ~out u;
+  Alcotest.check
+    Alcotest.(list (pair int (float 0.0)))
+    "value filter"
+    [ (0, 2.0); (4, 3.0) ]
+    (Svector.to_alist out)
+
+let test_select_agrees_with_utilities () =
+  let rng = Graphs.Rng.create ~seed:77 in
+  let g = Graphs.Generators.erdos_renyi_gnm rng ~nvertices:12 ~nedges:40 in
+  let a = Graphs.Convert.matrix_of_edges f64 g in
+  let out = Smatrix.create f64 12 12 in
+  Select.matrix (Select.Tril (-1)) ~out a;
+  Alcotest.check
+    (Helpers.smatrix_testable f64)
+    "select tril = utilities lower_triangle"
+    (Utilities.lower_triangle ~strict:true a)
+    out
+
+(* -- kronecker -- *)
+
+let test_kronecker_small () =
+  let a = Smatrix.of_dense f64 [| [| 1.0; 2.0 |]; [| 0.0; 3.0 |] |] in
+  let b = Smatrix.of_dense f64 [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let out = Smatrix.create f64 4 4 in
+  Kronecker.kronecker (Binop.times f64) ~out a b;
+  (* dense of_dense stores zeros, so nvals = 16 *)
+  Alcotest.check Alcotest.(option (float 0.0)) "C(0,1) = a00*b01" (Some 1.0)
+    (Smatrix.get out 0 1);
+  Alcotest.check Alcotest.(option (float 0.0)) "C(0,3) = a01*b01" (Some 2.0)
+    (Smatrix.get out 0 3);
+  Alcotest.check Alcotest.(option (float 0.0)) "C(3,2) = a11*b10" (Some 3.0)
+    (Smatrix.get out 3 2);
+  Alcotest.check Alcotest.(option (float 0.0)) "C(2,0) = a10*b00" (Some 0.0)
+    (Smatrix.get out 2 0)
+
+let test_kronecker_structure () =
+  (* pattern-only: kron of sparse patterns multiplies nvals *)
+  let a = Smatrix.of_coo f64 2 2 [ (0, 1, 1.0); (1, 0, 1.0) ] in
+  let out = Smatrix.create f64 4 4 in
+  Kronecker.kronecker (Binop.times f64) ~out a a;
+  Alcotest.check Alcotest.int "nvals multiply" 4 (Smatrix.nvals out);
+  let p3 = Kronecker.power (Binop.times f64) a 3 in
+  Alcotest.check Alcotest.(pair int int) "power shape" (8, 8) (Smatrix.shape p3);
+  Alcotest.check Alcotest.int "power nvals" 8 (Smatrix.nvals p3)
+
+let test_kronecker_identity () =
+  let i2 = Utilities.identity f64 2 in
+  let a = sample () in
+  let out = Smatrix.create f64 6 6 in
+  Kronecker.kronecker (Binop.times f64) ~out i2 a;
+  (* I2 (x) A = block diag(A, A) *)
+  Alcotest.check Alcotest.int "block diagonal nvals" (2 * Smatrix.nvals a)
+    (Smatrix.nvals out);
+  Alcotest.check Alcotest.(option (float 0.0)) "upper block" (Some 5.0)
+    (Smatrix.get out 2 1);
+  Alcotest.check Alcotest.(option (float 0.0)) "lower block" (Some 5.0)
+    (Smatrix.get out 5 4);
+  Alcotest.check Alcotest.(option (float 0.0)) "off block empty" None
+    (Smatrix.get out 0 3)
+
+(* -- k-truss -- *)
+
+(* brute-force reference *)
+let ref_ktruss pairs n k =
+  let adj = Array.make_matrix n n false in
+  List.iter
+    (fun (s, d) ->
+      adj.(s).(d) <- true;
+      adj.(d).(s) <- true)
+    pairs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        if adj.(u).(v) then begin
+          let support = ref 0 in
+          for w = 0 to n - 1 do
+            if adj.(u).(w) && adj.(v).(w) then incr support
+          done;
+          if !support < k - 2 then begin
+            adj.(u).(v) <- false;
+            adj.(v).(u) <- false;
+            changed := true
+          end
+        end
+      done
+    done
+  done;
+  let edges = ref 0 in
+  Array.iter (Array.iter (fun b -> if b then incr edges)) adj;
+  !edges / 2
+
+let test_ktruss_triangle_graph () =
+  (* K4: every edge is in 2 triangles -> survives 4-truss, dies at 5 *)
+  let k4 = Graphs.Convert.bool_adjacency (Graphs.Generators.complete 4) in
+  Alcotest.check Alcotest.int "K4 4-truss keeps all" 6
+    (Algorithms.Ktruss.edge_count (Algorithms.Ktruss.native ~k:4 k4));
+  Alcotest.check Alcotest.int "K4 5-truss empty" 0
+    (Algorithms.Ktruss.edge_count (Algorithms.Ktruss.native ~k:5 k4))
+
+let test_ktruss_path_graph () =
+  let p =
+    Graphs.Convert.bool_adjacency
+      (Graphs.Edge_list.symmetrize (Graphs.Generators.path 6))
+  in
+  Alcotest.check Alcotest.int "a path has no 3-truss" 0
+    (Algorithms.Ktruss.edge_count (Algorithms.Ktruss.native ~k:3 p))
+
+let test_ktruss_dsl_agrees () =
+  let rng = Graphs.Rng.create ~seed:84 in
+  let g = Graphs.Generators.erdos_renyi_gnm rng ~nvertices:16 ~nedges:60 in
+  let adj = Graphs.Convert.bool_adjacency (Graphs.Edge_list.symmetrize g) in
+  List.iter
+    (fun k ->
+      let native = Algorithms.Ktruss.native ~k adj in
+      let dsl_result =
+        Algorithms.Ktruss.dsl ~k (Ogb.Container.of_smatrix adj)
+      in
+      Alcotest.check Alcotest.int
+        (Printf.sprintf "%d-truss: dsl = native" k)
+        (Smatrix.nvals native)
+        (Ogb.Container.nvals dsl_result);
+      (* same structure, not just the same count *)
+      List.iter
+        (fun (r, c, _) ->
+          if Smatrix.get native r c = None then
+            Alcotest.failf "edge (%d,%d) only in the DSL result" r c)
+        (Ogb.Container.matrix_entries dsl_result))
+    [ 3; 4 ]
+
+let test_ktruss_vs_reference () =
+  List.iter
+    (fun seed ->
+      let rng = Graphs.Rng.create ~seed in
+      let g = Graphs.Generators.erdos_renyi_gnm rng ~nvertices:14 ~nedges:45 in
+      let pairs = List.map (fun (s, d, _) -> (s, d)) g.Graphs.Edge_list.edges in
+      let adj =
+        Graphs.Convert.bool_adjacency (Graphs.Edge_list.symmetrize g)
+      in
+      List.iter
+        (fun k ->
+          Alcotest.check Alcotest.int
+            (Printf.sprintf "%d-truss edges (seed %d)" k seed)
+            (ref_ktruss pairs 14 k)
+            (Algorithms.Ktruss.edge_count (Algorithms.Ktruss.native ~k adj)))
+        [ 3; 4; 5 ])
+    [ 81; 82; 83 ]
+
+(* -- user operator registry at the gbtl level -- *)
+
+let test_user_op_all_dtypes () =
+  Binop.register_user "avg" (fun x y -> (x +. y) /. 2.0);
+  List.iter
+    (fun (Dtype.P dt) ->
+      let op = Binop.of_name "user:avg" dt in
+      let two = Dtype.of_int dt 2 in
+      let four = Dtype.of_int dt 4 in
+      Alcotest.check Alcotest.string
+        ("user op at " ^ Dtype.name dt)
+        (Dtype.to_string dt (Dtype.of_float dt 3.0))
+        (Dtype.to_string dt (Binop.apply op two four)))
+    Dtype.all;
+  Alcotest.check Alcotest.bool "registered" true (Binop.user_registered "avg")
+
+let suite =
+  [ Alcotest.test_case "select positional" `Quick test_select_positional;
+    Alcotest.test_case "select by value" `Quick test_select_value;
+    Alcotest.test_case "select vector" `Quick test_select_vector;
+    Alcotest.test_case "select = utilities tril" `Quick
+      test_select_agrees_with_utilities;
+    Alcotest.test_case "kronecker small" `Quick test_kronecker_small;
+    Alcotest.test_case "kronecker structure" `Quick test_kronecker_structure;
+    Alcotest.test_case "kronecker identity blocks" `Quick
+      test_kronecker_identity;
+    Alcotest.test_case "k-truss on cliques" `Quick test_ktruss_triangle_graph;
+    Alcotest.test_case "k-truss on a path" `Quick test_ktruss_path_graph;
+    Alcotest.test_case "k-truss vs brute force" `Quick
+      test_ktruss_vs_reference;
+    Alcotest.test_case "k-truss DSL agrees" `Quick test_ktruss_dsl_agrees;
+    Alcotest.test_case "user ops at all dtypes" `Quick
+      test_user_op_all_dtypes;
+  ]

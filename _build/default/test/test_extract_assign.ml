@@ -1,0 +1,168 @@
+open Gbtl
+
+let f64 = Dtype.FP64
+let alist = Alcotest.(list (pair int (float 0.0)))
+let coolist = Alcotest.(list (triple int int (float 0.0)))
+
+(* -- extract -- *)
+
+let sample_matrix () =
+  Smatrix.of_coo f64 4 4
+    [ (0, 0, 1.0); (0, 2, 2.0); (1, 1, 3.0); (2, 0, 4.0); (2, 3, 5.0);
+      (3, 2, 6.0) ]
+
+let test_extract_submatrix () =
+  let a = sample_matrix () in
+  let out = Smatrix.create f64 2 2 in
+  Extract.matrix ~out a
+    (Index_set.List [| 0; 2 |])
+    (Index_set.List [| 0; 3 |]);
+  Alcotest.check coolist "A([0;2],[0;3])"
+    [ (0, 0, 1.0); (1, 0, 4.0); (1, 1, 5.0) ]
+    (Smatrix.to_coo out)
+
+let test_extract_range () =
+  let a = sample_matrix () in
+  let out = Smatrix.create f64 2 4 in
+  Extract.matrix ~out a (Index_set.Range { start = 1; stop = 3 }) Index_set.All;
+  Alcotest.check coolist "A(1:3, :)"
+    [ (0, 1, 3.0); (1, 0, 4.0); (1, 3, 5.0) ]
+    (Smatrix.to_coo out)
+
+let test_extract_duplicates_allowed () =
+  let a = sample_matrix () in
+  let out = Smatrix.create f64 2 4 in
+  Extract.matrix ~out a (Index_set.List [| 0; 0 |]) Index_set.All;
+  Alcotest.check coolist "row 0 twice"
+    [ (0, 0, 1.0); (0, 2, 2.0); (1, 0, 1.0); (1, 2, 2.0) ]
+    (Smatrix.to_coo out)
+
+let test_extract_column () =
+  let a = sample_matrix () in
+  let out = Svector.create f64 4 in
+  Extract.column ~out a Index_set.All 0;
+  Alcotest.check alist "column 0" [ (0, 1.0); (2, 4.0) ] (Svector.to_alist out);
+  let out2 = Svector.create f64 4 in
+  Extract.column ~out:out2 ~transpose:true a Index_set.All 2;
+  Alcotest.check alist "row 2 via transpose"
+    [ (0, 4.0); (3, 5.0) ]
+    (Svector.to_alist out2)
+
+let test_extract_vector () =
+  let u = Svector.of_coo f64 6 [ (1, 1.0); (3, 3.0); (5, 5.0) ] in
+  let out = Svector.create f64 3 in
+  Extract.vector ~out u (Index_set.List [| 5; 0; 3 |]);
+  Alcotest.check alist "u([5;0;3])" [ (0, 5.0); (2, 3.0) ]
+    (Svector.to_alist out)
+
+let test_extract_bad_index () =
+  let u = Svector.of_coo f64 4 [ (0, 1.0) ] in
+  let out = Svector.create f64 1 in
+  Alcotest.check_raises "out of range"
+    (Index_set.Invalid_index "index 9 outside [0, 4)") (fun () ->
+      Extract.vector ~out u (Index_set.List [| 9 |]))
+
+(* -- assign -- *)
+
+let test_assign_vector () =
+  let w = Svector.of_coo f64 6 [ (0, 9.0); (2, 9.0); (5, 9.0) ] in
+  let u = Svector.of_coo f64 2 [ (0, 1.0); (1, 2.0) ] in
+  Assign.vector ~out:w u (Index_set.List [| 2; 4 |]);
+  Alcotest.check alist "w([2;4]) = u"
+    [ (0, 9.0); (2, 1.0); (4, 2.0); (5, 9.0) ]
+    (Svector.to_alist w)
+
+let test_assign_deletes_uncovered_region_entries () =
+  (* no accumulator: old entries in the region not covered by the source
+     are removed *)
+  let w = Svector.of_coo f64 4 [ (1, 9.0); (2, 9.0) ] in
+  let u = Svector.create f64 2 (* empty source *) in
+  Assign.vector ~out:w u (Index_set.List [| 1; 2 |]);
+  Alcotest.check alist "region cleared" [] (Svector.to_alist w)
+
+let test_assign_accum_keeps_region_entries () =
+  let w = Svector.of_coo f64 4 [ (1, 9.0); (2, 9.0) ] in
+  let u = Svector.of_coo f64 2 [ (0, 1.0) ] in
+  Assign.vector ~accum:(Binop.plus f64) ~out:w u (Index_set.List [| 1; 2 |]);
+  Alcotest.check alist "accum merges region"
+    [ (1, 10.0); (2, 9.0) ]
+    (Svector.to_alist w)
+
+let test_assign_scalar_all_masked () =
+  (* the BFS idiom: levels<frontier> = depth *)
+  let levels = Svector.of_coo f64 5 [ (0, 1.0) ] in
+  let frontier = Svector.of_coo Dtype.Bool 5 [ (2, true); (4, true) ] in
+  Assign.vector_scalar ~mask:(Mask.vmask frontier) ~out:levels 3.0
+    Index_set.All;
+  Alcotest.check alist "depth written at frontier, merge elsewhere"
+    [ (0, 1.0); (2, 3.0); (4, 3.0) ]
+    (Svector.to_alist levels)
+
+let test_assign_scalar_range () =
+  (* PyGB: new_rank[:] = c *)
+  let v = Svector.create f64 4 in
+  Assign.vector_scalar ~out:v 0.25 Index_set.All;
+  Alcotest.check alist "constant fill"
+    [ (0, 0.25); (1, 0.25); (2, 0.25); (3, 0.25) ]
+    (Svector.to_alist v)
+
+let test_assign_matrix () =
+  let c = Smatrix.of_coo f64 4 4 [ (0, 0, 9.0); (1, 1, 9.0); (3, 3, 9.0) ] in
+  let a = Smatrix.of_coo f64 2 2 [ (0, 0, 1.0); (1, 1, 2.0) ] in
+  Assign.matrix ~out:c a
+    (Index_set.List [| 1; 2 |])
+    (Index_set.List [| 1; 2 |]);
+  Alcotest.check coolist "C([1;2],[1;2]) = A"
+    [ (0, 0, 9.0); (1, 1, 1.0); (2, 2, 2.0); (3, 3, 9.0) ]
+    (Smatrix.to_coo c)
+
+let test_assign_matrix_scalar () =
+  let c = Smatrix.create f64 3 3 in
+  Assign.matrix_scalar ~out:c 7.0
+    (Index_set.Range { start = 0; stop = 2 })
+    (Index_set.Range { start = 1; stop = 3 });
+  Alcotest.check Alcotest.int "2x2 region filled" 4 (Smatrix.nvals c);
+  Alcotest.check Alcotest.(option (float 0.0)) "corner" (Some 7.0)
+    (Smatrix.get c 0 1)
+
+let test_assign_duplicate_targets_rejected () =
+  let w = Svector.create f64 4 in
+  let u = Svector.create f64 2 in
+  Alcotest.check_raises "duplicates rejected"
+    (Index_set.Invalid_index "duplicate index 1 in assign") (fun () ->
+      Assign.vector ~out:w u (Index_set.List [| 1; 1 |]))
+
+let test_assign_replace_clears_outside_mask () =
+  (* GrB_assign with REPLACE: masked-out entries die everywhere in C *)
+  let w = Svector.of_coo f64 4 [ (0, 1.0); (3, 4.0) ] in
+  let mask = Svector.of_coo Dtype.Bool 4 [ (0, true); (1, true) ] in
+  let u = Svector.of_coo f64 2 [ (0, 8.0); (1, 9.0) ] in
+  Assign.vector ~mask:(Mask.vmask mask) ~replace:true ~out:w u
+    (Index_set.List [| 0; 1 |]);
+  Alcotest.check alist "index 3 cleared by replace"
+    [ (0, 8.0); (1, 9.0) ]
+    (Svector.to_alist w)
+
+let suite =
+  [ Alcotest.test_case "extract submatrix" `Quick test_extract_submatrix;
+    Alcotest.test_case "extract range" `Quick test_extract_range;
+    Alcotest.test_case "extract duplicate rows" `Quick
+      test_extract_duplicates_allowed;
+    Alcotest.test_case "extract column/row" `Quick test_extract_column;
+    Alcotest.test_case "extract vector" `Quick test_extract_vector;
+    Alcotest.test_case "extract bad index" `Quick test_extract_bad_index;
+    Alcotest.test_case "assign vector" `Quick test_assign_vector;
+    Alcotest.test_case "assign deletes uncovered" `Quick
+      test_assign_deletes_uncovered_region_entries;
+    Alcotest.test_case "assign accum keeps" `Quick
+      test_assign_accum_keeps_region_entries;
+    Alcotest.test_case "assign scalar masked (BFS idiom)" `Quick
+      test_assign_scalar_all_masked;
+    Alcotest.test_case "assign scalar fill" `Quick test_assign_scalar_range;
+    Alcotest.test_case "assign matrix" `Quick test_assign_matrix;
+    Alcotest.test_case "assign matrix scalar" `Quick test_assign_matrix_scalar;
+    Alcotest.test_case "assign duplicates rejected" `Quick
+      test_assign_duplicate_targets_rejected;
+    Alcotest.test_case "assign replace semantics" `Quick
+      test_assign_replace_clears_outside_mask;
+  ]

@@ -1,0 +1,186 @@
+open Gbtl
+
+let test_rng_determinism () =
+  let a = Graphs.Rng.create ~seed:42 in
+  let b = Graphs.Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.check (Alcotest.float 0.0) "same stream" (Graphs.Rng.float a)
+      (Graphs.Rng.float b)
+  done;
+  let c = Graphs.Rng.create ~seed:43 in
+  Alcotest.check Alcotest.bool "different seed differs" false
+    (Graphs.Rng.float a = Graphs.Rng.float c)
+
+let test_rng_bounds () =
+  let r = Graphs.Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let f = Graphs.Rng.float r in
+    Alcotest.check Alcotest.bool "float in [0,1)" true (f >= 0.0 && f < 1.0);
+    let i = Graphs.Rng.int r 10 in
+    Alcotest.check Alcotest.bool "int in [0,10)" true (i >= 0 && i < 10)
+  done
+
+let test_erdos_renyi () =
+  let rng = Graphs.Rng.create ~seed:1 in
+  let g = Graphs.Generators.erdos_renyi_gnm rng ~nvertices:50 ~nedges:200 in
+  Alcotest.check Alcotest.int "exact edge count" 200 (Graphs.Edge_list.nedges g);
+  let adj = Graphs.Convert.bool_adjacency g in
+  Alcotest.check Alcotest.int "no duplicate edges" 200 (Smatrix.nvals adj);
+  Smatrix.iter
+    (fun r c _ ->
+      if r = c then Alcotest.fail "self loop in loop-free generator")
+    adj
+
+let test_erdos_renyi_paper_density () =
+  let rng = Graphs.Rng.create ~seed:2 in
+  let g = Graphs.Generators.erdos_renyi_paper rng ~nvertices:64 in
+  (* |E| = |V|^1.5 = 512 *)
+  Alcotest.check Alcotest.int "|E| = |V|^1.5" 512 (Graphs.Edge_list.nedges g)
+
+let test_erdos_renyi_too_dense () =
+  let rng = Graphs.Rng.create ~seed:3 in
+  match Graphs.Generators.erdos_renyi_gnm rng ~nvertices:3 ~nedges:10 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_balanced_tree () =
+  let g = Graphs.Generators.balanced_tree ~branching:2 ~height:3 in
+  (* 2^4 - 1 = 15 vertices, 14 edges *)
+  Alcotest.check Alcotest.int "vertices" 15 g.Graphs.Edge_list.nvertices;
+  Alcotest.check Alcotest.int "edges" 14 (Graphs.Edge_list.nedges g);
+  let g3 = Graphs.Generators.balanced_tree ~branching:3 ~height:2 in
+  Alcotest.check Alcotest.int "ternary vertices" 13 g3.Graphs.Edge_list.nvertices
+
+let test_simple_topologies () =
+  let p = Graphs.Generators.path 5 in
+  Alcotest.check Alcotest.int "path edges" 4 (Graphs.Edge_list.nedges p);
+  let c = Graphs.Generators.cycle 5 in
+  Alcotest.check Alcotest.int "cycle edges" 5 (Graphs.Edge_list.nedges c);
+  let s = Graphs.Generators.star 5 in
+  Alcotest.check Alcotest.int "star edges" 4 (Graphs.Edge_list.nedges s);
+  let k = Graphs.Generators.complete 4 in
+  Alcotest.check Alcotest.int "complete edges" 12 (Graphs.Edge_list.nedges k);
+  let g = Graphs.Generators.grid2d ~rows:3 ~cols:4 in
+  (* horizontal: 3*3, vertical: 2*4, both directions *)
+  Alcotest.check Alcotest.int "grid edges" 34 (Graphs.Edge_list.nedges g)
+
+let test_rmat () =
+  let rng = Graphs.Rng.create ~seed:11 in
+  let g = Graphs.Generators.rmat rng ~scale:6 ~edge_factor:8 in
+  Alcotest.check Alcotest.int "2^scale vertices" 64 g.Graphs.Edge_list.nvertices;
+  Alcotest.check Alcotest.bool "some edges survive self-loop filtering" true
+    (Graphs.Edge_list.nedges g > 300);
+  List.iter
+    (fun (s, d, _) ->
+      if s < 0 || s >= 64 || d < 0 || d >= 64 then
+        Alcotest.fail "rmat edge out of range")
+    g.Graphs.Edge_list.edges
+
+let test_watts_strogatz () =
+  let rng = Graphs.Rng.create ~seed:21 in
+  let g = Graphs.Generators.watts_strogatz rng ~nvertices:40 ~k:4 ~beta:0.2 in
+  (* undirected edge count is preserved by rewiring: n*k/2, both dirs *)
+  Alcotest.check Alcotest.int "edge count preserved" (40 * 4)
+    (Graphs.Edge_list.nedges g);
+  let adj = Graphs.Convert.bool_adjacency g in
+  Alcotest.check Alcotest.int "no duplicates" (40 * 4) (Smatrix.nvals adj);
+  Smatrix.iter
+    (fun r c _ ->
+      if r = c then Alcotest.fail "self loop";
+      if Smatrix.get adj c r = None then Alcotest.fail "asymmetric edge")
+    adj;
+  (* beta = 0 keeps the pure ring lattice *)
+  let ring =
+    Graphs.Generators.watts_strogatz
+      (Graphs.Rng.create ~seed:5)
+      ~nvertices:10 ~k:2 ~beta:0.0
+  in
+  let radj = Graphs.Convert.bool_adjacency ring in
+  for v = 0 to 9 do
+    Alcotest.check Alcotest.(option bool)
+      (Printf.sprintf "ring edge %d" v)
+      (Some true)
+      (Smatrix.get radj v ((v + 1) mod 10))
+  done
+
+let test_barabasi_albert () =
+  let rng = Graphs.Rng.create ~seed:22 in
+  let g = Graphs.Generators.barabasi_albert rng ~nvertices:60 ~m:3 in
+  let adj = Graphs.Convert.bool_adjacency g in
+  Smatrix.iter
+    (fun r c _ ->
+      if r = c then Alcotest.fail "self loop";
+      if Smatrix.get adj c r = None then Alcotest.fail "asymmetric edge")
+    adj;
+  (* connected: min-label propagation finds one component *)
+  Alcotest.check Alcotest.int "connected" 1
+    (Algorithms.Connected_components.component_count
+       (Algorithms.Connected_components.native adj));
+  (* hubs exist: max degree clearly above m *)
+  let dmax =
+    Array.fold_left max 0 (Utilities.row_degrees adj)
+  in
+  Alcotest.check Alcotest.bool "preferential hubs" true (dmax >= 6)
+
+let test_symmetrize () =
+  let g = Graphs.Edge_list.of_pairs ~nvertices:3 [ (0, 1); (1, 2) ] in
+  let s = Graphs.Edge_list.symmetrize g in
+  Alcotest.check Alcotest.int "mirrored" 4 (Graphs.Edge_list.nedges s);
+  let adj = Graphs.Convert.bool_adjacency s in
+  Alcotest.check Alcotest.(option bool) "reverse edge present" (Some true)
+    (Smatrix.get adj 1 0)
+
+let test_convert_roundtrip () =
+  let g =
+    { Graphs.Edge_list.nvertices = 4;
+      edges = [ (0, 1, 2.5); (2, 3, -1.0); (3, 0, 7.0) ] }
+  in
+  let m = Graphs.Convert.matrix_of_edges Dtype.FP64 g in
+  let g' = Graphs.Convert.edges_of_matrix m in
+  Alcotest.check Alcotest.int "vertices preserved" 4 g'.Graphs.Edge_list.nvertices;
+  Alcotest.check
+    Alcotest.(list (triple int int (float 0.0)))
+    "edges preserved (sorted)"
+    [ (0, 1, 2.5); (2, 3, -1.0); (3, 0, 7.0) ]
+    (List.sort compare g'.Graphs.Edge_list.edges)
+
+let test_out_degrees () =
+  let g = Graphs.Edge_list.of_pairs ~nvertices:3 [ (0, 1); (0, 2); (2, 1) ] in
+  let m = Graphs.Convert.bool_adjacency g in
+  let d = Graphs.Convert.out_degrees m in
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "degrees" [ (0, 2); (2, 1) ] (Svector.to_alist d)
+
+let qcheck_er_determinism =
+  Helpers.qtest ~count:30 "same seed, same graph"
+    (QCheck.make QCheck.Gen.(int_range 0 10000) ~print:string_of_int)
+    (fun seed ->
+      let g1 =
+        Graphs.Generators.erdos_renyi_paper
+          (Graphs.Rng.create ~seed) ~nvertices:32
+      in
+      let g2 =
+        Graphs.Generators.erdos_renyi_paper
+          (Graphs.Rng.create ~seed) ~nvertices:32
+      in
+      g1.Graphs.Edge_list.edges = g2.Graphs.Edge_list.edges)
+
+let suite =
+  [ Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "erdos-renyi G(n,M)" `Quick test_erdos_renyi;
+    Alcotest.test_case "paper density |E|=|V|^1.5" `Quick
+      test_erdos_renyi_paper_density;
+    Alcotest.test_case "too dense rejected" `Quick test_erdos_renyi_too_dense;
+    Alcotest.test_case "balanced tree" `Quick test_balanced_tree;
+    Alcotest.test_case "paths/cycles/stars/grids" `Quick
+      test_simple_topologies;
+    Alcotest.test_case "rmat" `Quick test_rmat;
+    Alcotest.test_case "watts-strogatz" `Quick test_watts_strogatz;
+    Alcotest.test_case "barabasi-albert" `Quick test_barabasi_albert;
+    Alcotest.test_case "symmetrize" `Quick test_symmetrize;
+    Alcotest.test_case "convert roundtrip" `Quick test_convert_roundtrip;
+    Alcotest.test_case "out degrees" `Quick test_out_degrees;
+    Helpers.to_alcotest qcheck_er_determinism;
+  ]

@@ -1,0 +1,112 @@
+open Gbtl
+
+let f64 = Dtype.FP64
+
+let with_temp_file content f =
+  let path = Filename.temp_file "ogb_test" ".mtx" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      f path)
+
+let test_read_general_real () =
+  let content =
+    "%%MatrixMarket matrix coordinate real general\n\
+     % a comment\n\
+     3 3 3\n\
+     1 1 1.5\n\
+     2 3 2.5\n\
+     3 1 -3.0\n"
+  in
+  with_temp_file content (fun path ->
+      let m = Matrix_market.read f64 path in
+      Alcotest.check Alcotest.(pair int int) "shape" (3, 3) (Smatrix.shape m);
+      Alcotest.check
+        Alcotest.(list (triple int int (float 0.0)))
+        "entries (zero-based)"
+        [ (0, 0, 1.5); (1, 2, 2.5); (2, 0, -3.0) ]
+        (Smatrix.to_coo m))
+
+let test_read_symmetric () =
+  let content =
+    "%%MatrixMarket matrix coordinate integer symmetric\n3 3 2\n2 1 5\n3 3 7\n"
+  in
+  with_temp_file content (fun path ->
+      let m = Matrix_market.read Dtype.Int64 path in
+      Alcotest.check Alcotest.int "expanded nvals" 3 (Smatrix.nvals m);
+      Alcotest.check Alcotest.(option int) "mirrored" (Some 5)
+        (Smatrix.get m 0 1);
+      Alcotest.check Alcotest.(option int) "diagonal not doubled" (Some 7)
+        (Smatrix.get m 2 2))
+
+let test_read_pattern () =
+  let content =
+    "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n"
+  in
+  with_temp_file content (fun path ->
+      let m = Matrix_market.read Dtype.Bool path in
+      Alcotest.check Alcotest.(option bool) "pattern entry is one" (Some true)
+        (Smatrix.get m 0 1))
+
+let test_read_skew () =
+  let content =
+    "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3.0\n"
+  in
+  with_temp_file content (fun path ->
+      let m = Matrix_market.read f64 path in
+      Alcotest.check Alcotest.(option (float 0.0)) "negated mirror"
+        (Some (-3.0)) (Smatrix.get m 0 1))
+
+let test_bad_banner () =
+  with_temp_file "%%MatrixMarket matrix array real general\n1 1\n1.0\n"
+    (fun path ->
+      match Matrix_market.read f64 path with
+      | exception Matrix_market.Parse_error _ -> ()
+      | _ -> Alcotest.fail "expected Parse_error")
+
+let test_count_mismatch () =
+  with_temp_file
+    "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+    (fun path ->
+      match Matrix_market.read f64 path with
+      | exception Matrix_market.Parse_error _ -> ()
+      | _ -> Alcotest.fail "expected Parse_error")
+
+let test_write_read_roundtrip () =
+  let m =
+    Smatrix.of_coo f64 4 3 [ (0, 0, 1.25); (1, 2, -2.5); (3, 1, 1e-3) ]
+  in
+  let path = Filename.temp_file "ogb_rt" ".mtx" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Matrix_market.write ~comment:"roundtrip test" m path;
+      let m' = Matrix_market.read f64 path in
+      Alcotest.check
+        (Helpers.smatrix_testable f64)
+        "roundtrip equality" m m')
+
+let qcheck_roundtrip =
+  Helpers.qtest ~count:50 "matrix market roundtrip (random)"
+    (Helpers.arb (Helpers.mat_gen 6 5)) (fun d ->
+      let m = Dense_ref.smatrix_of_mat f64 6 5 d in
+      let path = Filename.temp_file "ogb_qrt" ".mtx" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          Matrix_market.write m path;
+          Smatrix.equal m (Matrix_market.read f64 path)))
+
+let suite =
+  [ Alcotest.test_case "read general real" `Quick test_read_general_real;
+    Alcotest.test_case "read symmetric" `Quick test_read_symmetric;
+    Alcotest.test_case "read pattern" `Quick test_read_pattern;
+    Alcotest.test_case "read skew-symmetric" `Quick test_read_skew;
+    Alcotest.test_case "bad banner rejected" `Quick test_bad_banner;
+    Alcotest.test_case "count mismatch rejected" `Quick test_count_mismatch;
+    Alcotest.test_case "write/read roundtrip" `Quick test_write_read_roundtrip;
+    Helpers.to_alcotest qcheck_roundtrip;
+  ]

@@ -1,0 +1,230 @@
+(* mxv / vxm / mxm against the dense reference model, across random
+   semirings, masks, accumulators, replace flags and transposes. *)
+
+open Gbtl
+
+let f64 = Dtype.FP64
+
+let mk_vec = Dense_ref.svector_of_vec f64
+let mk_mat = Dense_ref.smatrix_of_mat f64
+
+(* Fixed small example: the BFS frontier step of the paper's Fig. 1. *)
+let test_bfs_ply () =
+  (* 7-vertex graph of Fig. 1; edge list of the directed adjacency. *)
+  let edges =
+    [ (0, 1); (0, 3); (1, 4); (1, 6); (2, 5); (3, 0); (3, 2); (4, 5);
+      (5, 2); (6, 2); (6, 3); (6, 4) ]
+  in
+  let a =
+    Smatrix.of_coo Dtype.Bool 7 7 (List.map (fun (r, c) -> (r, c, true)) edges)
+  in
+  let frontier = Svector.of_coo Dtype.Bool 7 [ (3, true) ] in
+  let next = Svector.create Dtype.Bool 7 in
+  (* next = Aᵀ ⊕.⊗ frontier over the logical semiring: vertices reachable
+     from the frontier. *)
+  Matmul.mxv ~transpose_a:true (Semiring.logical Dtype.Bool) ~out:next a
+    frontier;
+  Alcotest.check
+    Alcotest.(list (pair int bool))
+    "one ply from vertex 3"
+    [ (0, true); (2, true) ]
+    (Svector.to_alist next)
+
+let test_mxv_simple () =
+  let a = Smatrix.of_dense f64 [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let u = Svector.of_dense f64 [| 10.0; 100.0 |] in
+  let w = Svector.create f64 2 in
+  Matmul.mxv (Semiring.arithmetic f64) ~out:w a u;
+  Alcotest.check
+    Alcotest.(list (pair int (float 0.0)))
+    "A*u" [ (0, 210.0); (1, 430.0) ] (Svector.to_alist w)
+
+let test_mxv_empty_rows_produce_no_entries () =
+  let a = Smatrix.of_coo f64 3 3 [ (0, 1, 2.0) ] in
+  let u = Svector.of_coo f64 3 [ (1, 5.0) ] in
+  let w = Svector.create f64 3 in
+  Matmul.mxv (Semiring.arithmetic f64) ~out:w a u;
+  Alcotest.check Alcotest.int "only one output entry" 1 (Svector.nvals w)
+
+let test_mxm_simple () =
+  let a = Smatrix.of_dense f64 [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = Smatrix.of_dense f64 [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let c = Smatrix.create f64 2 2 in
+  Matmul.mxm (Semiring.arithmetic f64) ~out:c a b;
+  Alcotest.check
+    Alcotest.(array (array (float 0.0)))
+    "A*B"
+    [| [| 19.0; 22.0 |]; [| 43.0; 50.0 |] |]
+    (Smatrix.to_dense ~fill:nan c)
+
+let test_min_plus_shortest_path_step () =
+  (* one relaxation of SSSP: path = Aᵀ min.+ path *)
+  let a = Smatrix.of_coo f64 3 3 [ (0, 1, 5.0); (1, 2, 2.0); (0, 2, 9.0) ] in
+  let path = Svector.of_coo f64 3 [ (0, 0.0) ] in
+  let out = Svector.create f64 3 in
+  Matmul.mxv ~transpose_a:true (Semiring.min_plus f64) ~out a path;
+  Alcotest.check
+    Alcotest.(list (pair int (float 0.0)))
+    "distances after one hop"
+    [ (1, 5.0); (2, 9.0) ]
+    (Svector.to_alist out)
+
+let test_dimension_errors () =
+  let a = Smatrix.create f64 2 3 in
+  let u = Svector.create f64 2 in
+  let w = Svector.create f64 2 in
+  Alcotest.check_raises "mxv inner mismatch"
+    (Smatrix.Dimension_mismatch "mxv: matrix cols 3 vs vector size 2")
+    (fun () -> Matmul.mxv (Semiring.arithmetic f64) ~out:w a u)
+
+(* -- randomized equivalence -- *)
+
+let param_gen =
+  QCheck.Gen.(
+    Helpers.semiring_gen >>= fun sr ->
+    Helpers.accum_gen >>= fun accum ->
+    bool >|= fun replace -> (sr, accum, replace))
+
+let qcheck_mxv =
+  let gen =
+    QCheck.Gen.(
+      Helpers.mat_gen 5 6 >>= fun a ->
+      Helpers.vec_gen 6 >>= fun u ->
+      Helpers.vec_gen 5 >>= fun c ->
+      Helpers.vmask_gen 5 >>= fun mask ->
+      param_gen >|= fun p -> (a, u, c, mask, p))
+  in
+  Helpers.qtest ~count:400 "mxv matches dense model" (Helpers.arb gen)
+    (fun (a, u, c, mask, (sr, accum, replace)) ->
+      let out = mk_vec c in
+      Matmul.mxv ~mask ?accum ~replace sr ~out (mk_mat 5 6 a) (mk_vec u);
+      let t = Dense_ref.mxv_t sr a u in
+      let expected =
+        Dense_ref.write_vec ~mask ~accum:(Dense_ref.accum_f accum) ~replace c t
+      in
+      Svector.equal out (mk_vec expected))
+
+let qcheck_mxv_transposed =
+  let gen =
+    QCheck.Gen.(
+      Helpers.mat_gen 6 5 >>= fun a ->
+      Helpers.vec_gen 6 >>= fun u ->
+      Helpers.vec_gen 5 >>= fun c ->
+      Helpers.vmask_gen 5 >>= fun mask ->
+      param_gen >|= fun p -> (a, u, c, mask, p))
+  in
+  Helpers.qtest ~count:400 "mxv with transpose_a matches dense model"
+    (Helpers.arb gen) (fun (a, u, c, mask, (sr, accum, replace)) ->
+      let out = mk_vec c in
+      Matmul.mxv ~mask ?accum ~replace ~transpose_a:true sr ~out (mk_mat 6 5 a)
+        (mk_vec u);
+      let t = Dense_ref.mxv_t sr (Dense_ref.transpose_mat a) u in
+      let expected =
+        Dense_ref.write_vec ~mask ~accum:(Dense_ref.accum_f accum) ~replace c t
+      in
+      Svector.equal out (mk_vec expected))
+
+let qcheck_vxm =
+  let gen =
+    QCheck.Gen.(
+      Helpers.mat_gen 5 6 >>= fun a ->
+      Helpers.vec_gen 5 >>= fun u ->
+      Helpers.vec_gen 6 >>= fun c ->
+      Helpers.vmask_gen 6 >>= fun mask ->
+      param_gen >|= fun p -> (a, u, c, mask, p))
+  in
+  Helpers.qtest ~count:400 "vxm matches dense model" (Helpers.arb gen)
+    (fun (a, u, c, mask, (sr, accum, replace)) ->
+      let out = mk_vec c in
+      Matmul.vxm ~mask ?accum ~replace sr ~out (mk_vec u) (mk_mat 5 6 a);
+      let t = Dense_ref.vxm_t sr u a in
+      let expected =
+        Dense_ref.write_vec ~mask ~accum:(Dense_ref.accum_f accum) ~replace c t
+      in
+      Svector.equal out (mk_vec expected))
+
+let qcheck_vxm_transposed =
+  let gen =
+    QCheck.Gen.(
+      Helpers.mat_gen 6 5 >>= fun a ->
+      Helpers.vec_gen 5 >>= fun u ->
+      Helpers.vec_gen 6 >>= fun c ->
+      Helpers.vmask_gen 6 >>= fun mask ->
+      param_gen >|= fun p -> (a, u, c, mask, p))
+  in
+  Helpers.qtest ~count:400 "vxm with transpose_a matches dense model"
+    (Helpers.arb gen) (fun (a, u, c, mask, (sr, accum, replace)) ->
+      let out = mk_vec c in
+      Matmul.vxm ~mask ?accum ~replace ~transpose_a:true sr ~out (mk_vec u)
+        (mk_mat 6 5 a);
+      let t = Dense_ref.vxm_t sr u (Dense_ref.transpose_mat a) in
+      let expected =
+        Dense_ref.write_vec ~mask ~accum:(Dense_ref.accum_f accum) ~replace c t
+      in
+      Svector.equal out (mk_vec expected))
+
+let qcheck_mxm =
+  let gen =
+    QCheck.Gen.(
+      Helpers.mat_gen 4 5 >>= fun a ->
+      Helpers.mat_gen 5 4 >>= fun b ->
+      Helpers.mat_gen 4 4 >>= fun c ->
+      Helpers.mmask_gen 4 4 >>= fun mask ->
+      pair bool bool >>= fun (ta, tb) ->
+      param_gen >|= fun p -> (a, b, c, mask, ta, tb, p))
+  in
+  Helpers.qtest ~count:400
+    "mxm matches dense model (all transpose combinations)" (Helpers.arb gen)
+    (fun (a, b, c, mask, ta, tb, (sr, accum, replace)) ->
+      (* logical product is a(4x5) * b(5x4); arguments are pre-transposed
+         so the transpose flags undo it *)
+      let a_sp =
+        Dense_ref.smatrix_of_mat_auto f64
+          (if ta then Dense_ref.transpose_mat a else a)
+      and b_sp =
+        Dense_ref.smatrix_of_mat_auto f64
+          (if tb then Dense_ref.transpose_mat b else b)
+      in
+      let out = mk_mat 4 4 c in
+      Matmul.mxm ~mask ?accum ~replace ~transpose_a:ta ~transpose_b:tb sr
+        ~out a_sp b_sp;
+      let t = Dense_ref.mxm_t sr a b in
+      let expected =
+        Dense_ref.write_mat ~mask ~accum:(Dense_ref.accum_f accum) ~replace c t
+      in
+      Smatrix.equal out (mk_mat 4 4 expected))
+
+let qcheck_mxm_masked_dot_path =
+  (* pin the masked + transpose_b special kernel against the generic one *)
+  let gen =
+    QCheck.Gen.(
+      Helpers.mat_gen 5 6 >>= fun a ->
+      Helpers.mat_gen 5 6 >>= fun b ->
+      Helpers.mat_gen 5 5 >>= fun c ->
+      Helpers.mmask_gen 5 5 >|= fun mask -> (a, b, c, mask))
+  in
+  Helpers.qtest ~count:400 "masked dot-product mxm path" (Helpers.arb gen)
+    (fun (a, b, c, mask) ->
+      let sr = Semiring.arithmetic f64 in
+      let out = mk_mat 5 5 c in
+      Matmul.mxm ~mask ~transpose_b:true sr ~out (mk_mat 5 6 a) (mk_mat 5 6 b);
+      let t = Dense_ref.mxm_t sr a (Dense_ref.transpose_mat b) in
+      let expected = Dense_ref.write_mat ~mask ~accum:None ~replace:false c t in
+      Smatrix.equal out (mk_mat 5 5 expected))
+
+let suite =
+  [ Alcotest.test_case "BFS ply (paper Fig. 1)" `Quick test_bfs_ply;
+    Alcotest.test_case "mxv dense example" `Quick test_mxv_simple;
+    Alcotest.test_case "mxv sparsity" `Quick
+      test_mxv_empty_rows_produce_no_entries;
+    Alcotest.test_case "mxm dense example" `Quick test_mxm_simple;
+    Alcotest.test_case "min-plus relaxation" `Quick
+      test_min_plus_shortest_path_step;
+    Alcotest.test_case "dimension errors" `Quick test_dimension_errors;
+    Helpers.to_alcotest qcheck_mxv;
+    Helpers.to_alcotest qcheck_mxv_transposed;
+    Helpers.to_alcotest qcheck_vxm;
+    Helpers.to_alcotest qcheck_vxm_transposed;
+    Helpers.to_alcotest qcheck_mxm;
+    Helpers.to_alcotest qcheck_mxm_masked_dot_path;
+  ]

@@ -1,0 +1,177 @@
+open Minivm
+open Minivm.Ast
+open Minivm.Value
+
+let run_expr ?(prelude = []) e =
+  let env = Env.create () in
+  Builtins.install env;
+  Interp.exec_block env prelude;
+  Interp.eval env e
+
+let i n = Const (Int n)
+let f x = Const (Float x)
+let s x = Const (Str x)
+
+let vcheck msg expected actual =
+  Alcotest.check Alcotest.string msg (Value.to_string expected)
+    (Value.to_string actual)
+
+let test_arithmetic () =
+  vcheck "int add" (Int 7) (run_expr (Binary ("+", i 3, i 4)));
+  vcheck "int/float promotion" (Float 5.5)
+    (run_expr (Binary ("+", i 3, f 2.5)));
+  vcheck "true division" (Float 1.5) (run_expr (Binary ("/", i 3, i 2)));
+  vcheck "floor division" (Int 1) (run_expr (Binary ("//", i 3, i 2)));
+  vcheck "negative floor division" (Int (-2))
+    (run_expr (Binary ("//", i (-3), i 2)));
+  vcheck "modulo" (Int 1) (run_expr (Binary ("%", i 7, i 3)));
+  vcheck "python-style modulo" (Int 2) (run_expr (Binary ("%", i (-7), i 3)));
+  vcheck "string concat" (Str "ab") (run_expr (Binary ("+", s "a", s "b")))
+
+let test_comparison_and_logic () =
+  vcheck "lt" (Bool true) (run_expr (Binary ("<", i 1, i 2)));
+  vcheck "eq across numeric types" (Bool true)
+    (run_expr (Binary ("==", i 2, f 2.0)));
+  vcheck "neq" (Bool true) (run_expr (Binary ("!=", s "a", s "b")));
+  vcheck "and short-circuits" (Int 0)
+    (run_expr (Binary ("and", i 0, Var "unbound_would_fail")));
+  vcheck "or short-circuits" (Int 5)
+    (run_expr (Binary ("or", i 5, Var "unbound_would_fail")));
+  vcheck "not" (Bool false) (run_expr (Unary ("not", i 1)))
+
+let test_variables_and_scope () =
+  let prelude =
+    [ Assign ("x", i 10);
+      Def ("bump", [ "n" ], [ Return (Binary ("+", Var "n", Var "x")) ]) ]
+  in
+  vcheck "closure sees global" (Int 13)
+    (run_expr ~prelude (Call (Var "bump", [ i 3 ])));
+  let env = Interp.run [ Assign ("a", i 1); Assign ("a", i 2) ] in
+  vcheck "assignment rebinds" (Int 2) (Env.lookup env "a")
+
+let test_control_flow () =
+  let program =
+    [ Assign ("total", i 0);
+      For
+        ( "k",
+          Call (Var "range", [ i 10 ]),
+          [ If
+              (Binary ("==", Var "k", i 5), [ Continue ], []);
+            If (Binary ("==", Var "k", i 8), [ Break ], []);
+            Assign ("total", Binary ("+", Var "total", Var "k")) ] ) ]
+  in
+  let env = Interp.run program in
+  (* 0+1+2+3+4+6+7 = 23 *)
+  vcheck "for with continue/break" (Int 23) (Env.lookup env "total")
+
+let test_while () =
+  let program =
+    [ Assign ("n", i 0);
+      While
+        ( Binary ("<", Var "n", i 100),
+          [ Assign ("n", Binary ("+", Var "n", i 7)) ] ) ]
+  in
+  vcheck "while" (Int 105) (Env.lookup (Interp.run program) "n")
+
+let test_recursion () =
+  let prelude =
+    [ Def
+        ( "fib",
+          [ "n" ],
+          [ If
+              ( Binary ("<", Var "n", i 2),
+                [ Return (Var "n") ],
+                [ Return
+                    (Binary
+                       ( "+",
+                         Call (Var "fib", [ Binary ("-", Var "n", i 1) ]),
+                         Call (Var "fib", [ Binary ("-", Var "n", i 2) ]) ))
+                ] ) ] ) ]
+  in
+  vcheck "fib 10" (Int 55) (run_expr ~prelude (Call (Var "fib", [ i 10 ])))
+
+let test_lists_and_dicts () =
+  let program =
+    [ Assign ("l", ListLit [ i 1; i 2 ]);
+      ExprStmt (Method (Var "l", "append", [ i 3 ]));
+      SetIndex (Var "l", i 0, i 9);
+      Assign ("first", Index (Var "l", i 0));
+      Assign ("n", Call (Var "len", [ Var "l" ])) ]
+  in
+  let env = Interp.run program in
+  vcheck "set/get" (Int 9) (Env.lookup env "first");
+  vcheck "append extends" (Int 3) (Env.lookup env "n")
+
+let test_lambda () =
+  vcheck "lambda application" (Int 9)
+    (run_expr
+       (Call (Lambda ([ "x" ], [ Return (Binary ("*", Var "x", Var "x")) ]), [ i 3 ])))
+
+let test_builtins () =
+  vcheck "len str" (Int 5) (run_expr (Call (Var "len", [ s "hello" ])));
+  vcheck "abs" (Int 4) (run_expr (Call (Var "abs", [ i (-4) ])));
+  vcheck "min" (Int 1) (run_expr (Call (Var "min", [ i 1; i 2 ])));
+  vcheck "int of float" (Int 3) (run_expr (Call (Var "int", [ f 3.9 ])));
+  vcheck "str" (Str "42") (run_expr (Call (Var "str", [ i 42 ])))
+
+let test_errors () =
+  let expect_error e =
+    match run_expr e with
+    | exception Interp.Runtime_error _ -> ()
+    | v -> Alcotest.failf "expected error, got %s" (Value.to_string v)
+  in
+  expect_error (Var "missing");
+  expect_error (Binary ("+", i 1, s "x"));
+  expect_error (Call (i 1, []));
+  expect_error (Index (i 1, i 0));
+  expect_error (Binary ("//", i 1, i 0))
+
+(* context-manager protocol via custom hooks *)
+type Value.foreign += Ctx of string
+
+let test_with_hooks () =
+  let log = ref [] in
+  let hooks =
+    { Interp.no_hooks with
+      Interp.context_enter =
+        (function
+        | Foreign (Ctx name) ->
+          log := ("enter " ^ name) :: !log;
+          true
+        | _ -> false);
+      context_exit =
+        (function
+        | Foreign (Ctx name) -> log := ("exit " ^ name) :: !log
+        | _ -> ()) }
+  in
+  let saved = Interp.hooks () in
+  Interp.set_hooks hooks;
+  Fun.protect
+    ~finally:(fun () -> Interp.set_hooks saved)
+    (fun () ->
+      let env = Env.create () in
+      Builtins.install env;
+      Env.define env "a" (Foreign (Ctx "a"));
+      Env.define env "b" (Foreign (Ctx "b"));
+      Interp.exec_block env
+        [ With ([ Var "a"; Var "b" ], [ Assign ("x", i 1) ]) ];
+      Alcotest.check
+        Alcotest.(list string)
+        "enter in order, exit in reverse"
+        [ "enter a"; "enter b"; "exit b"; "exit a" ]
+        (List.rev !log))
+
+let suite =
+  [ Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "comparisons and logic" `Quick
+      test_comparison_and_logic;
+    Alcotest.test_case "variables and scope" `Quick test_variables_and_scope;
+    Alcotest.test_case "for/continue/break" `Quick test_control_flow;
+    Alcotest.test_case "while" `Quick test_while;
+    Alcotest.test_case "recursion" `Quick test_recursion;
+    Alcotest.test_case "lists and dicts" `Quick test_lists_and_dicts;
+    Alcotest.test_case "lambda" `Quick test_lambda;
+    Alcotest.test_case "builtins" `Quick test_builtins;
+    Alcotest.test_case "runtime errors" `Quick test_errors;
+    Alcotest.test_case "with-context hooks" `Quick test_with_hooks;
+  ]

@@ -1,0 +1,183 @@
+(* Table I conformance: every GraphBLAS operation row, written in the DSL
+   notation (third column), must produce the same result as the direct
+   GBTL call (the semantics behind the mathematical notation in column
+   two).  This is experiment E4 of DESIGN.md as a test suite. *)
+
+open Ogb
+open Ogb.Ops.Infix
+open Gbtl
+
+let f64 = Dtype.FP64
+
+let a_mat () =
+  Smatrix.of_coo f64 3 3
+    [ (0, 0, 1.0); (0, 2, 2.0); (1, 1, 3.0); (2, 0, 4.0); (2, 2, 5.0) ]
+
+let b_mat () =
+  Smatrix.of_coo f64 3 3 [ (0, 1, 1.5); (1, 1, -1.0); (2, 0, 2.0); (2, 2, 0.5) ]
+
+let u_vec () = Svector.of_coo f64 3 [ (0, 1.0); (2, 2.0) ]
+let v_vec () = Svector.of_coo f64 3 [ (1, 3.0); (2, -1.0) ]
+
+let m_mask () = Smatrix.of_coo Dtype.Bool 3 3 [ (0, 0, true); (1, 1, true); (2, 2, true) ]
+let v_mask () = Svector.of_coo Dtype.Bool 3 [ (0, true); (2, true) ]
+
+let check_matrix msg expected actual =
+  Alcotest.check (Helpers.smatrix_testable f64) msg expected
+    (Container.as_matrix f64 actual)
+
+let check_vector msg expected actual =
+  Alcotest.check (Helpers.svector_testable f64) msg expected
+    (Container.as_vector f64 actual)
+
+(* mxm: C<M> = A ⊕.⊗ B  <->  C[M] = A @ B *)
+let test_mxm () =
+  let a = a_mat () and b = b_mat () in
+  let expected = Smatrix.create f64 3 3 in
+  Matmul.mxm ~mask:(Mask.mmask (m_mask ())) (Semiring.arithmetic f64)
+    ~out:expected a b;
+  let c = Container.matrix_empty 3 3 in
+  Ops.set
+    ~mask:(Ops.Mask (Container.of_smatrix (m_mask ())))
+    c
+    (!!(Container.of_smatrix a) @. !!(Container.of_smatrix b));
+  check_matrix "C[M] = A @ B" expected c
+
+(* mxv: w<m> = A ⊕.⊗ u  <->  w[m] = A @ u *)
+let test_mxv () =
+  let a = a_mat () and u = u_vec () in
+  let expected = Svector.create f64 3 in
+  Matmul.mxv ~mask:(Mask.vmask (v_mask ())) (Semiring.arithmetic f64)
+    ~out:expected a u;
+  let w = Container.vector_empty 3 in
+  Ops.set
+    ~mask:(Ops.Mask (Container.of_svector (v_mask ())))
+    w
+    (!!(Container.of_smatrix a) @. !!(Container.of_svector u));
+  check_vector "w[m] = A @ u" expected w
+
+(* eWiseMult: C = A ⊗ B  <->  C = A * B; w = u ⊗ v  <->  w = u * v *)
+let test_ewise_mult () =
+  let a = a_mat () and b = b_mat () in
+  let expected = Smatrix.create f64 3 3 in
+  Ewise.matrix_mult (Binop.times f64) ~out:expected a b;
+  let c = Container.matrix_empty 3 3 in
+  Ops.set c (!!(Container.of_smatrix a) *: !!(Container.of_smatrix b));
+  check_matrix "C = A * B" expected c;
+  let u = u_vec () and v = v_vec () in
+  let expected_v = Svector.create f64 3 in
+  Ewise.vector_mult (Binop.times f64) ~out:expected_v u v;
+  let w = Container.vector_empty 3 in
+  Ops.set w (!!(Container.of_svector u) *: !!(Container.of_svector v));
+  check_vector "w = u * v" expected_v w
+
+(* eWiseAdd: C = A ⊕ B  <->  C = A + B *)
+let test_ewise_add () =
+  let a = a_mat () and b = b_mat () in
+  let expected = Smatrix.create f64 3 3 in
+  Ewise.matrix_add (Binop.plus f64) ~out:expected a b;
+  let c = Container.matrix_empty 3 3 in
+  Ops.set c (!!(Container.of_smatrix a) +: !!(Container.of_smatrix b));
+  check_matrix "C = A + B" expected c
+
+(* reduce (row): w = [⊕_j A(:,j)]  <->  w = reduce(monoid, A) *)
+let test_reduce_row () =
+  let a = a_mat () in
+  let expected = Svector.create f64 3 in
+  Apply_reduce.reduce_rows (Monoid.plus f64) ~out:expected a;
+  let w = Container.vector_empty 3 in
+  Ops.set w (Ops.reduce_rows !!(Container.of_smatrix a));
+  check_vector "w = reduce(A)" expected w
+
+(* reduce (scalar): s = [⊕_ij A(i,j)]  <->  s = reduce(A) *)
+let test_reduce_scalar () =
+  let a = a_mat () in
+  let expected = Apply_reduce.reduce_matrix_scalar (Monoid.plus f64) a in
+  Alcotest.check (Alcotest.float 1e-12) "s = reduce(A)" expected
+    (Ops.reduce !!(Container.of_smatrix a));
+  let u = u_vec () in
+  let expected_u = Apply_reduce.reduce_vector_scalar (Monoid.plus f64) u in
+  Alcotest.check (Alcotest.float 1e-12) "s = reduce(u)" expected_u
+    (Ops.reduce !!(Container.of_svector u))
+
+(* apply: C = f(A)  <->  C = apply(A) *)
+let test_apply () =
+  let a = a_mat () in
+  let expected = Smatrix.create f64 3 3 in
+  Apply_reduce.apply_matrix (Unaryop.additive_inverse f64) ~out:expected a;
+  let c = Container.matrix_empty 3 3 in
+  Context.with_ops [ Context.unary "AdditiveInverse" ] (fun () ->
+      Ops.set c (Ops.apply !!(Container.of_smatrix a)));
+  check_matrix "C = apply(A)" expected c
+
+(* transpose: C = Aᵀ  <->  C = A.T *)
+let test_transpose () =
+  let a = a_mat () in
+  let expected = Smatrix.create f64 3 3 in
+  Transpose_op.transpose ~out:expected a;
+  let c = Container.matrix_empty 3 3 in
+  Ops.set c (tr !!(Container.of_smatrix a));
+  check_matrix "C = A.T" expected c
+
+(* extract: C = A(i,j)  <->  C = A[i,j]; w = u(i)  <->  w = u[i] *)
+let test_extract () =
+  let a = a_mat () in
+  let rows = Index_set.List [| 0; 2 |] and cols = Index_set.All in
+  let expected = Smatrix.create f64 2 3 in
+  Extract.matrix ~out:expected a rows cols;
+  let c = Container.matrix_empty 2 3 in
+  Ops.set c (Expr.extract_mat !!(Container.of_smatrix a) rows cols);
+  check_matrix "C = A[i,j]" expected c;
+  let u = u_vec () in
+  let idx = Index_set.List [| 2; 0 |] in
+  let expected_v = Svector.create f64 2 in
+  Extract.vector ~out:expected_v u idx;
+  let w = Container.vector_empty 2 in
+  Ops.set w (Expr.extract_vec !!(Container.of_svector u) idx);
+  check_vector "w = u[i]" expected_v w
+
+(* assign: C<M>(i,j) = A  <->  C[M][i,j] = A *)
+let test_assign () =
+  let target = Smatrix.of_coo f64 3 3 [ (0, 0, 9.0) ] in
+  let src = Smatrix.of_coo f64 2 2 [ (0, 0, 1.0); (1, 1, 2.0) ] in
+  let rows = Index_set.List [| 1; 2 |] and cols = Index_set.List [| 0; 1 |] in
+  let expected = Smatrix.dup target in
+  Assign.matrix ~out:expected src rows cols;
+  let c = Container.of_smatrix (Smatrix.dup target) in
+  Ops.set_region ~rows ~cols c !!(Container.of_smatrix src);
+  check_matrix "C[i,j] = A" expected c;
+  (* w<m>(i) = u *)
+  let wt = Svector.of_coo f64 3 [ (1, 9.0) ] in
+  let us = Svector.of_coo f64 2 [ (0, 5.0) ] in
+  let idx = Index_set.List [| 0; 1 |] in
+  let expected_v = Svector.dup wt in
+  Assign.vector ~mask:(Mask.vmask (v_mask ())) ~out:expected_v us idx;
+  let w = Container.of_svector (Svector.dup wt) in
+  Ops.set_region
+    ~mask:(Ops.Mask (Container.of_svector (v_mask ())))
+    ~rows:idx w
+    !!(Container.of_svector us);
+  check_vector "w[m][i] = u" expected_v w
+
+(* accumulate variants: C ⊙= ... via += *)
+let test_accumulate () =
+  let u = u_vec () and v = v_vec () in
+  let expected = Svector.dup u in
+  Ewise.vector_add ~accum:(Binop.plus f64) (Binop.plus f64) ~out:expected u v;
+  let w = Container.of_svector (Svector.dup u) in
+  Ops.update w (!!(Container.of_svector u) +: !!(Container.of_svector v));
+  check_vector "w += u + v" expected w
+
+let suite =
+  [ Alcotest.test_case "Table I: mxm" `Quick test_mxm;
+    Alcotest.test_case "Table I: mxv" `Quick test_mxv;
+    Alcotest.test_case "Table I: eWiseMult" `Quick test_ewise_mult;
+    Alcotest.test_case "Table I: eWiseAdd" `Quick test_ewise_add;
+    Alcotest.test_case "Table I: reduce (row)" `Quick test_reduce_row;
+    Alcotest.test_case "Table I: reduce (scalar)" `Quick test_reduce_scalar;
+    Alcotest.test_case "Table I: apply" `Quick test_apply;
+    Alcotest.test_case "Table I: transpose" `Quick test_transpose;
+    Alcotest.test_case "Table I: extract" `Quick test_extract;
+    Alcotest.test_case "Table I: assign" `Quick test_assign;
+    Alcotest.test_case "Table I: accumulate" `Quick test_accumulate;
+  ]

@@ -1,0 +1,202 @@
+open Gbtl
+
+let check = Alcotest.check
+
+(* -- named binary operators, spot semantics -- *)
+
+let test_binop_arithmetic () =
+  let f64 = Dtype.FP64 in
+  check (Alcotest.float 0.0) "Plus" 7.0 (Binop.apply (Binop.plus f64) 3.0 4.0);
+  check (Alcotest.float 0.0) "Minus" (-1.0)
+    (Binop.apply (Binop.minus f64) 3.0 4.0);
+  check (Alcotest.float 0.0) "Times" 12.0
+    (Binop.apply (Binop.times f64) 3.0 4.0);
+  check (Alcotest.float 0.0) "Div" 0.75 (Binop.apply (Binop.div f64) 3.0 4.0);
+  check (Alcotest.float 0.0) "Min" 3.0 (Binop.apply (Binop.min f64) 3.0 4.0);
+  check (Alcotest.float 0.0) "Max" 4.0 (Binop.apply (Binop.max f64) 3.0 4.0);
+  check (Alcotest.float 0.0) "First" 3.0
+    (Binop.apply (Binop.first f64) 3.0 4.0);
+  check (Alcotest.float 0.0) "Second" 4.0
+    (Binop.apply (Binop.second f64) 3.0 4.0)
+
+let test_binop_comparisons () =
+  let i32 = Dtype.Int32 in
+  check Alcotest.int "LessThan true -> 1" 1
+    (Binop.apply (Binop.less_than i32) 1 2);
+  check Alcotest.int "LessThan false -> 0" 0
+    (Binop.apply (Binop.less_than i32) 2 1);
+  check Alcotest.int "Equal" 1 (Binop.apply (Binop.equal i32) 5 5);
+  check Alcotest.int "NotEqual" 1 (Binop.apply (Binop.not_equal i32) 5 6);
+  check Alcotest.int "GreaterEqual" 1
+    (Binop.apply (Binop.greater_equal i32) 5 5);
+  check Alcotest.int "LessEqual" 0 (Binop.apply (Binop.less_equal i32) 6 5)
+
+let test_binop_logical () =
+  let i32 = Dtype.Int32 in
+  (* nonzero operands are truthy; result is canonical 0/1 *)
+  check Alcotest.int "LogicalOr(0,7)" 1
+    (Binop.apply (Binop.logical_or i32) 0 7);
+  check Alcotest.int "LogicalAnd(3,7)" 1
+    (Binop.apply (Binop.logical_and i32) 3 7);
+  check Alcotest.int "LogicalAnd(0,7)" 0
+    (Binop.apply (Binop.logical_and i32) 0 7);
+  check Alcotest.int "LogicalXor(3,7)" 0
+    (Binop.apply (Binop.logical_xor i32) 3 7)
+
+let test_binop_unknown () =
+  check Alcotest.bool "is_known" true (Binop.is_known "Plus");
+  check Alcotest.bool "not known" false (Binop.is_known "Frobnicate");
+  Alcotest.check_raises "unknown raises" (Binop.Unknown_operator "Frobnicate")
+    (fun () -> ignore (Binop.of_name "Frobnicate" Dtype.FP64))
+
+let test_binop_int_division_by_zero () =
+  check Alcotest.int "int x/0 = 0 (documented)" 0
+    (Binop.apply (Binop.div Dtype.Int32) 7 0);
+  check (Alcotest.float 0.0) "float x/0 = inf" infinity
+    (Binop.apply (Binop.div Dtype.FP64) 7.0 0.0)
+
+let test_unaryops () =
+  check Alcotest.int "Identity" 42
+    (Unaryop.apply (Unaryop.identity Dtype.Int32) 42);
+  check Alcotest.int "AdditiveInverse" (-42)
+    (Unaryop.apply (Unaryop.additive_inverse Dtype.Int32) 42);
+  check Alcotest.int "LogicalNot nonzero" 0
+    (Unaryop.apply (Unaryop.logical_not Dtype.Int32) 42);
+  check Alcotest.int "LogicalNot zero" 1
+    (Unaryop.apply (Unaryop.logical_not Dtype.Int32) 0);
+  check (Alcotest.float 0.0) "MultiplicativeInverse" 0.25
+    (Unaryop.apply (Unaryop.multiplicative_inverse Dtype.FP64) 4.0);
+  check Alcotest.int "int8 AdditiveInverse wraps at -128" (-128)
+    (Unaryop.apply (Unaryop.additive_inverse Dtype.Int8) (-128))
+
+let test_bind () =
+  let damp = Unaryop.bind2nd Dtype.FP64 (Binop.times Dtype.FP64) 0.85 in
+  check (Alcotest.float 1e-12) "bind2nd Times 0.85" 1.7
+    (Unaryop.apply damp 2.0);
+  let sub_from = Unaryop.bind1st Dtype.FP64 (Binop.minus Dtype.FP64) 1.0 in
+  check (Alcotest.float 0.0) "bind1st Minus 1.0" 0.75
+    (Unaryop.apply sub_from 0.25);
+  (* names must distinguish instantiations for JIT keying *)
+  let damp2 = Unaryop.bind2nd Dtype.FP64 (Binop.times Dtype.FP64) 0.5 in
+  check Alcotest.bool "bound constants appear in names" false
+    ((damp : float Unaryop.t).Unaryop.name
+    = (damp2 : float Unaryop.t).Unaryop.name)
+
+let test_monoid_identities () =
+  check (Alcotest.float 0.0) "PlusMonoid identity" 0.0
+    (Monoid.plus Dtype.FP64).Monoid.identity;
+  check (Alcotest.float 0.0) "MinMonoid identity = +inf" infinity
+    (Monoid.min Dtype.FP64).Monoid.identity;
+  check Alcotest.int "MinMonoid int32 identity = max_int32" 2147483647
+    (Monoid.min Dtype.Int32).Monoid.identity;
+  check Alcotest.int "MaxMonoid int32 identity = min_int32" (-2147483648)
+    (Monoid.max Dtype.Int32).Monoid.identity;
+  check Alcotest.bool "LorMonoid identity" false
+    (Monoid.logical_or Dtype.Bool).Monoid.identity;
+  Alcotest.check_raises "unknown identity"
+    (Monoid.Unknown_identity "Seven") (fun () ->
+      ignore (Monoid.of_names ~op:"Plus" ~identity:"Seven" Dtype.Int32))
+
+let test_semiring_construction () =
+  let sr = Semiring.min_plus Dtype.FP64 in
+  check (Alcotest.float 0.0) "MinPlus zero" infinity (Semiring.zero sr);
+  check (Alcotest.float 0.0) "MinPlus add" 2.0 (Semiring.add sr 2.0 5.0);
+  check (Alcotest.float 0.0) "MinPlus mul" 7.0 (Semiring.mul sr 2.0 5.0);
+  let custom = Semiring.make (Monoid.plus Dtype.Int32) (Binop.min Dtype.Int32) in
+  check Alcotest.int "custom semiring mul" 2 (Semiring.mul custom 2 5);
+  Alcotest.check_raises "unknown semiring" (Semiring.Unknown_semiring "Tropical")
+    (fun () -> ignore (Semiring.of_name "Tropical" Dtype.FP64));
+  List.iter
+    (fun name -> ignore (Semiring.of_name name Dtype.FP64))
+    Semiring.names
+
+let test_all_binops_all_dtypes () =
+  (* every named operator instantiates at every dtype *)
+  List.iter
+    (fun (Dtype.P dt) ->
+      List.iter
+        (fun name ->
+          let op = Binop.of_name name dt in
+          ignore (Binop.apply op (Dtype.one dt) (Dtype.one dt)))
+        Binop.names;
+      List.iter
+        (fun name ->
+          let op = Unaryop.of_name name dt in
+          ignore (Unaryop.apply op (Dtype.one dt)))
+        Unaryop.names)
+    Dtype.all
+
+(* -- qcheck laws -- *)
+
+let int_arb = QCheck.int_range (-1000) 1000
+
+let monoid_laws name (m : int Monoid.t) =
+  [ Helpers.qtest (name ^ " associativity")
+      QCheck.(triple int_arb int_arb int_arb)
+      (fun (a, b, c) ->
+        let f = m.Monoid.op.Binop.f in
+        f (f a b) c = f a (f b c));
+    Helpers.qtest (name ^ " identity") int_arb (fun a ->
+        let f = m.Monoid.op.Binop.f in
+        f m.Monoid.identity a = a && f a m.Monoid.identity = a);
+  ]
+
+let semiring_laws name (sr : int Semiring.t) =
+  [ Helpers.qtest (name ^ " distributivity")
+      QCheck.(triple int_arb int_arb int_arb)
+      (fun (a, b, c) ->
+        Semiring.mul sr a (Semiring.add sr b c)
+        = Semiring.add sr (Semiring.mul sr a b) (Semiring.mul sr a c));
+  ]
+
+(* The "identity of ⊕ annihilates ⊗" requirement (paper §II) holds for the
+   float semirings, where Min's identity is +inf. *)
+let annihilator_tests =
+  let float_arb = QCheck.float_range (-1000.0) 1000.0 in
+  [ Helpers.qtest "Arithmetic<f64> annihilator" float_arb (fun a ->
+        let sr = Semiring.arithmetic Dtype.FP64 in
+        Semiring.mul sr (Semiring.zero sr) a = 0.0);
+    Helpers.qtest "MinPlus<f64> annihilator" float_arb (fun a ->
+        let sr = Semiring.min_plus Dtype.FP64 in
+        Semiring.mul sr (Semiring.zero sr) a = infinity);
+  ]
+
+let qcheck_suites =
+  List.concat
+    [ monoid_laws "PlusMonoid<int64>" (Monoid.plus Dtype.Int64);
+      monoid_laws "MinMonoid<int64>" (Monoid.min Dtype.Int64);
+      monoid_laws "MaxMonoid<int64>" (Monoid.max Dtype.Int64);
+      monoid_laws "TimesMonoid<int64>" (Monoid.times Dtype.Int64);
+      semiring_laws "MinPlus<int64>" (Semiring.min_plus Dtype.Int64);
+      semiring_laws "MaxPlus<int64>" (Semiring.max_plus Dtype.Int64);
+      semiring_laws "Arithmetic<int64>" (Semiring.arithmetic Dtype.Int64);
+      annihilator_tests;
+      [ Helpers.qtest "comparison ops return 0/1"
+          QCheck.(pair int_arb int_arb)
+          (fun (a, b) ->
+            List.for_all
+              (fun name ->
+                let op = Binop.of_name name Dtype.Int64 in
+                let r = Binop.apply op a b in
+                r = 0 || r = 1)
+              [ "Equal"; "NotEqual"; "LessThan"; "GreaterThan"; "LessEqual";
+                "GreaterEqual"; "LogicalOr"; "LogicalAnd"; "LogicalXor" ]);
+      ];
+    ]
+
+let suite =
+  [ Alcotest.test_case "binop arithmetic" `Quick test_binop_arithmetic;
+    Alcotest.test_case "binop comparisons" `Quick test_binop_comparisons;
+    Alcotest.test_case "binop logical" `Quick test_binop_logical;
+    Alcotest.test_case "unknown binop" `Quick test_binop_unknown;
+    Alcotest.test_case "division by zero" `Quick
+      test_binop_int_division_by_zero;
+    Alcotest.test_case "unary ops" `Quick test_unaryops;
+    Alcotest.test_case "bind1st/bind2nd" `Quick test_bind;
+    Alcotest.test_case "monoid identities" `Quick test_monoid_identities;
+    Alcotest.test_case "semiring construction" `Quick
+      test_semiring_construction;
+    Alcotest.test_case "all operators x all dtypes" `Quick
+      test_all_binops_all_dtypes;
+  ]
+  @ List.map Helpers.to_alcotest qcheck_suites

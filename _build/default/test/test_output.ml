@@ -1,0 +1,131 @@
+(* The masked/accumulated write step (Output) against the dense reference
+   model — this is where replace-vs-merge, complemented masks and
+   accumulator interactions live. *)
+
+open Gbtl
+
+let f64 = Dtype.FP64
+
+let check = Alcotest.check
+
+(* Unit cases pinned from the C API spec prose. *)
+
+let vec_of l = Svector.of_coo f64 5 l
+
+let write ?(mask = Mask.No_vmask) ?accum ?(replace = false) c t =
+  let out = vec_of c in
+  Output.write_vector ~mask ~accum ~replace ~out ~t:(Entries.of_alist t);
+  Svector.to_alist out
+
+let mask_of ?(complemented = false) bits =
+  Mask.Vmask { dense = Array.of_list bits; complemented }
+
+let alist = Alcotest.(list (pair int (float 0.0)))
+
+let test_no_mask_no_accum () =
+  (* C = T exactly: old entries vanish *)
+  check alist "result replaces contents"
+    [ (1, 10.0); (3, 30.0) ]
+    (write [ (0, 1.0); (1, 2.0) ] [ (1, 10.0); (3, 30.0) ])
+
+let test_no_mask_accum () =
+  check alist "accum merges old and new"
+    [ (0, 1.0); (1, 12.0); (3, 30.0) ]
+    (write ~accum:(Binop.plus f64) [ (0, 1.0); (1, 2.0) ]
+       [ (1, 10.0); (3, 30.0) ])
+
+let test_mask_merge () =
+  (* positions outside the mask keep old values; inside becomes T exactly *)
+  let mask = mask_of [ true; true; false; false; true ] in
+  check alist "merge semantics"
+    [ (1, 10.0); (2, 3.0) ]
+    (write ~mask
+       [ (0, 1.0); (2, 3.0) ]
+       (* t: *)
+       [ (1, 10.0); (2, 99.0) ]);
+  (* index 0: allowed, old 1.0, absent in T -> deleted.
+     index 1: allowed, T -> 10.
+     index 2: masked out, old 3.0 kept (T's 99 ignored). *)
+  ()
+
+let test_mask_replace () =
+  let mask = mask_of [ true; true; false; false; true ] in
+  check alist "replace clears masked-out old entries"
+    [ (1, 10.0) ]
+    (write ~mask ~replace:true [ (0, 1.0); (2, 3.0) ] [ (1, 10.0); (2, 99.0) ])
+
+let test_complemented_mask () =
+  let mask = mask_of ~complemented:true [ true; true; false; false; true ] in
+  check alist "complement inverts the allowed set"
+    [ (0, 1.0); (2, 99.0) ]
+    (write ~mask [ (0, 1.0); (2, 3.0) ] [ (1, 10.0); (2, 99.0) ])
+
+let test_mask_value_coercion () =
+  (* a mask entry stored as 0 is mask-false *)
+  let m = Svector.of_coo f64 5 [ (0, 1.0); (1, 0.0) ] in
+  let mask = Mask.vmask m in
+  check alist "stored zero in mask is false"
+    [ (0, 10.0) ]
+    (write ~mask [] [ (0, 10.0); (1, 11.0); (2, 12.0) ])
+
+let test_accum_with_mask_and_replace () =
+  let mask = mask_of [ true; false; true; false; false ] in
+  check alist "accum + mask + replace"
+    [ (0, 3.0) ]
+    (write ~mask ~replace:true
+       ~accum:(Binop.plus f64)
+       [ (0, 1.0); (1, 5.0) ]
+       [ (0, 2.0) ])
+
+(* Random equivalence with the dense model. *)
+
+let qcheck_write_vector =
+  let gen =
+    QCheck.Gen.(
+      Helpers.vec_gen 6 >>= fun c ->
+      Helpers.vec_gen 6 >>= fun t ->
+      Helpers.vmask_gen 6 >>= fun mask ->
+      Helpers.accum_gen >>= fun accum ->
+      bool >|= fun replace -> (c, t, mask, accum, replace))
+  in
+  Helpers.qtest ~count:500 "write_vector matches dense model"
+    (Helpers.arb gen) (fun (c, t, mask, accum, replace) ->
+      let out = Dense_ref.svector_of_vec f64 c in
+      Output.write_vector ~mask ~accum ~replace ~out
+        ~t:(Dense_ref.entries_of_vec t);
+      let expected =
+        Dense_ref.write_vec ~mask ~accum:(Dense_ref.accum_f accum) ~replace c t
+      in
+      Svector.equal out (Dense_ref.svector_of_vec f64 expected))
+
+let qcheck_write_matrix =
+  let gen =
+    QCheck.Gen.(
+      Helpers.mat_gen 4 5 >>= fun c ->
+      Helpers.mat_gen 4 5 >>= fun t ->
+      Helpers.mmask_gen 4 5 >>= fun mask ->
+      Helpers.accum_gen >>= fun accum ->
+      bool >|= fun replace -> (c, t, mask, accum, replace))
+  in
+  Helpers.qtest ~count:500 "write_matrix matches dense model"
+    (Helpers.arb gen) (fun (c, t, mask, accum, replace) ->
+      let out = Dense_ref.smatrix_of_mat f64 4 5 c in
+      Output.write_matrix ~mask ~accum ~replace ~out
+        ~t:(Dense_ref.rows_of_mat t);
+      let expected =
+        Dense_ref.write_mat ~mask ~accum:(Dense_ref.accum_f accum) ~replace c t
+      in
+      Smatrix.equal out (Dense_ref.smatrix_of_mat f64 4 5 expected))
+
+let suite =
+  [ Alcotest.test_case "no mask, no accum" `Quick test_no_mask_no_accum;
+    Alcotest.test_case "no mask, accum" `Quick test_no_mask_accum;
+    Alcotest.test_case "mask merge" `Quick test_mask_merge;
+    Alcotest.test_case "mask replace" `Quick test_mask_replace;
+    Alcotest.test_case "complemented mask" `Quick test_complemented_mask;
+    Alcotest.test_case "mask value coercion" `Quick test_mask_value_coercion;
+    Alcotest.test_case "accum+mask+replace" `Quick
+      test_accum_with_mask_and_replace;
+    Helpers.to_alcotest qcheck_write_vector;
+    Helpers.to_alcotest qcheck_write_matrix;
+  ]

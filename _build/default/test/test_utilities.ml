@@ -1,0 +1,76 @@
+open Gbtl
+
+let f64 = Dtype.FP64
+
+let test_normalize_rows () =
+  let m = Smatrix.of_coo f64 3 3 [ (0, 0, 1.0); (0, 1, 3.0); (2, 2, 5.0) ] in
+  Utilities.normalize_rows m;
+  Alcotest.check Alcotest.(option (float 1e-12)) "row 0 first" (Some 0.25)
+    (Smatrix.get m 0 0);
+  Alcotest.check Alcotest.(option (float 1e-12)) "row 0 second" (Some 0.75)
+    (Smatrix.get m 0 1);
+  Alcotest.check Alcotest.(option (float 1e-12)) "singleton row" (Some 1.0)
+    (Smatrix.get m 2 2)
+
+let test_triangles_split () =
+  let m =
+    Smatrix.of_coo f64 3 3
+      [ (0, 1, 1.0); (1, 0, 1.0); (1, 1, 9.0); (2, 0, 1.0); (0, 2, 1.0) ]
+  in
+  let l = Utilities.lower_triangle m in
+  let u = Utilities.upper_triangle m in
+  Alcotest.check Alcotest.int "strict lower has 2" 2 (Smatrix.nvals l);
+  Alcotest.check Alcotest.int "strict upper has 2" 2 (Smatrix.nvals u);
+  let l_incl = Utilities.lower_triangle ~strict:false m in
+  Alcotest.check Alcotest.int "inclusive lower keeps diagonal" 3
+    (Smatrix.nvals l_incl)
+
+let test_identity_diag () =
+  let i3 = Utilities.identity f64 3 in
+  Alcotest.check Alcotest.int "identity nvals" 3 (Smatrix.nvals i3);
+  let v = Svector.of_coo f64 3 [ (1, 5.0) ] in
+  let d = Utilities.diag v in
+  Alcotest.check Alcotest.(option (float 0.0)) "diag entry" (Some 5.0)
+    (Smatrix.get d 1 1);
+  Alcotest.check Alcotest.int "diag nvals" 1 (Smatrix.nvals d)
+
+let test_identity_is_mxm_neutral () =
+  let a = Smatrix.of_coo f64 3 3 [ (0, 1, 2.0); (2, 0, 3.0) ] in
+  let i3 = Utilities.identity f64 3 in
+  let c = Smatrix.create f64 3 3 in
+  Matmul.mxm (Semiring.arithmetic f64) ~out:c a i3;
+  Alcotest.check (Helpers.smatrix_testable f64) "A * I = A" a c
+
+let test_row_degrees () =
+  let m = Smatrix.of_coo f64 3 4 [ (0, 0, 1.0); (0, 1, 1.0); (2, 3, 1.0) ] in
+  Alcotest.check Alcotest.(array int) "degrees" [| 2; 0; 1 |]
+    (Utilities.row_degrees m)
+
+let qcheck_normalized_rows_sum_to_one =
+  Helpers.qtest ~count:200 "normalize_rows: nonempty rows sum to ~1"
+    (Helpers.arb (Helpers.mat_gen ~density:0.5 5 5))
+    (fun d ->
+      (* use positive values to avoid zero-sum rows *)
+      let d = Array.map (Array.map (Option.map (fun x -> abs_float x +. 1.0))) d in
+      let m = Dense_ref.smatrix_of_mat f64 5 5 d in
+      Utilities.normalize_rows m;
+      Array.for_all
+        (fun r ->
+          let s = ref 0.0 and n = ref 0 in
+          Smatrix.iter_row
+            (fun _ x ->
+              s := !s +. x;
+              incr n)
+            m r;
+          !n = 0 || abs_float (!s -. 1.0) < 1e-9)
+        (Array.init 5 Fun.id))
+
+let suite =
+  [ Alcotest.test_case "normalize_rows" `Quick test_normalize_rows;
+    Alcotest.test_case "triangular splits" `Quick test_triangles_split;
+    Alcotest.test_case "identity/diag" `Quick test_identity_diag;
+    Alcotest.test_case "identity neutral for mxm" `Quick
+      test_identity_is_mxm_neutral;
+    Alcotest.test_case "row degrees" `Quick test_row_degrees;
+    Helpers.to_alcotest qcheck_normalized_rows_sum_to_one;
+  ]
