@@ -11,6 +11,8 @@
      compile  JIT pipeline: cold compile vs disk vs memory dispatch
      table1   Table I notation conformance (executable check)
      ablation design-choice ablations (masked mxm, deferred eval, reuse)
+     exec     blocking vs nonblocking engine (PageRank, triangles),
+              emits BENCH_exec.json
      micro    Bechamel micro-benchmarks of the kernel families *)
 
 open Gbtl
@@ -510,6 +512,132 @@ let ablation () =
     [ 64; 256; 1024 ]
 
 (* ---------------------------------------------------------------- *)
+(* Nonblocking execution engine: blocking vs DAG-scheduled            *)
+(* ---------------------------------------------------------------- *)
+
+(* Same DSL program through both engines: [dsl] evaluates each forced
+   expression eagerly (blocking, per the GraphBLAS spec default);
+   [nonblocking] lowers to a plan DAG, runs the fusion passes, and
+   executes on the domain pool.  The results are bit-identical (the
+   test suite's qcheck property); this experiment measures the cost or
+   payoff and records which rewrites fired and how the rewritten plans
+   hit the kernel cache. *)
+
+type exec_row = {
+  n : int;
+  blocking : float;
+  nonblocking : float;
+  agree : bool;
+}
+
+let exec_bench () =
+  print_endline "== Nonblocking engine: blocking vs plan DAG + fusion ==";
+  Printf.printf "domains: %d\n" (Exec.Scheduler.domain_count ());
+  let sizes = [ 128; 256; 512 ] in
+  Jit.Jit_stats.reset ();
+  let run_algo name =
+    List.map
+      (fun n ->
+        let rng = Graphs.Rng.create ~seed:(2018 + n) in
+        let g = Graphs.Generators.erdos_renyi_paper rng ~nvertices:n in
+        match name with
+        | "pagerank" ->
+          let adj = Graphs.Convert.matrix_of_edges Dtype.FP64 g in
+          let cont = Ogb.Container.of_smatrix adj in
+          let b_ranks, b_iters = Algorithms.Pagerank.dsl cont in
+          let nb_ranks, nb_iters = Algorithms.Pagerank.nonblocking cont in
+          { n;
+            blocking = best_of (fun () -> Algorithms.Pagerank.dsl cont);
+            nonblocking =
+              best_of (fun () -> Algorithms.Pagerank.nonblocking cont);
+            agree =
+              b_iters = nb_iters && Ogb.Container.equal b_ranks nb_ranks }
+        | _ ->
+          let sym = Graphs.Edge_list.symmetrize g in
+          let l =
+            Algorithms.Triangle.of_undirected
+              (Graphs.Convert.bool_adjacency sym)
+          in
+          let lc = Ogb.Container.of_smatrix l in
+          { n;
+            blocking = best_of (fun () -> Algorithms.Triangle.dsl lc);
+            nonblocking =
+              best_of (fun () -> Algorithms.Triangle.nonblocking lc);
+            agree =
+              Algorithms.Triangle.dsl lc
+              = Algorithms.Triangle.nonblocking lc })
+      sizes
+  in
+  let algos =
+    List.map (fun a -> (a, run_algo a)) [ "pagerank"; "triangles" ]
+  in
+  List.iter
+    (fun (name, rows) ->
+      Printf.printf "\n-- %s --\n" name;
+      Printf.printf "%8s %14s %14s %8s %7s\n" "|V|" "blocking(ms)"
+        "nonblock(ms)" "ratio" "agree";
+      List.iter
+        (fun r ->
+          Printf.printf "%8d %14.3f %14.3f %8.2f %7s\n" r.n (ms r.blocking)
+            (ms r.nonblocking)
+            (r.blocking /. r.nonblocking)
+            (if r.agree then "yes" else "NO"))
+        rows)
+    algos;
+  let fusions = Jit.Jit_stats.fusions () in
+  let sigs = Jit.Jit_stats.per_signature () in
+  let snap = Jit.Jit_stats.snapshot () in
+  print_endline "\nfusion rewrites fired across the nonblocking runs:";
+  List.iter (fun (name, c) -> Printf.printf "  %-16s %d\n" name c) fusions;
+  Printf.printf
+    "kernel cache: %d lookups, %d memory hits, %d disk hits, %d compiles\n"
+    snap.Jit.Jit_stats.lookups snap.Jit.Jit_stats.memory_hits
+    snap.Jit.Jit_stats.disk_hits snap.Jit.Jit_stats.compiles;
+  (* machine-readable record for the CI artifact *)
+  let oc = open_out "BENCH_exec.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  let json_rows rows =
+    String.concat ",\n"
+      (List.map
+         (fun r ->
+           Printf.sprintf
+             "        { \"n\": %d, \"blocking_ms\": %.3f, \
+              \"nonblocking_ms\": %.3f, \"agree\": %b }"
+             r.n (ms r.blocking) (ms r.nonblocking) r.agree)
+         rows)
+  in
+  out "{\n";
+  out "  \"experiment\": \"exec\",\n";
+  out "  \"domains\": %d,\n" (Exec.Scheduler.domain_count ());
+  out "  \"algorithms\": [\n";
+  out "%s"
+    (String.concat ",\n"
+       (List.map
+          (fun (name, rows) ->
+            Printf.sprintf
+              "    { \"name\": %S,\n      \"sizes\": [\n%s\n      ] }" name
+              (json_rows rows))
+          algos));
+  out "\n  ],\n";
+  out "  \"fusions\": {\n%s\n  },\n"
+    (String.concat ",\n"
+       (List.map (fun (name, c) -> Printf.sprintf "    %S: %d" name c) fusions));
+  out "  \"cache\": { \"lookups\": %d, \"memory_hits\": %d, \
+       \"disk_hits\": %d, \"compiles\": %d },\n"
+    snap.Jit.Jit_stats.lookups snap.Jit.Jit_stats.memory_hits
+    snap.Jit.Jit_stats.disk_hits snap.Jit.Jit_stats.compiles;
+  out "  \"per_signature\": [\n%s\n  ]\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (key, hits, misses) ->
+            Printf.sprintf "    { \"key\": %S, \"hits\": %d, \"misses\": %d }"
+              key hits misses)
+          sigs));
+  out "}\n";
+  close_out oc;
+  print_endline "wrote BENCH_exec.json"
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks                                          *)
 (* ---------------------------------------------------------------- *)
 
@@ -597,7 +725,8 @@ let () =
       (List.exists
          (fun a ->
            List.mem a
-             [ "fig10"; "fig11"; "compile"; "table1"; "ablation"; "micro" ])
+             [ "fig10"; "fig11"; "compile"; "table1"; "ablation"; "exec";
+               "micro" ])
          args)
   in
   Printf.printf "ogb benchmark harness (JIT: %s)\n\n"
@@ -609,4 +738,5 @@ let () =
   if all || has "fig11" then fig11 (default_sizes (2 * max_n));
   if all || has "compile" then compile_experiment ();
   if all || has "ablation" then ablation ();
+  if all || has "exec" then exec_bench ();
   if all || has "micro" then micro ()

@@ -150,6 +150,16 @@ let run_algorithm algo tier spec src symmetrize top =
           (List.sort (fun (_, a) (_, b) -> compare b a)
              (Algorithms.Pagerank.ranks_of_container ranks));
         true
+      | "pagerank", "nonblocking" ->
+        let (ranks, iters), dt =
+          time (fun () -> Algorithms.Pagerank.nonblocking cont)
+        in
+        Printf.printf "converged in %d iterations, %.3f ms\n" iters
+          (1000.0 *. dt);
+        show_vector
+          (List.sort (fun (_, a) (_, b) -> compare b a)
+             (Algorithms.Pagerank.ranks_of_container ranks));
+        true
       | "pagerank", "vm" ->
         let ranks, dt = time (fun () -> Algorithms.Pagerank.vm_loops cont) in
         Printf.printf "done in %.3f ms\n" (1000.0 *. dt);
@@ -166,6 +176,14 @@ let run_algorithm algo tier spec src symmetrize top =
         let l = Algorithms.Triangle.of_undirected bool_m in
         let t, dt =
           time (fun () -> Algorithms.Triangle.dsl (Ogb.Container.of_smatrix l))
+        in
+        Printf.printf "triangles: %g (%.3f ms)\n" t (1000.0 *. dt);
+        true
+      | "tc", "nonblocking" ->
+        let l = Algorithms.Triangle.of_undirected bool_m in
+        let t, dt =
+          time (fun () ->
+              Algorithms.Triangle.nonblocking (Ogb.Container.of_smatrix l))
         in
         Printf.printf "triangles: %g (%.3f ms)\n" t (1000.0 *. dt);
         true
@@ -244,9 +262,13 @@ let run_cmd =
   let tier =
     Arg.(
       value
-      & opt (enum [ ("native", "native"); ("dsl", "dsl"); ("vm", "vm") ])
+      & opt
+          (enum
+             [ ("native", "native"); ("dsl", "dsl"); ("vm", "vm");
+               ("nonblocking", "nonblocking") ])
           "native"
-      & info [ "tier"; "t" ] ~doc:"Execution tier: native, dsl or vm.")
+      & info [ "tier"; "t" ]
+          ~doc:"Execution tier: native, dsl, vm or nonblocking.")
   in
   let src =
     Arg.(value & opt int 0 & info [ "src"; "s" ] ~doc:"Source vertex.")
@@ -318,6 +340,23 @@ let info_cmd =
 
 (* -- jit subcommand -- *)
 
+let print_dispatch_tables () =
+  (match Jit.Jit_stats.fusions () with
+  | [] -> ()
+  | fusions ->
+    Printf.printf "fusion rewrites fired:\n";
+    List.iter
+      (fun (name, count) -> Printf.printf "  %-20s %d\n" name count)
+      fusions);
+  match Jit.Jit_stats.per_signature () with
+  | [] -> ()
+  | sigs ->
+    Printf.printf "per-signature cache activity (hits+misses=dispatches):\n";
+    List.iter
+      (fun (key, hits, misses) ->
+        Printf.printf "  %-64s %d+%d\n" key hits misses)
+      sigs
+
 let jit_status clear =
   if clear then begin
     Jit.Disk_cache.clear ();
@@ -330,6 +369,7 @@ let jit_status clear =
     | `Closure -> "closure");
   Printf.printf "cache directory: %s\n" (Jit.Disk_cache.dir ());
   Format.printf "stats: %a@." Jit.Jit_stats.pp (Jit.Jit_stats.snapshot ());
+  print_dispatch_tables ();
   0
 
 let jit_cmd =
@@ -340,9 +380,124 @@ let jit_cmd =
     (Cmd.info "jit" ~doc:"Show (or clear) the dynamic-compilation backend state")
     Term.(const jit_status $ clear)
 
+(* -- exec subcommand: dump nonblocking plans and execution traces -- *)
+
+let print_last_trace () =
+  match Exec.last_trace () with
+  | None -> ()
+  | Some t -> print_string (Exec.Trace.to_string t)
+
+let exec_demo demo spec symmetrize domains =
+  match load_float_matrix spec symmetrize with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok m ->
+    if domains > 0 then Exec.Scheduler.set_domains domains;
+    Printf.printf "graph: %d vertices, %d edges; scheduler: %d domain(s)\n\n"
+      (Smatrix.nrows m) (Smatrix.nvals m)
+      (Exec.Scheduler.domain_count ());
+    let open Ogb.Ops.Infix in
+    let neg = Jit.Op_spec.Named "AdditiveInverse" in
+    (* row-degree vectors of A and A.T as deferred subexpressions *)
+    let ac = Ogb.Container.of_smatrix m in
+    let u () = Ogb.Ops.reduce_rows !!ac in
+    let v () = Ogb.Ops.reduce_rows (tr !!ac) in
+    let run_tc () =
+      let l =
+        Algorithms.Triangle.of_undirected (Smatrix.cast ~into:Dtype.Bool m)
+      in
+      let lc = Ogb.Container.of_smatrix l in
+      let expr () =
+        Ogb.Context.with_ops
+          [ Ogb.Context.semiring "Arithmetic" ]
+          (fun () -> !!lc @. tr !!lc)
+      in
+      let mask = { Ogb.Expr.container = lc; complemented = false } in
+      Printf.printf "== tc: B<L> = L @ L.T (transpose sink + mask push)\n%s"
+        (Exec.explain ~mask (expr ()));
+      ignore (Exec.force ~mask (expr ()));
+      print_last_trace ()
+    in
+    let run_chain () =
+      let base =
+        Ogb.Context.with_ops
+          [ Ogb.Context.binary "Plus" ]
+          (fun () -> u () +: v ())
+      in
+      let e = Ogb.Ops.apply ~f:neg (Ogb.Ops.apply ~f:neg base) in
+      Printf.printf
+        "== chain: neg(neg(rowsum(A) + rowsum(A.T))) (apply∘apply, \
+         apply∘ewise)\n%s"
+        (Exec.explain e);
+      ignore (Exec.force e);
+      print_last_trace ()
+    in
+    let run_dot () =
+      let diff =
+        Ogb.Context.with_ops
+          [ Ogb.Context.binary "Minus" ]
+          (fun () -> u () +: v ())
+      in
+      let e =
+        Ogb.Context.with_ops
+          [ Ogb.Context.binary "Times" ]
+          (fun () -> diff *: diff)
+      in
+      Printf.printf
+        "== dot: reduce(d*d), d = rowsum(A)-rowsum(A.T) (CSE + mult∘reduce)\n%s"
+        (Exec.explain_reduce ~op:"Plus" ~identity:"0" e);
+      let s = Exec.reduce ~op:"Plus" ~identity:"0" e in
+      print_last_trace ();
+      Printf.printf "result: %g\n" s
+    in
+    (match demo with
+    | "tc" -> run_tc ()
+    | "chain" -> run_chain ()
+    | "dot" -> run_dot ()
+    | _ ->
+      run_tc ();
+      print_newline ();
+      run_chain ();
+      print_newline ();
+      run_dot ());
+    print_newline ();
+    print_dispatch_tables ();
+    0
+
+let exec_cmd =
+  let demo =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("all", "all"); ("tc", "tc"); ("chain", "chain");
+               ("dot", "dot") ])
+          "all"
+      & info [ "demo"; "d" ]
+          ~doc:
+            "Which plan to dump: tc (masked matmul), chain (apply fusion), \
+             dot (CSE + mult-reduce), or all.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ]
+          ~doc:"Worker domains for the scheduler (0 = default/OGB_DOMAINS).")
+  in
+  let sym =
+    Arg.(value & flag & info [ "symmetrize" ] ~doc:"Mirror every edge.")
+  in
+  Cmd.v
+    (Cmd.info "exec"
+       ~doc:
+         "Dump nonblocking execution plans (DAG, fusion rewrites) and run \
+          them with a per-node trace")
+    Term.(const exec_demo $ demo $ graph_arg $ sym $ domains)
+
 let () =
   let doc = "GraphBLAS DSL with dynamic kernel compilation (PyGB reproduction)" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "ogb" ~version:"1.0.0" ~doc)
-          [ run_cmd; gen_cmd; info_cmd; jit_cmd ]))
+          [ run_cmd; gen_cmd; info_cmd; jit_cmd; exec_cmd ]))

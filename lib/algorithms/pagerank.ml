@@ -155,6 +155,62 @@ let dsl ?(damping = 0.85) ?(threshold = 1.e-5) ?(max_iters = 100000) graph =
       Ops.set ~mask:(~~page_rank) page_rank (!!page_rank +: !!new_rank));
   (!result, !iters)
 
+(* Nonblocking tier: the Fig. 7 program under the lib/exec engine.  The
+   convergence check is phrased as one deferred expression,
+   reduce((page_rank - new_rank) ⊗ (page_rank - new_rank)), so the plan
+   DAG shares the difference subtree (CSE) and fuses the eWiseMult into
+   the scalar reduction — no delta temporary at all. *)
+let nonblocking ?(damping = 0.85) ?(threshold = 1.e-5) ?(max_iters = 100000)
+    graph =
+  Exec.with_mode Exec.Nonblocking @@ fun () ->
+  let open Ogb in
+  let open Ogb.Ops.Infix in
+  let rows, _cols = Container.shape graph in
+  let rows_f = float_of_int rows in
+  let m = Container.matrix_empty ~dtype:(Dtype.P f64) rows rows in
+  Ops.set m !!graph;
+  (match m with
+  | Container.Mat (Dtype.FP64, mm) -> Utilities.normalize_rows mm
+  | Container.Mat _ | Container.Vec _ -> assert false);
+  Context.with_ops
+    [ Context.unary_bound ~op:"Times" damping ]
+    (fun () -> Ops.set m (Ops.apply !!m));
+  let page_rank = Container.vector_empty ~dtype:(Dtype.P f64) rows in
+  Ops.assign_scalar page_rank (1.0 /. rows_f);
+  let new_rank = Container.vector_empty ~dtype:(Dtype.P f64) rows in
+  let iters = ref 0 in
+  (try
+     for i = 1 to max_iters do
+       iters := i;
+       Context.with_ops
+         [ Context.accum "Second";
+           Context.custom_semiring ~add_op:"Plus" ~add_identity:"Zero"
+             ~mul_op:"Times" ]
+         (fun () -> Ops.update new_rank (!!page_rank @. !!m));
+       Context.with_ops
+         [ Context.unary_bound ~op:"Plus" ((1.0 -. damping) /. rows_f) ]
+         (fun () -> Ops.set new_rank (Ops.apply !!new_rank));
+       let diff =
+         Context.with_ops
+           [ Context.binary "Minus" ]
+           (fun () -> !!page_rank +: !!new_rank)
+       in
+       let squared_error =
+         Context.with_ops
+           [ Context.binary "Times" ]
+           (fun () -> Ops.reduce (diff *: diff))
+       in
+       Ops.set page_rank !!new_rank;
+       if squared_error /. rows_f < threshold then raise Exit
+     done
+   with Exit -> ());
+  Ops.assign_scalar new_rank ((1.0 -. damping) /. rows_f);
+  Context.with_ops
+    [ Context.binary "Plus" ]
+    (fun () ->
+      Ops.set ~mask:(~~page_rank) page_rank (!!page_rank +: !!new_rank));
+  (page_rank, !iters)
+
 (* Tier 1: the MiniVM encoding of Fig. 7. *)
 let vm_program : Minivm.Ast.block =
   let open Minivm.Ast in

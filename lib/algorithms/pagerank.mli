@@ -30,6 +30,17 @@ val dsl :
   Ogb.Container.t ->
   Ogb.Container.t * int
 
+val nonblocking :
+  ?damping:float ->
+  ?threshold:float ->
+  ?max_iters:int ->
+  Ogb.Container.t ->
+  Ogb.Container.t * int
+(** The Fig. 7 program under the nonblocking engine
+    ([Exec.with_mode Nonblocking]): the convergence check runs as one
+    plan DAG with the difference subtree shared (CSE) and the eWiseMult
+    fused into the scalar reduce. *)
+
 val vm_program : Minivm.Ast.block
 val vm_loops :
   ?damping:float ->

@@ -22,6 +22,12 @@ val of_undirected : bool Smatrix.t -> int Smatrix.t
 (** Extract the strict lower triangle as an int64 matrix of ones. *)
 
 val dsl : Ogb.Container.t -> float
+
+val nonblocking : Ogb.Container.t -> float
+(** {!dsl} under the nonblocking engine: the plan rewrites sink the
+    [L.T] transpose into the mxm flag and push the sink mask into the
+    kernel before the domain pool executes the DAG. *)
+
 val vm_program : Minivm.Ast.block
 val vm_loops : Ogb.Container.t -> float
 val vm_whole : Ogb.Container.t -> float

@@ -273,12 +273,28 @@ and eval_ewise kind op a b =
   | Container.Vec _, Container.Mat _ | Container.Mat _, Container.Vec _ ->
     eerr "element-wise operation between a vector and a matrix"
 
-let force ?mask e = eval ?mask e
+let force_blocking ?mask e = eval ?mask e
 
-let reduce_scalar e =
-  let op, identity = Context.current_monoid () in
+(* Terminating operations divert to the nonblocking engine when one is
+   installed and the mode asks for it; [lib/exec] registers the hooks at
+   initialization (see Exec_hook). *)
+let force ?mask e =
+  match Exec_hook.mode (), !Exec_hook.evaluator with
+  | Exec_hook.Nonblocking, Some f ->
+    (Obj.obj f : ?mask:mask_spec -> t -> Container.t) ?mask e
+  | (Exec_hook.Blocking | Exec_hook.Nonblocking), _ -> eval ?mask e
+
+let reduce_scalar_blocking ~op ~identity e =
   match eval e with
   | Container.Vec (dt, v) ->
     Dtype.to_float dt (Jit.Kernels.reduce_v_scalar dt ~op ~identity v)
   | Container.Mat (dt, m) ->
     Dtype.to_float dt (Jit.Kernels.reduce_m_scalar dt ~op ~identity m)
+
+let reduce_scalar e =
+  let op, identity = Context.current_monoid () in
+  match Exec_hook.mode (), !Exec_hook.reducer with
+  | Exec_hook.Nonblocking, Some f ->
+    (Obj.obj f : op:string -> identity:string -> t -> float) ~op ~identity e
+  | (Exec_hook.Blocking | Exec_hook.Nonblocking), _ ->
+    reduce_scalar_blocking ~op ~identity e

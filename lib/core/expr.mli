@@ -57,10 +57,20 @@ type mask_spec = { container : Container.t; complemented : bool }
 val force : ?mask:mask_spec -> t -> Container.t
 (** Evaluate to a fresh container.  The optional mask reaches structural
     pruning of a top-level [MatMul] (it does {e not} apply write-mask
-    semantics — that is the caller's write step). *)
+    semantics — that is the caller's write step).  Under
+    [Exec_hook.Nonblocking] with an engine installed, evaluation goes
+    through the plan/fuse/schedule pipeline of [lib/exec] instead of the
+    recursive evaluator; results are identical. *)
+
+val force_blocking : ?mask:mask_spec -> t -> Container.t
+(** The seed's eager recursive evaluator, regardless of mode.  The
+    nonblocking engine uses it as its reference semantics. *)
 
 val reduce_scalar : t -> float
 (** Terminating scalar reduce with the context monoid, cast to float. *)
+
+val reduce_scalar_blocking : op:string -> identity:string -> t -> float
+(** Eager scalar reduce with an explicit monoid, regardless of mode. *)
 
 val result_dtype : t -> Gbtl.Dtype.packed
 (** The dtype the expression evaluates at (operand promotion, paper §V). *)

@@ -1,0 +1,62 @@
+(* Nonblocking execution engine (paper §V's planned lazy-evaluation
+   mode): terminating operations lower the deferred expression into a
+   plan DAG (CSE), run multi-op fusion rewrites, and execute ready nodes
+   on a domain pool.  Registers itself with the core library's
+   Exec_hook so Ops.set/update and Expr.force divert here when the mode
+   is Nonblocking. *)
+
+module Plan = Plan
+module Rewrite = Rewrite
+module Scheduler = Scheduler
+module Trace = Trace
+
+type mode = Ogb.Exec_hook.mode = Blocking | Nonblocking
+
+let mode = Ogb.Exec_hook.mode
+let set_mode = Ogb.Exec_hook.set_mode
+let with_mode = Ogb.Exec_hook.with_mode
+
+let last_trace_ref = ref None
+let last_trace () = !last_trace_ref
+
+let plan_force ?mask e =
+  let p = Plan.of_expr ?mask e in
+  Rewrite.run p;
+  p
+
+let plan_reduce ~op ~identity e =
+  let p = Plan.of_expr_reduce ~op ~identity e in
+  Rewrite.run p;
+  p
+
+let run_plan p =
+  let v, trace = Scheduler.run p in
+  last_trace_ref := Some trace;
+  v
+
+let force ?mask e =
+  match run_plan (plan_force ?mask e) with
+  | Plan.V_cont c -> c
+  | Plan.V_scal _ -> invalid_arg "Exec.force: plan produced a scalar"
+
+let reduce ~op ~identity e =
+  match run_plan (plan_reduce ~op ~identity e) with
+  | Plan.V_scal s -> s
+  | Plan.V_cont _ -> invalid_arg "Exec.reduce: plan produced a container"
+
+let explain ?mask e = Plan.to_string (plan_force ?mask e)
+
+let explain_reduce ~op ~identity e =
+  Plan.to_string (plan_reduce ~op ~identity e)
+
+(* Hook registration: the closures must have exactly the types the core
+   library casts them back to (see Exec_hook). *)
+let force_hook : ?mask:Ogb.Expr.mask_spec -> Ogb.Expr.t -> Ogb.Container.t =
+ fun ?mask e -> force ?mask e
+
+let reduce_hook : op:string -> identity:string -> Ogb.Expr.t -> float =
+ fun ~op ~identity e -> reduce ~op ~identity e
+
+let () =
+  Ogb.Exec_hook.evaluator := Some (Obj.repr force_hook);
+  Ogb.Exec_hook.reducer := Some (Obj.repr reduce_hook)

@@ -1,0 +1,46 @@
+(** Nonblocking execution engine.
+
+    In [Blocking] mode (the default) terminating operations evaluate
+    expression trees eagerly, exactly as before.  Under
+    [with_mode Nonblocking] they instead lower into a {!Plan} DAG with
+    common-subexpression sharing, run the {!Rewrite} fusion passes, and
+    execute ready nodes concurrently on a domain pool ({!Scheduler}) —
+    producing bit-identical containers.
+
+    Loading this module registers the engine with the core library
+    ({!Ogb.Exec_hook}), which is what lets [Ops.set]/[update] and
+    [Expr.force] divert here without a dependency cycle. *)
+
+module Plan = Plan
+module Rewrite = Rewrite
+module Scheduler = Scheduler
+module Trace = Trace
+
+type mode = Ogb.Exec_hook.mode = Blocking | Nonblocking
+
+val mode : unit -> mode
+val set_mode : mode -> unit
+
+val with_mode : mode -> (unit -> 'a) -> 'a
+(** [with_mode m f] runs [f] with the execution mode set to [m],
+    restoring the previous mode afterwards (exception-safe). *)
+
+val force : ?mask:Ogb.Expr.mask_spec -> Ogb.Expr.t -> Ogb.Container.t
+(** Lower, optimize, and execute an expression destined for a container
+    sink.  This is what [Expr.force] calls in [Nonblocking] mode. *)
+
+val reduce : op:string -> identity:string -> Ogb.Expr.t -> float
+(** Lower, optimize, and execute an expression terminated by a scalar
+    monoid reduction. *)
+
+val plan_force : ?mask:Ogb.Expr.mask_spec -> Ogb.Expr.t -> Plan.t
+(** The optimized plan {!force} would execute (for tests and the CLI
+    plan dump). *)
+
+val plan_reduce : op:string -> identity:string -> Ogb.Expr.t -> Plan.t
+
+val explain : ?mask:Ogb.Expr.mask_spec -> Ogb.Expr.t -> string
+val explain_reduce : op:string -> identity:string -> Ogb.Expr.t -> string
+
+val last_trace : unit -> Trace.t option
+(** Trace of the most recent nonblocking run in this domain. *)

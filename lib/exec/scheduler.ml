@@ -1,0 +1,144 @@
+(* Executes a plan's ready nodes concurrently on a small pool of OCaml
+   domains (work queue + mutex/condvar — no external dependencies), or
+   in deterministic sequential topological order when one domain is
+   requested.  Node results are identical either way: every node is a
+   pure function of its dependency values, so only the completion order
+   varies. *)
+
+let now () = Unix.gettimeofday ()
+
+let override_domains = ref None
+let set_domains n = override_domains := Some (max 1 n)
+let clear_domains_override () = override_domains := None
+
+let env_domains () =
+  match Sys.getenv_opt "OGB_DOMAINS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | _ -> Some 1)
+
+let domain_count () =
+  if !Ogb.Exec_hook.force_sequential then 1
+  else
+    match !override_domains with
+    | Some n -> n
+    | None -> (
+      match env_domains () with
+      | Some n -> n
+      | None -> min 4 (Domain.recommended_domain_count ()))
+
+let run_sequential plan order =
+  let results = Hashtbl.create 32 in
+  let events = ref [] in
+  List.iter
+    (fun id ->
+      let n = Plan.node plan id in
+      let vals = Array.map (Hashtbl.find results) n.Plan.deps in
+      let t0 = now () in
+      let v = Plan.execute_node plan n vals in
+      events :=
+        { Trace.id; label = Plan.op_label n.Plan.op; seconds = now () -. t0 }
+        :: !events;
+      Hashtbl.replace results id v)
+    order;
+  (Hashtbl.find results plan.Plan.root, !events)
+
+let run_parallel plan order ndomains =
+  let total = List.length order in
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let results = Hashtbl.create 32 in
+  let pending = Hashtbl.create 32 in
+  let dependents = Hashtbl.create 32 in
+  let ready = Queue.create () in
+  let completed = ref 0 in
+  let failed = ref None in
+  let events = ref [] in
+  (* Count unique dependencies: a node whose two inputs are the same
+     shared producer has one edge to wait on, not two. *)
+  let uniq_deps n =
+    List.sort_uniq compare (Array.to_list n.Plan.deps)
+  in
+  List.iter
+    (fun id ->
+      let n = Plan.node plan id in
+      let deps = uniq_deps n in
+      Hashtbl.replace pending id (List.length deps);
+      List.iter (fun d -> Hashtbl.add dependents d id) deps;
+      if deps = [] then Queue.push id ready)
+    order;
+  let finished () = !failed <> None || !completed >= total in
+  let worker () =
+    let running = ref true in
+    while !running do
+      Mutex.lock m;
+      while Queue.is_empty ready && not (finished ()) do
+        Condition.wait cv m
+      done;
+      if finished () && Queue.is_empty ready then begin
+        Mutex.unlock m;
+        running := false
+      end
+      else if Queue.is_empty ready then Mutex.unlock m
+      else begin
+        let id = Queue.pop ready in
+        let n = Plan.node plan id in
+        let vals = Array.map (Hashtbl.find results) n.Plan.deps in
+        Mutex.unlock m;
+        match
+          let t0 = now () in
+          let v = Plan.execute_node plan n vals in
+          (v, now () -. t0)
+        with
+        | v, seconds ->
+          Mutex.lock m;
+          Hashtbl.replace results id v;
+          events :=
+            { Trace.id; label = Plan.op_label n.Plan.op; seconds } :: !events;
+          incr completed;
+          List.iter
+            (fun c ->
+              let p = Hashtbl.find pending c - 1 in
+              Hashtbl.replace pending c p;
+              if p = 0 then Queue.push c ready)
+            (Hashtbl.find_all dependents id);
+          Condition.broadcast cv;
+          Mutex.unlock m
+        | exception e ->
+          Mutex.lock m;
+          if !failed = None then failed := Some e;
+          Condition.broadcast cv;
+          Mutex.unlock m;
+          running := false
+      end
+    done
+  in
+  let helpers =
+    Array.init (ndomains - 1) (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  Array.iter Domain.join helpers;
+  (match !failed with Some e -> raise e | None -> ());
+  (Hashtbl.find results plan.Plan.root, !events)
+
+let run plan =
+  let order = Plan.topo plan in
+  let domains =
+    if List.length order <= 1 then 1 else domain_count ()
+  in
+  let before = Jit.Jit_stats.snapshot () in
+  let t0 = now () in
+  let value, node_events =
+    if domains = 1 then run_sequential plan order
+    else run_parallel plan order domains
+  in
+  let total_seconds = now () -. t0 in
+  let after = Jit.Jit_stats.snapshot () in
+  let trace =
+    Trace.make ~domains ~total_seconds ~nodes:node_events
+      ~rewrites:(Plan.events plan) ~cse_merged:(Plan.cse_merged plan) ~before
+      ~after
+  in
+  (value, trace)

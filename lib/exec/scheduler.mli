@@ -1,0 +1,20 @@
+(** Domain-parallel plan execution.  Ready DAG nodes run concurrently on
+    a small pool of OCaml domains (work queue + mutex/condvar); with one
+    domain the scheduler degrades to a deterministic sequential walk of
+    the topological order.  Either way every node is a pure function of
+    its dependency values, so results are identical. *)
+
+val set_domains : int -> unit
+(** Override the worker-domain count for this process (clamped to
+    [>= 1]); takes precedence over [OGB_DOMAINS]. *)
+
+val clear_domains_override : unit -> unit
+
+val domain_count : unit -> int
+(** Domains the next run will use: 1 under {!Ogb.Exec_hook.force_sequential}
+    (MiniVM re-entrancy), else the {!set_domains} override, else
+    [OGB_DOMAINS], else [min 4 (Domain.recommended_domain_count ())]. *)
+
+val run : Plan.t -> Plan.value * Trace.t
+(** Execute the (already-optimized) plan and return the root value plus
+    the execution trace.  Re-raises the first node failure. *)

@@ -1,0 +1,29 @@
+(** Execution trace for one nonblocking run: per-node timings, the
+    rewrites that fired, and the kernel-cache activity (lookup/hit/
+    compile deltas) attributable to the run. *)
+
+type node_event = { id : int; label : string; seconds : float }
+
+type t = {
+  domains : int;  (** worker domains the scheduler actually used *)
+  total_seconds : float;
+  nodes : node_event list;  (** sorted by node id *)
+  rewrites : (string * int) list;
+  cse_merged : int;
+  lookups : int;
+  cache_hits : int;  (** memory + disk hits during this run *)
+  compiles : int;
+}
+
+val make :
+  domains:int ->
+  total_seconds:float ->
+  nodes:node_event list ->
+  rewrites:(string * int) list ->
+  cse_merged:int ->
+  before:Jit.Jit_stats.snapshot ->
+  after:Jit.Jit_stats.snapshot ->
+  t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

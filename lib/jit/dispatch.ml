@@ -19,7 +19,7 @@ let lock = Mutex.create ()
 
 let now () = Unix.gettimeofday ()
 
-let closure_compile ~hash ~build ~source =
+let closure_compile ~key ~hash ~build ~source =
   (* The closure backend still runs codegen when available and persists
      the source plus a build marker, mirroring the native pipeline's disk
      artifacts; the "compiled module" is the specialized closure. *)
@@ -28,6 +28,7 @@ let closure_compile ~hash ~build ~source =
   (match source with Some src -> Disk_cache.store_source hash src | None -> ());
   Disk_cache.touch_marker hash;
   Jit_stats.record_compile ~native:false ~seconds:(now () -. t0);
+  Jit_stats.record_signature key ~hit:false;
   kernel
 
 let get sig_ ~build ?native_source () =
@@ -37,6 +38,7 @@ let get sig_ ~build ?native_source () =
   match Hashtbl.find_opt table key with
   | Some k ->
     Jit_stats.record_memory_hit ();
+    Jit_stats.record_signature key ~hit:true;
     k
   | None ->
     let hash = Kernel_sig.hash_key sig_ in
@@ -50,6 +52,7 @@ let get sig_ ~build ?native_source () =
           match Native_backend.load_cached ~hash ~key with
           | Ok k ->
             Jit_stats.record_disk_hit ();
+            Jit_stats.record_signature key ~hit:true;
             k
           | Error _ ->
             (* stale artifact: recompile *)
@@ -57,26 +60,29 @@ let get sig_ ~build ?native_source () =
             (match Native_backend.compile_and_load ~hash ~source:src ~key with
             | Ok k ->
               Jit_stats.record_compile ~native:true ~seconds:(now () -. t0);
+              Jit_stats.record_signature key ~hit:false;
               k
             | Error _ ->
               Jit_stats.record_native_failure ();
-              closure_compile ~hash ~build ~source:(Some src))
+              closure_compile ~key ~hash ~build ~source:(Some src))
         else
           let t0 = now () in
           match Native_backend.compile_and_load ~hash ~source:src ~key with
           | Ok k ->
             Jit_stats.record_compile ~native:true ~seconds:(now () -. t0);
+            Jit_stats.record_signature key ~hit:false;
             k
           | Error _ ->
             Jit_stats.record_native_failure ();
-            closure_compile ~hash ~build ~source:(Some src))
+            closure_compile ~key ~hash ~build ~source:(Some src))
       | `Native, None | `Closure, _ ->
         if Disk_cache.has_marker hash then begin
           Jit_stats.record_disk_hit ();
+          Jit_stats.record_signature key ~hit:true;
           let kernel = build () in
           kernel
         end
-        else closure_compile ~hash ~build ~source
+        else closure_compile ~key ~hash ~build ~source
     in
     Hashtbl.replace table key kernel;
     kernel

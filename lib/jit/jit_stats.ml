@@ -20,6 +20,45 @@ let record_lookup () = incr lookups
 let record_memory_hit () = incr memory_hits
 let record_disk_hit () = incr disk_hits
 
+(* Per-signature dispatch tallies and fusion-rewrite counters (fed by the
+   nonblocking execution engine).  Guarded by a lock of their own: the
+   scheduler's worker domains dispatch kernels concurrently, and the
+   dispatch lock is not held around these calls. *)
+
+type sig_tally = { mutable hits : int; mutable misses : int }
+
+let tally_lock = Mutex.create ()
+let sig_table : (string, sig_tally) Hashtbl.t = Hashtbl.create 64
+let fusion_table : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let record_signature key ~hit =
+  Mutex.protect tally_lock @@ fun () ->
+  let t =
+    match Hashtbl.find_opt sig_table key with
+    | Some t -> t
+    | None ->
+      let t = { hits = 0; misses = 0 } in
+      Hashtbl.add sig_table key t;
+      t
+  in
+  if hit then t.hits <- t.hits + 1 else t.misses <- t.misses + 1
+
+let record_fusion kind =
+  Mutex.protect tally_lock @@ fun () ->
+  Hashtbl.replace fusion_table kind
+    (1 + Option.value ~default:0 (Hashtbl.find_opt fusion_table kind))
+
+let per_signature () =
+  Mutex.protect tally_lock @@ fun () ->
+  List.sort compare
+    (Hashtbl.fold
+       (fun key t acc -> (key, t.hits, t.misses) :: acc)
+       sig_table [])
+
+let fusions () =
+  Mutex.protect tally_lock @@ fun () ->
+  List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) fusion_table [])
+
 let record_compile ~native ~seconds =
   incr compiles;
   if native then incr native_compiles;
@@ -43,7 +82,10 @@ let reset () =
   compiles := 0;
   native_compiles := 0;
   native_failures := 0;
-  compile_seconds := 0.0
+  compile_seconds := 0.0;
+  Mutex.protect tally_lock (fun () ->
+      Hashtbl.reset sig_table;
+      Hashtbl.reset fusion_table)
 
 let pp fmt s =
   Format.fprintf fmt

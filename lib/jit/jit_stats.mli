@@ -17,6 +17,21 @@ val record_memory_hit : unit -> unit
 val record_disk_hit : unit -> unit
 val record_compile : native:bool -> seconds:float -> unit
 val record_native_failure : unit -> unit
+
+val record_signature : string -> hit:bool -> unit
+(** Tally one dispatch of the given {!Kernel_sig.key} as a cache hit
+    (memory or disk) or a miss (fresh compile). *)
+
+val record_fusion : string -> unit
+(** Count one firing of a fusion rewrite (by rewrite name); fed by the
+    nonblocking engine's optimizer. *)
+
+val per_signature : unit -> (string * int * int) list
+(** [(signature key, hits, misses)] sorted by key. *)
+
+val fusions : unit -> (string * int) list
+(** [(rewrite name, firings)] sorted by name. *)
+
 val snapshot : unit -> snapshot
 val reset : unit -> unit
 val pp : Format.formatter -> snapshot -> unit

@@ -178,6 +178,69 @@ let ewise_fused_v (type a) kind (dt : a Dtype.t) ~op ~chain (u : a Svector.t)
   in
   entries_of_pair (Obj.obj (kernel (Obj.repr arg)) : int array * a array)
 
+let apply_chain_v (type a) (dt : a Dtype.t) ~chain (u : a Svector.t) =
+  (* One compiled module for a whole [fk (... (f1 x))] apply chain over a
+     vector (the nonblocking engine's apply∘apply fusion); [chain] is
+     innermost-first, like [ewise_fused_v]. *)
+  let chain_name = String.concat ";" (List.map Op_spec.unary_name chain) in
+  let sig_ =
+    Kernel_sig.make ~op:"apply_chain_v"
+      ~dtypes:[ ("T", Dtype.name dt) ]
+      ~operators:[ ("chain", chain_name) ]
+      ()
+  in
+  let build () =
+    let fs =
+      List.map (fun u -> (Op_spec.instantiate_unary dt u).Unaryop.f) chain
+    in
+    let g v = List.fold_left (fun acc f -> f acc) v fs in
+    Obj.repr (fun (arg : Obj.t) ->
+        let aidx, avls, an = (Obj.obj arg : int array * a array * int) in
+        Obj.repr (Array_kernels.apply_v ~f:g (aidx, avls, an)))
+  in
+  let kernel : Obj.t -> Obj.t = Obj.obj (Dispatch.get sig_ ~build ()) in
+  let arg =
+    (Svector.unsafe_indices u, Svector.unsafe_values u, Svector.nvals u)
+  in
+  entries_of_pair (Obj.obj (kernel (Obj.repr arg)) : int array * a array)
+
+let ewise_mult_reduce_v (type a) (dt : a Dtype.t) ~op ~monoid_op ~identity
+    (u : a Svector.t) (v : a Svector.t) : a =
+  (* eWiseMult feeding a scalar reduce, fused into one pass (the
+     nonblocking engine's mult∘reduce rewrite): the intersection kernel's
+     output values are folded on the fly instead of materializing the
+     intermediate vector.  Entry order matches the unfused pipeline, so
+     the result is bit-identical. *)
+  let sig_ =
+    Kernel_sig.make ~op:"ewise_mult_reduce_v"
+      ~dtypes:[ ("T", Dtype.name dt) ]
+      ~operators:[ ("op", op); ("monoid", monoid_op); ("identity", identity) ]
+      ()
+  in
+  let build () =
+    let f = (Binop.of_name op dt).Binop.f in
+    let m = Op_spec.instantiate_monoid dt ~op:monoid_op ~identity in
+    let acc_f = m.Monoid.op.Binop.f and id = m.Monoid.identity in
+    Obj.repr (fun (arg : Obj.t) ->
+        let aidx, avls, an, bidx, bvls, bn = (Obj.obj arg : a ewise_arg) in
+        let _, rvls =
+          Array_kernels.ewise_mult_v ~op:f (aidx, avls, an) (bidx, bvls, bn)
+        in
+        Obj.repr
+          (Array_kernels.reduce_v ~op:acc_f ~identity:id
+             ([||], rvls, Array.length rvls)))
+  in
+  let kernel : Obj.t -> Obj.t = Obj.obj (Dispatch.get sig_ ~build ()) in
+  let arg : a ewise_arg =
+    ( Svector.unsafe_indices u,
+      Svector.unsafe_values u,
+      Svector.nvals u,
+      Svector.unsafe_indices v,
+      Svector.unsafe_values v,
+      Svector.nvals v )
+  in
+  (Obj.obj (kernel (Obj.repr arg)) : a)
+
 let apply_v (type a) (dt : a Dtype.t) (f : Op_spec.unary) (u : a Svector.t) =
   let sig_ =
     Kernel_sig.make ~op:"apply_v"

@@ -50,6 +50,23 @@ val ewise_fused_v :
 
 val apply_v : 'a Dtype.t -> Op_spec.unary -> 'a Svector.t -> 'a Entries.t
 
+val apply_chain_v :
+  'a Dtype.t -> chain:Op_spec.unary list -> 'a Svector.t -> 'a Entries.t
+(** One kernel for a whole apply chain over a vector ([chain]
+    innermost-first) — the nonblocking engine's apply∘apply fusion. *)
+
+val ewise_mult_reduce_v :
+  'a Dtype.t ->
+  op:string ->
+  monoid_op:string ->
+  identity:string ->
+  'a Svector.t ->
+  'a Svector.t ->
+  'a
+(** [reduce (u ⊗ v)] in one pass: the eWiseMult intersection kernel's
+    output folded with the monoid without materializing the intermediate
+    vector — the nonblocking engine's mult∘reduce fusion. *)
+
 val reduce_v_scalar :
   'a Dtype.t -> op:string -> identity:string -> 'a Svector.t -> 'a
 

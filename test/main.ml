@@ -18,6 +18,7 @@ let () =
       ("dsl", Test_dsl.suite);
       ("vm-bridge", Test_vm_bridge.suite);
       ("expr-random", Test_expr_random.suite);
+      ("exec", Test_exec.suite);
       ("pprint", Test_pprint.suite);
       ("notation (Table I)", Test_notation.suite);
       ("algorithms", Test_algorithms.suite);

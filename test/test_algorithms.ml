@@ -210,7 +210,9 @@ let test_triangles_tiers_agree () =
   Alcotest.check (Alcotest.float 0.0) "vm_loops" native
     (Algorithms.Triangle.vm_loops lc);
   Alcotest.check (Alcotest.float 0.0) "vm_whole" native
-    (Algorithms.Triangle.vm_whole lc)
+    (Algorithms.Triangle.vm_whole lc);
+  Alcotest.check (Alcotest.float 0.0) "nonblocking" native
+    (Algorithms.Triangle.nonblocking lc)
 
 let test_known_triangle_counts () =
   let complete n = Graphs.Generators.complete n in
@@ -270,6 +272,11 @@ let test_pagerank_tiers_agree () =
   check "dsl" dsl_ranks;
   check "vm_loops" (Algorithms.Pagerank.vm_loops gc);
   check "vm_whole" (Algorithms.Pagerank.vm_whole gc);
+  let nb_ranks, nb_iters = Algorithms.Pagerank.nonblocking gc in
+  check "nonblocking" nb_ranks;
+  let _, dsl_iters = Algorithms.Pagerank.dsl gc in
+  Alcotest.check Alcotest.int "nonblocking converges in the same iterations"
+    dsl_iters nb_iters;
   let generic_ranks, _ = Algorithms.Pagerank.generic adj in
   Alcotest.check
     Alcotest.(list (pair int (float 1e-9)))
