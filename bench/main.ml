@@ -13,6 +13,8 @@
      ablation design-choice ablations (masked mxm, deferred eval, reuse)
      exec     blocking vs nonblocking engine (PageRank, triangles),
               emits BENCH_exec.json
+     formats  CSR-only vs format-aware dispatch (PageRank, BFS),
+              emits BENCH_formats.json
      micro    Bechamel micro-benchmarks of the kernel families *)
 
 open Gbtl
@@ -638,6 +640,165 @@ let exec_bench () =
   print_endline "wrote BENCH_exec.json"
 
 (* ---------------------------------------------------------------- *)
+(* Format layer: CSR-only vs format-aware dispatch                    *)
+(* ---------------------------------------------------------------- *)
+
+(* The same tier-3 algorithms with the storage-format layer toggled:
+   CSR-only (the seed behavior — no CSC caching, no dense vectors, no
+   push/pull choice) vs format-aware.  Results must be bit-identical;
+   this experiment measures the layout payoff and records the format
+   conversion counters.
+
+   The workload is Graph500-style RMAT graphs (edge factor 16) rather
+   than the uniform Erdős–Rényi of Figs. 10–11: direction optimization
+   and layout choice are about skewed degree distributions — on a
+   near-regular ER graph PageRank converges in one iteration and BFS
+   frontiers have no hubs, so the format layer has nothing to exploit. *)
+
+let log2i n =
+  let s = ref 0 in
+  let v = ref n in
+  while !v > 1 do
+    incr s;
+    v := !v / 2
+  done;
+  !s
+
+type fmt_row = {
+  n : int;
+  csr_only : float;
+  format_aware : float;
+  fmt_agree : bool;
+}
+
+let formats_bench sizes =
+  print_endline "== Format layer: CSR-only vs format-aware dispatch ==";
+  Printf.printf "sizes: %s\n"
+    (String.concat " " (List.map string_of_int sizes));
+  Format_stats.reset ();
+  let equal_vec a b =
+    Ogb.Container.equal
+      (Ogb.Container.of_svector a)
+      (Ogb.Container.of_svector b)
+  in
+  let run_algo name =
+    List.map
+      (fun n ->
+        let rng = Graphs.Rng.create ~seed:(2018 + n) in
+        let g =
+          Graphs.Generators.rmat rng ~scale:(log2i n) ~edge_factor:16
+        in
+        match name with
+        | "pagerank" ->
+          let adj = Graphs.Convert.matrix_of_edges Dtype.FP64 g in
+          (* fixed iteration count: with a reachable threshold the
+             default 1e-5 is met after one step at these scales, and an
+             unreachable one runs to max_iters anyway once the squared
+             error hits its floating-point floor — so pin the work to 30
+             power iterations for both pipelines *)
+          let pr () =
+            Algorithms.Pagerank.native ~threshold:0.0 ~max_iters:30 adj
+          in
+          let base_r, base_i =
+            Format_stats.with_enabled false (fun () -> pr ())
+          in
+          let fmt_r, fmt_i =
+            Format_stats.with_enabled true (fun () -> pr ())
+          in
+          { n;
+            csr_only =
+              Format_stats.with_enabled false (fun () ->
+                  best_of (fun () -> pr ()));
+            format_aware =
+              Format_stats.with_enabled true (fun () ->
+                  best_of (fun () -> pr ()));
+            fmt_agree = base_i = fmt_i && equal_vec base_r fmt_r }
+        | _ ->
+          let adj = Graphs.Convert.bool_adjacency g in
+          let base =
+            Format_stats.with_enabled false (fun () ->
+                Algorithms.Bfs.native adj ~src:0)
+          in
+          let fmt =
+            Format_stats.with_enabled true (fun () ->
+                Algorithms.Bfs.native adj ~src:0)
+          in
+          { n;
+            csr_only =
+              Format_stats.with_enabled false (fun () ->
+                  best_of (fun () -> Algorithms.Bfs.native adj ~src:0));
+            format_aware =
+              Format_stats.with_enabled true (fun () ->
+                  best_of (fun () -> Algorithms.Bfs.native adj ~src:0));
+            fmt_agree = equal_vec base fmt })
+      sizes
+  in
+  let algos = List.map (fun a -> (a, run_algo a)) [ "pagerank"; "bfs" ] in
+  List.iter
+    (fun (name, rows) ->
+      Printf.printf "\n-- %s --\n" name;
+      Printf.printf "%8s %14s %14s %8s %7s\n" "|V|" "csr-only(ms)"
+        "fmt-aware(ms)" "speedup" "agree";
+      List.iter
+        (fun r ->
+          Printf.printf "%8d %14.3f %14.3f %8.2f %7s\n" r.n (ms r.csr_only)
+            (ms r.format_aware)
+            (r.csr_only /. r.format_aware)
+            (if r.fmt_agree then "yes" else "NO"))
+        rows)
+    algos;
+  let counters = Format_stats.counters () in
+  Printf.printf "\nformat counters:";
+  List.iter (fun (name, c) -> Printf.printf " %s=%d" name c) counters;
+  print_newline ();
+  let largest rows =
+    let r = List.nth rows (List.length rows - 1) in
+    r.csr_only /. r.format_aware
+  in
+  List.iter
+    (fun (name, rows) ->
+      Printf.printf "largest-size speedup (%s): %.2fx\n" name (largest rows))
+    algos;
+  (* machine-readable record for the CI artifact *)
+  let oc = open_out "BENCH_formats.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  let json_rows rows =
+    String.concat ",\n"
+      (List.map
+         (fun r ->
+           Printf.sprintf
+             "        { \"n\": %d, \"csr_only_ms\": %.3f, \
+              \"format_aware_ms\": %.3f, \"speedup\": %.3f, \"agree\": %b }"
+             r.n (ms r.csr_only) (ms r.format_aware)
+             (r.csr_only /. r.format_aware)
+             r.fmt_agree)
+         rows)
+  in
+  out "{\n";
+  out "  \"experiment\": \"formats\",\n";
+  out "  \"algorithms\": [\n";
+  out "%s"
+    (String.concat ",\n"
+       (List.map
+          (fun (name, rows) ->
+            Printf.sprintf
+              "    { \"name\": %S,\n      \"sizes\": [\n%s\n      ] }" name
+              (json_rows rows))
+          algos));
+  out "\n  ],\n";
+  out "  \"largest_size_speedups\": {\n%s\n  },\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (name, rows) -> Printf.sprintf "    %S: %.3f" name (largest rows))
+          algos));
+  out "  \"format_counters\": {\n%s\n  }\n"
+    (String.concat ",\n"
+       (List.map (fun (name, c) -> Printf.sprintf "    %S: %d" name c) counters));
+  out "}\n";
+  close_out oc;
+  print_endline "wrote BENCH_formats.json"
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks                                          *)
 (* ---------------------------------------------------------------- *)
 
@@ -726,7 +887,7 @@ let () =
          (fun a ->
            List.mem a
              [ "fig10"; "fig11"; "compile"; "table1"; "ablation"; "exec";
-               "micro" ])
+               "formats"; "micro" ])
          args)
   in
   Printf.printf "ogb benchmark harness (JIT: %s)\n\n"
@@ -739,4 +900,11 @@ let () =
   if all || has "compile" then compile_experiment ();
   if all || has "ablation" then ablation ();
   if all || has "exec" then exec_bench ();
+  if all || has "formats" then
+    formats_bench
+      (let s = default_sizes max_n in
+       if List.length s > 3 then
+         (* keep the artifact at three sizes: the last three *)
+         List.filteri (fun i _ -> i >= List.length s - 3) s
+       else s);
   if all || has "micro" then micro ()

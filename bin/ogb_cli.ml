@@ -348,16 +348,31 @@ let print_dispatch_tables () =
     List.iter
       (fun (name, count) -> Printf.printf "  %-20s %d\n" name count)
       fusions);
-  match Jit.Jit_stats.per_signature () with
+  (match Jit.Jit_stats.per_signature () with
   | [] -> ()
   | sigs ->
-    Printf.printf "per-signature cache activity (hits+misses=dispatches):\n";
+    Printf.printf
+      "per-signature cache activity (hits+misses=dispatches, fmt=operand \
+       layouts):\n";
     List.iter
       (fun (key, hits, misses) ->
-        Printf.printf "  %-64s %d+%d\n" key hits misses)
-      sigs
+        Printf.printf "  %-64s fmt:%-16s %d+%d\n" key
+          (Jit.Kernel_sig.formats_of_key key)
+          hits misses)
+      sigs);
+  match Jit.Jit_stats.formats () with
+  | [] -> ()
+  | counters ->
+    Printf.printf "formats:";
+    List.iter (fun (name, n) -> Printf.printf " %s=%d" name n) counters;
+    print_newline ()
 
-let jit_status clear =
+let jit_status action clear =
+  match action with
+  | Some a when a <> "status" ->
+    Printf.eprintf "error: unknown jit action %S (expected \"status\")\n" a;
+    1
+  | _ ->
   if clear then begin
     Jit.Disk_cache.clear ();
     Printf.printf "cleared kernel cache at %s\n" (Jit.Disk_cache.dir ())
@@ -373,12 +388,18 @@ let jit_status clear =
   0
 
 let jit_cmd =
+  let action =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"ACTION" ~doc:"Optional action; only $(b,status).")
+  in
   let clear =
     Arg.(value & flag & info [ "clear" ] ~doc:"Clear the on-disk kernel cache.")
   in
   Cmd.v
     (Cmd.info "jit" ~doc:"Show (or clear) the dynamic-compilation backend state")
-    Term.(const jit_status $ clear)
+    Term.(const jit_status $ action $ clear)
 
 (* -- exec subcommand: dump nonblocking plans and execution traces -- *)
 
@@ -451,16 +472,38 @@ let exec_demo demo spec symmetrize domains =
       print_last_trace ();
       Printf.printf "result: %g\n" s
     in
+    let run_mxv () =
+      (* a filled-in operand, so the layout pass can pick the pull
+         direction at plan time *)
+      let n = Smatrix.nrows m in
+      let uc =
+        Ogb.Container.of_svector
+          (Svector.of_dense Dtype.FP64 (Array.make n 1.0))
+      in
+      let e =
+        Ogb.Context.with_ops
+          [ Ogb.Context.semiring "Arithmetic" ]
+          (fun () -> tr !!ac @. !!uc)
+      in
+      Printf.printf
+        "== mxv: y = A.T @ u (transpose sink -> cached-CSC dispatch)\n%s"
+        (Exec.explain e);
+      ignore (Exec.force e);
+      print_last_trace ()
+    in
     (match demo with
     | "tc" -> run_tc ()
     | "chain" -> run_chain ()
     | "dot" -> run_dot ()
+    | "mxv" -> run_mxv ()
     | _ ->
       run_tc ();
       print_newline ();
       run_chain ();
       print_newline ();
-      run_dot ());
+      run_dot ();
+      print_newline ();
+      run_mxv ());
     print_newline ();
     print_dispatch_tables ();
     0
@@ -472,12 +515,13 @@ let exec_cmd =
       & opt
           (enum
              [ ("all", "all"); ("tc", "tc"); ("chain", "chain");
-               ("dot", "dot") ])
+               ("dot", "dot"); ("mxv", "mxv") ])
           "all"
       & info [ "demo"; "d" ]
           ~doc:
             "Which plan to dump: tc (masked matmul), chain (apply fusion), \
-             dot (CSE + mult-reduce), or all.")
+             dot (CSE + mult-reduce), mxv (transposed product on the cached \
+             CSC side), or all.")
   in
   let domains =
     Arg.(

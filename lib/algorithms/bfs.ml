@@ -26,13 +26,33 @@ let generic graph ~src =
   done;
   levels
 
-(* Tier 3: the same loop over the specialized kernels. *)
-let native graph ~src =
+(* Tier 3: the same loop over the specialized kernels.  Two pipelines,
+   chosen by the storage-format layer:
+
+   - [native_sparse] (format layer off — the CSR-only baseline): the
+     frontier and levels live in sparse vectors and every step goes
+     through the masked entry-merge write path.
+   - [native_dense] (format layer on): the frontier is an index array
+     over a dense staging pair, levels are a dense (values, validity)
+     pair, and the expansion is direction-optimized — a thin frontier
+     pushes (CSR scatter, then a ¬visited filter); a thick one pulls
+     (CSC gather over unvisited vertices only, with early exit once the
+     lor accumulator saturates).
+
+   Both expansion directions accumulate per-vertex contributions in
+   ascending neighbor order and both pipelines assign depths to the same
+   frontier sets, so the returned levels are bit-identical. *)
+let pull_threshold = 8 (* pull once frontier fill reaches 1/8 *)
+
+let native_sparse graph ~src =
   let n = Smatrix.nrows graph in
   let frontier = Svector.create Dtype.Bool n in
   Svector.set frontier src true;
   let levels = Svector.create Dtype.Int64 n in
   let visited = Array.make n false in
+  (* dense frontier staging for the pull direction, reused across
+     iterations *)
+  let uvls = Array.make n false and uocc = Array.make n false in
   let depth = ref 0 in
   while Svector.nvals frontier > 0 do
     incr depth;
@@ -42,12 +62,109 @@ let native graph ~src =
       ~out:levels !depth Index_set.All;
     Svector.iter (fun i _ -> visited.(i) <- true) frontier;
     (* frontier<!levels, replace> = graphᵀ ⊕.⊗ frontier *)
-    let t = Jit.Kernels.mxv Dtype.Bool Jit.Op_spec.logical ~transpose:true graph frontier in
-    Output.write_vector
-      ~mask:(Mask.Vmask { dense = visited; complemented = true })
-      ~accum:None ~replace:true ~out:frontier ~t
+    let use_pull =
+      Format_stats.enabled ()
+      && n >= 32
+      && pull_threshold * Svector.nvals frontier >= n
+    in
+    if use_pull then begin
+      Format_stats.record_pull ();
+      Array.fill uvls 0 n false;
+      Array.fill uocc 0 n false;
+      Svector.iter
+        (fun i b ->
+          uvls.(i) <- b;
+          uocc.(i) <- true)
+        frontier;
+      let t =
+        Jit.Kernels.mxv_pull_masked Dtype.Bool Jit.Op_spec.logical ~visited
+          graph (uvls, uocc)
+      in
+      Output.write_vector ~mask:Mask.No_vmask ~accum:None ~replace:true
+        ~out:frontier ~t
+    end
+    else begin
+      let t =
+        Jit.Kernels.mxv Dtype.Bool Jit.Op_spec.logical ~transpose:true graph
+          frontier
+      in
+      Output.write_vector
+        ~mask:(Mask.Vmask { dense = visited; complemented = true })
+        ~accum:None ~replace:true ~out:frontier ~t
+    end
   done;
   levels
+
+let native_dense graph ~src =
+  let n = Smatrix.nrows graph in
+  let levels_v = Array.make n 0 in
+  let levels_occ = Array.make n false in
+  let visited = Array.make n false in
+  (* dense frontier staging for the pull direction, reused across
+     iterations *)
+  let uvls = Array.make n false and uocc = Array.make n false in
+  let frontier = ref [| src |] in
+  let depth = ref 0 in
+  while Array.length !frontier > 0 do
+    incr depth;
+    (* levels<frontier, merge> = depth *)
+    Array.iter
+      (fun i ->
+        levels_v.(i) <- !depth;
+        levels_occ.(i) <- true;
+        visited.(i) <- true)
+      !frontier;
+    (* frontier<!levels, replace> = graphᵀ ⊕.⊗ frontier *)
+    let fn = Array.length !frontier in
+    let use_pull = n >= 32 && pull_threshold * fn >= n in
+    let next =
+      if use_pull then begin
+        Format_stats.record_pull ();
+        Array.fill uvls 0 n false;
+        Array.fill uocc 0 n false;
+        Array.iter
+          (fun i ->
+            uvls.(i) <- true;
+            uocc.(i) <- true)
+          !frontier;
+        let t =
+          Jit.Kernels.mxv_pull_masked Dtype.Bool Jit.Op_spec.logical ~visited
+            graph (uvls, uocc)
+        in
+        (* already complement-masked, and lor over a bool graph only
+           produces true — the new frontier is just the index set *)
+        Array.init (Entries.length t) (Entries.get_idx t)
+      end
+      else begin
+        (* push: the CSR scatter on the sparse frontier (mxv records the
+           direction counter), then the ¬visited filter *)
+        let fv = Svector.create Dtype.Bool n in
+        Svector.replace_contents fv
+          (Entries.of_arrays_unsafe !frontier (Array.make fn true) ~len:fn);
+        let t =
+          Jit.Kernels.mxv Dtype.Bool Jit.Op_spec.logical ~transpose:true graph
+            fv
+        in
+        let out = Array.make (Entries.length t) 0 in
+        let k = ref 0 in
+        Entries.iter
+          (fun i _ ->
+            if not visited.(i) then begin
+              out.(!k) <- i;
+              incr k
+            end)
+          t;
+        Array.sub out 0 !k
+      end
+    in
+    frontier := next
+  done;
+  Svector.of_dense_unsafe Dtype.Int64 ~vals:levels_v ~valid:levels_occ
+
+(* Layout-aware dispatch between the two pipelines above. *)
+let native graph ~src =
+  if Format_stats.enabled () then native_dense graph ~src
+  else native_sparse graph ~src
 
 (* Tier "PyGB": deferred expressions + context stack (paper Fig. 2b). *)
 let dsl graph ~src =

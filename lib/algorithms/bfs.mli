@@ -17,7 +17,18 @@ val native : bool Smatrix.t -> src:int -> int Svector.t
 (** Tier 3: OCaml loops over the specialized (monomorphic) kernels — the
     analogue of GBTL C++ with its templates statically instantiated.  All
     tiers share these kernels; they differ only in dispatch overhead, as
-    in the paper's experiment. *)
+    in the paper's experiment.  With the storage-format layer on
+    ({!Gbtl.Format_stats.enabled}), dispatches to {!native_dense};
+    otherwise {!native_sparse}.  The two produce bit-identical levels. *)
+
+val native_sparse : bool Smatrix.t -> src:int -> int Svector.t
+(** The CSR-only pipeline: sparse frontier and levels vectors, push-only
+    expansion through the masked entry-merge write path. *)
+
+val native_dense : bool Smatrix.t -> src:int -> int Svector.t
+(** The format-aware pipeline: dense levels/frontier staging and
+    direction-optimized expansion (CSR push for thin frontiers, masked
+    CSC pull with early exit for thick ones). *)
 
 val generic : bool Smatrix.t -> src:int -> int Svector.t
 (** The same program against the polymorphic [Gbtl] operations (paper

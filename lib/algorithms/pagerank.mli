@@ -12,7 +12,11 @@ val native :
   ?max_iters:int ->
   float Smatrix.t ->
   float Svector.t * int
-(** Tier 3: specialized kernels (see {!Bfs.native}'s doc). *)
+(** Tier 3: specialized kernels (see {!Bfs.native}'s doc).  With the
+    storage-format layer on, the iteration runs on dense
+    (values, validity) pairs end-to-end and the product pulls over the
+    cached CSC side; otherwise the original sparse-vector pipeline runs.
+    Both return bit-identical ranks and iteration counts. *)
 
 val generic :
   ?damping:float ->

@@ -7,6 +7,11 @@ let perr fmt = Printf.ksprintf (fun s -> raise (Plan_error s)) fmt
 
 type kind = K_vec | K_mat | K_scalar
 
+(* Storage-layout annotation chosen by Rewrite.select_layout: which side
+   of the matrix operand the kernel will walk, and (when the vector
+   operand's fill is known at planning time) the push/pull direction. *)
+type layout = L_default | L_csc | L_csc_pull | L_csc_push
+
 type op =
   | Leaf of C.t
   | Transpose
@@ -15,6 +20,7 @@ type op =
       transpose_a : bool;
       transpose_b : bool;
       masked : Ogb.Expr.mask_spec option;
+      layout : layout;
     }
   | Ewise of {
       kind : [ `Add | `Mult ];
@@ -67,11 +73,17 @@ let unary_names chain =
 
 let kind_tag = function `Add -> "add" | `Mult -> "mult"
 
+let layout_tag = function
+  | L_default -> ""
+  | L_csc -> "[a:csc]"
+  | L_csc_pull -> "[a:csc][pull]"
+  | L_csc_push -> "[a:csc][push]"
+
 let op_label = function
   | Leaf c -> if C.is_matrix c then "leaf:mat" else "leaf:vec"
   | Transpose -> "transpose"
-  | MatMul { sr; transpose_a; transpose_b; masked } ->
-    Printf.sprintf "mxm[%s.%s]%s%s%s" sr.Jit.Op_spec.add_op
+  | MatMul { sr; transpose_a; transpose_b; masked; layout } ->
+    Printf.sprintf "mxm[%s.%s]%s%s%s%s" sr.Jit.Op_spec.add_op
       sr.Jit.Op_spec.mul_op
       (if transpose_a then "[Ta]" else "")
       (if transpose_b then "[Tb]" else "")
@@ -79,6 +91,7 @@ let op_label = function
       | Some { complemented = true; _ } -> "[mask~]"
       | Some _ -> "[mask]"
       | None -> "")
+      (layout_tag layout)
   | Ewise { kind; op; transpose_a; transpose_b } ->
     Printf.sprintf "ewise_%s[%s]%s%s" (kind_tag kind) op
       (if transpose_a then "[Ta]" else "")
@@ -178,7 +191,9 @@ let cse_key op deps =
   let d = String.concat "," (List.map string_of_int (Array.to_list deps)) in
   match op with
   | Transpose -> Some (Printf.sprintf "T(%s)" d)
-  | MatMul { sr; transpose_a; transpose_b; masked = None } ->
+  (* layout is excluded from the key: lowering always produces
+     L_default, and select_layout runs only after CSE. *)
+  | MatMul { sr; transpose_a; transpose_b; masked = None; _ } ->
     Some
       (Printf.sprintf "mxm(%s/%s/%s,%b,%b)(%s)" sr.Jit.Op_spec.add_op
          sr.Jit.Op_spec.add_identity sr.Jit.Op_spec.mul_op transpose_a
@@ -241,7 +256,12 @@ let rec lower_expr b (e : Ogb.Expr.t) =
       | _ -> K_vec
     in
     shared b
-      (MatMul { sr; transpose_a = false; transpose_b = false; masked = None })
+      (MatMul
+         { sr;
+           transpose_a = false;
+           transpose_b = false;
+           masked = None;
+           layout = L_default })
       [| a'; b' |] kind
   | EwiseAdd { a; b = bb; op } ->
     let a' = lower_expr b a and b' = lower_expr b bb in
@@ -335,7 +355,7 @@ let execute_node _plan n (vals : value array) : value =
     match cont vals.(0) with
     | C.Mat (dt, m) -> V_cont (C.Mat (dt, Jit.Kernels.transpose_m dt m))
     | C.Vec _ as c -> V_cont c (* vector transpose is the identity *))
-  | MatMul { sr; transpose_a = ta; transpose_b = tb; masked } -> (
+  | MatMul { sr; transpose_a = ta; transpose_b = tb; masked; layout = _ } -> (
     let ca = cont vals.(0) and cb = cont vals.(1) in
     let (Dtype.P dt) = promote2 ca cb in
     let ca = Ogb.Expr.unify (Dtype.P dt) ca

@@ -11,6 +11,16 @@ exception Plan_error of string
 
 type kind = K_vec | K_mat | K_scalar
 
+type layout = L_default | L_csc | L_csc_pull | L_csc_push
+(** Storage-layout annotation set by [Rewrite.select_layout]: [L_csc*]
+    marks a transposed Mat×Vec matmul that will dispatch on the matrix's
+    CSC side instead of materializing a transpose; the [_pull]/[_push]
+    refinements record the direction the kernel will take when the
+    vector operand's fill ratio is already known at planning time
+    (i.e. it is a plan leaf).  Purely descriptive: per-node execution
+    semantics are unchanged, and the same fill-ratio threshold drives
+    the kernel's own runtime dispatch. *)
+
 type op =
   | Leaf of Ogb.Container.t
   | Transpose
@@ -19,6 +29,7 @@ type op =
       transpose_a : bool;
       transpose_b : bool;
       masked : Ogb.Expr.mask_spec option;
+      layout : layout;
     }
   | Ewise of {
       kind : [ `Add | `Mult ];

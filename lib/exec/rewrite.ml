@@ -200,6 +200,44 @@ let push_mask plan =
       record plan "mask_push"
     | _ -> ())
 
+(* -- layout selection --
+   With the format layer on, a Mat×Vec matmul carrying a transpose_a
+   flag (sunk there by sink_transpose from an explicit Transpose node)
+   dispatches on the matrix's lazily cached CSC side rather than
+   materializing Aᵀ.  Annotate those nodes so plan dumps and traces show
+   the physical dispatch; when the vector operand is a plan leaf its
+   fill ratio is known now, so the push/pull direction the kernel will
+   take is recorded too (same threshold as Jit.Kernels.mxv: pull once
+   fill reaches 1/4 of a size-≥32 vector).  Descriptive only — the node
+   still executes through the same kernel entry point, whose runtime
+   heuristic agrees with this one. *)
+let select_layout plan =
+  if Gbtl.Format_stats.enabled () then
+    List.iter
+      (fun id ->
+        let n = Plan.node plan id in
+        match n.Plan.op with
+        | Plan.MatMul ({ transpose_a = true; layout = Plan.L_default; _ } as m)
+          when (Plan.node plan n.Plan.deps.(0)).Plan.kind = Plan.K_mat
+               && (Plan.node plan n.Plan.deps.(1)).Plan.kind = Plan.K_vec ->
+          let layout =
+            match (Plan.node plan n.Plan.deps.(1)).Plan.op with
+            | Plan.Leaf c when not (Ogb.Container.is_matrix c) ->
+              let size = Ogb.Container.size c in
+              if size >= 32 && 4 * Ogb.Container.nvals c >= size then
+                Plan.L_csc_pull
+              else Plan.L_csc_push
+            | _ -> Plan.L_csc
+          in
+          n.Plan.op <- Plan.MatMul { m with layout };
+          record plan "csc_dispatch";
+          (match layout with
+          | Plan.L_csc_pull -> record plan "dir_pull"
+          | Plan.L_csc_push -> record plan "dir_push"
+          | _ -> ())
+        | _ -> ())
+      (Plan.topo plan)
+
 let run plan =
   let dead = ref 0 in
   let sweep () = dead := !dead + Plan.drop_dead plan in
@@ -215,4 +253,5 @@ let run plan =
   end;
   push_mask plan;
   sweep ();
+  select_layout plan;
   Plan.record_event plan "dce" !dead

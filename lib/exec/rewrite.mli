@@ -24,7 +24,14 @@ val push_mask : Plan.t -> unit
 (** Move the sink's write mask into the producing root Mat×Mat matmul,
     exactly when the blocking evaluator would. *)
 
+val select_layout : Plan.t -> unit
+(** When the format layer is on ([Gbtl.Format_stats.enabled]), annotate
+    transposed Mat×Vec matmuls with the CSC dispatch the kernel will
+    use ({!Plan.layout}), refining to push/pull when the vector
+    operand's fill ratio is known at planning time.  Records
+    [csc_dispatch] and [dir_pull]/[dir_push] events. *)
+
 val run : Plan.t -> unit
 (** The full pipeline: transpose sinking, then (when {!Ogb.Expr.fusion}
-    is enabled) the three fusion passes, mask push-down, and dead-node
-    elimination. *)
+    is enabled) the three fusion passes, mask push-down, layout
+    selection, and dead-node elimination. *)

@@ -29,6 +29,10 @@ let domain_count () =
       | Some n -> n
       | None -> min 4 (Domain.recommended_domain_count ()))
 
+let nvals_of_value = function
+  | Plan.V_cont c -> Ogb.Container.nvals c
+  | Plan.V_scal _ -> 1
+
 let run_sequential plan order =
   let results = Hashtbl.create 32 in
   let events = ref [] in
@@ -39,7 +43,10 @@ let run_sequential plan order =
       let t0 = now () in
       let v = Plan.execute_node plan n vals in
       events :=
-        { Trace.id; label = Plan.op_label n.Plan.op; seconds = now () -. t0 }
+        { Trace.id;
+          label = Plan.op_label n.Plan.op;
+          seconds = now () -. t0;
+          nvals = nvals_of_value v }
         :: !events;
       Hashtbl.replace results id v)
     order;
@@ -96,7 +103,11 @@ let run_parallel plan order ndomains =
           Mutex.lock m;
           Hashtbl.replace results id v;
           events :=
-            { Trace.id; label = Plan.op_label n.Plan.op; seconds } :: !events;
+            { Trace.id;
+              label = Plan.op_label n.Plan.op;
+              seconds;
+              nvals = nvals_of_value v }
+            :: !events;
           incr completed;
           List.iter
             (fun c ->

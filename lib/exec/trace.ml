@@ -1,4 +1,4 @@
-type node_event = { id : int; label : string; seconds : float }
+type node_event = { id : int; label : string; seconds : float; nvals : int }
 
 type t = {
   domains : int;
@@ -40,7 +40,8 @@ let pp fmt t =
     Format.fprintf fmt "@\n");
   List.iter
     (fun e ->
-      Format.fprintf fmt "  n%-3d %-40s %.6fs@\n" e.id e.label e.seconds)
+      Format.fprintf fmt "  n%-3d %-40s %.6fs  nvals=%d@\n" e.id e.label
+        e.seconds e.nvals)
     t.nodes
 
 let to_string t = Format.asprintf "%a" pp t

@@ -2,7 +2,10 @@
     rewrites that fired, and the kernel-cache activity (lookup/hit/
     compile deltas) attributable to the run. *)
 
-type node_event = { id : int; label : string; seconds : float }
+type node_event = { id : int; label : string; seconds : float; nvals : int }
+(** [nvals] is the stored-entry count of the node's result container
+    (1 for scalar results) — the frontier-size data behind push/pull
+    direction choices. *)
 
 type t = {
   domains : int;  (** worker domains the scheduler actually used *)

@@ -1,0 +1,38 @@
+(** Switch and counters for the format-polymorphic storage layer.
+
+    [enabled] gates every layout heuristic: CSC dispatch of transposed
+    matrix-vector products, sparse/dense vector auto-switching, and
+    sparse vector masks.  With it off the containers behave exactly like
+    the CSR-only / sorted-pairs library (the baseline the format bench
+    compares against).  Explicit conversions ([Smatrix.ensure_csc],
+    [Svector.densify], ...) always work regardless of the switch.
+
+    The [OGB_FORMATS] environment variable ([0]/[off]/[false]) disables
+    the heuristics at startup. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run a thunk with the switch forced to the given value (restored on
+    exit, including on exceptions). *)
+
+(** {2 Recording} (called by the container and kernel layers) *)
+
+val record_csc_build : unit -> unit
+val record_densify : auto:bool -> unit
+val record_sparsify : auto:bool -> unit
+val record_pull : unit -> unit
+val record_push : unit -> unit
+val record_sparse_mask : unit -> unit
+
+val get_csc_builds : unit -> int
+(** Direct read of one counter (the [extract_col] regression test hooks
+    this to prove columns are served from the cached CSC side). *)
+
+val counters : unit -> (string * int) list
+(** All counters as [(name, count)], fixed order: csc_builds, densify,
+    sparsify, auto_densify, auto_sparsify, pull_steps, push_steps,
+    sparse_masks. *)
+
+val reset : unit -> unit

@@ -1,11 +1,42 @@
-type vmask = No_vmask | Vmask of { dense : bool array; complemented : bool }
+type vmask =
+  | No_vmask
+  | Vmask of { dense : bool array; complemented : bool }
+  | Vmask_sparse of { size : int; idx : int array; complemented : bool }
 
 type mmask =
   | No_mmask
   | Mmask of { m : bool Smatrix.t; complemented : bool }
 
+(* Sorted indices of the truthy entries — O(nvals) to build, vs O(size)
+   for the dense boolean array. *)
+let sparse_of_vector v =
+  let dt = Svector.dtype v in
+  let idx = ref [] and k = ref 0 in
+  Svector.iter
+    (fun i x ->
+      if Dtype.to_bool dt x then begin
+        idx := i :: !idx;
+        incr k
+      end)
+    v;
+  let arr = Array.make (max !k 1) 0 in
+  List.iteri (fun j i -> arr.(!k - 1 - j) <- i) !idx;
+  Array.sub arr 0 !k
+
 let vmask ?(complemented = false) v =
-  Vmask { dense = Svector.to_bool_dense v; complemented }
+  (* A sparse mask only pays off when membership tests stay cheap and the
+     build avoids touching every position; low fill is the common case
+     for algorithm frontiers (BFS's ¬visited write masks). *)
+  if
+    Format_stats.enabled ()
+    && Svector.size v >= 64
+    && 8 * Svector.nvals v < Svector.size v
+  then begin
+    Format_stats.record_sparse_mask ();
+    Vmask_sparse
+      { size = Svector.size v; idx = sparse_of_vector v; complemented }
+  end
+  else Vmask { dense = Svector.to_bool_dense v; complemented }
 
 let coerce_bool_matrix (type a) (m : a Smatrix.t) : bool Smatrix.t =
   let dt = Smatrix.dtype m in
@@ -16,20 +47,30 @@ let coerce_bool_matrix (type a) (m : a Smatrix.t) : bool Smatrix.t =
 let mmask ?(complemented = false) m =
   Mmask { m = coerce_bool_matrix m; complemented }
 
+let mem_sorted idx i =
+  let lo = ref 0 and hi = ref (Array.length idx) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if idx.(mid) < i then lo := mid + 1 else hi := mid
+  done;
+  !lo < Array.length idx && idx.(!lo) = i
+
 let v_allowed mask i =
   match mask with
   | No_vmask -> true
   | Vmask { dense; complemented } -> dense.(i) <> complemented
+  | Vmask_sparse { idx; complemented; _ } -> mem_sorted idx i <> complemented
 
 let v_check_size mask n =
+  let fail len =
+    raise
+      (Svector.Dimension_mismatch
+         (Printf.sprintf "mask size %d does not match vector size %d" len n))
+  in
   match mask with
   | No_vmask -> ()
-  | Vmask { dense; _ } ->
-    if Array.length dense <> n then
-      raise
-        (Svector.Dimension_mismatch
-           (Printf.sprintf "mask size %d does not match vector size %d"
-              (Array.length dense) n))
+  | Vmask { dense; _ } -> if Array.length dense <> n then fail (Array.length dense)
+  | Vmask_sparse { size; _ } -> if size <> n then fail size
 
 let m_check_shape mask nrows ncols =
   match mask with

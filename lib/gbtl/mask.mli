@@ -5,9 +5,16 @@
     complement flag inverts the selection, and absence of a mask allows
     every position. *)
 
-(** Vector masks are materialized as a dense boolean array — vector
-    dimensions make this cheap and it gives O(1) membership. *)
-type vmask = No_vmask | Vmask of { dense : bool array; complemented : bool }
+(** Vector masks come in two layouts: a dense boolean array (O(1)
+    membership, O(size) to build) and a sorted array of truthy indices
+    (O(nvals) to build, O(log nvals) membership).  {!vmask} picks the
+    sparse layout for low-fill vectors of at least 64 elements when
+    {!Format_stats.enabled} is set — the frontier-mask case in BFS —
+    and the dense layout otherwise. *)
+type vmask =
+  | No_vmask
+  | Vmask of { dense : bool array; complemented : bool }
+  | Vmask_sparse of { size : int; idx : int array; complemented : bool }
 
 (** Matrix masks stay sparse (a boolean CSR of coerced values). *)
 type mmask =

@@ -1,3 +1,11 @@
+(* CSR is the canonical, always-present side.  A CSC side (the same
+   entries sorted column-major — equivalently the CSR of the transpose)
+   is built lazily by [ensure_csc] and cached until the next mutation;
+   column-oriented consumers ([extract_col], transpose-mxv pull
+   dispatch, unmasked transposed [mxm]) read it instead of rescanning
+   or materializing a transpose. *)
+type 'a csc = { colptr : int array; rowidx : int array; cvals : 'a array }
+
 type 'a t = {
   dt : 'a Dtype.t;
   nrows : int;
@@ -5,6 +13,7 @@ type 'a t = {
   mutable rowptr : int array; (* length nrows + 1 *)
   mutable colidx : int array;
   mutable vals : 'a array;
+  mutable csc : 'a csc option;
 }
 
 exception Dimension_mismatch of string
@@ -12,13 +21,56 @@ exception Index_out_of_bounds of string
 
 let create dt nrows ncols =
   if nrows < 0 || ncols < 0 then invalid_arg "Smatrix.create: negative shape";
-  { dt; nrows; ncols; rowptr = Array.make (nrows + 1) 0; colidx = [||]; vals = [||] }
+  { dt; nrows; ncols; rowptr = Array.make (nrows + 1) 0; colidx = [||];
+    vals = [||]; csc = None }
 
 let dtype m = m.dt
 let nrows m = m.nrows
 let ncols m = m.ncols
 let shape m = (m.nrows, m.ncols)
 let nvals m = m.rowptr.(m.nrows)
+
+let csc_cached m = m.csc <> None
+let rep_name m = if csc_cached m then "csr+csc" else "csr"
+let invalidate_csc m = m.csc <- None
+
+(* Counting sort of the CSR entries into column-major order; rows stay
+   ascending within each column, so the CSC side is exactly the CSR of
+   the transpose. *)
+let build_csc m =
+  let n = nvals m in
+  let colptr = Array.make (m.ncols + 1) 0 in
+  for p = 0 to n - 1 do
+    colptr.(m.colidx.(p) + 1) <- colptr.(m.colidx.(p) + 1) + 1
+  done;
+  for c = 1 to m.ncols do
+    colptr.(c) <- colptr.(c) + colptr.(c - 1)
+  done;
+  let cursor = Array.copy colptr in
+  let rowidx = if n = 0 then [||] else Array.make n 0 in
+  let cvals = if n = 0 then [||] else Array.make n m.vals.(0) in
+  for r = 0 to m.nrows - 1 do
+    for p = m.rowptr.(r) to m.rowptr.(r + 1) - 1 do
+      let c = m.colidx.(p) in
+      let q = cursor.(c) in
+      rowidx.(q) <- r;
+      cvals.(q) <- m.vals.(p);
+      cursor.(c) <- q + 1
+    done
+  done;
+  { colptr; rowidx; cvals }
+
+let get_csc m =
+  match m.csc with
+  | Some csc -> csc
+  | None ->
+    let csc = build_csc m in
+    m.csc <- Some csc;
+    Format_stats.record_csc_build ();
+    csc
+
+let ensure_csc m = ignore (get_csc m)
+let ensure_csr (_ : 'a t) = ()
 
 let check_bounds m r c ctx =
   if r < 0 || r >= m.nrows || c < 0 || c >= m.ncols then
@@ -48,6 +100,7 @@ let mem m r c =
 
 let set m r c x =
   check_bounds m r c "Smatrix.set";
+  invalidate_csc m;
   match find m r c with
   | Ok p -> m.vals.(p) <- x
   | Error p ->
@@ -67,6 +120,7 @@ let set m r c x =
 
 let remove m r c =
   check_bounds m r c "Smatrix.remove";
+  invalidate_csc m;
   match find m r c with
   | Error _ -> ()
   | Ok p ->
@@ -80,7 +134,8 @@ let remove m r c =
 let clear m =
   Array.fill m.rowptr 0 (m.nrows + 1) 0;
   m.colidx <- [||];
-  m.vals <- [||]
+  m.vals <- [||];
+  invalidate_csc m
 
 let dup m =
   {
@@ -90,6 +145,7 @@ let dup m =
     rowptr = Array.copy m.rowptr;
     colidx = Array.sub m.colidx 0 (nvals m);
     vals = Array.sub m.vals 0 (nvals m);
+    csc = None;
   }
 
 let replace_contents dst src =
@@ -100,7 +156,8 @@ let replace_contents dst src =
             dst.ncols src.nrows src.ncols));
   dst.rowptr <- Array.copy src.rowptr;
   dst.colidx <- Array.sub src.colidx 0 (nvals src);
-  dst.vals <- Array.sub src.vals 0 (nvals src)
+  dst.vals <- Array.sub src.vals 0 (nvals src);
+  invalidate_csc dst
 
 let of_coo ?dup dt nrows ncols triples =
   let m = create dt nrows ncols in
@@ -194,12 +251,13 @@ let of_rows_unsafe dt ~nrows ~ncols rows =
         e)
     rows;
   rowptr.(nrows) <- !k;
-  { dt; nrows; ncols; rowptr; colidx = Array.sub colidx 0 !k; vals = !vals }
+  { dt; nrows; ncols; rowptr; colidx = Array.sub colidx 0 !k; vals = !vals;
+    csc = None }
 
 let of_csr_unsafe dt ~nrows ~ncols ~rowptr ~colidx ~values =
   assert (Array.length rowptr = nrows + 1);
   assert (rowptr.(nrows) <= Array.length colidx);
-  { dt; nrows; ncols; rowptr; colidx; vals = values }
+  { dt; nrows; ncols; rowptr; colidx; vals = values; csc = None }
 
 let row_nvals m r = m.rowptr.(r + 1) - m.rowptr.(r)
 
@@ -224,13 +282,24 @@ let extract_row m r =
   v
 
 let extract_col m c =
+  (* Served from the cached CSC side: one counting sort amortized over
+     all column extractions instead of a binary search per row per call. *)
+  let csc = get_csc m in
   let v = Svector.create m.dt m.nrows in
-  for r = 0 to m.nrows - 1 do
-    match find m r c with
-    | Ok p -> Svector.set v r m.vals.(p)
-    | Error _ -> ()
+  for p = csc.colptr.(c) to csc.colptr.(c + 1) - 1 do
+    Svector.set v csc.rowidx.(p) csc.cvals.(p)
   done;
   v
+
+let col_nvals m c =
+  let csc = get_csc m in
+  csc.colptr.(c + 1) - csc.colptr.(c)
+
+let iter_col f m c =
+  let csc = get_csc m in
+  for p = csc.colptr.(c) to csc.colptr.(c + 1) - 1 do
+    f csc.rowidx.(p) csc.cvals.(p)
+  done
 
 let iter f m =
   for r = 0 to m.nrows - 1 do
@@ -249,35 +318,31 @@ let to_dense ~fill m =
   iter (fun r c x -> d.(r).(c) <- x) m;
   d
 
+(* The CSC side of [m] is exactly the CSR of its transpose, so a
+   materialized transpose is copies of the cached arrays. *)
 let transpose m =
-  let n = nvals m in
-  let rowptr = Array.make (m.ncols + 1) 0 in
-  (* Count entries per column. *)
-  for p = 0 to n - 1 do
-    rowptr.(m.colidx.(p) + 1) <- rowptr.(m.colidx.(p) + 1) + 1
-  done;
-  for c = 1 to m.ncols do
-    rowptr.(c) <- rowptr.(c) + rowptr.(c - 1)
-  done;
-  let cursor = Array.copy rowptr in
-  let colidx = Array.make (max n 1) 0 in
-  let vals = if n = 0 then [||] else Array.make n m.vals.(0) in
-  for r = 0 to m.nrows - 1 do
-    for p = m.rowptr.(r) to m.rowptr.(r + 1) - 1 do
-      let c = m.colidx.(p) in
-      let q = cursor.(c) in
-      colidx.(q) <- r;
-      vals.(q) <- m.vals.(p);
-      cursor.(c) <- q + 1
-    done
-  done;
+  let csc = get_csc m in
   {
     dt = m.dt;
     nrows = m.ncols;
     ncols = m.nrows;
-    rowptr;
-    colidx = Array.sub colidx 0 n;
-    vals;
+    rowptr = Array.copy csc.colptr;
+    colidx = Array.copy csc.rowidx;
+    vals = Array.copy csc.cvals;
+    csc = None;
+  }
+
+let unsafe_transpose_view m =
+  let csc = get_csc m in
+  {
+    dt = m.dt;
+    nrows = m.ncols;
+    ncols = m.nrows;
+    rowptr = csc.colptr;
+    colidx = csc.rowidx;
+    vals = csc.cvals;
+    (* The view's CSC is the original's CSR, also shared. *)
+    csc = Some { colptr = m.rowptr; rowidx = m.colidx; cvals = m.vals };
   }
 
 let cast ~into m =
@@ -293,6 +358,7 @@ let cast ~into m =
     rowptr = Array.copy m.rowptr;
     colidx = Array.sub m.colidx 0 n;
     vals = Array.sub vals 0 n;
+    csc = None;
   }
 
 let map m ~f =
@@ -303,6 +369,7 @@ let map m ~f =
   out
 
 let map_inplace m ~f =
+  invalidate_csc m;
   for p = 0 to nvals m - 1 do
     m.vals.(p) <- f m.vals.(p)
   done
@@ -334,3 +401,7 @@ let pp fmt m =
 let unsafe_rowptr m = m.rowptr
 let unsafe_colidx m = m.colidx
 let unsafe_values m = m.vals
+
+let unsafe_colptr m = (get_csc m).colptr
+let unsafe_rowidx m = (get_csc m).rowidx
+let unsafe_cvals m = (get_csc m).cvals

@@ -1,4 +1,10 @@
-(** Sparse GraphBLAS matrix in CSR (compressed sparse row) form.
+(** Sparse GraphBLAS matrix.  CSR (compressed sparse row) is the
+    canonical, always-present side; a CSC side — the same entries in
+    column-major order, equivalently the CSR of the transpose — is built
+    on demand by {!ensure_csc} and cached until the next mutation.
+    Column-oriented consumers ({!extract_col}, transpose-mxv pull
+    dispatch, unmasked transposed mxm) read the cached CSC arrays
+    instead of rescanning the CSR side or materializing a transpose.
 
     Stored entries are explicit; row entries are kept in ascending column
     order.  Point mutation ([set]/[remove]) rebuilds the affected arrays
@@ -17,6 +23,19 @@ val nrows : 'a t -> int
 val ncols : 'a t -> int
 val shape : 'a t -> int * int
 val nvals : 'a t -> int
+
+val csc_cached : 'a t -> bool
+val rep_name : 'a t -> string
+(** ["csr"] or ["csr+csc"] — the format component kernels put in their
+    {!Jit.Kernel_sig} cache keys. *)
+
+val ensure_csr : 'a t -> unit
+(** CSR is always present; provided for API symmetry with
+    {!ensure_csc}. *)
+
+val ensure_csc : 'a t -> unit
+(** Build and cache the CSC side if absent (O(nvals + ncols) counting
+    sort).  Invalidated by any mutation. *)
 
 val of_coo :
   ?dup:'a Binop.t -> 'a Dtype.t -> int -> int -> (int * int * 'a) list -> 'a t
@@ -61,14 +80,27 @@ val iter_row : (int -> 'a -> unit) -> 'a t -> int -> unit
 val fold_row : ('acc -> int -> 'a -> 'acc) -> 'acc -> 'a t -> int -> 'acc
 val row_entries : 'a t -> int -> 'a Entries.t
 val extract_row : 'a t -> int -> 'a Svector.t
+
 val extract_col : 'a t -> int -> 'a Svector.t
+(** Served from the cached CSC side (builds it on first use). *)
+
+val col_nvals : 'a t -> int -> int
+val iter_col : (int -> 'a -> unit) -> 'a t -> int -> unit
+(** [iter_col f m c] applies [f row value] over column [c] in ascending
+    row order (via the cached CSC side). *)
 
 val iter : (int -> int -> 'a -> unit) -> 'a t -> unit
 val fold : ('acc -> int -> int -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 val to_coo : 'a t -> (int * int * 'a) list
 val to_dense : fill:'a -> 'a t -> 'a array array
 val transpose : 'a t -> 'a t
-(** Fresh matrix; O(nvals + nrows + ncols) counting sort. *)
+(** Fresh matrix — copies of the cached CSC arrays (built on first
+    use). *)
+
+val unsafe_transpose_view : 'a t -> 'a t
+(** Zero-copy transpose: a matrix whose CSR arrays {e are} the cached
+    CSC arrays of the original (and vice versa).  Strictly read-only —
+    mutating either matrix afterwards corrupts the other. *)
 
 val cast : into:'b Dtype.t -> 'a t -> 'b t
 val map : 'a t -> f:('a -> 'a) -> 'a t
@@ -85,3 +117,9 @@ val pp : Format.formatter -> 'a t -> unit
 val unsafe_rowptr : 'a t -> int array
 val unsafe_colidx : 'a t -> int array
 val unsafe_values : 'a t -> 'a array
+
+val unsafe_colptr : 'a t -> int array
+val unsafe_rowidx : 'a t -> int array
+val unsafe_cvals : 'a t -> 'a array
+(** CSC-side counterparts; each builds and caches the CSC side if
+    absent.  Same read-only contract. *)

@@ -1,7 +1,16 @@
-(** Sparse GraphBLAS vector: sorted (index, value) arrays plus a logical
-    size.  Stored entries are explicit — a stored zero is distinct from an
-    absent entry, per the GraphBLAS data model.  Outputs of operations are
-    written in place (GBTL's pass-by-reference convention). *)
+(** GraphBLAS vector with two storage representations: [Sparse] — sorted
+    (index, value) arrays, the original layout — and [Dense] — a full
+    value array plus a validity bitmap.  Stored entries are explicit — a
+    stored zero is distinct from an absent entry, per the GraphBLAS data
+    model.  Outputs of operations are written in place (GBTL's
+    pass-by-reference convention).
+
+    Logical content is representation-independent: iteration always runs
+    in ascending index order over stored entries, and {!equal} compares
+    entries, not layouts.  Conversions are explicit ({!densify} /
+    {!sparsify}); bulk writes ({!replace_contents}, {!of_dense}, ...)
+    auto-switch on fill ratio (dense at ≥ 1/4 fill for sizes ≥ 32, back
+    to sparse below 1/16) when {!Format_stats.enabled} is set. *)
 
 type 'a t
 
@@ -9,11 +18,24 @@ exception Dimension_mismatch of string
 exception Index_out_of_bounds of string
 
 val create : 'a Dtype.t -> int -> 'a t
-(** Empty vector of the given logical size. *)
+(** Empty vector of the given logical size (sparse representation). *)
 
 val dtype : 'a t -> 'a Dtype.t
 val size : 'a t -> int
 val nvals : 'a t -> int
+
+val is_dense : 'a t -> bool
+val rep_name : 'a t -> string
+(** ["sparse"] or ["dense"] — the format component kernels put in their
+    {!Jit.Kernel_sig} cache keys. *)
+
+val densify : 'a t -> unit
+(** Switch to the dense representation (no-op if already dense);
+    O(size). *)
+
+val sparsify : 'a t -> unit
+(** Switch to the sorted-pairs representation (no-op if already sparse);
+    O(size). *)
 
 val of_coo : ?dup:'a Binop.t -> 'a Dtype.t -> int -> (int * 'a) list -> 'a t
 (** Build from coordinate data; duplicates are combined with [dup]
@@ -37,10 +59,11 @@ val set : 'a t -> int -> 'a -> unit
 val remove : 'a t -> int -> unit
 val clear : 'a t -> unit
 val dup : 'a t -> 'a t
+(** Same entries, same representation. *)
 
 val replace_contents : 'a t -> 'a Entries.t -> unit
 (** Overwrite the stored entries wholesale (used by the output-write
-    step); indices must lie within [size]. *)
+    step); indices must lie within [size].  May auto-densify. *)
 
 val entries : 'a t -> 'a Entries.t
 (** Snapshot of the stored entries. *)
@@ -58,14 +81,28 @@ val to_bool_dense : 'a t -> bool array
     interpretation of a vector. *)
 
 val equal : 'a t -> 'a t -> bool
-(** Same size, same structure, same values (dtype comparison). *)
+(** Same size, same stored positions, same values — independent of the
+    representation on either side. *)
 
 val pp : Format.formatter -> 'a t -> unit
 
 (** {2 Direct access for kernels}
 
-    Live internal buffers: only the first [nvals] cells are meaningful and
-    they must not be mutated by callers. *)
+    Live internal buffers that must not be mutated by callers.  The
+    sparse accessors sparsify first (only the first [nvals] cells are
+    meaningful); {!unsafe_dense} densifies first. *)
 
 val unsafe_indices : 'a t -> int array
 val unsafe_values : 'a t -> 'a array
+
+val unsafe_dense : 'a t -> 'a array * bool array
+(** [(values, validity)], both of length [size] (length 1 for size-0
+    vectors). *)
+
+val of_dense_unsafe : 'a Dtype.t -> vals:'a array -> valid:bool array -> 'a t
+(** Adopt well-formed dense arrays without copying (kernel results);
+    [nvals] is counted from [valid]. @raise Dimension_mismatch *)
+
+val replace_dense_unsafe : 'a t -> vals:'a array -> valid:bool array -> unit
+(** Adopt dense arrays (length [size]) as the vector's new contents.
+    @raise Dimension_mismatch *)

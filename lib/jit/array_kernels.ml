@@ -68,6 +68,147 @@ let mxv ~add ~mul ~dummy ~nrows ~ncols ~transpose (arp, aci, avs)
     (out_idx, out_vls)
   end
 
+(* Pull form of the transposed product, reading the CSC side of A:
+   (Aᵀu)_c = ⊕_j A(j,c) ⊗ u(j), one gather per output position instead
+   of one scatter per frontier entry.  Rows ascend within each column,
+   so contributions accumulate in the same order as the scatter form
+   and the results are bit-identical. *)
+let mxv_pull ~add ~mul ~dummy ~nrows ~ncols ((acp, ari, avs) : 'a csr)
+    ((uidx, uvls, un) : 'a ventry) =
+  let u_dense = Array.make (max nrows 1) dummy in
+  let u_occ = Array.make (max nrows 1) false in
+  for k = 0 to un - 1 do
+    u_dense.(uidx.(k)) <- uvls.(k);
+    u_occ.(uidx.(k)) <- true
+  done;
+  let out_idx = Array.make (max ncols 1) 0 in
+  let out_vls = Array.make (max ncols 1) dummy in
+  let n = ref 0 in
+  for c = 0 to ncols - 1 do
+    let acc = ref dummy and hit = ref false in
+    for p = acp.(c) to acp.(c + 1) - 1 do
+      let j = ari.(p) in
+      if u_occ.(j) then begin
+        let v = mul avs.(p) u_dense.(j) in
+        acc := (if !hit then add !acc v else v);
+        hit := true
+      end
+    done;
+    if !hit then begin
+      out_idx.(!n) <- c;
+      out_vls.(!n) <- !acc;
+      incr n
+    end
+  done;
+  trim out_idx out_vls !n
+
+(* Direction-optimized pull for masked transposed products (the BFS
+   bottom-up step): only [allowed] output positions are gathered, the
+   frontier arrives dense, and a column's gather stops as soon as [stop]
+   holds for the accumulator (sound only for saturating ⊕ such as lor,
+   where further contributions cannot change the value). *)
+let mxv_pull_masked ~add ~mul ~dummy ~stop ~ncols ~visited
+    ((acp, ari, avs) : 'a csr) ((uvls, uocc) : 'a array * bool array) =
+  let out_idx = Array.make (max ncols 1) 0 in
+  let out_vls = Array.make (max ncols 1) dummy in
+  let n = ref 0 in
+  for c = 0 to ncols - 1 do
+    if not visited.(c) then begin
+      let acc = ref dummy and hit = ref false in
+      let p = ref acp.(c) in
+      let stop_p = acp.(c + 1) in
+      while !p < stop_p && not (!hit && stop !acc) do
+        let j = ari.(!p) in
+        if uocc.(j) then begin
+          let v = mul avs.(!p) uvls.(j) in
+          acc := (if !hit then add !acc v else v);
+          hit := true
+        end;
+        incr p
+      done;
+      if !hit then begin
+        out_idx.(!n) <- c;
+        out_vls.(!n) <- !acc;
+        incr n
+      end
+    end
+  done;
+  trim out_idx out_vls !n
+
+(* Scatter product with a dense frontier, accumulators returned as dense
+   (values, occupancy) arrays — the PageRank iteration keeps its vector
+   dense end-to-end and skips compaction entirely.  Occupied positions
+   are visited in ascending index order, matching the sparse scatter. *)
+let vxm_dense ~add ~mul ~dummy ~nrows ~ncols ((uvls, uocc) : 'a array * bool array)
+    ((arp, aci, avs) : 'a csr) =
+  let acc = Array.make (max ncols 1) dummy in
+  let occ = Array.make (max ncols 1) false in
+  for i = 0 to nrows - 1 do
+    if uocc.(i) then begin
+      let ui = uvls.(i) in
+      for p = arp.(i) to arp.(i + 1) - 1 do
+        let c = aci.(p) in
+        let v = mul ui avs.(p) in
+        if occ.(c) then acc.(c) <- add acc.(c) v
+        else begin
+          acc.(c) <- v;
+          occ.(c) <- true
+        end
+      done
+    end
+  done;
+  (acc, occ)
+
+(* Pull form of the dense-frontier product, reading the CSC side of A:
+   w_c = ⊕_i u(i) ⊗ A(i,c), one gather per output position.  Each
+   accumulator lives in a local ref (no read-modify-write on the output
+   arrays, no per-entry occupancy branch on the accumulator), which is
+   what makes this the fast path for an iterated product such as
+   PageRank once the CSC side is cached.  Rows ascend within each
+   column, so contributions fold in the same order as [vxm_dense] and
+   the results are bit-identical. *)
+let vxm_pull_dense ~add ~mul ~dummy ~ncols ((acp, ari, cvs) : 'a csr)
+    ((uvls, uocc) : 'a array * bool array) =
+  let acc = Array.make (max ncols 1) dummy in
+  let occ = Array.make (max ncols 1) false in
+  let full = ref true in
+  for i = 0 to Array.length uocc - 1 do
+    if not uocc.(i) then full := false
+  done;
+  if !full then
+    (* fully-occupied operand (PageRank's steady state): no occupancy
+       test and no hit flag in the inner loop — the first contribution
+       seeds the accumulator, exactly the fold the guarded loop
+       performs. *)
+    for c = 0 to ncols - 1 do
+      let lo = acp.(c) and hi = acp.(c + 1) in
+      if hi > lo then begin
+        let a = ref (mul uvls.(ari.(lo)) cvs.(lo)) in
+        for p = lo + 1 to hi - 1 do
+          a := add !a (mul uvls.(ari.(p)) cvs.(p))
+        done;
+        acc.(c) <- !a;
+        occ.(c) <- true
+      end
+    done
+  else
+    for c = 0 to ncols - 1 do
+      let a = ref dummy and hit = ref false in
+      for p = acp.(c) to acp.(c + 1) - 1 do
+        let i = ari.(p) in
+        if uocc.(i) then begin
+          let v = mul uvls.(i) cvs.(p) in
+          a := (if !hit then add !a v else v);
+          hit := true
+        end
+      done;
+      if !hit then begin
+        acc.(c) <- !a;
+        occ.(c) <- true
+      end
+    done;
+  (acc, occ)
+
 let vxm ~add ~mul ~dummy ~nrows ~ncols ~transpose ((uidx, uvls, un) : 'a ventry)
     (arp, aci, avs) =
   if not transpose then begin
@@ -251,5 +392,55 @@ let reduce_v ~op ~identity ((_, avls, an) : 'a ventry) =
   let acc = ref identity in
   for k = 0 to an - 1 do
     acc := op !acc avls.(k)
+  done;
+  !acc
+
+(* Dense-representation variants: operands and results are (values,
+   occupancy) array pairs of equal length.  Unoccupied output slots hold
+   [dummy].  Iteration is ascending index, so results match the sparse
+   merge kernels entry for entry. *)
+
+let ewise_add_dense ~op ~dummy ((avls, aocc) : 'a array * bool array)
+    ((bvls, bocc) : 'a array * bool array) =
+  let n = Array.length avls in
+  let out = Array.make (max n 1) dummy in
+  let occ = Array.make (max n 1) false in
+  for i = 0 to n - 1 do
+    if aocc.(i) then begin
+      out.(i) <- (if bocc.(i) then op avls.(i) bvls.(i) else avls.(i));
+      occ.(i) <- true
+    end
+    else if bocc.(i) then begin
+      out.(i) <- bvls.(i);
+      occ.(i) <- true
+    end
+  done;
+  (out, occ)
+
+let ewise_mult_dense ~op ~dummy ((avls, aocc) : 'a array * bool array)
+    ((bvls, bocc) : 'a array * bool array) =
+  let n = Array.length avls in
+  let out = Array.make (max n 1) dummy in
+  let occ = Array.make (max n 1) false in
+  for i = 0 to n - 1 do
+    if aocc.(i) && bocc.(i) then begin
+      out.(i) <- op avls.(i) bvls.(i);
+      occ.(i) <- true
+    end
+  done;
+  (out, occ)
+
+let apply_dense ~f ~dummy ((avls, aocc) : 'a array * bool array) =
+  let n = Array.length avls in
+  let out = Array.make (max n 1) dummy in
+  for i = 0 to n - 1 do
+    if aocc.(i) then out.(i) <- f avls.(i)
+  done;
+  (out, Array.copy aocc)
+
+let reduce_dense ~op ~identity ((avls, aocc) : 'a array * bool array) =
+  let acc = ref identity in
+  for i = 0 to Array.length avls - 1 do
+    if aocc.(i) then acc := op !acc avls.(i)
   done;
   !acc

@@ -24,6 +24,59 @@ val mxv :
 (** [w = A ⊕.⊗ u] (or [Aᵀ ⊕.⊗ u]); output size is [nrows] ([ncols] when
     transposed). *)
 
+val mxv_pull :
+  add:('a -> 'a -> 'a) ->
+  mul:('a -> 'a -> 'a) ->
+  dummy:'a ->
+  nrows:int ->
+  ncols:int ->
+  'a csr ->
+  'a ventry ->
+  int array * 'a array
+(** [w = Aᵀ ⊕.⊗ u] in pull form over the CSC arrays of [A] (passed as
+    [(colptr, rowidx, cvals)]); [nrows]/[ncols] are A's.  Bit-identical
+    to [mxv ~transpose:true]. *)
+
+val mxv_pull_masked :
+  add:('a -> 'a -> 'a) ->
+  mul:('a -> 'a -> 'a) ->
+  dummy:'a ->
+  stop:('a -> bool) ->
+  ncols:int ->
+  visited:bool array ->
+  'a csr ->
+  'a array * bool array ->
+  int array * 'a array
+(** Masked pull with a dense frontier: output positions with
+    [visited.(c)] set are skipped (the result is already complement-
+    masked), and each column's gather exits early once [stop acc] holds —
+    [stop] must only hold when ⊕ can no longer change the accumulator
+    (constant-false is always sound). *)
+
+val vxm_pull_dense :
+  add:('a -> 'a -> 'a) ->
+  mul:('a -> 'a -> 'a) ->
+  dummy:'a ->
+  ncols:int ->
+  'a csr ->
+  'a array * bool array ->
+  'a array * bool array
+(** [w = u ⊕.⊗ A] in pull form over the CSC arrays of [A] (passed as
+    [(colptr, rowidx, cvals)]); dense operand, dense result.
+    Bit-identical to [vxm_dense]. *)
+
+val vxm_dense :
+  add:('a -> 'a -> 'a) ->
+  mul:('a -> 'a -> 'a) ->
+  dummy:'a ->
+  nrows:int ->
+  ncols:int ->
+  'a array * bool array ->
+  'a csr ->
+  'a array * bool array
+(** [w = u ⊕.⊗ A] with a dense operand and dense (values, occupancy)
+    result. *)
+
 val vxm :
   add:('a -> 'a -> 'a) ->
   mul:('a -> 'a -> 'a) ->
@@ -56,3 +109,29 @@ val ewise_mult_v :
 val apply_v : f:('a -> 'a) -> 'a ventry -> int array * 'a array
 
 val reduce_v : op:('a -> 'a -> 'a) -> identity:'a -> 'a ventry -> 'a
+
+(** {2 Dense-vector variants}
+
+    Operands and results are [(values, occupancy)] pairs of equal
+    length; unoccupied output slots hold [dummy].  Entry-for-entry
+    identical to the sparse kernels above. *)
+
+val ewise_add_dense :
+  op:('a -> 'a -> 'a) ->
+  dummy:'a ->
+  'a array * bool array ->
+  'a array * bool array ->
+  'a array * bool array
+
+val ewise_mult_dense :
+  op:('a -> 'a -> 'a) ->
+  dummy:'a ->
+  'a array * bool array ->
+  'a array * bool array ->
+  'a array * bool array
+
+val apply_dense :
+  f:('a -> 'a) -> dummy:'a -> 'a array * bool array -> 'a array * bool array
+
+val reduce_dense :
+  op:('a -> 'a -> 'a) -> identity:'a -> 'a array * bool array -> 'a

@@ -261,6 +261,200 @@ let mxv_source ~dtype ~sr ~key = matvec_source ~orientation:`Mxv ~dtype ~sr ~key
    passes [transpose = not gather_is_needed]; see Kernels.vxm. *)
 let vxm_source ~dtype ~sr ~key = matvec_source ~orientation:`Vxm ~dtype ~sr ~key
 
+(* CSC pull dispatch of the transposed product reuses the gather loop
+   verbatim: the wrapper hands over the CSC arrays with swapped
+   dimensions and the ABI flag false, so only the cache key (which
+   carries the formats field) distinguishes the module. *)
+let mxv_pull_source ~dtype ~sr ~key =
+  matvec_source ~orientation:`Mxv ~dtype ~sr ~key
+
+(* Scatter product with a dense frontier and dense (values, occupancy)
+   accumulator output — the monomorphized text of
+   Array_kernels.vxm_dense. *)
+let vxm_dense_source ~dtype ~(sr : Op_spec.semiring) ~key =
+  with_cls dtype (fun cls ->
+      match
+        ( binop_expr_cls cls sr.Op_spec.add_op,
+          binop_expr_cls cls sr.Op_spec.mul_op,
+          identity_expr_cls cls sr.Op_spec.add_identity )
+      with
+      | Some add, Some mul, Some ident ->
+        let t = ty cls in
+        Some
+          (String.concat ""
+             [ header key;
+               Printf.sprintf "let add_ = %s\n" add;
+               Printf.sprintf "let mul_ = %s\n" mul;
+               Printf.sprintf "let identity_ : %s = %s\n" t ident;
+               Printf.sprintf
+                 {|let kernel (arg : Obj.t) : Obj.t =
+  let (uvls, uocc, arp, aci, avs, nrows, ncols) =
+    (Obj.obj arg
+      : %s array * bool array * int array * int array * %s array * int * int)
+  in
+  let acc = Array.make (max ncols 1) identity_ in
+  let occ = Array.make (max ncols 1) false in
+  for i = 0 to nrows - 1 do
+    if uocc.(i) then begin
+      let ui = uvls.(i) in
+      for p = arp.(i) to arp.(i + 1) - 1 do
+        let c = aci.(p) in
+        let v = mul_ ui avs.(p) in
+        if occ.(c) then acc.(c) <- add_ acc.(c) v
+        else begin
+          acc.(c) <- v;
+          occ.(c) <- true
+        end
+      done
+    end
+  done;
+  Obj.repr (acc, occ)
+|}
+                 t t;
+               register key;
+             ])
+      | _, _, _ -> None)
+
+(* Pull form of the dense-frontier product over the CSC arrays — the
+   monomorphized text of Array_kernels.vxm_pull_dense.  One local
+   accumulator per output position instead of a read-modify-write on the
+   output arrays; rows ascend within each column, so the fold order (and
+   hence the result) is identical to vxm_dense_source. *)
+let vxm_pull_dense_source ~dtype ~(sr : Op_spec.semiring) ~key =
+  with_cls dtype (fun cls ->
+      match
+        ( binop_expr_cls cls sr.Op_spec.add_op,
+          binop_expr_cls cls sr.Op_spec.mul_op,
+          identity_expr_cls cls sr.Op_spec.add_identity )
+      with
+      | Some add, Some mul, Some ident ->
+        let t = ty cls in
+        Some
+          (String.concat ""
+             [ header key;
+               Printf.sprintf "let add_ = %s\n" add;
+               Printf.sprintf "let mul_ = %s\n" mul;
+               Printf.sprintf "let identity_ : %s = %s\n" t ident;
+               Printf.sprintf
+                 {|let kernel (arg : Obj.t) : Obj.t =
+  let (uvls, uocc, acp, ari, avs, ncols) =
+    (Obj.obj arg
+      : %s array * bool array * int array * int array * %s array * int)
+  in
+  let acc = Array.make (max ncols 1) identity_ in
+  let occ = Array.make (max ncols 1) false in
+  let full = ref true in
+  for i = 0 to Array.length uocc - 1 do
+    if not uocc.(i) then full := false
+  done;
+  if !full then
+    for c = 0 to ncols - 1 do
+      let lo = acp.(c) and hi = acp.(c + 1) in
+      if hi > lo then begin
+        let a = ref (mul_ uvls.(ari.(lo)) avs.(lo)) in
+        for p = lo + 1 to hi - 1 do
+          a := add_ !a (mul_ uvls.(ari.(p)) avs.(p))
+        done;
+        acc.(c) <- !a;
+        occ.(c) <- true
+      end
+    done
+  else
+    for c = 0 to ncols - 1 do
+      let a = ref identity_ and hit = ref false in
+      for p = acp.(c) to acp.(c + 1) - 1 do
+        let i = ari.(p) in
+        if uocc.(i) then begin
+          let v = mul_ uvls.(i) avs.(p) in
+          a := (if !hit then add_ !a v else v);
+          hit := true
+        end
+      done;
+      if !hit then begin
+        acc.(c) <- !a;
+        occ.(c) <- true
+      end
+    done;
+  Obj.repr (acc, occ)
+|}
+                 t t;
+               register key;
+             ])
+      | _, _, _ -> None)
+
+(* Predicate text for "⊕ can no longer change this accumulator" — the
+   early-exit test of the masked pull.  Only saturating monoids have
+   one; for everything else the constant-false predicate keeps the loop
+   exhaustive (and still correct). *)
+let saturating_expr_cls cls add_op =
+  match cls, add_op with
+  | B, ("LogicalOr" | "Plus" | "Max") -> Some "(fun (x : bool) -> x)"
+  | F, "LogicalOr" -> Some "(fun x -> x <> 0.)"
+  | I, "LogicalOr" -> Some "(fun x -> x <> 0)"
+  | (F | I | B), _ -> None
+
+(* Masked pull over the CSC arrays with a dense frontier and a validity
+   bitmap as the (complemented) mask — the monomorphized text of
+   Array_kernels.mxv_pull_masked with [allowed c = not visited.(c)]. *)
+let mxv_pull_masked_source ~dtype ~(sr : Op_spec.semiring) ~key =
+  with_cls dtype (fun cls ->
+      match
+        ( binop_expr_cls cls sr.Op_spec.add_op,
+          binop_expr_cls cls sr.Op_spec.mul_op,
+          identity_expr_cls cls sr.Op_spec.add_identity )
+      with
+      | Some add, Some mul, Some ident ->
+        let t = ty cls in
+        let sat =
+          match saturating_expr_cls cls sr.Op_spec.add_op with
+          | Some e -> e
+          | None -> Printf.sprintf "(fun (_ : %s) -> false)" t
+        in
+        Some
+          (String.concat ""
+             [ header key;
+               Printf.sprintf "let add_ = %s\n" add;
+               Printf.sprintf "let mul_ = %s\n" mul;
+               Printf.sprintf "let sat_ = %s\n" sat;
+               Printf.sprintf "let identity_ : %s = %s\n" t ident;
+               Printf.sprintf
+                 {|let kernel (arg : Obj.t) : Obj.t =
+  let (acp, ari, avs, uvls, uocc, visited, ncols) =
+    (Obj.obj arg
+      : int array * int array * %s array * %s array * bool array * bool array
+        * int)
+  in
+  let out_idx = Array.make (max ncols 1) 0 in
+  let out_vls = Array.make (max ncols 1) identity_ in
+  let n = ref 0 in
+  for c = 0 to ncols - 1 do
+    if not visited.(c) then begin
+      let acc = ref identity_ and hit = ref false in
+      let p = ref acp.(c) in
+      let stop_p = acp.(c + 1) in
+      while !p < stop_p && not (!hit && sat_ !acc) do
+        let j = ari.(!p) in
+        if uocc.(j) then begin
+          let v = mul_ avs.(!p) uvls.(j) in
+          acc := (if !hit then add_ !acc v else v);
+          hit := true
+        end;
+        incr p
+      done;
+      if !hit then begin
+        out_idx.(!n) <- c;
+        out_vls.(!n) <- !acc;
+        incr n
+      end
+    end
+  done;
+  Obj.repr (Array.sub out_idx 0 !n, Array.sub out_vls 0 !n)
+|}
+                 t t;
+               register key;
+             ])
+      | _, _, _ -> None)
+
 (* [post] is spliced in just before the result is boxed: the fused-module
    variant maps the unary chain over the output values there, covering
    both combined and passthrough entries. *)
@@ -456,6 +650,102 @@ let mxm_source ~dtype ~(sr : Op_spec.semiring) ~key =
                register key;
              ])
       | _, _, _ -> None)
+
+(* Dense-vector elementwise merge: operands and result are (values,
+   occupancy) pairs of one fixed length; the zero literal fills
+   unoccupied output slots. *)
+let ewise_dense_source ~kind ~dtype ~op ~key =
+  with_cls dtype (fun cls ->
+      match binop_expr_cls cls op with
+      | Some op_expr ->
+        let t = ty cls in
+        let body =
+          match kind with
+          | `Add ->
+            {|    if aocc.(i) then begin
+      out.(i) <- (if bocc.(i) then op_ avls.(i) bvls.(i) else avls.(i));
+      occ.(i) <- true
+    end
+    else if bocc.(i) then begin
+      out.(i) <- bvls.(i);
+      occ.(i) <- true
+    end|}
+          | `Mult ->
+            {|    if aocc.(i) && bocc.(i) then begin
+      out.(i) <- op_ avls.(i) bvls.(i);
+      occ.(i) <- true
+    end|}
+        in
+        Some
+          (String.concat ""
+             [ header key;
+               Printf.sprintf "let op_ = %s\n" op_expr;
+               Printf.sprintf "let zero_ : %s = %s\n" t (const_lit cls 0.0);
+               Printf.sprintf
+                 {|let kernel (arg : Obj.t) : Obj.t =
+  let (avls, aocc, bvls, bocc) =
+    (Obj.obj arg : %s array * bool array * %s array * bool array)
+  in
+  let len = Array.length avls in
+  let out = Array.make (max len 1) zero_ in
+  let occ = Array.make (max len 1) false in
+  for i = 0 to len - 1 do
+%s
+  done;
+  Obj.repr (out, occ)
+|}
+                 t t body;
+               register key;
+             ])
+      | None -> None)
+
+let apply_dense_source ~dtype ~f ~key =
+  with_cls dtype (fun cls ->
+      match unary_expr_cls cls f with
+      | Some f_expr ->
+        let t = ty cls in
+        Some
+          (String.concat ""
+             [ header key;
+               Printf.sprintf "let f_ = %s\n" f_expr;
+               Printf.sprintf "let zero_ : %s = %s\n" t (const_lit cls 0.0);
+               Printf.sprintf
+                 {|let kernel (arg : Obj.t) : Obj.t =
+  let (avls, aocc) = (Obj.obj arg : %s array * bool array) in
+  let len = Array.length avls in
+  let out = Array.make (max len 1) zero_ in
+  for i = 0 to len - 1 do
+    if aocc.(i) then out.(i) <- f_ avls.(i)
+  done;
+  Obj.repr (out, Array.copy aocc)
+|}
+                 t;
+               register key;
+             ])
+      | None -> None)
+
+let reduce_dense_source ~dtype ~op ~identity ~key =
+  with_cls dtype (fun cls ->
+      match binop_expr_cls cls op, identity_expr_cls cls identity with
+      | Some op_expr, Some ident ->
+        Some
+          (String.concat ""
+             [ header key;
+               Printf.sprintf "let op_ = %s\n" op_expr;
+               Printf.sprintf "let identity_ : %s = %s\n" (ty cls) ident;
+               Printf.sprintf
+                 {|let kernel (arg : Obj.t) : Obj.t =
+  let (avls, aocc) = (Obj.obj arg : %s array * bool array) in
+  let acc = ref identity_ in
+  for i = 0 to Array.length avls - 1 do
+    if aocc.(i) then acc := op_ !acc avls.(i)
+  done;
+  Obj.repr !acc
+|}
+                 (ty cls);
+               register key;
+             ])
+      | _, _ -> None)
 
 let apply_source ~dtype ~f ~key =
   with_cls dtype (fun cls ->

@@ -23,6 +23,29 @@ val mxv_source :
 val vxm_source :
   dtype:string -> sr:Op_spec.semiring -> key:string -> string option
 
+val mxv_pull_source :
+  dtype:string -> sr:Op_spec.semiring -> key:string -> string option
+(** CSC pull dispatch of [Aᵀ ⊕.⊗ u] — same gather body as {!mxv_source}
+    (the wrapper passes the CSC arrays with swapped dimensions), keyed
+    separately by the signature's formats field. *)
+
+val vxm_dense_source :
+  dtype:string -> sr:Op_spec.semiring -> key:string -> string option
+(** Scatter product with a dense frontier; result is a dense
+    (values, occupancy) pair. *)
+
+val vxm_pull_dense_source :
+  dtype:string -> sr:Op_spec.semiring -> key:string -> string option
+(** Pull form of the dense-frontier product over the CSC arrays; result
+    is a dense (values, occupancy) pair, bit-identical to
+    {!vxm_dense_source}. *)
+
+val mxv_pull_masked_source :
+  dtype:string -> sr:Op_spec.semiring -> key:string -> string option
+(** Masked CSC pull with a dense frontier, a validity bitmap as the
+    complemented mask, and per-column early exit for saturating ⊕ (a
+    constant-false exit predicate otherwise). *)
+
 val ewise_source :
   kind:[ `Add | `Mult ] -> dtype:string -> op:string -> key:string ->
   string option
@@ -48,4 +71,17 @@ val apply_source :
   dtype:string -> f:Op_spec.unary -> key:string -> string option
 
 val reduce_source :
+  dtype:string -> op:string -> identity:string -> key:string -> string option
+
+(** {2 Dense-vector variants} — operands and results are
+    [(values, occupancy)] array pairs. *)
+
+val ewise_dense_source :
+  kind:[ `Add | `Mult ] -> dtype:string -> op:string -> key:string ->
+  string option
+
+val apply_dense_source :
+  dtype:string -> f:Op_spec.unary -> key:string -> string option
+
+val reduce_dense_source :
   dtype:string -> op:string -> identity:string -> key:string -> string option

@@ -59,6 +59,11 @@ let fusions () =
   Mutex.protect tally_lock @@ fun () ->
   List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) fusion_table [])
 
+(* Storage-format counters live in Gbtl.Format_stats (the containers
+   record conversions themselves); re-exported here so the CLI reads all
+   dispatch-related statistics from one module. *)
+let formats = Gbtl.Format_stats.counters
+
 let record_compile ~native ~seconds =
   incr compiles;
   if native then incr native_compiles;

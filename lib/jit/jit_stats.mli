@@ -32,6 +32,11 @@ val per_signature : unit -> (string * int * int) list
 val fusions : unit -> (string * int) list
 (** [(rewrite name, firings)] sorted by name. *)
 
+val formats : unit -> (string * int) list
+(** Storage-format counters (CSC builds, densify/sparsify conversions,
+    auto-switch decisions, push/pull steps, sparse masks) — re-exported
+    from [Gbtl.Format_stats]. *)
+
 val snapshot : unit -> snapshot
 val reset : unit -> unit
 val pp : Format.formatter -> snapshot -> unit

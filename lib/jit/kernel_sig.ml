@@ -2,21 +2,31 @@ type t = {
   op : string;
   dtypes : (string * string) list;
   operators : (string * string) list;
+  formats : (string * string) list;
   flags : string list;
 }
 
 let sort_pairs = List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let make ~op ?(dtypes = []) ?(operators = []) ?(flags = []) () =
+let make ~op ?(dtypes = []) ?(operators = []) ?(formats = []) ?(flags = []) () =
   { op;
     dtypes = sort_pairs dtypes;
     operators = sort_pairs operators;
+    formats = sort_pairs formats;
     flags = List.sort_uniq String.compare flags }
 
 let key t =
   let pairs l = String.concat "," (List.map (fun (k, v) -> k ^ ":" ^ v) l) in
-  Printf.sprintf "%s|%s|%s|%s" t.op (pairs t.dtypes) (pairs t.operators)
+  Printf.sprintf "%s|%s|%s|%s|%s" t.op (pairs t.dtypes) (pairs t.operators)
+    (pairs t.formats)
     (String.concat "," t.flags)
+
+(* Field 4 of a [key] string — the per-signature format column the CLI
+   cache table shows. *)
+let formats_of_key k =
+  match String.split_on_char '|' k with
+  | _ :: _ :: _ :: f :: _ -> if f = "" then "-" else f
+  | _ -> "-"
 
 (* FNV-1a, 64-bit. *)
 let fnv1a s =
@@ -36,6 +46,13 @@ let sanitize op =
       | _ -> '_')
     op
 
-let hash_key t = Printf.sprintf "%s_%016Lx" (sanitize t.op) (fnv1a (key t))
+(* Bump whenever the generated source for an existing key changes shape:
+   disk artifacts are addressed by hash, so without the salt a warm
+   cache would keep loading the stale module. *)
+let codegen_rev = 2
+
+let hash_key t =
+  Printf.sprintf "%s_%016Lx" (sanitize t.op)
+    (fnv1a (Printf.sprintf "r%d|%s" codegen_rev (key t)))
 
 let pp fmt t = Format.pp_print_string fmt (key t)

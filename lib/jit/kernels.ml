@@ -27,10 +27,25 @@ let matvec_arg (type a) (m : a Smatrix.t) (u : a Svector.t) flag : a matvec_arg
     flag )
 
 let mxv (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose m u =
+  (* Direction choice for the transposed product: a filled-in frontier
+     favors pulling over the CSC side (one gather per output position);
+     a sparse frontier favors the CSR scatter.  Both accumulate each
+     output's contributions in ascending source-index order, so the
+     results are bit-identical. *)
+  let use_pull =
+    transpose
+    && Format_stats.enabled ()
+    && Svector.size u >= 32
+    && 4 * Svector.nvals u >= Svector.size u
+  in
+  if transpose && Format_stats.enabled () then
+    if use_pull then Format_stats.record_pull ()
+    else Format_stats.record_push ();
   let sig_ =
     Kernel_sig.make ~op:"mxv"
       ~dtypes:[ ("T", Dtype.name dt) ]
       ~operators:(semiring_ops sr)
+      ~formats:(if use_pull then [ ("a", "csc") ] else [])
       ~flags:(if transpose then [ "transpose_a" ] else [])
       ()
   in
@@ -46,13 +61,92 @@ let mxv (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose m u =
           (Array_kernels.mxv ~add ~mul ~dummy ~nrows ~ncols ~transpose:tr
              (arp, aci, avs) (uidx, uvls, un)))
   in
-  let native_source ~key = Codegen.mxv_source ~dtype:(Dtype.name dt) ~sr ~key in
+  let native_source ~key =
+    if use_pull then Codegen.mxv_pull_source ~dtype:(Dtype.name dt) ~sr ~key
+    else Codegen.mxv_source ~dtype:(Dtype.name dt) ~sr ~key
+  in
   let kernel : Obj.t -> Obj.t =
     Obj.obj (Dispatch.get sig_ ~build ~native_source ())
   in
-  (* ABI flag for mxv: true selects the scatter (transposed) loop. *)
-  let result = kernel (Obj.repr (matvec_arg m u transpose)) in
+  (* ABI flag for mxv: true selects the scatter (transposed) loop.  The
+     pull dispatch hands the gather loop the CSC arrays with swapped
+     dimensions, which computes the transposed product directly. *)
+  let arg : a matvec_arg =
+    if use_pull then
+      ( Smatrix.unsafe_colptr m,
+        Smatrix.unsafe_rowidx m,
+        Smatrix.unsafe_cvals m,
+        Svector.unsafe_indices u,
+        Svector.unsafe_values u,
+        Svector.nvals u,
+        Smatrix.ncols m,
+        Smatrix.nrows m,
+        false )
+    else matvec_arg m u transpose
+  in
+  let result = kernel (Obj.repr arg) in
   entries_of_pair (Obj.obj result : int array * a array)
+
+(* "⊕ can no longer change this accumulator" — the early-exit predicate
+   of the masked pull.  Only saturating monoids have one; constant-false
+   keeps the gather exhaustive (and still correct) for the rest.  Must
+   stay in sync with Codegen.saturating_expr_cls. *)
+let saturating_check (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) :
+    a -> bool =
+  match sr.Op_spec.add_op with
+  | "LogicalOr" -> Dtype.to_bool dt
+  | "Plus" | "Max" -> (
+    match dt with Dtype.Bool -> fun b -> b | _ -> fun _ -> false)
+  | _ -> fun _ -> false
+
+let mxv_pull_masked (type a) (dt : a Dtype.t) (sr : Op_spec.semiring)
+    ~(visited : bool array) (m : a Smatrix.t)
+    ((uvls, uocc) : a array * bool array) =
+  (* The BFS bottom-up step: gather only unvisited output positions from
+     the CSC side, stopping each column early once the saturating ⊕
+     cannot change the accumulator.  The mask is the visited bitmap
+     itself (complemented) and the exit predicate comes from the
+     semiring, so the whole ABI is concrete arrays and the kernel
+     compiles natively. *)
+  let sig_ =
+    Kernel_sig.make ~op:"mxv"
+      ~dtypes:[ ("T", Dtype.name dt) ]
+      ~operators:(semiring_ops sr)
+      ~formats:[ ("a", "csc"); ("u", "dense") ]
+      ~flags:[ "masked_pull"; "transpose_a" ]
+      ()
+  in
+  let build () =
+    let s = Op_spec.instantiate_semiring dt sr in
+    let add = Semiring.add s and mul = Semiring.mul s in
+    let dummy = Semiring.zero s in
+    let stop = saturating_check dt sr in
+    Obj.repr (fun (arg : Obj.t) ->
+        let acp, ari, avs, uvls, uocc, visited, ncols =
+          (Obj.obj arg
+            : int array * int array * a array * a array * bool array
+              * bool array * int)
+        in
+        Obj.repr
+          (Array_kernels.mxv_pull_masked ~add ~mul ~dummy ~stop ~ncols ~visited
+             (acp, ari, avs) (uvls, uocc)))
+  in
+  let native_source ~key =
+    Codegen.mxv_pull_masked_source ~dtype:(Dtype.name dt) ~sr ~key
+  in
+  let kernel : Obj.t -> Obj.t =
+    Obj.obj (Dispatch.get sig_ ~build ~native_source ())
+  in
+  let arg =
+    ( Smatrix.unsafe_colptr m,
+      Smatrix.unsafe_rowidx m,
+      Smatrix.unsafe_cvals m,
+      uvls,
+      uocc,
+      visited,
+      Smatrix.ncols m )
+  in
+  entries_of_pair (Obj.obj (kernel (Obj.repr arg)) : int array * a array)
 
 let vxm (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose u m =
   let sig_ =
@@ -85,7 +179,181 @@ let vxm (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose u m =
   let result = kernel (Obj.repr (matvec_arg m u (not transpose))) in
   entries_of_pair (Obj.obj result : int array * a array)
 
+let vxm_dense (type a) (dt : a Dtype.t) (sr : Op_spec.semiring)
+    ((uvls, uocc) : a array * bool array) (m : a Smatrix.t) :
+    a array * bool array =
+  let sig_ =
+    Kernel_sig.make ~op:"vxm"
+      ~dtypes:[ ("T", Dtype.name dt) ]
+      ~operators:(semiring_ops sr)
+      ~formats:[ ("u", "dense"); ("w", "dense") ]
+      ()
+  in
+  let build () =
+    let s = Op_spec.instantiate_semiring dt sr in
+    let add = Semiring.add s and mul = Semiring.mul s in
+    let dummy = Semiring.zero s in
+    Obj.repr (fun (arg : Obj.t) ->
+        let uvls, uocc, arp, aci, avs, nrows, ncols =
+          (Obj.obj arg
+            : a array * bool array * int array * int array * a array * int
+              * int)
+        in
+        Obj.repr
+          (Array_kernels.vxm_dense ~add ~mul ~dummy ~nrows ~ncols (uvls, uocc)
+             (arp, aci, avs)))
+  in
+  let native_source ~key =
+    Codegen.vxm_dense_source ~dtype:(Dtype.name dt) ~sr ~key
+  in
+  let kernel : Obj.t -> Obj.t =
+    Obj.obj (Dispatch.get sig_ ~build ~native_source ())
+  in
+  let arg =
+    ( uvls,
+      uocc,
+      Smatrix.unsafe_rowptr m,
+      Smatrix.unsafe_colidx m,
+      Smatrix.unsafe_values m,
+      Smatrix.nrows m,
+      Smatrix.ncols m )
+  in
+  (Obj.obj (kernel (Obj.repr arg)) : a array * bool array)
+
+let vxm_pull_dense (type a) (dt : a Dtype.t) (sr : Op_spec.semiring)
+    ((uvls, uocc) : a array * bool array) (m : a Smatrix.t) :
+    a array * bool array =
+  (* Pull form of [vxm_dense] over the cached CSC side: one gather (and
+     one local accumulator) per output position instead of a
+     read-modify-write scatter — the fast path for an iterated product
+     such as PageRank, where building the CSC side once is amortized
+     over every iteration.  Rows ascend within each column, so the fold
+     order (and the result) is identical to the scatter. *)
+  let sig_ =
+    Kernel_sig.make ~op:"vxm"
+      ~dtypes:[ ("T", Dtype.name dt) ]
+      ~operators:(semiring_ops sr)
+      ~formats:[ ("a", "csc"); ("u", "dense"); ("w", "dense") ]
+      ()
+  in
+  let build () =
+    let s = Op_spec.instantiate_semiring dt sr in
+    let add = Semiring.add s and mul = Semiring.mul s in
+    let dummy = Semiring.zero s in
+    Obj.repr (fun (arg : Obj.t) ->
+        let uvls, uocc, acp, ari, avs, ncols =
+          (Obj.obj arg
+            : a array * bool array * int array * int array * a array * int)
+        in
+        Obj.repr
+          (Array_kernels.vxm_pull_dense ~add ~mul ~dummy ~ncols (acp, ari, avs)
+             (uvls, uocc)))
+  in
+  let native_source ~key =
+    Codegen.vxm_pull_dense_source ~dtype:(Dtype.name dt) ~sr ~key
+  in
+  let kernel : Obj.t -> Obj.t =
+    Obj.obj (Dispatch.get sig_ ~build ~native_source ())
+  in
+  let arg =
+    ( uvls,
+      uocc,
+      Smatrix.unsafe_colptr m,
+      Smatrix.unsafe_rowidx m,
+      Smatrix.unsafe_cvals m,
+      Smatrix.ncols m )
+  in
+  (Obj.obj (kernel (Obj.repr arg)) : a array * bool array)
+
 type 'a ewise_arg = int array * 'a array * int * int array * 'a array * int
+
+type 'a dense_pair_arg = 'a array * bool array * 'a array * bool array
+
+let ewise_v_dense (type a) kind (dt : a Dtype.t) ~op
+    ((avls, aocc) : a array * bool array) ((bvls, bocc) : a array * bool array)
+    : a array * bool array =
+  let kind_name =
+    match kind with `Add -> "ewise_add_v" | `Mult -> "ewise_mult_v"
+  in
+  let sig_ =
+    Kernel_sig.make ~op:kind_name
+      ~dtypes:[ ("T", Dtype.name dt) ]
+      ~operators:[ ("op", op) ]
+      ~formats:[ ("u", "dense"); ("v", "dense") ]
+      ()
+  in
+  let build () =
+    let f = (Binop.of_name op dt).Binop.f in
+    let dummy = Dtype.zero dt in
+    Obj.repr (fun (arg : Obj.t) ->
+        let avls, aocc, bvls, bocc = (Obj.obj arg : a dense_pair_arg) in
+        let result =
+          match kind with
+          | `Add ->
+            Array_kernels.ewise_add_dense ~op:f ~dummy (avls, aocc)
+              (bvls, bocc)
+          | `Mult ->
+            Array_kernels.ewise_mult_dense ~op:f ~dummy (avls, aocc)
+              (bvls, bocc)
+        in
+        Obj.repr result)
+  in
+  let native_source ~key =
+    Codegen.ewise_dense_source ~kind ~dtype:(Dtype.name dt) ~op ~key
+  in
+  let kernel : Obj.t -> Obj.t =
+    Obj.obj (Dispatch.get sig_ ~build ~native_source ())
+  in
+  let arg : a dense_pair_arg = (avls, aocc, bvls, bocc) in
+  (Obj.obj (kernel (Obj.repr arg)) : a array * bool array)
+
+let apply_v_dense (type a) (dt : a Dtype.t) (f : Op_spec.unary)
+    ((avls, aocc) : a array * bool array) : a array * bool array =
+  let sig_ =
+    Kernel_sig.make ~op:"apply_v"
+      ~dtypes:[ ("T", Dtype.name dt) ]
+      ~operators:[ ("f", Op_spec.unary_name f) ]
+      ~formats:[ ("u", "dense") ]
+      ()
+  in
+  let build () =
+    let g = (Op_spec.instantiate_unary dt f).Unaryop.f in
+    let dummy = Dtype.zero dt in
+    Obj.repr (fun (arg : Obj.t) ->
+        let avls, aocc = (Obj.obj arg : a array * bool array) in
+        Obj.repr (Array_kernels.apply_dense ~f:g ~dummy (avls, aocc)))
+  in
+  let native_source ~key =
+    Codegen.apply_dense_source ~dtype:(Dtype.name dt) ~f ~key
+  in
+  let kernel : Obj.t -> Obj.t =
+    Obj.obj (Dispatch.get sig_ ~build ~native_source ())
+  in
+  (Obj.obj (kernel (Obj.repr (avls, aocc))) : a array * bool array)
+
+let reduce_v_scalar_dense (type a) (dt : a Dtype.t) ~op ~identity
+    ((avls, aocc) : a array * bool array) : a =
+  let sig_ =
+    Kernel_sig.make ~op:"reduce_v_scalar"
+      ~dtypes:[ ("T", Dtype.name dt) ]
+      ~operators:[ ("op", op); ("identity", identity) ]
+      ~formats:[ ("u", "dense") ]
+      ()
+  in
+  let build () =
+    let m = Op_spec.instantiate_monoid dt ~op ~identity in
+    let f = m.Monoid.op.Binop.f and id = m.Monoid.identity in
+    Obj.repr (fun (arg : Obj.t) ->
+        let avls, aocc = (Obj.obj arg : a array * bool array) in
+        Obj.repr (Array_kernels.reduce_dense ~op:f ~identity:id (avls, aocc)))
+  in
+  let native_source ~key =
+    Codegen.reduce_dense_source ~dtype:(Dtype.name dt) ~op ~identity ~key
+  in
+  let kernel : Obj.t -> Obj.t =
+    Obj.obj (Dispatch.get sig_ ~build ~native_source ())
+  in
+  (Obj.obj (kernel (Obj.repr (avls, aocc))) : a)
 
 let ewise_v (type a) kind (dt : a Dtype.t) ~op (u : a Svector.t)
     (v : a Svector.t) =
@@ -302,10 +570,16 @@ let mxm (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose_a
     ~transpose_b ~mask (a : a Smatrix.t) (b : a Smatrix.t) : a Smatrix.t =
   match mask with
   | Mask.No_mmask ->
-    (* unmasked: Gustavson over the array ABI, native codegen; input
-       transposes are materialized host-side (as GBTL does) *)
-    let a = if transpose_a then Smatrix.transpose a else a in
-    let b = if transpose_b then Smatrix.transpose b else b in
+    (* unmasked: Gustavson over the array ABI, native codegen.  Input
+       transposes are zero-copy views of the cached CSC side when the
+       format layer is on (the kernel only reads the arrays);
+       materialized host-side otherwise (as GBTL does). *)
+    let flip m =
+      if Format_stats.enabled () then Smatrix.unsafe_transpose_view m
+      else Smatrix.transpose m
+    in
+    let a = if transpose_a then flip a else a in
+    let b = if transpose_b then flip b else b in
     if Smatrix.ncols a <> Smatrix.nrows b then
       raise
         (Smatrix.Dimension_mismatch

@@ -17,7 +17,23 @@ val mxv :
   'a Svector.t ->
   'a Entries.t
 (** Raw result [T = A ⊕.⊗ u] as entries; masking/accumulation happen in
-    the caller's write step. *)
+    the caller's write step.  With [transpose] and the format layer on,
+    a filled-in operand (fill ≥ 1/4, size ≥ 32) dispatches the CSC pull
+    kernel instead of the CSR scatter; results are bit-identical. *)
+
+val mxv_pull_masked :
+  'a Dtype.t ->
+  Op_spec.semiring ->
+  visited:bool array ->
+  'a Smatrix.t ->
+  'a array * bool array ->
+  'a Entries.t
+(** Direction-optimized [Aᵀ ⊕.⊗ u] over the CSC side: output positions
+    with [visited.(c)] set are skipped (the result is already
+    complement-masked), the frontier arrives as a dense
+    (values, occupancy) pair, and each column's gather exits early when
+    the semiring's ⊕ saturates (BFS's lor; non-saturating monoids gather
+    exhaustively).  The all-array ABI compiles natively. *)
 
 val vxm :
   'a Dtype.t ->
@@ -26,6 +42,25 @@ val vxm :
   'a Svector.t ->
   'a Smatrix.t ->
   'a Entries.t
+
+val vxm_dense :
+  'a Dtype.t ->
+  Op_spec.semiring ->
+  'a array * bool array ->
+  'a Smatrix.t ->
+  'a array * bool array
+(** [u ⊕.⊗ A] with a dense operand and dense result, as a CSR scatter —
+    the PageRank iteration's layout (no compaction between steps). *)
+
+val vxm_pull_dense :
+  'a Dtype.t ->
+  Op_spec.semiring ->
+  'a array * bool array ->
+  'a Smatrix.t ->
+  'a array * bool array
+(** [u ⊕.⊗ A] in pull form over the cached CSC side; bit-identical to
+    {!vxm_dense}.  Preferable when the CSC build is amortized over many
+    products against the same matrix (PageRank's iteration). *)
 
 val ewise_v :
   [ `Add | `Mult ] ->
@@ -69,6 +104,27 @@ val ewise_mult_reduce_v :
 
 val reduce_v_scalar :
   'a Dtype.t -> op:string -> identity:string -> 'a Svector.t -> 'a
+
+(** {2 Dense-vector kernel variants}
+
+    Operands and results are [(values, occupancy)] pairs; signatures
+    carry [formats] entries (["u"/"v" -> "dense"]) so these cache
+    separately from the sparse kernels.  Entry-for-entry identical
+    results. *)
+
+val ewise_v_dense :
+  [ `Add | `Mult ] ->
+  'a Dtype.t ->
+  op:string ->
+  'a array * bool array ->
+  'a array * bool array ->
+  'a array * bool array
+
+val apply_v_dense :
+  'a Dtype.t -> Op_spec.unary -> 'a array * bool array -> 'a array * bool array
+
+val reduce_v_scalar_dense :
+  'a Dtype.t -> op:string -> identity:string -> 'a array * bool array -> 'a
 
 val mxm :
   'a Dtype.t ->

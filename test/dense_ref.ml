@@ -62,6 +62,10 @@ let v_allowed_of_mask mask n =
   | Mask.No_vmask -> Array.make n true
   | Mask.Vmask { dense; complemented } ->
     Array.map (fun b -> b <> complemented) dense
+  | Mask.Vmask_sparse { size; idx; complemented } ->
+    let dense = Array.make size false in
+    Array.iter (fun i -> dense.(i) <- true) idx;
+    Array.map (fun b -> b <> complemented) dense
 
 let m_allowed_of_mask mask nrows ncols =
   match mask with

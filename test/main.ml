@@ -22,5 +22,6 @@ let () =
       ("pprint", Test_pprint.suite);
       ("notation (Table I)", Test_notation.suite);
       ("algorithms", Test_algorithms.suite);
+      ("formats", Test_formats.suite);
       ("extensions", Test_extensions.suite);
     ]

@@ -185,6 +185,40 @@ let test_transpose_sink () =
   | Exec.Plan.MatMul { transpose_a = false; _ } -> ()
   | op -> Alcotest.failf "expected MatMul, got %s" (Exec.Plan.op_label op)
 
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_select_layout () =
+  let a = mat_a () and x = vec_a () in
+  let e =
+    Ogb.Expr.matmul
+      (Ogb.Expr.transpose (Ogb.Expr.of_container a))
+      (Ogb.Expr.of_container x)
+  in
+  let plan = Exec.plan_force e in
+  (match (Exec.Plan.root plan).Exec.Plan.op with
+  | Exec.Plan.MatMul { layout = Exec.Plan.L_csc_push; _ } ->
+    (* the leaf vector has 6 slots (< 32), so the kernel will push *)
+    ()
+  | op ->
+    Alcotest.failf "expected csc push layout, got %s" (Exec.Plan.op_label op));
+  Alcotest.(check bool) "csc_dispatch event recorded" true
+    (List.mem_assoc "csc_dispatch" (Exec.Plan.events plan));
+  Alcotest.(check bool) "dir_push event recorded" true
+    (List.mem_assoc "dir_push" (Exec.Plan.events plan));
+  Alcotest.(check bool) "plan dump shows the CSC dispatch" true
+    (contains_sub (Exec.Plan.to_string plan) "[a:csc]");
+  (* with the format layer off the annotation never fires *)
+  Format_stats.with_enabled false (fun () ->
+      let plan = Exec.plan_force e in
+      match (Exec.Plan.root plan).Exec.Plan.op with
+      | Exec.Plan.MatMul { layout = Exec.Plan.L_default; _ } -> ()
+      | op ->
+        Alcotest.failf "expected default layout, got %s"
+          (Exec.Plan.op_label op))
+
 let test_mask_push () =
   let a = mat_a () in
   let spec = { Ogb.Expr.container = a; complemented = false } in
@@ -264,6 +298,8 @@ let suite =
       test_transpose_sink;
     Alcotest.test_case "sink mask pushes into the root matmul" `Quick
       test_mask_push;
+    Alcotest.test_case "transposed mxv annotated with CSC dispatch" `Quick
+      test_select_layout;
     Alcotest.test_case "Ops.set routes through the engine" `Quick
       test_ops_set_routing;
     Alcotest.test_case "execution trace records nodes and rewrites" `Quick
