@@ -799,6 +799,104 @@ let formats_bench sizes =
   print_endline "wrote BENCH_formats.json"
 
 (* ---------------------------------------------------------------- *)
+(* Warm-up: cold vs analyzer-pre-warmed first iteration               *)
+(* ---------------------------------------------------------------- *)
+
+(* The PyGB pitch is that dynamic compilation amortizes; the analyzer
+   makes the first iteration cheap too.  Three measurements per
+   algorithm on a scrubbed cache (memory + disk): the cold first call
+   (compiles inline), the analyzer-driven warm-up alone, and the first
+   call after warm-up (which must compile nothing). *)
+
+type warm_row = {
+  w_algo : string;
+  cold_first_ms : float;
+  cold_compiles : int;
+  warmup_ms : float;
+  warmup_compiles : int;
+  warm_first_ms : float;
+  warm_first_compiles : int;
+}
+
+let warmup_bench () =
+  print_endline
+    "== Warm-up: cold vs analyzer-driven pre-warmed first iteration ==";
+  let n = 256 in
+  let rng = Graphs.Rng.create ~seed:2018 in
+  let g = Graphs.Generators.erdos_renyi_paper rng ~nvertices:n in
+  let adj = Graphs.Convert.matrix_of_edges Dtype.FP64 g in
+  let cont = Ogb.Container.of_smatrix adj in
+  let bool_cont =
+    Ogb.Container.of_smatrix (Smatrix.cast ~into:Dtype.Bool adj)
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    1000.0 *. (Unix.gettimeofday () -. t0)
+  in
+  let compiles () = (Jit.Jit_stats.snapshot ()).Jit.Jit_stats.compiles in
+  let scrub () =
+    Jit.Dispatch.clear_memory_cache ();
+    Jit.Disk_cache.clear ()
+  in
+  let row w_algo entry run =
+    let sigs = Analysis.Tier1.signatures entry ~n in
+    scrub ();
+    let c0 = compiles () in
+    let cold_first_ms = wall run in
+    let cold_compiles = compiles () - c0 in
+    scrub ();
+    let c1 = compiles () in
+    let warmup_ms = wall (fun () -> Analysis.Warmup.warm sigs) in
+    let warmup_compiles = compiles () - c1 in
+    let c2 = compiles () in
+    let warm_first_ms = wall run in
+    let warm_first_compiles = compiles () - c2 in
+    { w_algo; cold_first_ms; cold_compiles; warmup_ms; warmup_compiles;
+      warm_first_ms; warm_first_compiles }
+  in
+  let entry name = Option.get (Analysis.Tier1.find name) in
+  let rows =
+    [ row "bfs" (entry "bfs") (fun () ->
+          Algorithms.Bfs.vm_loops bool_cont ~src:0);
+      row "pagerank" (entry "pagerank") (fun () ->
+          Algorithms.Pagerank.vm_loops cont) ]
+  in
+  Printf.printf "%10s %14s %9s %12s %9s %15s %9s\n" "algo" "cold-1st(ms)"
+    "compiles" "warmup(ms)" "compiles" "warm-1st(ms)" "compiles";
+  List.iter
+    (fun r ->
+      Printf.printf "%10s %14.3f %9d %12.3f %9d %15.3f %9d\n" r.w_algo
+        r.cold_first_ms r.cold_compiles r.warmup_ms r.warmup_compiles
+        r.warm_first_ms r.warm_first_compiles)
+    rows;
+  let snap = Jit.Jit_stats.snapshot () in
+  Printf.printf "warm requests: %d, warm compiles: %d\n"
+    snap.Jit.Jit_stats.warm_requests snap.Jit.Jit_stats.warm_compiles;
+  let oc = open_out "BENCH_warmup.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"experiment\": \"warmup\",\n";
+  out "  \"n\": %d,\n" n;
+  out "  \"rows\": [\n%s\n  ],\n"
+    (String.concat ",\n"
+       (List.map
+          (fun r ->
+            Printf.sprintf
+              "    { \"algo\": %S, \"cold_first_ms\": %.3f, \
+               \"cold_compiles\": %d, \"warmup_ms\": %.3f, \
+               \"warmup_compiles\": %d, \"warm_first_ms\": %.3f, \
+               \"warm_first_compiles\": %d }"
+              r.w_algo r.cold_first_ms r.cold_compiles r.warmup_ms
+              r.warmup_compiles r.warm_first_ms r.warm_first_compiles)
+          rows));
+  out "  \"warm_requests\": %d,\n" snap.Jit.Jit_stats.warm_requests;
+  out "  \"warm_compiles\": %d\n" snap.Jit.Jit_stats.warm_compiles;
+  out "}\n";
+  close_out oc;
+  print_endline "wrote BENCH_warmup.json"
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks                                          *)
 (* ---------------------------------------------------------------- *)
 
@@ -887,7 +985,7 @@ let () =
          (fun a ->
            List.mem a
              [ "fig10"; "fig11"; "compile"; "table1"; "ablation"; "exec";
-               "formats"; "micro" ])
+               "formats"; "warmup"; "micro" ])
          args)
   in
   Printf.printf "ogb benchmark harness (JIT: %s)\n\n"
@@ -907,4 +1005,5 @@ let () =
          (* keep the artifact at three sizes: the last three *)
          List.filteri (fun i _ -> i >= List.length s - 3) s
        else s);
+  if all || has "warmup" then warmup_bench ();
   if all || has "micro" then micro ()

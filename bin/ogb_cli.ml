@@ -539,9 +539,145 @@ let exec_cmd =
           them with a per-node trace")
     Term.(const exec_demo $ demo $ graph_arg $ sym $ domains)
 
+(* -- analyze subcommand: static analysis + ahead-of-time warm-up -- *)
+
+let analyze algo n warm =
+  let module T1 = Analysis.Tier1 in
+  let module Ks = Jit.Kernel_sig in
+  let entries =
+    match algo with
+    | None -> Ok T1.all
+    | Some a -> (
+      match T1.find a with
+      | Some e -> Ok [ e ]
+      | None -> Error (Printf.sprintf "unknown tier-1 encoding %S" a))
+  in
+  match entries with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok entries ->
+    let failed = ref false in
+    let sigs = ref [] in
+    let seen = Hashtbl.create 32 in
+    List.iter
+      (fun (e : T1.entry) ->
+        Printf.printf "== %s (entry point %s, n=%d)\n" e.name e.entrypoint n;
+        (match Analysis.Vm_check.check e.program with
+        | [] -> Printf.printf "scope/arity: ok\n"
+        | findings ->
+          failed := true;
+          List.iter
+            (fun f ->
+              Printf.printf "  FINDING %s\n" (Analysis.Vm_check.describe f))
+            findings);
+        let ks = T1.signatures e ~n in
+        Printf.printf "reachable kernel signatures: %d\n" (List.length ks);
+        List.iter
+          (fun s ->
+            Printf.printf "  %s\n" (Ks.key s);
+            if not (Hashtbl.mem seen (Ks.key s)) then begin
+              Hashtbl.add seen (Ks.key s) ();
+              sigs := s :: !sigs
+            end)
+          ks;
+        print_newline ())
+      entries;
+    (* representative plan: a shape the scheduler runs concurrently and
+       whose pull dispatch races on the shared CSC cache *)
+    let m =
+      Graphs.Convert.matrix_of_edges Dtype.FP64 (Graphs.Generators.complete 8)
+    in
+    let ac = Ogb.Container.of_smatrix m in
+    let dense x =
+      Ogb.Container.of_svector (Svector.of_dense Dtype.FP64 (Array.make 8 x))
+    in
+    let uc = dense 1.0 and vc = dense 2.0 in
+    let open Ogb.Ops.Infix in
+    let e =
+      Ogb.Context.with_ops
+        [ Ogb.Context.semiring "Arithmetic"; Ogb.Context.binary "Plus" ]
+        (fun () -> (tr !!ac @. !!uc) +: (tr !!ac @. !!vc))
+    in
+    Analysis.Hook.install ~fix_races:None ();
+    let plan =
+      Fun.protect
+        ~finally:(fun () -> Analysis.Hook.uninstall ())
+        (fun () -> Exec.plan_force e)
+    in
+    Printf.printf "== plan verification (y = A.T@u + A.T@v, verified at every \
+                   rewrite stage)\n%s"
+      (Analysis.Verify.report plan);
+    (match Analysis.Races.find ~assume_formats:true plan with
+    | [] -> Printf.printf "races: none\n"
+    | conflicts ->
+      List.iter
+        (fun c -> Printf.printf "race: %s\n" (Analysis.Races.describe c))
+        conflicts;
+      ignore
+        (Format_stats.with_enabled true (fun () ->
+             Analysis.Races.enforce ~strategy:Analysis.Races.Prebuild plan));
+      (match Analysis.Races.find ~assume_formats:true plan with
+      | [] -> Printf.printf "remedied: CSC indexes prebuilt; scheduler-safe\n"
+      | remaining ->
+        failed := true;
+        List.iter
+          (fun c ->
+            Printf.printf "UNREMEDIED race: %s\n" (Analysis.Races.describe c))
+          remaining));
+    if warm then begin
+      Printf.printf "\n== ahead-of-time warm-up (%d distinct signatures)\n"
+        (List.length !sigs);
+      let outcomes = Analysis.Warmup.warm (List.rev !sigs) in
+      List.iter
+        (fun (o : Analysis.Warmup.outcome) ->
+          Printf.printf "  %-72s %s\n" (Ks.key o.Analysis.Warmup.sig_)
+            (Analysis.Warmup.status_to_string o.Analysis.Warmup.status))
+        outcomes;
+      let st = Jit.Jit_stats.snapshot () in
+      Printf.printf "warm requests: %d, warm compiles: %d\n"
+        st.Jit.Jit_stats.warm_requests st.Jit.Jit_stats.warm_compiles
+    end;
+    if !failed then 1 else 0
+
+let analyze_cmd =
+  let algo =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"ALGORITHM"
+          ~doc:
+            "Restrict to one tier-1 encoding (bfs, pagerank, sssp, triangle); \
+             default analyzes all of them.")
+  in
+  let n =
+    Arg.(
+      value & opt int 64
+      & info [ "n" ]
+          ~doc:
+            "Vertex count the abstract stand-ins assume (bound constants such \
+             as PageRank's teleport term depend on it).")
+  in
+  let warm =
+    Arg.(
+      value & flag
+      & info [ "warm" ]
+          ~doc:
+            "After analysis, drive the JIT over every reachable kernel \
+             signature so the first real iteration compiles nothing.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically check the tier-1 MiniVM encodings (scope/arity), extract \
+          reachable kernel signatures by abstract interpretation, verify a \
+          representative plan (shapes, dtypes, scheduler races), and \
+          optionally pre-warm the JIT")
+    Term.(const analyze $ algo $ n $ warm)
+
 let () =
   let doc = "GraphBLAS DSL with dynamic kernel compilation (PyGB reproduction)" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "ogb" ~version:"1.0.0" ~doc)
-          [ run_cmd; gen_cmd; info_cmd; jit_cmd; exec_cmd ]))
+          [ run_cmd; gen_cmd; info_cmd; jit_cmd; exec_cmd; analyze_cmd ]))

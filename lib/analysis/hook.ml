@@ -1,0 +1,11 @@
+let checker fix_races plan ~stage =
+  Verify.check ~stage plan;
+  if stage = "pre-schedule" then
+    Option.iter
+      (fun strategy -> ignore (Races.enforce ~strategy plan))
+      fix_races
+
+let install ?(fix_races = Some Races.Prebuild) () =
+  Exec.Verify_hook.install (checker fix_races)
+
+let uninstall () = Exec.Verify_hook.uninstall ()

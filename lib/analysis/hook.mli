@@ -1,0 +1,14 @@
+(** Wiring the analyzer into the execution engine.
+
+    {!install} registers a checker with {!Exec.Verify_hook}, so the
+    nonblocking pipeline runs {!Verify.check} on every plan at the
+    ["lower"] stage, after each fusion pass, and at ["pre-schedule"];
+    at ["pre-schedule"] it additionally applies the race remedy (by
+    default {!Races.Prebuild}) so CSC-cache races the scheduler could
+    hit are neutralized before domains start. *)
+
+val install : ?fix_races:Races.strategy option -> unit -> unit
+(** [fix_races] defaults to [Some Races.Prebuild]; pass [None] to
+    verify only (races are still the caller's to find). *)
+
+val uninstall : unit -> unit

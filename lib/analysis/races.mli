@@ -1,0 +1,35 @@
+(** Alias/race detection over plan DAGs.
+
+    The domain scheduler runs any two nodes concurrently when neither is
+    a DAG ancestor of the other.  The only shared mutable state plan
+    execution touches is a leaf matrix's lazily built CSC index
+    ({!Gbtl.Smatrix.get_csc} caches unsynchronized): a transposed
+    Mat×Vec product may build it mid-flight (pull dispatch), and an
+    unmasked Mat×Mat with a transposed operand reads through a CSC
+    transpose view.  Two unordered nodes hitting the same leaf matrix —
+    one of them a potential CSC builder — race on that cache. *)
+
+type kind = Write_write | Read_write
+
+type conflict = {
+  a : int;  (** earlier node id (canonicalized [a <= b]) *)
+  b : int;
+  leaf : int;  (** the shared leaf node both sides reach *)
+  kind : kind;
+  container : Ogb.Container.t;
+}
+
+type strategy =
+  | Prebuild  (** build the CSC index eagerly, removing the write *)
+  | Edge  (** add a dependency edge serializing the two nodes *)
+
+val find : ?assume_formats:bool -> Exec.Plan.t -> conflict list
+(** Conflicts between scheduler-concurrent node pairs.  Returns [[]]
+    when format-aware dispatch is disabled (no CSC builds happen) unless
+    [assume_formats] forces the analysis. *)
+
+val enforce : strategy:strategy -> Exec.Plan.t -> conflict list
+(** {!find}, then apply the remedy to each conflict; returns what was
+    found (re-running {!find} afterwards yields [[]]). *)
+
+val describe : conflict -> string

@@ -1,0 +1,19 @@
+(** Registry of the tier-1 MiniVM algorithm encodings with abstract
+    stand-in arguments mirroring each algorithm's [vm_loops] driver
+    (same container dtypes and scalar constants), so
+    {!Vm_abstract.signatures} reaches exactly the kernels a real run
+    dispatches. *)
+
+type entry = {
+  name : string;
+  program : Minivm.Ast.block;
+  entrypoint : string;
+  args : int -> Vm_abstract.aval list;
+      (** stand-in arguments for an [n]-vertex graph *)
+}
+
+val all : entry list
+val find : string -> entry option
+
+val signatures : entry -> n:int -> Jit.Kernel_sig.t list
+(** Abstractly interpret the encoding for an [n]-vertex graph. *)

@@ -1,0 +1,53 @@
+(** Abstract interpreter over MiniVM algorithm encodings.
+
+    Runs a program on an abstract domain — containers are stand-ins
+    with real dimensions and dtypes, numbers fold when every input is
+    known, loops execute a bounded number of times, both branches of
+    every [if] execute — and records each JIT kernel signature the
+    concrete blocking evaluator would dispatch at the force points
+    (subscript assignment, [update], [reduce]).  The emitted set is a
+    superset of what one concrete run dispatches (both directions of a
+    runtime-dispatched kernel are included), which is exactly what
+    ahead-of-time warm-up ({!Warmup}) needs: compiling every signature
+    in the set leaves zero first-iteration compiles.
+
+    [with] blocks push their {e real} operator contexts, so deferred
+    expressions capture the same semirings/binops/unaries the VM run
+    would. *)
+
+type aval =
+  | VUnknown
+  | VNil
+  | VBool of bool option
+  | VNum of float option
+  | VStr of string option
+  | VList of aval array
+  | VCont of Ogb.Container.t
+      (** stand-in container carrying real dims/dtype *)
+  | VExpr of Ogb.Expr.t
+  | VOp of Ogb.Context.entry
+  | VMask of Ogb.Ops.mask
+  | VAllIdx
+  | VView of Ogb.Container.t * Ogb.Ops.mask option
+  | VClosure of string * string list * Minivm.Ast.block
+  | VBuiltin of string
+
+val signatures :
+  ?env:Minivm.Env.t ->
+  Minivm.Ast.block ->
+  entry:string ->
+  args:aval list ->
+  Jit.Kernel_sig.t list
+(** Execute the program top level (binding its [def]s), then call
+    [entry] with [args]; returns the reachable kernel signatures in
+    first-emission order, deduplicated. *)
+
+val expr_signatures :
+  ?mask:Ogb.Expr.mask_spec -> Ogb.Expr.t -> Jit.Kernel_sig.t list
+(** Signatures the blocking evaluator dispatches forcing one deferred
+    expression (mask semantics as in {!Ogb.Expr.force}). *)
+
+val reduce_signatures :
+  op:string -> identity:string -> Ogb.Expr.t -> Jit.Kernel_sig.t list
+(** Signatures for a terminal scalar reduction of [e] under the given
+    monoid. *)

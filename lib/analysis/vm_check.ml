@@ -1,0 +1,216 @@
+open Minivm
+open Minivm.Ast
+module SS = Set.Make (String)
+
+type what = Unbound | Unknown_method | Unknown_attr | Arity
+
+type finding = { what : what; enclosing : string option; message : string }
+
+let default_env () =
+  let env = Env.create () in
+  Builtins.install env;
+  Ogb.Vm_bridge.install env;
+  env
+
+(* -- registry ------------------------------------------------------- *)
+
+(* Interpreter builtins with fixed arities; [print] and the bare [list]
+   constructor are variadic enough to skip. *)
+let interp_builtin_arities =
+  [ ("len", [ 1 ]); ("range", [ 1; 2 ]); ("abs", [ 1 ]); ("min", [ 2 ]);
+    ("max", [ 2 ]); ("float", [ 1 ]); ("int", [ 1 ]); ("str", [ 1 ]);
+    ("list", [ 0; 1 ]) ]
+
+let builtin_arities = Ogb.Vm_bridge.builtin_arities @ interp_builtin_arities
+
+(* Native list/dict methods from the interpreter, merged with the
+   foreign container methods from the bridge.  Duplicated names (get,
+   set) carry the same arities on both sides. *)
+let native_methods =
+  [ ("append", [ 1 ]); ("pop", [ 0 ]); ("get", [ 1 ]); ("set", [ 2 ]) ]
+
+let method_table =
+  List.fold_left
+    (fun acc (name, arities) ->
+      let prev = try List.assoc name acc with Not_found -> [] in
+      (name, List.sort_uniq compare (arities @ prev))
+      :: List.remove_assoc name acc)
+    [] (Ogb.Vm_bridge.known_methods @ native_methods)
+
+let known_attrs = "length" :: Ogb.Vm_bridge.known_attrs
+
+(* -- locals collection ---------------------------------------------- *)
+
+(* Python-style function-wide locals: every name assigned anywhere in
+   the function body (including inside branches and loops) is local for
+   the whole body, so a read before the branch executes is not flagged.
+   Nested [Def] bodies are their own scopes and are not descended
+   into. *)
+let rec block_locals acc block = List.fold_left stmt_locals acc block
+
+and stmt_locals acc = function
+  | Assign (name, _) -> SS.add name acc
+  | For (var, _, body) -> block_locals (SS.add var acc) body
+  | If (_, t, f) -> block_locals (block_locals acc t) f
+  | While (_, body) | With (_, body) -> block_locals acc body
+  | Def (name, _, _) -> SS.add name acc
+  | ExprStmt _ | SetIndex _ | SetAttr _ | Return _ | Break | Continue | Pass ->
+    acc
+
+(* -- the walk ------------------------------------------------------- *)
+
+type ctx = {
+  env : Env.t;
+  scopes : SS.t list;  (** innermost first *)
+  enclosing : string option;
+  def_arities : (string, int) Hashtbl.t;
+  findings : finding list ref;
+}
+
+let emit ctx what message =
+  ctx.findings := { what; enclosing = ctx.enclosing; message } :: !(ctx.findings)
+
+let bound ctx name =
+  List.exists (SS.mem name) ctx.scopes
+  || Env.mem ctx.env name
+  || Hashtbl.mem ctx.def_arities name
+
+let rec collect_defs tbl block =
+  List.iter
+    (function
+      | Def (name, params, body) ->
+        Hashtbl.replace tbl name (List.length params);
+        collect_defs tbl body
+      | If (_, t, f) ->
+        collect_defs tbl t;
+        collect_defs tbl f
+      | While (_, body) | With (_, body) | For (_, _, body) ->
+        collect_defs tbl body
+      | ExprStmt _ | Assign _ | SetIndex _ | SetAttr _ | Return _ | Break
+      | Continue | Pass ->
+        ())
+    block
+
+let check_call_arity ctx callee nargs =
+  match callee with
+  | Var name -> (
+    match Hashtbl.find_opt ctx.def_arities name with
+    | Some arity ->
+      if nargs <> arity then
+        emit ctx Arity
+          (Printf.sprintf "%s() takes %d argument%s, called with %d" name
+             arity
+             (if arity = 1 then "" else "s")
+             nargs)
+    | None -> (
+      match List.assoc_opt name builtin_arities with
+      | Some arities ->
+        if not (List.mem nargs arities) then
+          emit ctx Arity
+            (Printf.sprintf "%s() does not accept %d argument%s (accepts %s)"
+               name nargs
+               (if nargs = 1 then "" else "s")
+               (String.concat " or " (List.map string_of_int arities)))
+      | None -> ()))
+  | _ -> ()
+
+let rec walk_expr ctx = function
+  | Const _ -> ()
+  | Var name ->
+    if not (bound ctx name) then
+      emit ctx Unbound (Vm_error.message ~name ~enclosing:ctx.enclosing)
+  | Unary (_, e) -> walk_expr ctx e
+  | Binary (_, a, b) ->
+    walk_expr ctx a;
+    walk_expr ctx b
+  | Call (callee, args) ->
+    walk_expr ctx callee;
+    List.iter (walk_expr ctx) args;
+    check_call_arity ctx callee (List.length args)
+  | Method (recv, name, args) ->
+    walk_expr ctx recv;
+    List.iter (walk_expr ctx) args;
+    (match List.assoc_opt name method_table with
+    | Some arities ->
+      if not (List.mem (List.length args) arities) then
+        emit ctx Arity
+          (Printf.sprintf ".%s() does not accept %d argument%s (accepts %s)"
+             name (List.length args)
+             (if List.length args = 1 then "" else "s")
+             (String.concat " or " (List.map string_of_int arities)))
+    | None ->
+      emit ctx Unknown_method (Printf.sprintf "unknown method .%s()" name))
+  | Attr (recv, name) ->
+    walk_expr ctx recv;
+    if not (List.mem name known_attrs) then
+      emit ctx Unknown_attr (Printf.sprintf "unknown attribute .%s" name)
+  | Index (a, b) ->
+    walk_expr ctx a;
+    walk_expr ctx b
+  | ListLit items -> List.iter (walk_expr ctx) items
+  | Lambda (params, body) ->
+    let locals = block_locals (SS.of_list params) body in
+    walk_block { ctx with scopes = locals :: ctx.scopes;
+                 enclosing = Some "<lambda>" }
+      body
+
+and walk_stmt ctx = function
+  | ExprStmt e | Assign (_, e) | Return e -> walk_expr ctx e
+  | SetIndex (t, k, v) ->
+    walk_expr ctx t;
+    walk_expr ctx k;
+    walk_expr ctx v
+  | SetAttr (t, _, v) ->
+    walk_expr ctx t;
+    walk_expr ctx v
+  | If (c, t, f) ->
+    walk_expr ctx c;
+    walk_block ctx t;
+    walk_block ctx f
+  | While (c, body) ->
+    walk_expr ctx c;
+    walk_block ctx body
+  | For (_, iter, body) ->
+    walk_expr ctx iter;
+    walk_block ctx body
+  | With (entries, body) ->
+    List.iter (walk_expr ctx) entries;
+    walk_block ctx body
+  | Def (name, params, body) ->
+    (* closures chain to their defining scope, so outer names stay
+       visible — same resolution the interpreter performs *)
+    let locals = block_locals (SS.of_list params) body in
+    walk_block
+      { ctx with scopes = locals :: ctx.scopes; enclosing = Some name }
+      body
+  | Break | Continue | Pass -> ()
+
+and walk_block ctx block = List.iter (walk_stmt ctx) block
+
+let check ?env block =
+  let env = match env with Some e -> e | None -> default_env () in
+  let def_arities = Hashtbl.create 8 in
+  collect_defs def_arities block;
+  let findings = ref [] in
+  let ctx =
+    { env;
+      scopes = [ block_locals SS.empty block ];
+      enclosing = None;
+      def_arities;
+      findings }
+  in
+  walk_block ctx block;
+  List.rev !findings
+
+let what_to_string = function
+  | Unbound -> "unbound-variable"
+  | Unknown_method -> "unknown-method"
+  | Unknown_attr -> "unknown-attribute"
+  | Arity -> "arity"
+
+let describe f =
+  Printf.sprintf "[%s]%s %s" (what_to_string f.what)
+    (match f.enclosing with
+    | Some fn -> Printf.sprintf " in %s" fn
+    | None -> "")
+    f.message

@@ -1,0 +1,29 @@
+(** Static scope and arity checking for MiniVM programs.
+
+    Validates an {!Minivm.Ast.block} without running it: variable
+    references resolve against Python-style function-wide locals plus
+    the globals an installed environment provides (bridge builtins,
+    [Replace], [NoMask], ...); attribute, method, and builtin calls are
+    checked against {!Ogb.Vm_bridge}'s registry.  An unbound-variable
+    finding carries the {e same} message {!Minivm.Vm_error.message}
+    renders at runtime, so the static and dynamic diagnostics agree
+    verbatim. *)
+
+type what = Unbound | Unknown_method | Unknown_attr | Arity
+
+type finding = {
+  what : what;
+  enclosing : string option;  (** function whose body holds the defect *)
+  message : string;
+}
+
+val default_env : unit -> Minivm.Env.t
+(** Fresh environment with {!Minivm.Builtins.install} and
+    {!Ogb.Vm_bridge.install} applied — the environment tier-1 encodings
+    run in. *)
+
+val check : ?env:Minivm.Env.t -> Minivm.Ast.block -> finding list
+(** All findings, in program order.  [env] defaults to
+    {!default_env}[ ()]. *)
+
+val describe : finding -> string

@@ -235,3 +235,20 @@ let install env =
       Gbtl.Utilities.normalize_rows m;
       Value.Nil
     | _ -> terr "normalize_rows: expected a double matrix")
+
+(* Static registry of the bridge surface for the analyzer's scope/arity
+   checker (lib/analysis).  Kept in sync with [install] and the hooks
+   above; the checker treats any attr/method/arity outside these lists
+   as a defect before the program runs. *)
+
+let known_attrs = [ "T"; "nvals"; "size"; "shape"; "dtype" ]
+
+let known_methods =
+  [ ("dup", [ 0 ]); ("clear", [ 0 ]); ("get", [ 1 ]); ("set", [ 2 ]);
+    ("update", [ 2 ]) ]
+
+let builtin_arities =
+  [ ("Vector", [ 1; 2 ]); ("Matrix", [ 2; 3 ]); ("Semiring", [ 1; 3 ]);
+    ("Monoid", [ 2 ]); ("BinaryOp", [ 1 ]); ("UnaryOp", [ 1; 2 ]);
+    ("Accumulator", [ 1 ]); ("reduce", [ 1 ]); ("apply", [ 1 ]);
+    ("reduce_rows", [ 1 ]); ("normalize_rows", [ 1 ]) ]

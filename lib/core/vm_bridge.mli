@@ -26,3 +26,20 @@ val install : Minivm.Env.t -> unit
 val wrap_container : Container.t -> Minivm.Value.t
 val unwrap_container : Minivm.Value.t -> Container.t
 (** @raise Minivm.Value.Type_error *)
+
+(** {2 Registry for static analysis}
+
+    The surface [install] provides, as data: the analyzer's scope/arity
+    checker validates MiniVM programs against these without running
+    them. *)
+
+val known_attrs : string list
+(** Attributes foreign containers/expressions answer ([.T], [.nvals],
+    [.size], [.shape], [.dtype]). *)
+
+val known_methods : (string * int list) list
+(** Foreign method names with their accepted argument counts. *)
+
+val builtin_arities : (string * int list) list
+(** Bridge builtins with their accepted argument counts ([Vector]'s
+    1-argument form also accepts a list literal). *)

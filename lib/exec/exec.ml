@@ -9,6 +9,7 @@ module Plan = Plan
 module Rewrite = Rewrite
 module Scheduler = Scheduler
 module Trace = Trace
+module Verify_hook = Verify_hook
 
 type mode = Ogb.Exec_hook.mode = Blocking | Nonblocking
 
@@ -30,6 +31,7 @@ let plan_reduce ~op ~identity e =
   p
 
 let run_plan p =
+  Verify_hook.run p ~stage:"pre-schedule";
   let v, trace = Scheduler.run p in
   last_trace_ref := Some trace;
   v

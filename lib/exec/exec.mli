@@ -15,6 +15,7 @@ module Plan = Plan
 module Rewrite = Rewrite
 module Scheduler = Scheduler
 module Trace = Trace
+module Verify_hook = Verify_hook
 
 type mode = Ogb.Exec_hook.mode = Blocking | Nonblocking
 

@@ -241,17 +241,28 @@ let select_layout plan =
 let run plan =
   let dead = ref 0 in
   let sweep () = dead := !dead + Plan.drop_dead plan in
+  (* Each stage re-checks the plan through the installed static verifier
+     (no-op when none): a pass that changes a surviving node's inferred
+     shape or dtype is a miscompile and aborts here. *)
+  let verify stage = Verify_hook.run plan ~stage in
+  verify "lower";
   sink_transpose plan;
   sweep ();
+  verify "sink_transpose";
   if Ogb.Expr.fusion () then begin
     fuse_apply_chain plan;
     sweep ();
+    verify "apply_chain";
     fuse_apply_ewise plan;
     sweep ();
+    verify "apply_ewise";
     fuse_mult_reduce plan;
-    sweep ()
+    sweep ();
+    verify "mult_reduce"
   end;
   push_mask plan;
   sweep ();
+  verify "push_mask";
   select_layout plan;
+  verify "select_layout";
   Plan.record_event plan "dce" !dead

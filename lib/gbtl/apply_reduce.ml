@@ -1,10 +1,9 @@
 let apply_vector ?(mask = Mask.No_vmask) ?accum ?(replace = false)
     (f : 'a Unaryop.t) ~out u =
   if Svector.size out <> Svector.size u then
-    raise
-      (Svector.Dimension_mismatch
-         (Printf.sprintf "apply: output size %d vs input size %d"
-            (Svector.size out) (Svector.size u)));
+    Error.raise_dims ~op:"apply"
+      ~expected:(Printf.sprintf "output size %d" (Svector.size u))
+      ~actual:(Error.size_str (Svector.size out));
   let t = Entries.create () in
   Svector.iter (fun i x -> Entries.push t i (f.Unaryop.f x)) u;
   Output.write_vector ~mask ~accum ~replace ~out ~t
@@ -13,11 +12,11 @@ let apply_matrix ?(mask = Mask.No_mmask) ?accum ?(replace = false)
     ?(transpose = false) (f : 'a Unaryop.t) ~out a =
   let a = if transpose then Smatrix.transpose a else a in
   if Smatrix.shape out <> Smatrix.shape a then
-    raise
-      (Smatrix.Dimension_mismatch
-         (Printf.sprintf "apply: output %dx%d vs input %dx%d"
-            (Smatrix.nrows out) (Smatrix.ncols out) (Smatrix.nrows a)
-            (Smatrix.ncols a)));
+    Error.raise_dims ~op:"apply"
+      ~expected:
+        (Printf.sprintf "output %s"
+           (Error.shape_str (Smatrix.nrows a) (Smatrix.ncols a)))
+      ~actual:(Error.shape_str (Smatrix.nrows out) (Smatrix.ncols out));
   let t =
     Array.init (Smatrix.nrows a) (fun r ->
         let e = Entries.create () in
@@ -30,10 +29,9 @@ let reduce_rows ?(mask = Mask.No_vmask) ?accum ?(replace = false)
     ?(transpose = false) (m : 'a Monoid.t) ~out a =
   let a = if transpose then Smatrix.transpose a else a in
   if Svector.size out <> Smatrix.nrows a then
-    raise
-      (Svector.Dimension_mismatch
-         (Printf.sprintf "reduce: output size %d vs matrix rows %d"
-            (Svector.size out) (Smatrix.nrows a)));
+    Error.raise_dims ~op:"reduce"
+      ~expected:(Printf.sprintf "output size %d" (Smatrix.nrows a))
+      ~actual:(Error.size_str (Svector.size out));
   let t = Entries.create () in
   for r = 0 to Smatrix.nrows a - 1 do
     if Smatrix.row_nvals a r > 0 then begin

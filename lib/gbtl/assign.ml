@@ -1,4 +1,4 @@
-let dim_err exn fmt = Printf.ksprintf (fun s -> raise (exn s)) fmt
+let dim_err = Error.raise_dims
 
 (* Region update for one index space.  [n] is the output dimension,
    [targets] the (duplicate-free) selected positions, [source pos] the
@@ -51,10 +51,9 @@ let vector ?(mask = Mask.No_vmask) ?accum ?(replace = false) ~out u idx =
   let targets = Index_set.resolve idx n in
   Index_set.check_no_duplicates targets;
   if Svector.size u <> Array.length targets then
-    dim_err
-      (fun s -> Svector.Dimension_mismatch s)
-      "assign: source size %d vs selection %d" (Svector.size u)
-      (Array.length targets);
+    dim_err ~op:"assign"
+      ~expected:(Printf.sprintf "source size %d" (Array.length targets))
+      ~actual:(Error.size_str (Svector.size u));
   let accum_f = Option.map (fun (op : _ Binop.t) -> op.Binop.f) accum in
   let t =
     overlay_entries ~n ~c_lookup:(Svector.get out)
@@ -103,10 +102,12 @@ let matrix ?mask ?accum ?replace ~out a rows cols =
   let col_targets = Index_set.resolve cols (Smatrix.ncols out) in
   if Smatrix.shape a <> (Array.length row_targets, Array.length col_targets)
   then
-    dim_err
-      (fun s -> Smatrix.Dimension_mismatch s)
-      "assign: source %dx%d vs selection %dx%d" (Smatrix.nrows a)
-      (Smatrix.ncols a) (Array.length row_targets) (Array.length col_targets);
+    dim_err ~op:"assign"
+      ~expected:
+        (Printf.sprintf "source %s"
+           (Error.shape_str (Array.length row_targets)
+              (Array.length col_targets)))
+      ~actual:(Error.shape_str (Smatrix.nrows a) (Smatrix.ncols a));
   matrix_overlay ?mask ?accum ?replace ~out ~row_targets ~col_targets
     ~source_row:(fun p c -> Smatrix.get a p c)
     ()

@@ -1,0 +1,19 @@
+(* Unified gbtl error channel.  Every dimension conformance failure in the
+   storage layer and the GraphBLAS operations raises the single
+   [Dim_mismatch] exception with an "expected vs actual" message, so
+   callers (and the static plan verifier, which mirrors these checks
+   ahead of execution) match one constructor instead of a zoo of
+   per-module strings. *)
+
+exception Dim_mismatch of string
+
+let dim_msg ~op ~expected ~actual =
+  Printf.sprintf "%s: expected %s, actual %s" op expected actual
+
+let raise_dims ~op ~expected ~actual =
+  raise (Dim_mismatch (dim_msg ~op ~expected ~actual))
+
+let shape_str nrows ncols = Printf.sprintf "%dx%d" nrows ncols
+let size_str n = Printf.sprintf "size %d" n
+
+let message = function Dim_mismatch m -> Some m | _ -> None

@@ -1,0 +1,25 @@
+(** Unified gbtl error channel.
+
+    All dimension conformance failures across svector/smatrix and the
+    GraphBLAS operations raise [Dim_mismatch] with a uniform
+    ["op: expected E, actual A"] message.  [Svector.Dimension_mismatch]
+    and [Smatrix.Dimension_mismatch] are rebindings of this exception,
+    kept for source compatibility: matching either catches the same
+    failures. *)
+
+exception Dim_mismatch of string
+
+val dim_msg : op:string -> expected:string -> actual:string -> string
+(** ["op: expected E, actual A"] — the one message format. *)
+
+val raise_dims : op:string -> expected:string -> actual:string -> 'a
+(** @raise Dim_mismatch with {!dim_msg}. *)
+
+val shape_str : int -> int -> string
+(** [shape_str r c] is ["RxC"]. *)
+
+val size_str : int -> string
+(** [size_str n] is ["size N"]. *)
+
+val message : exn -> string option
+(** [Some msg] for [Dim_mismatch msg], [None] otherwise. *)

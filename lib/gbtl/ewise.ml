@@ -18,10 +18,9 @@ let intersect_entries f a b =
 
 let check_vector_sizes ctx u v =
   if Svector.size u <> Svector.size v then
-    raise
-      (Svector.Dimension_mismatch
-         (Printf.sprintf "%s: sizes %d and %d differ" ctx (Svector.size u)
-            (Svector.size v)))
+    Error.raise_dims ~op:ctx
+      ~expected:(Error.size_str (Svector.size u))
+      ~actual:(Error.size_str (Svector.size v))
 
 let vector_op combine ctx ?(mask = Mask.No_vmask) ?accum ?(replace = false)
     (op : 'a Binop.t) ~out u v =
@@ -40,11 +39,9 @@ let oriented m transposed = if transposed then Smatrix.transpose m else m
 
 let check_matrix_shapes ctx a b =
   if Smatrix.shape a <> Smatrix.shape b then
-    raise
-      (Smatrix.Dimension_mismatch
-         (Printf.sprintf "%s: shapes %dx%d and %dx%d differ" ctx
-            (Smatrix.nrows a) (Smatrix.ncols a) (Smatrix.nrows b)
-            (Smatrix.ncols b)))
+    Error.raise_dims ~op:ctx
+      ~expected:(Error.shape_str (Smatrix.nrows a) (Smatrix.ncols a))
+      ~actual:(Error.shape_str (Smatrix.nrows b) (Smatrix.ncols b))
 
 let matrix_op combine ctx ?(mask = Mask.No_mmask) ?accum ?(replace = false)
     ?(transpose_a = false) ?(transpose_b = false) (op : 'a Binop.t) ~out a b =

@@ -4,11 +4,11 @@ let matrix ?(mask = Mask.No_mmask) ?accum ?(replace = false)
   let ri = Index_set.resolve rows (Smatrix.nrows a) in
   let ci = Index_set.resolve cols (Smatrix.ncols a) in
   if Smatrix.shape out <> (Array.length ri, Array.length ci) then
-    raise
-      (Smatrix.Dimension_mismatch
-         (Printf.sprintf "extract: output %dx%d vs selection %dx%d"
-            (Smatrix.nrows out) (Smatrix.ncols out) (Array.length ri)
-            (Array.length ci)));
+    Error.raise_dims ~op:"extract"
+      ~expected:
+        (Printf.sprintf "output %s"
+           (Error.shape_str (Array.length ri) (Array.length ci)))
+      ~actual:(Error.shape_str (Smatrix.nrows out) (Smatrix.ncols out));
   let t =
     Array.map
       (fun src_r ->
@@ -33,10 +33,9 @@ let column ?(mask = Mask.No_vmask) ?accum ?(replace = false)
       (Index_set.Invalid_index
          (Printf.sprintf "extract column %d outside [0, %d)" j (Smatrix.ncols a)));
   if Svector.size out <> Array.length ri then
-    raise
-      (Svector.Dimension_mismatch
-         (Printf.sprintf "extract: output size %d vs selection %d"
-            (Svector.size out) (Array.length ri)));
+    Error.raise_dims ~op:"extract"
+      ~expected:(Printf.sprintf "output size %d" (Array.length ri))
+      ~actual:(Error.size_str (Svector.size out));
   let t = Entries.create () in
   Array.iteri
     (fun out_i src_r ->
@@ -49,10 +48,9 @@ let column ?(mask = Mask.No_vmask) ?accum ?(replace = false)
 let vector ?(mask = Mask.No_vmask) ?accum ?(replace = false) ~out u idx =
   let ii = Index_set.resolve idx (Svector.size u) in
   if Svector.size out <> Array.length ii then
-    raise
-      (Svector.Dimension_mismatch
-         (Printf.sprintf "extract: output size %d vs selection %d"
-            (Svector.size out) (Array.length ii)));
+    Error.raise_dims ~op:"extract"
+      ~expected:(Printf.sprintf "output size %d" (Array.length ii))
+      ~actual:(Error.size_str (Svector.size out));
   let t = Entries.create () in
   Array.iteri
     (fun out_i src_i ->

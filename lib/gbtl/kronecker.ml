@@ -17,10 +17,9 @@ let kronecker ?(mask = Mask.No_mmask) ?accum ?(replace = false) op ~out a b =
   let nrows = Smatrix.nrows a * Smatrix.nrows b in
   let ncols = Smatrix.ncols a * Smatrix.ncols b in
   if Smatrix.shape out <> (nrows, ncols) then
-    raise
-      (Smatrix.Dimension_mismatch
-         (Printf.sprintf "kronecker: output %dx%d vs product %dx%d"
-            (Smatrix.nrows out) (Smatrix.ncols out) nrows ncols));
+    Error.raise_dims ~op:"kronecker"
+      ~expected:(Printf.sprintf "output %s" (Error.shape_str nrows ncols))
+      ~actual:(Error.shape_str (Smatrix.nrows out) (Smatrix.ncols out));
   Output.write_matrix ~mask ~accum ~replace ~out ~t:(kron_rows op a b)
 
 let power op seed k =

@@ -63,9 +63,9 @@ let v_allowed mask i =
 
 let v_check_size mask n =
   let fail len =
-    raise
-      (Svector.Dimension_mismatch
-         (Printf.sprintf "mask size %d does not match vector size %d" len n))
+    Error.raise_dims ~op:"mask"
+      ~expected:(Printf.sprintf "vector size %d" n)
+      ~actual:(Error.size_str len)
   in
   match mask with
   | No_vmask -> ()
@@ -77,10 +77,9 @@ let m_check_shape mask nrows ncols =
   | No_mmask -> ()
   | Mmask { m; _ } ->
     if Smatrix.nrows m <> nrows || Smatrix.ncols m <> ncols then
-      raise
-        (Smatrix.Dimension_mismatch
-           (Printf.sprintf "mask shape %dx%d does not match output %dx%d"
-              (Smatrix.nrows m) (Smatrix.ncols m) nrows ncols))
+      Error.raise_dims ~op:"mask"
+        ~expected:(Printf.sprintf "output %s" (Error.shape_str nrows ncols))
+        ~actual:(Error.shape_str (Smatrix.nrows m) (Smatrix.ncols m))
 
 let m_row_allowed mask r =
   match mask with

@@ -1,4 +1,4 @@
-let dim_err fmt = Printf.ksprintf (fun s -> raise (Smatrix.Dimension_mismatch s)) fmt
+let dim_err = Error.raise_dims
 
 (* Dense scatter of a sparse vector, reused across rows by gather kernels. *)
 let scatter_vector sr u =
@@ -48,9 +48,13 @@ let mxv ?(mask = Mask.No_vmask) ?accum ?(replace = false)
     if transpose_a then (Smatrix.ncols a, Smatrix.nrows a) else Smatrix.shape a
   in
   if acols <> Svector.size u then
-    dim_err "mxv: matrix cols %d vs vector size %d" acols (Svector.size u);
+    dim_err ~op:"mxv"
+      ~expected:(Printf.sprintf "vector size %d" acols)
+      ~actual:(Error.size_str (Svector.size u));
   if Svector.size out <> arows then
-    dim_err "mxv: output size %d vs matrix rows %d" (Svector.size out) arows;
+    dim_err ~op:"mxv"
+      ~expected:(Printf.sprintf "output size %d" arows)
+      ~actual:(Error.size_str (Svector.size out));
   Mask.v_check_size mask (Svector.size out);
   let mul = Semiring.mul sr in
   let t =
@@ -68,9 +72,13 @@ let vxm ?(mask = Mask.No_vmask) ?accum ?(replace = false)
     if transpose_a then (Smatrix.ncols a, Smatrix.nrows a) else Smatrix.shape a
   in
   if arows <> Svector.size u then
-    dim_err "vxm: vector size %d vs matrix rows %d" (Svector.size u) arows;
+    dim_err ~op:"vxm"
+      ~expected:(Printf.sprintf "vector size %d" arows)
+      ~actual:(Error.size_str (Svector.size u));
   if Svector.size out <> acols then
-    dim_err "vxm: output size %d vs matrix cols %d" (Svector.size out) acols;
+    dim_err ~op:"vxm"
+      ~expected:(Printf.sprintf "output size %d" acols)
+      ~actual:(Error.size_str (Svector.size out));
   Mask.v_check_size mask (Svector.size out);
   let mul = Semiring.mul sr in
   let term a_val u_val = mul u_val a_val in
@@ -141,10 +149,13 @@ let mxm ?(mask = Mask.No_mmask) ?accum ?(replace = false)
     if transpose_b then (Smatrix.ncols b, Smatrix.nrows b) else Smatrix.shape b
   in
   if acols <> brows then
-    dim_err "mxm: inner dimensions %d vs %d" acols brows;
+    dim_err ~op:"mxm"
+      ~expected:(Printf.sprintf "inner dimension %d" acols)
+      ~actual:(string_of_int brows);
   if Smatrix.shape out <> (arows, bcols) then
-    dim_err "mxm: output %dx%d vs result %dx%d" (Smatrix.nrows out)
-      (Smatrix.ncols out) arows bcols;
+    dim_err ~op:"mxm"
+      ~expected:(Printf.sprintf "output %s" (Error.shape_str arows bcols))
+      ~actual:(Error.shape_str (Smatrix.nrows out) (Smatrix.ncols out));
   Mask.m_check_shape mask arows bcols;
   let structural_mask r = Mask.m_row_allowed_list mask r in
   let t =

@@ -36,11 +36,11 @@ let keep_matrix m pred =
 
 let matrix ?(mask = Mask.No_mmask) ?accum ?(replace = false) pred ~out a =
   if Smatrix.shape out <> Smatrix.shape a then
-    raise
-      (Smatrix.Dimension_mismatch
-         (Printf.sprintf "select: output %dx%d vs input %dx%d"
-            (Smatrix.nrows out) (Smatrix.ncols out) (Smatrix.nrows a)
-            (Smatrix.ncols a)));
+    Error.raise_dims ~op:"select"
+      ~expected:
+        (Printf.sprintf "output %s"
+           (Error.shape_str (Smatrix.nrows a) (Smatrix.ncols a)))
+      ~actual:(Error.shape_str (Smatrix.nrows out) (Smatrix.ncols out));
   let dt = Smatrix.dtype a in
   let t =
     Array.init (Smatrix.nrows a) (fun r ->
@@ -54,10 +54,9 @@ let matrix ?(mask = Mask.No_mmask) ?accum ?(replace = false) pred ~out a =
 
 let vector ?(mask = Mask.No_vmask) ?accum ?(replace = false) pred ~out u =
   if Svector.size out <> Svector.size u then
-    raise
-      (Svector.Dimension_mismatch
-         (Printf.sprintf "select: output size %d vs input size %d"
-            (Svector.size out) (Svector.size u)));
+    Error.raise_dims ~op:"select"
+      ~expected:(Printf.sprintf "output size %d" (Svector.size u))
+      ~actual:(Error.size_str (Svector.size out));
   let dt = Svector.dtype u in
   let t = Entries.create () in
   Svector.iter

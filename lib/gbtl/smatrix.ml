@@ -16,7 +16,7 @@ type 'a t = {
   mutable csc : 'a csc option;
 }
 
-exception Dimension_mismatch of string
+exception Dimension_mismatch = Error.Dim_mismatch
 exception Index_out_of_bounds of string
 
 let create dt nrows ncols =
@@ -150,10 +150,9 @@ let dup m =
 
 let replace_contents dst src =
   if dst.nrows <> src.nrows || dst.ncols <> src.ncols then
-    raise
-      (Dimension_mismatch
-         (Printf.sprintf "Smatrix.replace_contents: %dx%d vs %dx%d" dst.nrows
-            dst.ncols src.nrows src.ncols));
+    Error.raise_dims ~op:"Smatrix.replace_contents"
+      ~expected:(Error.shape_str dst.nrows dst.ncols)
+      ~actual:(Error.shape_str src.nrows src.ncols);
   dst.rowptr <- Array.copy src.rowptr;
   dst.colidx <- Array.sub src.colidx 0 (nvals src);
   dst.vals <- Array.sub src.vals 0 (nvals src);
@@ -207,7 +206,9 @@ let of_dense dt rows =
   Array.iter
     (fun r ->
       if Array.length r <> ncols then
-        raise (Dimension_mismatch "Smatrix.of_dense: ragged rows"))
+        Error.raise_dims ~op:"Smatrix.of_dense"
+          ~expected:(Printf.sprintf "row length %d" ncols)
+          ~actual:(Printf.sprintf "row length %d" (Array.length r)))
     rows;
   let triples = ref [] in
   for r = nrows - 1 downto 0 do
@@ -223,7 +224,9 @@ let of_dense_drop_zeros dt rows =
   let triples = ref [] in
   for r = nrows - 1 downto 0 do
     if Array.length rows.(r) <> ncols then
-      raise (Dimension_mismatch "Smatrix.of_dense_drop_zeros: ragged rows");
+      Error.raise_dims ~op:"Smatrix.of_dense_drop_zeros"
+        ~expected:(Printf.sprintf "row length %d" ncols)
+        ~actual:(Printf.sprintf "row length %d" (Array.length rows.(r)));
     for c = ncols - 1 downto 0 do
       let x = rows.(r).(c) in
       if not (Dtype.equal_values dt x (Dtype.zero dt)) then

@@ -13,6 +13,9 @@
 type 'a t
 
 exception Dimension_mismatch of string
+(** Rebinding of {!Error.Dim_mismatch}: every dimension conformance
+    failure across gbtl raises this one exception. *)
+
 exception Index_out_of_bounds of string
 
 val create : 'a Dtype.t -> int -> int -> 'a t

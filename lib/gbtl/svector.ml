@@ -24,7 +24,7 @@ type 'a t = {
   mutable dense : 'a dense option;
 }
 
-exception Dimension_mismatch of string
+exception Dimension_mismatch = Error.Dim_mismatch
 exception Index_out_of_bounds of string
 
 let create dt size =
@@ -352,7 +352,9 @@ let unsafe_dense v =
 let of_dense_unsafe dt ~vals ~valid =
   let size = Array.length valid in
   if Array.length vals <> size then
-    raise (Dimension_mismatch "Svector.of_dense_unsafe: array lengths differ");
+    Error.raise_dims ~op:"Svector.of_dense_unsafe"
+      ~expected:(Printf.sprintf "vals of length %d" size)
+      ~actual:(Printf.sprintf "length %d" (Array.length vals));
   let n = ref 0 in
   for i = 0 to size - 1 do
     if valid.(i) then incr n
@@ -362,11 +364,10 @@ let of_dense_unsafe dt ~vals ~valid =
 
 let replace_dense_unsafe v ~vals ~valid =
   if Array.length valid <> v.size || Array.length vals <> v.size then
-    raise
-      (Dimension_mismatch
-         (Printf.sprintf "Svector.replace_dense_unsafe: arrays of length %d/%d \
-                          into a vector of size %d"
-            (Array.length vals) (Array.length valid) v.size));
+    Error.raise_dims ~op:"Svector.replace_dense_unsafe"
+      ~expected:(Printf.sprintf "arrays of length %d" v.size)
+      ~actual:(Printf.sprintf "lengths %d/%d" (Array.length vals)
+                 (Array.length valid));
   let n = ref 0 in
   for i = 0 to v.size - 1 do
     if valid.(i) then incr n

@@ -1,10 +1,10 @@
 let transpose ?(mask = Mask.No_mmask) ?accum ?(replace = false) ~out a =
   let at = Smatrix.transpose a in
   if Smatrix.shape out <> Smatrix.shape at then
-    raise
-      (Smatrix.Dimension_mismatch
-         (Printf.sprintf "transpose: output %dx%d vs input' %dx%d"
-            (Smatrix.nrows out) (Smatrix.ncols out) (Smatrix.nrows at)
-            (Smatrix.ncols at)));
+    Error.raise_dims ~op:"transpose"
+      ~expected:
+        (Printf.sprintf "output %s"
+           (Error.shape_str (Smatrix.nrows at) (Smatrix.ncols at)))
+      ~actual:(Error.shape_str (Smatrix.nrows out) (Smatrix.ncols out));
   let t = Array.init (Smatrix.nrows at) (fun r -> Smatrix.row_entries at r) in
   Output.write_matrix ~mask ~accum ~replace ~out ~t

@@ -87,6 +87,9 @@ let get sig_ ~build ?native_source () =
     Hashtbl.replace table key kernel;
     kernel
 
+let cached sig_ =
+  Mutex.protect lock (fun () -> Hashtbl.mem table (Kernel_sig.key sig_))
+
 let clear_memory_cache () = Mutex.protect lock (fun () -> Hashtbl.reset table)
 
 let memory_cache_size () =

@@ -28,6 +28,11 @@ val get :
     [native_source] generates plugin source (absent or [None]-returning
     combinations always use the closure backend). *)
 
+val cached : Kernel_sig.t -> bool
+(** Whether the signature is already in the in-memory table (a later
+    {!get} would be a memory hit) — lets the AOT warm-up distinguish
+    fresh compiles from already-resident kernels. *)
+
 val clear_memory_cache : unit -> unit
 (** Forget in-process kernels (the disk cache persists) — lets benchmarks
     re-measure disk hits and recompiles. *)

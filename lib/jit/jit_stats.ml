@@ -6,6 +6,8 @@ type snapshot = {
   native_compiles : int;
   native_failures : int;
   compile_seconds : float;
+  warm_requests : int;
+  warm_compiles : int;
 }
 
 let lookups = ref 0
@@ -15,6 +17,8 @@ let compiles = ref 0
 let native_compiles = ref 0
 let native_failures = ref 0
 let compile_seconds = ref 0.0
+let warm_requests = ref 0
+let warm_compiles = ref 0
 
 let record_lookup () = incr lookups
 let record_memory_hit () = incr memory_hits
@@ -71,6 +75,11 @@ let record_compile ~native ~seconds =
 
 let record_native_failure () = incr native_failures
 
+(* Ahead-of-time warm-up bookkeeping (lib/analysis drives the warm-up;
+   the counters live here next to the compile counters they offset). *)
+let record_warm_request () = incr warm_requests
+let record_warm_compile () = incr warm_compiles
+
 let snapshot () =
   { lookups = !lookups;
     memory_hits = !memory_hits;
@@ -78,7 +87,9 @@ let snapshot () =
     compiles = !compiles;
     native_compiles = !native_compiles;
     native_failures = !native_failures;
-    compile_seconds = !compile_seconds }
+    compile_seconds = !compile_seconds;
+    warm_requests = !warm_requests;
+    warm_compiles = !warm_compiles }
 
 let reset () =
   lookups := 0;
@@ -88,6 +99,8 @@ let reset () =
   native_compiles := 0;
   native_failures := 0;
   compile_seconds := 0.0;
+  warm_requests := 0;
+  warm_compiles := 0;
   Mutex.protect tally_lock (fun () ->
       Hashtbl.reset sig_table;
       Hashtbl.reset fusion_table)
@@ -95,6 +108,6 @@ let reset () =
 let pp fmt s =
   Format.fprintf fmt
     "lookups=%d memory_hits=%d disk_hits=%d compiles=%d (native=%d, \
-     failures=%d) compile_time=%.6fs"
+     failures=%d) compile_time=%.6fs warm=%d/%d"
     s.lookups s.memory_hits s.disk_hits s.compiles s.native_compiles
-    s.native_failures s.compile_seconds
+    s.native_failures s.compile_seconds s.warm_compiles s.warm_requests

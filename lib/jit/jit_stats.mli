@@ -10,6 +10,8 @@ type snapshot = {
   native_compiles : int;  (** subset of [compiles] that ran ocamlopt *)
   native_failures : int;  (** native attempts that fell back to closures *)
   compile_seconds : float;  (** cumulative wall time spent compiling *)
+  warm_requests : int;  (** signatures the AOT warm-up was asked to build *)
+  warm_compiles : int;  (** warm-up requests that triggered a compile *)
 }
 
 val record_lookup : unit -> unit
@@ -17,6 +19,10 @@ val record_memory_hit : unit -> unit
 val record_disk_hit : unit -> unit
 val record_compile : native:bool -> seconds:float -> unit
 val record_native_failure : unit -> unit
+
+val record_warm_request : unit -> unit
+val record_warm_compile : unit -> unit
+(** Ahead-of-time warm-up bookkeeping (driven by the static analyzer). *)
 
 val record_signature : string -> hit:bool -> unit
 (** Tally one dispatch of the given {!Kernel_sig.key} as a cache hit

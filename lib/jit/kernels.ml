@@ -581,10 +581,9 @@ let mxm (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose_a
     let a = if transpose_a then flip a else a in
     let b = if transpose_b then flip b else b in
     if Smatrix.ncols a <> Smatrix.nrows b then
-      raise
-        (Smatrix.Dimension_mismatch
-           (Printf.sprintf "mxm: inner dimensions %d vs %d" (Smatrix.ncols a)
-              (Smatrix.nrows b)));
+      Error.raise_dims ~op:"mxm"
+        ~expected:(Printf.sprintf "inner dimension %d" (Smatrix.ncols a))
+        ~actual:(string_of_int (Smatrix.nrows b));
     let sig_ =
       Kernel_sig.make ~op:"mxm"
         ~dtypes:[ ("T", Dtype.name dt) ]

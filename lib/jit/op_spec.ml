@@ -44,6 +44,31 @@ let unary_name = function
       (match side with `First -> "1st" | `Second -> "2nd")
       const
 
+let unary_of_name s =
+  (* Inverse of [unary_name]; "Op$bind1st:K" / "Op$bind2nd:K" round-trip
+     back into [Bound] (the %.17g constant parses exactly), anything
+     else is [Named]. *)
+  match String.index_opt s '$' with
+  | None -> Named s
+  | Some i -> (
+    let op = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match String.index_opt rest ':' with
+    | Some j -> (
+      let side =
+        match String.sub rest 0 j with
+        | "bind1st" -> Some `First
+        | "bind2nd" -> Some `Second
+        | _ -> None
+      in
+      let const =
+        float_of_string_opt (String.sub rest (j + 1) (String.length rest - j - 1))
+      in
+      match side, const with
+      | Some side, Some const -> Bound { op; side; const }
+      | _ -> Named s)
+    | None -> Named s)
+
 let instantiate_semiring dt s =
   Semiring.make
     (Monoid.of_names ~op:s.add_op ~identity:s.add_identity dt)

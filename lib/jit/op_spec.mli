@@ -27,6 +27,12 @@ val monoid_of_semiring : semiring -> string * string
 
 val unary_name : unary -> string
 
+val unary_of_name : string -> unary
+(** Inverse of {!unary_name}: parses ["Op$bind1st:K"]/["Op$bind2nd:K"]
+    back into [Bound] (exact round-trip through the %.17g constant);
+    any other string is [Named].  Used by the AOT warm-up to rebuild
+    operators from inferred signature strings. *)
+
 val instantiate_semiring : 'a Gbtl.Dtype.t -> semiring -> 'a Gbtl.Semiring.t
 val instantiate_unary : 'a Gbtl.Dtype.t -> unary -> 'a Gbtl.Unaryop.t
 val instantiate_monoid :

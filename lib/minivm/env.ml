@@ -21,4 +21,4 @@ let rec lookup env name =
   | None -> (
     match env.parent with
     | Some p -> lookup p name
-    | None -> raise Not_found)
+    | None -> Vm_error.unbound name)

@@ -12,6 +12,7 @@ val assign : t -> string -> Value.t -> unit
     that algorithm encodings rely on for loop counters). *)
 
 val lookup : t -> string -> Value.t
-(** @raise Not_found *)
+(** @raise Vm_error.Unbound_variable (located: carries the variable name
+    and the enclosing function from {!Vm_error.current_function}). *)
 
 val mem : t -> string -> bool

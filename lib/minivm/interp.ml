@@ -85,8 +85,7 @@ let compare_values op a b =
 let rec eval env (e : Ast.expr) : Value.t =
   match e with
   | Ast.Const v -> v
-  | Ast.Var name -> (
-    try Env.lookup env name with Not_found -> err "unbound variable %s" name)
+  | Ast.Var name -> Env.lookup env name
   | Ast.Unary (op, e1) -> (
     let v = eval env e1 in
     match op, v with
@@ -175,21 +174,23 @@ let rec eval env (e : Ast.expr) : Value.t =
     | v, _ -> err "%s is not subscriptable" (type_name v))
   | Ast.ListLit es -> List (ref (Array.of_list (List.map (eval env) es)))
   | Ast.Lambda (params, body) ->
-    Closure { params; body = Obj.repr body; env = Obj.repr env }
+    Closure { name = "<lambda>"; params; body = Obj.repr body;
+              env = Obj.repr env }
 
 and call_value fv argv =
   match fv with
   | Builtin (_, f) -> f argv
-  | Closure { params; body; env } ->
+  | Closure { name; params; body; env } ->
     if List.length params <> List.length argv then
       err "arity mismatch: expected %d arguments, got %d" (List.length params)
         (List.length argv);
     let call_env = Env.create ~parent:(Obj.obj env : Env.t) () in
     List.iter2 (Env.define call_env) params argv;
-    (try
-       exec_block call_env (Obj.obj body : Ast.block);
-       Nil
-     with Return_exc v -> v)
+    Vm_error.in_function name (fun () ->
+        try
+          exec_block call_env (Obj.obj body : Ast.block);
+          Nil
+        with Return_exc v -> v)
   | v -> err "%s is not callable" (type_name v)
 
 and exec env (s : Ast.stmt) : unit =
@@ -248,7 +249,7 @@ and exec env (s : Ast.stmt) : unit =
         exec_block env body)
   | Ast.Def (name, params, body) ->
     Env.define env name
-      (Closure { params; body = Obj.repr body; env = Obj.repr env })
+      (Closure { name; params; body = Obj.repr body; env = Obj.repr env })
   | Ast.Return e -> raise (Return_exc (eval env e))
   | Ast.Break -> raise Break_exc
   | Ast.Continue -> raise Continue_exc

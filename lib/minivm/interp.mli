@@ -25,7 +25,9 @@ val hooks : unit -> hooks
 
 val eval : Env.t -> Ast.expr -> Value.t
 val exec_block : Env.t -> Ast.block -> unit
-(** @raise Runtime_error on dynamic type errors, unbound names, etc. *)
+(** @raise Runtime_error on dynamic type errors.
+    @raise Vm_error.Unbound_variable on unbound names (located with the
+    enclosing function). *)
 
 val run : ?env:Env.t -> Ast.block -> Env.t
 (** Execute a program in a fresh (or given) global environment seeded

@@ -10,7 +10,7 @@ type t =
   | Builtin of string * (t list -> t)
   | Foreign of foreign
 
-and closure = { params : string list; body : Obj.t; env : Obj.t }
+and closure = { name : string; params : string list; body : Obj.t; env : Obj.t }
 
 and foreign = ..
 

@@ -17,9 +17,11 @@ type t =
   | Foreign of foreign
       (** host objects (DSL containers, expressions, operator specs) *)
 
-and closure = { params : string list; body : Obj.t; env : Obj.t }
-(** body/env are [Ast.block]/[Env.t]; [Obj.t] breaks the module cycle and
-    is re-typed inside {!Interp}. *)
+and closure = { name : string; params : string list; body : Obj.t; env : Obj.t }
+(** [name] is the [def] name (["<lambda>"] for anonymous functions) and
+    locates unbound-variable diagnostics ({!Vm_error}); body/env are
+    [Ast.block]/[Env.t]; [Obj.t] breaks the module cycle and is re-typed
+    inside {!Interp}. *)
 
 and foreign = ..
 (** Extended by bridge modules (e.g. the DSL bridge adds containers). *)

@@ -1,0 +1,26 @@
+(* Located MiniVM diagnostics.  The tree-walking interpreter and the
+   static analyzer (lib/analysis) both funnel unbound-name failures
+   through this module so they report the identical message: variable
+   name plus the enclosing function (tracked dynamically by
+   [Interp.call_value], lexically by the analyzer). *)
+
+exception Unbound_variable of { name : string; enclosing : string option }
+
+let message ~name ~enclosing =
+  match enclosing with
+  | Some fn -> Printf.sprintf "unbound variable %s in function %s" name fn
+  | None -> Printf.sprintf "unbound variable %s at top level" name
+
+let current_function : string option ref = ref None
+
+let in_function name f =
+  let saved = !current_function in
+  current_function := Some name;
+  Fun.protect ~finally:(fun () -> current_function := saved) f
+
+let unbound name =
+  raise (Unbound_variable { name; enclosing = !current_function })
+
+let to_string = function
+  | Unbound_variable { name; enclosing } -> Some (message ~name ~enclosing)
+  | _ -> None

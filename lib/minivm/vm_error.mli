@@ -1,0 +1,23 @@
+(** Located MiniVM diagnostics, shared by the interpreter and the static
+    analyzer so both report the same message for the same defect. *)
+
+exception Unbound_variable of { name : string; enclosing : string option }
+(** An undefined variable, with the function whose body referenced it
+    ([None] at top level). *)
+
+val message : name:string -> enclosing:string option -> string
+(** The one rendering of an unbound-variable diagnostic. *)
+
+val current_function : string option ref
+(** Dynamically scoped name of the function currently executing;
+    maintained by {!Interp.call_value} via {!in_function}. *)
+
+val in_function : string -> (unit -> 'a) -> 'a
+(** [in_function name f] runs [f] with {!current_function} set to
+    [name], restoring the previous value on exit (including raise). *)
+
+val unbound : string -> 'a
+(** @raise Unbound_variable carrying {!current_function}. *)
+
+val to_string : exn -> string option
+(** [Some msg] for {!Unbound_variable}, [None] otherwise. *)

@@ -24,4 +24,5 @@ let () =
       ("algorithms", Test_algorithms.suite);
       ("formats", Test_formats.suite);
       ("extensions", Test_extensions.suite);
+      ("analysis", Test_analysis.suite);
     ]

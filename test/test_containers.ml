@@ -169,7 +169,9 @@ let test_matrix_bounds () =
     (Smatrix.Index_out_of_bounds "Smatrix.set: (2, 0) outside 2x2") (fun () ->
       Smatrix.set m 2 0 1.0);
   Alcotest.check_raises "ragged dense"
-    (Smatrix.Dimension_mismatch "Smatrix.of_dense: ragged rows") (fun () ->
+    (Gbtl.Error.Dim_mismatch
+       "Smatrix.of_dense: expected row length 1, actual row length 2")
+    (fun () ->
       ignore (Smatrix.of_dense f64 [| [| 1.0 |]; [| 1.0; 2.0 |] |]))
 
 let test_matrix_remove () =

@@ -46,7 +46,8 @@ let test_size_mismatch () =
   let u = Svector.create f64 3 and v = Svector.create f64 4 in
   let w = Svector.create f64 3 in
   Alcotest.check_raises "size mismatch"
-    (Svector.Dimension_mismatch "eWiseAdd: sizes 3 and 4 differ") (fun () ->
+    (Svector.Dimension_mismatch "eWiseAdd: expected size 3, actual size 4")
+    (fun () ->
       Ewise.vector_add (Binop.plus f64) ~out:w u v)
 
 let gen_pair_masked =

@@ -74,7 +74,7 @@ let test_dimension_errors () =
   let u = Svector.create f64 2 in
   let w = Svector.create f64 2 in
   Alcotest.check_raises "mxv inner mismatch"
-    (Smatrix.Dimension_mismatch "mxv: matrix cols 3 vs vector size 2")
+    (Smatrix.Dimension_mismatch "mxv: expected vector size 3, actual size 2")
     (fun () -> Matmul.mxv (Semiring.arithmetic f64) ~out:w a u)
 
 (* -- randomized equivalence -- *)

@@ -120,7 +120,25 @@ let test_errors () =
     | exception Interp.Runtime_error _ -> ()
     | v -> Alcotest.failf "expected error, got %s" (Value.to_string v)
   in
-  expect_error (Var "missing");
+  (match run_expr (Var "missing") with
+  | exception Vm_error.Unbound_variable { name = "missing"; enclosing = None }
+    -> ()
+  | exception e ->
+    Alcotest.failf "expected located unbound error, got %s"
+      (Printexc.to_string e)
+  | v -> Alcotest.failf "expected error, got %s" (Value.to_string v));
+  (* inside a function the diagnostic carries the enclosing name *)
+  (match
+     run_expr
+       ~prelude:[ Def ("probe", [], [ Return (Var "missing") ]) ]
+       (Call (Var "probe", []))
+   with
+  | exception Vm_error.Unbound_variable
+      { name = "missing"; enclosing = Some "probe" } -> ()
+  | exception e ->
+    Alcotest.failf "expected error located in probe, got %s"
+      (Printexc.to_string e)
+  | v -> Alcotest.failf "expected error, got %s" (Value.to_string v));
   expect_error (Binary ("+", i 1, s "x"));
   expect_error (Call (i 1, []));
   expect_error (Index (i 1, i 0));
