@@ -539,6 +539,32 @@ let exec_cmd =
           them with a per-node trace")
     Term.(const exec_demo $ demo $ graph_arg $ sym $ domains)
 
+(* -- doctor subcommand: resilience-layer health report -- *)
+
+let doctor no_probe =
+  let report = Jit.Health.collect ~probe:(not no_probe) () in
+  print_string (Jit.Health.to_string report);
+  if Jit.Health.healthy report then 0 else 1
+
+let doctor_cmd =
+  let no_probe =
+    Arg.(
+      value & flag
+      & info [ "no-probe" ]
+          ~doc:
+            "Skip the native-backend availability probe (which costs one \
+             trivial compile on a cold cache).")
+  in
+  Cmd.v
+    (Cmd.info "doctor"
+       ~doc:
+         "Check the JIT/execution resilience layer: backend probe, on-disk \
+          cache integrity (checksums), circuit-breaker state, compile \
+          timeout/retry configuration, fault-injection status and the \
+          resilience counters.  Exits nonzero when the cache holds corrupt \
+          plugins or the breaker is open.")
+    Term.(const doctor $ no_probe)
+
 (* -- analyze subcommand: static analysis + ahead-of-time warm-up -- *)
 
 let analyze algo n warm =
@@ -680,4 +706,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "ogb" ~version:"1.0.0" ~doc)
-          [ run_cmd; gen_cmd; info_cmd; jit_cmd; exec_cmd; analyze_cmd ]))
+          [ run_cmd; gen_cmd; info_cmd; jit_cmd; exec_cmd; analyze_cmd;
+            doctor_cmd ]))

@@ -30,21 +30,46 @@ let plan_reduce ~op ~identity e =
   Rewrite.run p;
   p
 
-let run_plan p =
-  Verify_hook.run p ~stage:"pre-schedule";
-  let v, trace = Scheduler.run p in
-  last_trace_ref := Some trace;
-  v
+(* Failure containment (last rung of the degradation ladder): when the
+   scheduler fails even after its own sequential re-run, re-evaluate the
+   expression on the blocking eager path, which shares no scheduler or
+   native-compilation state with the engine.  Scoped to execution only —
+   plan-construction and verifier failures still propagate, because a
+   rejected plan is a miscompile to report, not a fault to absorb. *)
+let containment =
+  ref
+    (match Sys.getenv_opt "OGB_EXEC_CONTAINMENT" with
+    | Some ("0" | "off" | "false") -> false
+    | _ -> true)
+
+let set_containment b = containment := b
+let containment_enabled () = !containment
 
 let force ?mask e =
-  match run_plan (plan_force ?mask e) with
-  | Plan.V_cont c -> c
-  | Plan.V_scal _ -> invalid_arg "Exec.force: plan produced a scalar"
+  let p = plan_force ?mask e in
+  Verify_hook.run p ~stage:"pre-schedule";
+  match Scheduler.run p with
+  | Plan.V_cont c, trace ->
+    last_trace_ref := Some trace;
+    c
+  | Plan.V_scal _, _ -> invalid_arg "Exec.force: plan produced a scalar"
+  | exception ex when !containment ->
+    Jit.Jit_stats.record_blocking_fallback ();
+    ignore ex;
+    Ogb.Expr.force_blocking ?mask e
 
 let reduce ~op ~identity e =
-  match run_plan (plan_reduce ~op ~identity e) with
-  | Plan.V_scal s -> s
-  | Plan.V_cont _ -> invalid_arg "Exec.reduce: plan produced a container"
+  let p = plan_reduce ~op ~identity e in
+  Verify_hook.run p ~stage:"pre-schedule";
+  match Scheduler.run p with
+  | Plan.V_scal s, trace ->
+    last_trace_ref := Some trace;
+    s
+  | Plan.V_cont _, _ -> invalid_arg "Exec.reduce: plan produced a container"
+  | exception ex when !containment ->
+    Jit.Jit_stats.record_blocking_fallback ();
+    ignore ex;
+    Ogb.Expr.reduce_scalar_blocking ~op ~identity e
 
 let explain ?mask e = Plan.to_string (plan_force ?mask e)
 

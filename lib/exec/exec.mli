@@ -26,6 +26,16 @@ val with_mode : mode -> (unit -> 'a) -> 'a
 (** [with_mode m f] runs [f] with the execution mode set to [m],
     restoring the previous mode afterwards (exception-safe). *)
 
+val set_containment : bool -> unit
+(** Enable/disable execution-failure containment (default on; the
+    environment variable [OGB_EXEC_CONTAINMENT=0] disables it at
+    startup).  With containment on, a scheduler failure that survives
+    the sequential re-run makes {!force}/{!reduce} fall back to the
+    blocking eager evaluator instead of raising.  Plan-verifier
+    rejections always propagate regardless of this setting. *)
+
+val containment_enabled : unit -> bool
+
 val force : ?mask:Ogb.Expr.mask_spec -> Ogb.Expr.t -> Ogb.Container.t
 (** Lower, optimize, and execute an expression destined for a container
     sink.  This is what [Expr.force] calls in [Nonblocking] mode. *)

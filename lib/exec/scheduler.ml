@@ -3,7 +3,26 @@
    in deterministic sequential topological order when one domain is
    requested.  Node results are identical either way: every node is a
    pure function of its dependency values, so only the completion order
-   varies. *)
+   varies.
+
+   Failure containment: a node failure on a worker domain is recorded,
+   queued nodes are abandoned and the remaining workers drain (in-flight
+   siblings finish their current node — OCaml domains cannot be
+   preempted — then stop), the pool is joined, and the failure surfaces
+   as a located {!Node_error}.  {!run} then degrades gracefully by
+   re-executing the whole plan sequentially; only if that fails too does
+   the error reach the caller (where {!Exec} falls back to the blocking
+   evaluator). *)
+
+exception Node_error of { id : int; label : string; error : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Node_error { id; label; error } ->
+      Some
+        (Printf.sprintf "Node_error(n%d %s: %s)" id label
+           (Printexc.to_string error))
+    | _ -> None)
 
 let now () = Unix.gettimeofday ()
 
@@ -33,6 +52,19 @@ let nvals_of_value = function
   | Plan.V_cont c -> Ogb.Container.nvals c
   | Plan.V_scal _ -> 1
 
+(* Execute one node, threading the scheduler's injection points and
+   locating any failure.  The fault points fire on the sequential path
+   too: under a persistent fault the sequential re-run fails the same
+   way and the degradation ladder continues to the blocking evaluator. *)
+let exec_node plan id n vals =
+  try
+    if Fault.fire "sched.worker.slow" then Unix.sleepf 0.02;
+    if Fault.fire "sched.worker.exn" then raise (Fault.Injected "sched.worker.exn");
+    Plan.execute_node plan n vals
+  with
+  | Node_error _ as e -> raise e
+  | e -> raise (Node_error { id; label = Plan.op_label n.Plan.op; error = e })
+
 let run_sequential plan order =
   let results = Hashtbl.create 32 in
   let events = ref [] in
@@ -41,7 +73,7 @@ let run_sequential plan order =
       let n = Plan.node plan id in
       let vals = Array.map (Hashtbl.find results) n.Plan.deps in
       let t0 = now () in
-      let v = Plan.execute_node plan n vals in
+      let v = exec_node plan id n vals in
       events :=
         { Trace.id;
           label = Plan.op_label n.Plan.op;
@@ -96,7 +128,7 @@ let run_parallel plan order ndomains =
         Mutex.unlock m;
         match
           let t0 = now () in
-          let v = Plan.execute_node plan n vals in
+          let v = exec_node plan id n vals in
           (v, now () -. t0)
         with
         | v, seconds ->
@@ -118,6 +150,9 @@ let run_parallel plan order ndomains =
           Condition.broadcast cv;
           Mutex.unlock m
         | exception e ->
+          (* first failure wins; setting it makes finished() true, which
+             cancels every queued node and drains the pool *)
+          Jit.Jit_stats.record_sched_worker_failure ();
           Mutex.lock m;
           if !failed = None then failed := Some e;
           Condition.broadcast cv;
@@ -141,14 +176,27 @@ let run plan =
   in
   let before = Jit.Jit_stats.snapshot () in
   let t0 = now () in
-  let value, node_events =
-    if domains = 1 then run_sequential plan order
-    else run_parallel plan order domains
+  let value, node_events, degraded =
+    if domains = 1 then
+      let v, ev = run_sequential plan order in
+      (v, ev, false)
+    else
+      match run_parallel plan order domains with
+      | v, ev -> (v, ev, false)
+      | exception _ ->
+        (* containment, step 1: the pool is already joined; re-execute
+           the plan in deterministic sequential order.  A transient
+           fault (one bad worker, a poisoned domain-local state) does
+           not repeat here; a persistent one re-raises to Exec, which
+           falls back to the blocking evaluator. *)
+        Jit.Jit_stats.record_sched_seq_rerun ();
+        let v, ev = run_sequential plan order in
+        (v, ev, true)
   in
   let total_seconds = now () -. t0 in
   let after = Jit.Jit_stats.snapshot () in
   let trace =
-    Trace.make ~domains ~total_seconds ~nodes:node_events
+    Trace.make ~domains ~degraded ~total_seconds ~nodes:node_events
       ~rewrites:(Plan.events plan) ~cse_merged:(Plan.cse_merged plan) ~before
       ~after
   in

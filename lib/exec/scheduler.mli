@@ -2,7 +2,16 @@
     a small pool of OCaml domains (work queue + mutex/condvar); with one
     domain the scheduler degrades to a deterministic sequential walk of
     the topological order.  Either way every node is a pure function of
-    its dependency values, so results are identical. *)
+    its dependency values, so results are identical.
+
+    Failure containment: the first node failure cancels every queued
+    node, the pool drains and joins, and {!run} re-executes the plan
+    sequentially before giving up (the trace's [degraded] flag records
+    this).  Failures that survive both attempts surface as located
+    {!Node_error} values. *)
+
+exception Node_error of { id : int; label : string; error : exn }
+(** A node failure located by plan-node id and operator label. *)
 
 val set_domains : int -> unit
 (** Override the worker-domain count for this process (clamped to
@@ -17,4 +26,6 @@ val domain_count : unit -> int
 
 val run : Plan.t -> Plan.value * Trace.t
 (** Execute the (already-optimized) plan and return the root value plus
-    the execution trace.  Re-raises the first node failure. *)
+    the execution trace.  A parallel failure triggers one sequential
+    re-execution; if that fails too the located {!Node_error} is
+    re-raised. *)

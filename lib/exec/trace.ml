@@ -2,6 +2,7 @@ type node_event = { id : int; label : string; seconds : float; nvals : int }
 
 type t = {
   domains : int;
+  degraded : bool;
   total_seconds : float;
   nodes : node_event list;
   rewrites : (string * int) list;
@@ -11,9 +12,11 @@ type t = {
   compiles : int;
 }
 
-let make ~domains ~total_seconds ~nodes ~rewrites ~cse_merged ~before ~after =
+let make ~domains ~degraded ~total_seconds ~nodes ~rewrites ~cse_merged ~before
+    ~after =
   let d f = f after - f before in
   { domains;
+    degraded;
     total_seconds;
     nodes = List.sort (fun a b -> compare a.id b.id) nodes;
     rewrites;
@@ -24,12 +27,14 @@ let make ~domains ~total_seconds ~nodes ~rewrites ~cse_merged ~before ~after =
     compiles = d (fun (s : Jit.Jit_stats.snapshot) -> s.compiles) }
 
 let pp fmt t =
-  Format.fprintf fmt "execution: %d node%s on %d domain%s in %.6fs@\n"
+  Format.fprintf fmt "execution: %d node%s on %d domain%s in %.6fs%s@\n"
     (List.length t.nodes)
     (if List.length t.nodes = 1 then "" else "s")
     t.domains
     (if t.domains = 1 then "" else "s")
-    t.total_seconds;
+    t.total_seconds
+    (if t.degraded then " (degraded: sequential re-run after worker failure)"
+     else "");
   Format.fprintf fmt "kernel cache: %d lookups, %d hits, %d compiles@\n"
     t.lookups t.cache_hits t.compiles;
   (match t.rewrites with

@@ -1,0 +1,76 @@
+(** Deterministic fault-injection harness.
+
+    Named injection points are threaded through the JIT pipeline
+    ([Native_backend], [Disk_cache]), the dispatcher and the execution
+    scheduler.  Each site asks {!fire} whether the armed configuration
+    wants the fault to happen there; what "the fault" means (a nonzero
+    compiler exit, a truncated artifact, a worker exception, a stall) is
+    decided by the site itself, so every hardened recovery path can be
+    triggered exactly, on demand, without root privileges or a flaky
+    filesystem.
+
+    Configuration comes from the [OGB_FAULTS] environment variable at
+    startup or from {!arm}/{!arm_spec} programmatically.  Probabilistic
+    modes draw from a dedicated seeded RNG, so a spec plus a seed
+    reproduces the same fault schedule every run. *)
+
+exception Injected of string
+(** Raised by injection sites that fail by raising (e.g. the scheduler
+    worker); the payload is the injection-point name. *)
+
+type mode =
+  | Always  (** fire on every check *)
+  | Never  (** registered but inert (counts attempts only) *)
+  | Once  (** fire on the first check, pass afterwards *)
+  | Times of int  (** fire on the first [n] checks *)
+  | After of int  (** pass [n] checks, then fire on every one *)
+  | Prob of float  (** fire with probability [p] (seeded RNG) *)
+
+val points : string list
+(** Catalog of valid injection-point names.  Arming an unknown point is
+    an error, so a typo in a chaos spec fails loudly instead of testing
+    nothing. *)
+
+val armed : unit -> bool
+(** Fast-path check: [false] means no spec is armed and every {!fire}
+    returns [false] without touching any shared state. *)
+
+val arm : ?seed:int -> (string * mode) list -> unit
+(** Replace the armed configuration.  Raises [Invalid_argument] on an
+    unknown point name.  [seed] (default 2018) reseeds the RNG and
+    resets all counters. *)
+
+val arm_spec : string -> (unit, string) result
+(** Parse and arm a spec string:
+    [point=mode[,point=mode...][,seed=N]] with modes
+    [always], [never], [once], [xN] (first N), [afterN], [pF]
+    (probability).  Entries may be separated by [','] or [';'].
+    Example: ["native.compile.exit=once,sched.worker.exn=p0.25,seed=7"]. *)
+
+val disarm : unit -> unit
+(** Drop the configuration and reset counters; {!armed} becomes false. *)
+
+val fire : string -> bool
+(** [fire point] — should the named site inject its fault now?  Counts
+    the attempt and (when true) the firing.  Raises [Invalid_argument]
+    if [point] is not in {!points} (sites are validated too, not just
+    specs). *)
+
+val attempts : string -> int
+val fired : string -> int
+
+val counters : unit -> (string * int * int) list
+(** [(point, attempts, fired)] for every point checked since arming,
+    sorted by name. *)
+
+val reset_counters : unit -> unit
+
+val describe : unit -> string
+(** One-line summary of the armed spec (["disarmed"] when inert) for
+    logs and [ogb_cli doctor]. *)
+
+val suspended : (unit -> 'a) -> 'a
+(** Run [f] with injection temporarily off, restoring the previous
+    armed/disarmed state afterwards (configuration and counters are
+    preserved).  For tests that assert cache or trace bookkeeping that
+    cannot hold under a globally armed chaos spec ([OGB_FAULTS]). *)

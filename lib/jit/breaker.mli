@@ -1,0 +1,42 @@
+(** Circuit breaker guarding the native compile pipeline.
+
+    [Closed] (healthy): native compiles are attempted normally.  After
+    [threshold] {e consecutive} failures the breaker trips to [Open]:
+    every dispatch goes straight to the closure backend without paying
+    for a doomed ocamlopt run (counted as a short circuit).  Once the
+    cooldown elapses the next dispatch half-opens the circuit and runs
+    one trial compile — success re-closes it, failure re-opens it for
+    another cooldown.  Trips and short circuits are counted in
+    {!Jit_stats}. *)
+
+type state = Closed | Open | Half_open
+
+val state : unit -> state
+val state_string : unit -> string
+
+val set_threshold : int -> unit
+(** Consecutive failures before tripping (clamped to [>= 1]; default 5
+    or [$OGB_JIT_BREAKER_K]). *)
+
+val set_cooldown : float -> unit
+(** Seconds from trip to half-open (default 30 or
+    [$OGB_JIT_BREAKER_COOLDOWN]). *)
+
+val get_threshold : unit -> int
+val get_cooldown : unit -> float
+
+val allow : unit -> bool
+(** May dispatch attempt the native pipeline now?  [false] records a
+    short circuit.  In [Open] state a lapsed cooldown transitions to
+    [Half_open] and admits the caller as the single trial. *)
+
+val success : unit -> unit
+(** A native compile+load succeeded: reset the failure streak, close
+    the circuit. *)
+
+val failure : unit -> unit
+(** A native compile+load failed (after its own retries): lengthen the
+    streak, possibly trip; a half-open trial failure re-opens. *)
+
+val reset : unit -> unit
+(** Back to [Closed] with a clean streak (tests, cache clear). *)

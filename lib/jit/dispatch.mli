@@ -5,9 +5,13 @@
     instantiation (template instantiation without the external compiler)
     under the closure backend.  Every step is recorded in {!Jit_stats}.
 
-    Dispatch is domain-safe (a single coarse lock): parallel domains can
-    evaluate DSL programs concurrently, each under its own operator
-    context ({!Ogb.Context} is domain-local). *)
+    Dispatch is domain-safe, and compilation never blocks unrelated
+    lookups: the global lock guards only the kernel table, while a
+    per-key in-flight entry makes concurrent requests for the same
+    signature wait on the one compile (counted as [inflight_waits])
+    instead of duplicating it.  Native failures feed the {!Breaker}
+    circuit breaker; with the circuit open, dispatch goes straight to
+    the closure backend without probing ocamlopt. *)
 
 type backend = Auto | Closure | Native
 

@@ -1,0 +1,70 @@
+type t = {
+  backend : string;
+  effective : string;
+  breaker : string;
+  breaker_threshold : int;
+  breaker_cooldown : float;
+  compile_timeout : float;
+  compile_retries : int;
+  cache_dir : string;
+  cache_ok : int;
+  cache_no_sum : int;
+  cache_mismatch : int;
+  faults : string;
+  fault_counters : (string * int * int) list;
+  stats : Jit_stats.snapshot;
+}
+
+let collect ?(probe = true) () =
+  let scan = Disk_cache.integrity_scan () in
+  let count v = List.length (List.filter (fun (_, s) -> s = v) scan) in
+  { backend =
+      (if probe then Native_backend.explain ()
+       else "not probed (pass --probe)");
+    effective =
+      (if probe then
+         match Dispatch.effective_backend () with
+         | `Native -> "native"
+         | `Closure -> "closure"
+       else
+         match Dispatch.backend () with
+         | Dispatch.Auto -> "auto (unresolved)"
+         | Dispatch.Closure -> "closure"
+         | Dispatch.Native -> "native");
+    breaker = Breaker.state_string ();
+    breaker_threshold = Breaker.get_threshold ();
+    breaker_cooldown = Breaker.get_cooldown ();
+    compile_timeout = Native_backend.compile_timeout ();
+    compile_retries = Native_backend.compile_retries ();
+    cache_dir = Disk_cache.dir ();
+    cache_ok = count `Ok;
+    cache_no_sum = count `No_sum;
+    cache_mismatch = count `Mismatch;
+    faults = Fault.describe ();
+    fault_counters = Fault.counters ();
+    stats = Jit_stats.snapshot () }
+
+let healthy t = t.cache_mismatch = 0 && Breaker.state () <> Breaker.Open
+
+let pp fmt t =
+  Format.fprintf fmt "backend:          %s@\n" t.backend;
+  Format.fprintf fmt "effective:        %s@\n" t.effective;
+  Format.fprintf fmt "circuit breaker:  %s (threshold=%d, cooldown=%.1fs)@\n"
+    t.breaker t.breaker_threshold t.breaker_cooldown;
+  Format.fprintf fmt "compile timeout:  %.1fs, retries: %d@\n"
+    t.compile_timeout t.compile_retries;
+  Format.fprintf fmt "cache directory:  %s@\n" t.cache_dir;
+  Format.fprintf fmt
+    "cache integrity:  %d ok, %d unchecksummed, %d corrupt@\n" t.cache_ok
+    t.cache_no_sum t.cache_mismatch;
+  Format.fprintf fmt "fault injection:  %s@\n" t.faults;
+  List.iter
+    (fun (point, attempts, fired) ->
+      Format.fprintf fmt "  %-28s attempts=%d fired=%d@\n" point attempts
+        fired)
+    t.fault_counters;
+  Format.fprintf fmt "stats: %a@\n" Jit_stats.pp t.stats;
+  Format.fprintf fmt "verdict:          %s@\n"
+    (if healthy t then "healthy" else "DEGRADED")
+
+let to_string t = Format.asprintf "%a" pp t

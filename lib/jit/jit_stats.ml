@@ -8,6 +8,17 @@ type snapshot = {
   compile_seconds : float;
   warm_requests : int;
   warm_compiles : int;
+  (* resilience counters (the fault-tolerance layer) *)
+  cache_write_failures : int;
+  checksum_quarantines : int;
+  compile_timeouts : int;
+  compile_retries : int;
+  breaker_trips : int;
+  breaker_short_circuits : int;
+  inflight_waits : int;
+  sched_worker_failures : int;
+  sched_seq_reruns : int;
+  blocking_fallbacks : int;
 }
 
 let lookups = ref 0
@@ -19,6 +30,16 @@ let native_failures = ref 0
 let compile_seconds = ref 0.0
 let warm_requests = ref 0
 let warm_compiles = ref 0
+let cache_write_failures = ref 0
+let checksum_quarantines = ref 0
+let compile_timeouts = ref 0
+let compile_retries = ref 0
+let breaker_trips = ref 0
+let breaker_short_circuits = ref 0
+let inflight_waits = ref 0
+let sched_worker_failures = ref 0
+let sched_seq_reruns = ref 0
+let blocking_fallbacks = ref 0
 
 let record_lookup () = incr lookups
 let record_memory_hit () = incr memory_hits
@@ -75,6 +96,20 @@ let record_compile ~native ~seconds =
 
 let record_native_failure () = incr native_failures
 
+(* Resilience counters.  Like the cache counters above they are plain
+   increments: losing one under a rare cross-domain race is acceptable,
+   and the chaos tests that assert exact values run single-threaded. *)
+let record_cache_write_failure () = incr cache_write_failures
+let record_checksum_quarantine () = incr checksum_quarantines
+let record_compile_timeout () = incr compile_timeouts
+let record_compile_retry () = incr compile_retries
+let record_breaker_trip () = incr breaker_trips
+let record_breaker_short_circuit () = incr breaker_short_circuits
+let record_inflight_wait () = incr inflight_waits
+let record_sched_worker_failure () = incr sched_worker_failures
+let record_sched_seq_rerun () = incr sched_seq_reruns
+let record_blocking_fallback () = incr blocking_fallbacks
+
 (* Ahead-of-time warm-up bookkeeping (lib/analysis drives the warm-up;
    the counters live here next to the compile counters they offset). *)
 let record_warm_request () = incr warm_requests
@@ -89,7 +124,17 @@ let snapshot () =
     native_failures = !native_failures;
     compile_seconds = !compile_seconds;
     warm_requests = !warm_requests;
-    warm_compiles = !warm_compiles }
+    warm_compiles = !warm_compiles;
+    cache_write_failures = !cache_write_failures;
+    checksum_quarantines = !checksum_quarantines;
+    compile_timeouts = !compile_timeouts;
+    compile_retries = !compile_retries;
+    breaker_trips = !breaker_trips;
+    breaker_short_circuits = !breaker_short_circuits;
+    inflight_waits = !inflight_waits;
+    sched_worker_failures = !sched_worker_failures;
+    sched_seq_reruns = !sched_seq_reruns;
+    blocking_fallbacks = !blocking_fallbacks }
 
 let reset () =
   lookups := 0;
@@ -101,6 +146,16 @@ let reset () =
   compile_seconds := 0.0;
   warm_requests := 0;
   warm_compiles := 0;
+  cache_write_failures := 0;
+  checksum_quarantines := 0;
+  compile_timeouts := 0;
+  compile_retries := 0;
+  breaker_trips := 0;
+  breaker_short_circuits := 0;
+  inflight_waits := 0;
+  sched_worker_failures := 0;
+  sched_seq_reruns := 0;
+  blocking_fallbacks := 0;
   Mutex.protect tally_lock (fun () ->
       Hashtbl.reset sig_table;
       Hashtbl.reset fusion_table)
@@ -110,4 +165,17 @@ let pp fmt s =
     "lookups=%d memory_hits=%d disk_hits=%d compiles=%d (native=%d, \
      failures=%d) compile_time=%.6fs warm=%d/%d"
     s.lookups s.memory_hits s.disk_hits s.compiles s.native_compiles
-    s.native_failures s.compile_seconds s.warm_compiles s.warm_requests
+    s.native_failures s.compile_seconds s.warm_compiles s.warm_requests;
+  let faults =
+    s.cache_write_failures + s.checksum_quarantines + s.compile_timeouts
+    + s.compile_retries + s.breaker_trips + s.breaker_short_circuits
+    + s.sched_worker_failures + s.sched_seq_reruns + s.blocking_fallbacks
+  in
+  if faults > 0 then
+    Format.fprintf fmt
+      "@\nresilience: cache_write_fail=%d quarantined=%d timeouts=%d \
+       retries=%d breaker_trips=%d short_circuits=%d worker_fail=%d \
+       seq_reruns=%d blocking_fallbacks=%d"
+      s.cache_write_failures s.checksum_quarantines s.compile_timeouts
+      s.compile_retries s.breaker_trips s.breaker_short_circuits
+      s.sched_worker_failures s.sched_seq_reruns s.blocking_fallbacks

@@ -12,6 +12,16 @@ type snapshot = {
   compile_seconds : float;  (** cumulative wall time spent compiling *)
   warm_requests : int;  (** signatures the AOT warm-up was asked to build *)
   warm_compiles : int;  (** warm-up requests that triggered a compile *)
+  cache_write_failures : int;  (** disk-cache writes that failed (EACCES…) *)
+  checksum_quarantines : int;  (** corrupt artifacts quarantined + recompiled *)
+  compile_timeouts : int;  (** runaway ocamlopt processes killed *)
+  compile_retries : int;  (** transient compile failures retried *)
+  breaker_trips : int;  (** circuit breaker Closed→Open transitions *)
+  breaker_short_circuits : int;  (** native attempts denied by an open breaker *)
+  inflight_waits : int;  (** dispatches that waited on another domain's compile *)
+  sched_worker_failures : int;  (** plan-node failures on worker domains *)
+  sched_seq_reruns : int;  (** plans re-executed sequentially after a failure *)
+  blocking_fallbacks : int;  (** expressions re-evaluated on the blocking path *)
 }
 
 val record_lookup : unit -> unit
@@ -23,6 +33,19 @@ val record_native_failure : unit -> unit
 val record_warm_request : unit -> unit
 val record_warm_compile : unit -> unit
 (** Ahead-of-time warm-up bookkeeping (driven by the static analyzer). *)
+
+val record_cache_write_failure : unit -> unit
+val record_checksum_quarantine : unit -> unit
+val record_compile_timeout : unit -> unit
+val record_compile_retry : unit -> unit
+val record_breaker_trip : unit -> unit
+val record_breaker_short_circuit : unit -> unit
+val record_inflight_wait : unit -> unit
+val record_sched_worker_failure : unit -> unit
+val record_sched_seq_rerun : unit -> unit
+val record_blocking_fallback : unit -> unit
+(** Resilience bookkeeping (fed by the hardened cache/compile pipeline,
+    the circuit breaker and the scheduler's failure containment). *)
 
 val record_signature : string -> hit:bool -> unit
 (** Tally one dispatch of the given {!Kernel_sig.key} as a cache hit

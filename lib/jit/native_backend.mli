@@ -3,21 +3,43 @@
     [Dynlink] — the OCaml analogue of PyGB's [g++ ... -o mod.so] +
     [import_module] (paper Fig. 9).
 
+    Hardened: compiles run under a wall-clock deadline (a hung ocamlopt
+    is SIGKILLed and costs one timeout, not the process), transient
+    failures (signal kills, timeouts) get a bounded retry with backoff,
+    and compilation of one hash is single-flight across processes via
+    the cache's advisory file lock.  Named {!Fault} injection points
+    cover every failure class.
+
     Availability is probed once per process: native [Dynlink] support,
     an [ocamlopt] on PATH, and the [Jit_plugin_api] compiled interfaces
     (located via [$OGB_JIT_INCLUDE] or by searching for the dune [_build]
     tree).  When any piece is missing, dispatch silently uses the closure
-    backend. *)
+    backend.  The probe cleans up every artifact it creates. *)
 
 val available : unit -> bool
 
 val explain : unit -> string
 (** Human-readable probe outcome (for logs and the compile bench). *)
 
+val set_compile_timeout : float -> unit
+(** Wall-clock budget per ocamlopt run in seconds; [0.0] disables the
+    deadline.  Default 20 or [$OGB_JIT_TIMEOUT]. *)
+
+val compile_timeout : unit -> float
+
+val set_compile_retries : int -> unit
+(** Extra attempts after a transient failure (signal kill / timeout);
+    nonzero compiler exits are deterministic and never retried.
+    Default 1 or [$OGB_JIT_RETRIES]. *)
+
+val compile_retries : unit -> int
+
 val compile_and_load :
   hash:string -> source:string -> key:string -> (Obj.t, string) result
-(** Write [source] to the disk cache, compile it, [Dynlink] the result
-    and look up [key] in the plugin registry. *)
+(** Write [source] to the disk cache, compile it (timeout + retry),
+    checksum the artifacts, [Dynlink] the result and look up [key] in
+    the plugin registry — all under the per-hash file lock, re-checking
+    for a concurrently built valid artifact first. *)
 
 val load_cached : hash:string -> key:string -> (Obj.t, string) result
 (** Load a previously compiled [.cmxs] from the disk cache. *)

@@ -25,4 +25,5 @@ let () =
       ("formats", Test_formats.suite);
       ("extensions", Test_extensions.suite);
       ("analysis", Test_analysis.suite);
+      ("fault", Test_fault.suite);
     ]

@@ -258,6 +258,9 @@ let test_ops_set_routing () =
     (Ogb.Container.equal target_b target_nb)
 
 let test_trace () =
+  (* asserts exact per-node trace bookkeeping, which a globally armed
+     chaos spec (OGB_FAULTS worker faults) legitimately perturbs *)
+  Fault.suspended @@ fun () ->
   let a = vec_a () and b = vec_b () in
   let e =
     Ogb.Expr.apply ~f:(Jit.Op_spec.Named "AdditiveInverse")
