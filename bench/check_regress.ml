@@ -1,0 +1,312 @@
+(* Perf-regression gate over the BENCH_*.json artifacts.
+
+     dune exec bench/check_regress.exe -- BENCH_parallel.json ...
+       [--baseline-dir bench/baselines] [--tolerance 0.15]
+       [--absolute] [--update-baselines]
+
+   Each fresh artifact is compared leaf-by-leaf against the committed
+   baseline of the same name.  Gating rules:
+
+   - boolean leaves (correctness flags like [agree]) must not regress
+     from [true] to [false];
+   - relative metrics (any path containing "speedup") must stay within
+     [tolerance] of the baseline: fresh >= base * (1 - tolerance).
+     Ratios are machine-portable, so these gate by default;
+   - absolute times (paths containing "ms") gate only under
+     [--absolute] — wall-clock shifts with the runner — with a 1 ms
+     slack floor so micro-times don't flake: fresh <= max(base * (1 +
+     tolerance), base + 1.0);
+   - every other numeric leaf (sizes, counters, core counts) is
+     context, not a metric, and is ignored.
+
+   [--update-baselines] rewrites the baselines from the fresh artifacts
+   instead of checking (commit the result).  A missing baseline is an
+   error without it: the gate must never silently pass because nobody
+   committed a reference. *)
+
+(* ---- minimal JSON reader (objects/arrays/strings/numbers/bools) ---- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'n' -> Buffer.add_char b '\n'
+        | Some 't' -> Buffer.add_char b '\t'
+        | Some 'r' -> Buffer.add_char b '\r'
+        | Some 'u' ->
+          (* keep the escape verbatim; paths never contain \u *)
+          Buffer.add_string b "\\u"
+        | Some c -> Buffer.add_char b c
+        | None -> fail "dangling escape");
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected , or } in object"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ] in array"
+        in
+        elements []
+      end
+    | Some '"' -> Str (string_lit ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = value () in
+  skip_ws ();
+  v
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---- flatten to (dotted path, leaf) pairs ---- *)
+
+type leaf = L_num of float | L_bool of bool
+
+let flatten json =
+  let acc = ref [] in
+  let rec go path = function
+    | Null | Str _ -> ()
+    | Bool b -> acc := (path, L_bool b) :: !acc
+    | Num f -> acc := (path, L_num f) :: !acc
+    | Arr xs ->
+      List.iteri (fun i x -> go (Printf.sprintf "%s.%d" path i) x) xs
+    | Obj kvs ->
+      List.iter
+        (fun (k, v) -> go (if path = "" then k else path ^ "." ^ k) v)
+        kvs
+  in
+  go "" json;
+  List.rev !acc
+
+let contains_sub hay needle =
+  let hn = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= hn && (String.sub hay i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+(* ---- the gate ---- *)
+
+type verdict = Pass | Fail of string
+
+let check_leaf ~tolerance ~absolute path base fresh =
+  match (base, fresh) with
+  | L_bool true, L_bool false ->
+    Fail (Printf.sprintf "%s: regressed true -> false" path)
+  | L_bool _, L_bool _ -> Pass
+  | L_num b, L_num f when contains_sub path "speedup" ->
+    let floor_ = b *. (1.0 -. tolerance) in
+    if f >= floor_ then Pass
+    else
+      Fail
+        (Printf.sprintf "%s: %.3f below baseline %.3f (tolerance %.0f%%)"
+           path f b (100.0 *. tolerance))
+  | L_num b, L_num f when absolute && contains_sub path "ms" ->
+    let ceil_ = Float.max (b *. (1.0 +. tolerance)) (b +. 1.0) in
+    if f <= ceil_ then Pass
+    else
+      Fail
+        (Printf.sprintf "%s: %.3f ms above baseline %.3f ms (tolerance %.0f%%)"
+           path f b (100.0 *. tolerance))
+  | _ -> Pass
+
+let check_artifact ~tolerance ~absolute ~baseline_path ~fresh_path =
+  let base = flatten (parse_json (read_file baseline_path)) in
+  let fresh = flatten (parse_json (read_file fresh_path)) in
+  let failures = ref [] in
+  let checked = ref 0 in
+  List.iter
+    (fun (path, b) ->
+      match List.assoc_opt path fresh with
+      | None ->
+        failures :=
+          Printf.sprintf "%s: present in baseline, missing in fresh run" path
+          :: !failures
+      | Some f -> (
+        incr checked;
+        match check_leaf ~tolerance ~absolute path b f with
+        | Pass -> ()
+        | Fail msg -> failures := msg :: !failures))
+    base;
+  (!checked, List.rev !failures)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec opt name = function
+    | a :: v :: _ when a = name -> Some v
+    | _ :: rest -> opt name rest
+    | [] -> None
+  in
+  let tolerance =
+    match opt "--tolerance" args with
+    | Some v -> float_of_string v
+    | None -> 0.15
+  in
+  let baseline_dir =
+    Option.value ~default:"bench/baselines" (opt "--baseline-dir" args)
+  in
+  let absolute = List.mem "--absolute" args in
+  let update = List.mem "--update-baselines" args in
+  let files =
+    List.filter
+      (fun a ->
+        Filename.check_suffix a ".json"
+        && not (String.length a > 1 && a.[0] = '-'))
+      (List.tl args)
+  in
+  if files = [] then begin
+    prerr_endline
+      "usage: check_regress [--baseline-dir DIR] [--tolerance F] \
+       [--absolute] [--update-baselines] BENCH_x.json ...";
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun fresh_path ->
+      let baseline_path =
+        Filename.concat baseline_dir (Filename.basename fresh_path)
+      in
+      if update then begin
+        (* refresh the committed reference from this run *)
+        let data = read_file fresh_path in
+        ignore (parse_json data);
+        let oc = open_out_bin baseline_path in
+        output_string oc data;
+        close_out oc;
+        Printf.printf "updated %s\n" baseline_path
+      end
+      else if not (Sys.file_exists baseline_path) then begin
+        Printf.printf
+          "FAIL %s: no baseline at %s (run with --update-baselines and \
+           commit it)\n"
+          fresh_path baseline_path;
+        failed := true
+      end
+      else begin
+        match
+          check_artifact ~tolerance ~absolute ~baseline_path ~fresh_path
+        with
+        | checked, [] ->
+          Printf.printf "ok   %s: %d leaves within %.0f%% of %s\n" fresh_path
+            checked (100.0 *. tolerance) baseline_path
+        | _, failures ->
+          Printf.printf "FAIL %s vs %s:\n" fresh_path baseline_path;
+          List.iter (fun m -> Printf.printf "  - %s\n" m) failures;
+          failed := true
+        | exception Parse_error msg ->
+          Printf.printf "FAIL %s: %s\n" fresh_path msg;
+          failed := true
+      end)
+    files;
+  if !failed then exit 1

@@ -26,27 +26,14 @@ let () =
 
 let now () = Unix.gettimeofday ()
 
-let override_domains = ref None
-let set_domains n = override_domains := Some (max 1 n)
-let clear_domains_override () = override_domains := None
-
-let env_domains () =
-  match Sys.getenv_opt "OGB_DOMAINS" with
-  | None -> None
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> Some n
-    | _ -> Some 1)
+(* Domain budget lives in the shared pool (lib/parallel): the scheduler
+   and the chunked kernels draw from the same OGB_DOMAINS allotment
+   instead of oversubscribing each other. *)
+let set_domains n = Parallel.Pool.set_domains n
+let clear_domains_override () = Parallel.Pool.clear_domains_override ()
 
 let domain_count () =
-  if !Ogb.Exec_hook.force_sequential then 1
-  else
-    match !override_domains with
-    | Some n -> n
-    | None -> (
-      match env_domains () with
-      | Some n -> n
-      | None -> min 4 (Domain.recommended_domain_count ()))
+  if !Ogb.Exec_hook.force_sequential then 1 else Parallel.Pool.domains ()
 
 let nvals_of_value = function
   | Plan.V_cont c -> Ogb.Container.nvals c
@@ -57,6 +44,11 @@ let nvals_of_value = function
    too: under a persistent fault the sequential re-run fails the same
    way and the degradation ladder continues to the blocking evaluator. *)
 let exec_node plan id n vals =
+  (* Bracket the node so Parallel.Pool.budget can split the chunk-level
+     domain budget between concurrently running nodes: a lone node's
+     kernels get the whole pool, siblings share it. *)
+  Parallel.Pool.enter_node ();
+  Fun.protect ~finally:Parallel.Pool.leave_node @@ fun () ->
   try
     if Fault.fire "sched.worker.slow" then Unix.sleepf 0.02;
     if Fault.fire "sched.worker.exn" then raise (Fault.Injected "sched.worker.exn");
@@ -161,11 +153,13 @@ let run_parallel plan order ndomains =
       end
     done
   in
-  let helpers =
-    Array.init (ndomains - 1) (fun _ -> Domain.spawn worker)
-  in
+  (* Inter-op workers come from the shared pool rather than freshly
+     spawned domains: whatever the pool cannot grant (busy or smaller
+     than requested) the caller absorbs by draining the queue itself —
+     the worker loop exits only when the plan is finished or failed. *)
+  let helpers = Parallel.Pool.spawn_helpers (ndomains - 1) worker in
   worker ();
-  Array.iter Domain.join helpers;
+  Parallel.Pool.join helpers;
   (match !failed with Some e -> raise e | None -> ());
   (Hashtbl.find results plan.Plan.root, !events)
 

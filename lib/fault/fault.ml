@@ -20,7 +20,9 @@ let points =
     "cache.corrupt.source";  (* cached source truncated/garbage *)
     "cache.mkdir.race";  (* concurrent mkdir wins the TOCTOU window *)
     "sched.worker.exn";  (* worker domain raises mid-plan *)
-    "sched.worker.slow" ]  (* worker domain stalls on a node *)
+    "sched.worker.slow";  (* worker domain stalls on a node *)
+    "par.worker.exn";  (* pool worker raises mid-chunk (degrade to seq) *)
+    "par.worker.slow" ]  (* pool worker stalls on a chunk *)
 
 let valid_point p = List.mem p points
 

@@ -13,6 +13,10 @@ type t = {
   faults : string;
   fault_counters : (string * int * int) list;
   stats : Jit_stats.snapshot;
+  pool_domains : int;
+  pool_threshold : int;
+  pool_counters : (string * int) list;
+  pool_busy_seconds : float;
 }
 
 let collect ?(probe = true) () =
@@ -42,7 +46,11 @@ let collect ?(probe = true) () =
     cache_mismatch = count `Mismatch;
     faults = Fault.describe ();
     fault_counters = Fault.counters ();
-    stats = Jit_stats.snapshot () }
+    stats = Jit_stats.snapshot ();
+    pool_domains = Parallel.Pool.domains ();
+    pool_threshold = Parallel.Pool.threshold ();
+    pool_counters = Jit_stats.pool ();
+    pool_busy_seconds = Jit_stats.pool_busy_seconds () }
 
 let healthy t = t.cache_mismatch = 0 && Breaker.state () <> Breaker.Open
 
@@ -64,6 +72,12 @@ let pp fmt t =
         fired)
     t.fault_counters;
   Format.fprintf fmt "stats: %a@\n" Jit_stats.pp t.stats;
+  Format.fprintf fmt "domain pool:      %d domains, par threshold %d@\n"
+    t.pool_domains t.pool_threshold;
+  Format.fprintf fmt "pool stats:       %s busy=%.6fs@\n"
+    (String.concat " "
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) t.pool_counters))
+    t.pool_busy_seconds;
   Format.fprintf fmt "verdict:          %s@\n"
     (if healthy t then "healthy" else "DEGRADED")
 

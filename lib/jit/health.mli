@@ -18,6 +18,10 @@ type t = {
   faults : string;  (** armed fault spec, or ["disarmed"] *)
   fault_counters : (string * int * int) list;  (** point, attempts, fired *)
   stats : Jit_stats.snapshot;
+  pool_domains : int;  (** resolved domain budget *)
+  pool_threshold : int;  (** parallel-dispatch work threshold *)
+  pool_counters : (string * int) list;  (** jobs/chunks/tasks/degrades *)
+  pool_busy_seconds : float;  (** wall time inside chunk bodies *)
 }
 
 val collect : ?probe:bool -> unit -> t

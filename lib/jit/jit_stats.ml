@@ -21,29 +21,37 @@ type snapshot = {
   blocking_fallbacks : int;
 }
 
-let lookups = ref 0
-let memory_hits = ref 0
-let disk_hits = ref 0
-let compiles = ref 0
-let native_compiles = ref 0
-let native_failures = ref 0
-let compile_seconds = ref 0.0
-let warm_requests = ref 0
-let warm_compiles = ref 0
-let cache_write_failures = ref 0
-let checksum_quarantines = ref 0
-let compile_timeouts = ref 0
-let compile_retries = ref 0
-let breaker_trips = ref 0
-let breaker_short_circuits = ref 0
-let inflight_waits = ref 0
-let sched_worker_failures = ref 0
-let sched_seq_reruns = ref 0
-let blocking_fallbacks = ref 0
+(* Counters are atomics: the scheduler's worker domains and the pool's
+   chunk tasks record events concurrently, and a plain [int ref]
+   increment is a load + store that loses updates under contention (the
+   counter-race test in test_parallel pins this down). *)
+let lookups = Atomic.make 0
+let memory_hits = Atomic.make 0
+let disk_hits = Atomic.make 0
+let compiles = Atomic.make 0
+let native_compiles = Atomic.make 0
+let native_failures = Atomic.make 0
+let warm_requests = Atomic.make 0
+let warm_compiles = Atomic.make 0
+let cache_write_failures = Atomic.make 0
+let checksum_quarantines = Atomic.make 0
+let compile_timeouts = Atomic.make 0
+let compile_retries = Atomic.make 0
+let breaker_trips = Atomic.make 0
+let breaker_short_circuits = Atomic.make 0
+let inflight_waits = Atomic.make 0
+let sched_worker_failures = Atomic.make 0
+let sched_seq_reruns = Atomic.make 0
+let blocking_fallbacks = Atomic.make 0
 
-let record_lookup () = incr lookups
-let record_memory_hit () = incr memory_hits
-let record_disk_hit () = incr disk_hits
+(* Float accumulation has no atomic fetch-and-add; a mutex is fine at
+   compile frequency. *)
+let seconds_lock = Mutex.create ()
+let compile_seconds = ref 0.0
+
+let record_lookup () = Atomic.incr lookups
+let record_memory_hit () = Atomic.incr memory_hits
+let record_disk_hit () = Atomic.incr disk_hits
 
 (* Per-signature dispatch tallies and fusion-rewrite counters (fed by the
    nonblocking execution engine).  Guarded by a lock of their own: the
@@ -89,73 +97,76 @@ let fusions () =
    dispatch-related statistics from one module. *)
 let formats = Gbtl.Format_stats.counters
 
+(* Domain-pool counters live in Parallel.Pool (the pool records its own
+   jobs/chunks/degrades); re-exported for the same one-stop reason. *)
+let pool = Parallel.Pool.counters
+let pool_busy_seconds = Parallel.Pool.busy_seconds
+
 let record_compile ~native ~seconds =
-  incr compiles;
-  if native then incr native_compiles;
-  compile_seconds := !compile_seconds +. seconds
+  Atomic.incr compiles;
+  if native then Atomic.incr native_compiles;
+  Mutex.protect seconds_lock (fun () ->
+      compile_seconds := !compile_seconds +. seconds)
 
-let record_native_failure () = incr native_failures
+let record_native_failure () = Atomic.incr native_failures
 
-(* Resilience counters.  Like the cache counters above they are plain
-   increments: losing one under a rare cross-domain race is acceptable,
-   and the chaos tests that assert exact values run single-threaded. *)
-let record_cache_write_failure () = incr cache_write_failures
-let record_checksum_quarantine () = incr checksum_quarantines
-let record_compile_timeout () = incr compile_timeouts
-let record_compile_retry () = incr compile_retries
-let record_breaker_trip () = incr breaker_trips
-let record_breaker_short_circuit () = incr breaker_short_circuits
-let record_inflight_wait () = incr inflight_waits
-let record_sched_worker_failure () = incr sched_worker_failures
-let record_sched_seq_rerun () = incr sched_seq_reruns
-let record_blocking_fallback () = incr blocking_fallbacks
+let record_cache_write_failure () = Atomic.incr cache_write_failures
+let record_checksum_quarantine () = Atomic.incr checksum_quarantines
+let record_compile_timeout () = Atomic.incr compile_timeouts
+let record_compile_retry () = Atomic.incr compile_retries
+let record_breaker_trip () = Atomic.incr breaker_trips
+let record_breaker_short_circuit () = Atomic.incr breaker_short_circuits
+let record_inflight_wait () = Atomic.incr inflight_waits
+let record_sched_worker_failure () = Atomic.incr sched_worker_failures
+let record_sched_seq_rerun () = Atomic.incr sched_seq_reruns
+let record_blocking_fallback () = Atomic.incr blocking_fallbacks
 
 (* Ahead-of-time warm-up bookkeeping (lib/analysis drives the warm-up;
    the counters live here next to the compile counters they offset). *)
-let record_warm_request () = incr warm_requests
-let record_warm_compile () = incr warm_compiles
+let record_warm_request () = Atomic.incr warm_requests
+let record_warm_compile () = Atomic.incr warm_compiles
 
 let snapshot () =
-  { lookups = !lookups;
-    memory_hits = !memory_hits;
-    disk_hits = !disk_hits;
-    compiles = !compiles;
-    native_compiles = !native_compiles;
-    native_failures = !native_failures;
-    compile_seconds = !compile_seconds;
-    warm_requests = !warm_requests;
-    warm_compiles = !warm_compiles;
-    cache_write_failures = !cache_write_failures;
-    checksum_quarantines = !checksum_quarantines;
-    compile_timeouts = !compile_timeouts;
-    compile_retries = !compile_retries;
-    breaker_trips = !breaker_trips;
-    breaker_short_circuits = !breaker_short_circuits;
-    inflight_waits = !inflight_waits;
-    sched_worker_failures = !sched_worker_failures;
-    sched_seq_reruns = !sched_seq_reruns;
-    blocking_fallbacks = !blocking_fallbacks }
+  { lookups = Atomic.get lookups;
+    memory_hits = Atomic.get memory_hits;
+    disk_hits = Atomic.get disk_hits;
+    compiles = Atomic.get compiles;
+    native_compiles = Atomic.get native_compiles;
+    native_failures = Atomic.get native_failures;
+    compile_seconds = Mutex.protect seconds_lock (fun () -> !compile_seconds);
+    warm_requests = Atomic.get warm_requests;
+    warm_compiles = Atomic.get warm_compiles;
+    cache_write_failures = Atomic.get cache_write_failures;
+    checksum_quarantines = Atomic.get checksum_quarantines;
+    compile_timeouts = Atomic.get compile_timeouts;
+    compile_retries = Atomic.get compile_retries;
+    breaker_trips = Atomic.get breaker_trips;
+    breaker_short_circuits = Atomic.get breaker_short_circuits;
+    inflight_waits = Atomic.get inflight_waits;
+    sched_worker_failures = Atomic.get sched_worker_failures;
+    sched_seq_reruns = Atomic.get sched_seq_reruns;
+    blocking_fallbacks = Atomic.get blocking_fallbacks }
 
 let reset () =
-  lookups := 0;
-  memory_hits := 0;
-  disk_hits := 0;
-  compiles := 0;
-  native_compiles := 0;
-  native_failures := 0;
-  compile_seconds := 0.0;
-  warm_requests := 0;
-  warm_compiles := 0;
-  cache_write_failures := 0;
-  checksum_quarantines := 0;
-  compile_timeouts := 0;
-  compile_retries := 0;
-  breaker_trips := 0;
-  breaker_short_circuits := 0;
-  inflight_waits := 0;
-  sched_worker_failures := 0;
-  sched_seq_reruns := 0;
-  blocking_fallbacks := 0;
+  Atomic.set lookups 0;
+  Atomic.set memory_hits 0;
+  Atomic.set disk_hits 0;
+  Atomic.set compiles 0;
+  Atomic.set native_compiles 0;
+  Atomic.set native_failures 0;
+  Mutex.protect seconds_lock (fun () -> compile_seconds := 0.0);
+  Atomic.set warm_requests 0;
+  Atomic.set warm_compiles 0;
+  Atomic.set cache_write_failures 0;
+  Atomic.set checksum_quarantines 0;
+  Atomic.set compile_timeouts 0;
+  Atomic.set compile_retries 0;
+  Atomic.set breaker_trips 0;
+  Atomic.set breaker_short_circuits 0;
+  Atomic.set inflight_waits 0;
+  Atomic.set sched_worker_failures 0;
+  Atomic.set sched_seq_reruns 0;
+  Atomic.set blocking_fallbacks 0;
   Mutex.protect tally_lock (fun () ->
       Hashtbl.reset sig_table;
       Hashtbl.reset fusion_table)

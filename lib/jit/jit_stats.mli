@@ -66,6 +66,14 @@ val formats : unit -> (string * int) list
     auto-switch decisions, push/pull steps, sparse masks) — re-exported
     from [Gbtl.Format_stats]. *)
 
+val pool : unit -> (string * int) list
+(** Domain-pool counters (parallel/sequential jobs, chunks, tasks,
+    sequential degrades) — re-exported from [Parallel.Pool]. *)
+
+val pool_busy_seconds : unit -> float
+(** Cumulative wall time pool domains spent inside chunk bodies —
+    re-exported from [Parallel.Pool]. *)
+
 val snapshot : unit -> snapshot
 val reset : unit -> unit
 val pp : Format.formatter -> snapshot -> unit

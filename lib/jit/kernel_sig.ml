@@ -4,22 +4,31 @@ type t = {
   operators : (string * string) list;
   formats : (string * string) list;
   flags : string list;
+  par : string;
 }
 
 let sort_pairs = List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let make ~op ?(dtypes = []) ?(operators = []) ?(formats = []) ?(flags = []) () =
+let make ~op ?(dtypes = []) ?(operators = []) ?(formats = []) ?(flags = [])
+    ?(par = "") () =
   { op;
     dtypes = sort_pairs dtypes;
     operators = sort_pairs operators;
     formats = sort_pairs formats;
-    flags = List.sort_uniq String.compare flags }
+    flags = List.sort_uniq String.compare flags;
+    par }
 
 let key t =
   let pairs l = String.concat "," (List.map (fun (k, v) -> k ^ ":" ^ v) l) in
-  Printf.sprintf "%s|%s|%s|%s|%s" t.op (pairs t.dtypes) (pairs t.operators)
-    (pairs t.formats)
-    (String.concat "," t.flags)
+  let base =
+    Printf.sprintf "%s|%s|%s|%s|%s" t.op (pairs t.dtypes) (pairs t.operators)
+      (pairs t.formats)
+      (String.concat "," t.flags)
+  in
+  (* Sequential signatures keep the five-field key (stable disk hashes
+     across this revision's warm caches); parallel variants append the
+     grain as a sixth field. *)
+  if t.par = "" then base else base ^ "|" ^ t.par
 
 (* Field 4 of a [key] string — the per-signature format column the CLI
    cache table shows. *)
@@ -49,7 +58,7 @@ let sanitize op =
 (* Bump whenever the generated source for an existing key changes shape:
    disk artifacts are addressed by hash, so without the salt a warm
    cache would keep loading the stale module. *)
-let codegen_rev = 2
+let codegen_rev = 3
 
 let hash_key t =
   Printf.sprintf "%s_%016Lx" (sanitize t.op)

@@ -8,6 +8,28 @@ let semiring_ops (sr : Op_spec.semiring) =
 let entries_of_pair (type a) ((idx, vals) : int array * a array) =
   Entries.of_arrays_unsafe idx vals ~len:(Array.length idx)
 
+module Pool = Parallel.Pool
+
+(* Gate for the chunk-merged parallel kernels (scatter push, reduce):
+   regrouping a left fold of ⊕ is bit-identical only when ⊕ is exactly
+   associative on the machine representation.  Min/Max/LogicalOr/
+   LogicalAnd always are; Plus/Times are for the wrapping integer and
+   bool dtypes but not for floats.  Output-partitioned kernels (gather,
+   dense elementwise/apply) never regroup and are not gated. *)
+let float_dtype = function
+  | "float" | "double" | "f32" | "f64" -> true
+  | _ -> false
+
+let exact_assoc ~dtype ~op =
+  match op with
+  | "Min" | "Max" | "LogicalOr" | "LogicalAnd" -> true
+  | "Plus" | "Times" -> not (float_dtype dtype)
+  | _ -> false
+
+let par_tag = function
+  | Some grain -> "g" ^ string_of_int grain
+  | None -> ""
+
 (* -- vector family: array ABI with native codegen -- *)
 
 type 'a matvec_arg =
@@ -41,29 +63,62 @@ let mxv (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose m u =
   if transpose && Format_stats.enabled () then
     if use_pull then Format_stats.record_pull ()
     else Format_stats.record_push ();
+  (* Row blocks for the gather/pull loops (exact for every operator);
+     frontier blocks for the scatter push, gated to exactly associative
+     ⊕ because the merge regroups each output's fold. *)
+  let nnz = Array.length (Smatrix.unsafe_values m) in
+  let par_plan =
+    if use_pull then Pool.plan ~work:nnz ~n:(Smatrix.ncols m) ()
+    else if transpose then
+      if exact_assoc ~dtype:(Dtype.name dt) ~op:sr.Op_spec.add_op then
+        Pool.plan ~divisor:4 ~work:nnz ~n:(Svector.nvals u) ()
+      else None
+    else Pool.plan ~work:nnz ~n:(Smatrix.nrows m) ()
+  in
   let sig_ =
     Kernel_sig.make ~op:"mxv"
       ~dtypes:[ ("T", Dtype.name dt) ]
       ~operators:(semiring_ops sr)
       ~formats:(if use_pull then [ ("a", "csc") ] else [])
       ~flags:(if transpose then [ "transpose_a" ] else [])
-      ()
+      ~par:(par_tag par_plan) ()
   in
   let build () =
     let s = Op_spec.instantiate_semiring dt sr in
     let add = Semiring.add s and mul = Semiring.mul s in
     let dummy = Semiring.zero s in
-    Obj.repr (fun (arg : Obj.t) ->
-        let arp, aci, avs, uidx, uvls, un, nrows, ncols, tr =
-          (Obj.obj arg : a matvec_arg)
-        in
-        Obj.repr
-          (Array_kernels.mxv ~add ~mul ~dummy ~nrows ~ncols ~transpose:tr
-             (arp, aci, avs) (uidx, uvls, un)))
+    match par_plan with
+    | Some grain ->
+      Obj.repr (fun (arg : Obj.t) ->
+          let arp, aci, avs, uidx, uvls, un, nrows, ncols, tr =
+            (Obj.obj arg : a matvec_arg)
+          in
+          Obj.repr
+            (if tr then
+               Par_kernels.mxv_scatter ~grain ~add ~mul ~dummy ~ncols
+                 (arp, aci, avs) (uidx, uvls, un)
+             else
+               Par_kernels.mxv_gather ~grain ~add ~mul ~dummy ~nrows ~ncols
+                 (arp, aci, avs) (uidx, uvls, un)))
+    | None ->
+      Obj.repr (fun (arg : Obj.t) ->
+          let arp, aci, avs, uidx, uvls, un, nrows, ncols, tr =
+            (Obj.obj arg : a matvec_arg)
+          in
+          Obj.repr
+            (Array_kernels.mxv ~add ~mul ~dummy ~nrows ~ncols ~transpose:tr
+               (arp, aci, avs) (uidx, uvls, un)))
   in
   let native_source ~key =
-    if use_pull then Codegen.mxv_pull_source ~dtype:(Dtype.name dt) ~sr ~key
-    else Codegen.mxv_source ~dtype:(Dtype.name dt) ~sr ~key
+    match par_plan with
+    | Some grain ->
+      if use_pull then
+        Codegen.mxv_pull_par_source ~dtype:(Dtype.name dt) ~sr ~grain ~key
+      else if transpose then None (* chunk-merged scatter: closure backend *)
+      else Codegen.mxv_par_source ~dtype:(Dtype.name dt) ~sr ~grain ~key
+    | None ->
+      if use_pull then Codegen.mxv_pull_source ~dtype:(Dtype.name dt) ~sr ~key
+      else Codegen.mxv_source ~dtype:(Dtype.name dt) ~sr ~key
   in
   let kernel : Obj.t -> Obj.t =
     Obj.obj (Dispatch.get sig_ ~build ~native_source ())
@@ -108,13 +163,20 @@ let mxv_pull_masked (type a) (dt : a Dtype.t) (sr : Op_spec.semiring)
      itself (complemented) and the exit predicate comes from the
      semiring, so the whole ABI is concrete arrays and the kernel
      compiles natively. *)
+  (* Column blocks: each output column folds its contributions in the
+     sequential order, so parallelization is exact for every operator. *)
+  let par_plan =
+    Pool.plan
+      ~work:(Array.length (Smatrix.unsafe_cvals m))
+      ~n:(Smatrix.ncols m) ()
+  in
   let sig_ =
     Kernel_sig.make ~op:"mxv"
       ~dtypes:[ ("T", Dtype.name dt) ]
       ~operators:(semiring_ops sr)
       ~formats:[ ("a", "csc"); ("u", "dense") ]
       ~flags:[ "masked_pull"; "transpose_a" ]
-      ()
+      ~par:(par_tag par_plan) ()
   in
   let build () =
     let s = Op_spec.instantiate_semiring dt sr in
@@ -128,11 +190,18 @@ let mxv_pull_masked (type a) (dt : a Dtype.t) (sr : Op_spec.semiring)
               * bool array * int)
         in
         Obj.repr
-          (Array_kernels.mxv_pull_masked ~add ~mul ~dummy ~stop ~ncols ~visited
-             (acp, ari, avs) (uvls, uocc)))
+          (match par_plan with
+          | Some grain ->
+            Par_kernels.mxv_pull_masked ~grain ~add ~mul ~dummy ~stop ~ncols
+              ~visited (acp, ari, avs) (uvls, uocc)
+          | None ->
+            Array_kernels.mxv_pull_masked ~add ~mul ~dummy ~stop ~ncols
+              ~visited (acp, ari, avs) (uvls, uocc)))
   in
   let native_source ~key =
-    Codegen.mxv_pull_masked_source ~dtype:(Dtype.name dt) ~sr ~key
+    match par_plan with
+    | Some _ -> None (* parallel masked pull: closure backend *)
+    | None -> Codegen.mxv_pull_masked_source ~dtype:(Dtype.name dt) ~sr ~key
   in
   let kernel : Obj.t -> Obj.t =
     Obj.obj (Dispatch.get sig_ ~build ~native_source ())
@@ -149,28 +218,59 @@ let mxv_pull_masked (type a) (dt : a Dtype.t) (sr : Op_spec.semiring)
   entries_of_pair (Obj.obj (kernel (Obj.repr arg)) : int array * a array)
 
 let vxm (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose u m =
+  (* Semantic transpose runs the gather loop (row blocks, exact for
+     every operator); the plain product is the scatter push, gated to
+     exactly associative ⊕. *)
+  let nnz = Array.length (Smatrix.unsafe_values m) in
+  let par_plan =
+    if transpose then Pool.plan ~work:nnz ~n:(Smatrix.nrows m) ()
+    else if exact_assoc ~dtype:(Dtype.name dt) ~op:sr.Op_spec.add_op then
+      Pool.plan ~divisor:4 ~work:nnz ~n:(Svector.nvals u) ()
+    else None
+  in
   let sig_ =
     Kernel_sig.make ~op:"vxm"
       ~dtypes:[ ("T", Dtype.name dt) ]
       ~operators:(semiring_ops sr)
       ~flags:(if transpose then [ "transpose_a" ] else [])
-      ()
+      ~par:(par_tag par_plan) ()
   in
   let build () =
     let s = Op_spec.instantiate_semiring dt sr in
     let add = Semiring.add s and mul = Semiring.mul s in
     let dummy = Semiring.zero s in
-    Obj.repr (fun (arg : Obj.t) ->
-        let arp, aci, avs, uidx, uvls, un, nrows, ncols, flag =
-          (Obj.obj arg : a matvec_arg)
-        in
-        (* ABI flag false = gather loop; Array_kernels.vxm gathers when
-           its [transpose] is true. *)
-        Obj.repr
-          (Array_kernels.vxm ~add ~mul ~dummy ~nrows ~ncols
-             ~transpose:(not flag) (uidx, uvls, un) (arp, aci, avs)))
+    match par_plan with
+    | Some grain ->
+      Obj.repr (fun (arg : Obj.t) ->
+          let arp, aci, avs, uidx, uvls, un, nrows, ncols, flag =
+            (Obj.obj arg : a matvec_arg)
+          in
+          Obj.repr
+            (if flag then
+               Par_kernels.vxm_scatter ~grain ~add ~mul ~dummy ~ncols
+                 (arp, aci, avs) (uidx, uvls, un)
+             else
+               Par_kernels.vxm_gather ~grain ~add ~mul ~dummy ~nrows ~ncols
+                 (arp, aci, avs) (uidx, uvls, un)))
+    | None ->
+      Obj.repr (fun (arg : Obj.t) ->
+          let arp, aci, avs, uidx, uvls, un, nrows, ncols, flag =
+            (Obj.obj arg : a matvec_arg)
+          in
+          (* ABI flag false = gather loop; Array_kernels.vxm gathers when
+             its [transpose] is true. *)
+          Obj.repr
+            (Array_kernels.vxm ~add ~mul ~dummy ~nrows ~ncols
+               ~transpose:(not flag) (uidx, uvls, un) (arp, aci, avs)))
   in
-  let native_source ~key = Codegen.vxm_source ~dtype:(Dtype.name dt) ~sr ~key in
+  let native_source ~key =
+    match par_plan with
+    | Some grain ->
+      if transpose then
+        Codegen.vxm_par_source ~dtype:(Dtype.name dt) ~sr ~grain ~key
+      else None (* chunk-merged scatter: closure backend *)
+    | None -> Codegen.vxm_source ~dtype:(Dtype.name dt) ~sr ~key
+  in
   let kernel : Obj.t -> Obj.t =
     Obj.obj (Dispatch.get sig_ ~build ~native_source ())
   in
@@ -182,12 +282,21 @@ let vxm (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose u m =
 let vxm_dense (type a) (dt : a Dtype.t) (sr : Op_spec.semiring)
     ((uvls, uocc) : a array * bool array) (m : a Smatrix.t) :
     a array * bool array =
+  (* Row-blocked scatter push: chunk-merged, so gated to exactly
+     associative ⊕. *)
+  let par_plan =
+    if exact_assoc ~dtype:(Dtype.name dt) ~op:sr.Op_spec.add_op then
+      Pool.plan ~divisor:4
+        ~work:(Array.length (Smatrix.unsafe_values m))
+        ~n:(Smatrix.nrows m) ()
+    else None
+  in
   let sig_ =
     Kernel_sig.make ~op:"vxm"
       ~dtypes:[ ("T", Dtype.name dt) ]
       ~operators:(semiring_ops sr)
       ~formats:[ ("u", "dense"); ("w", "dense") ]
-      ()
+      ~par:(par_tag par_plan) ()
   in
   let build () =
     let s = Op_spec.instantiate_semiring dt sr in
@@ -200,11 +309,18 @@ let vxm_dense (type a) (dt : a Dtype.t) (sr : Op_spec.semiring)
               * int)
         in
         Obj.repr
-          (Array_kernels.vxm_dense ~add ~mul ~dummy ~nrows ~ncols (uvls, uocc)
-             (arp, aci, avs)))
+          (match par_plan with
+          | Some grain ->
+            Par_kernels.vxm_dense ~grain ~add ~mul ~dummy ~nrows ~ncols
+              (uvls, uocc) (arp, aci, avs)
+          | None ->
+            Array_kernels.vxm_dense ~add ~mul ~dummy ~nrows ~ncols (uvls, uocc)
+              (arp, aci, avs)))
   in
   let native_source ~key =
-    Codegen.vxm_dense_source ~dtype:(Dtype.name dt) ~sr ~key
+    match par_plan with
+    | Some _ -> None (* chunk-merged scatter: closure backend *)
+    | None -> Codegen.vxm_dense_source ~dtype:(Dtype.name dt) ~sr ~key
   in
   let kernel : Obj.t -> Obj.t =
     Obj.obj (Dispatch.get sig_ ~build ~native_source ())
@@ -229,12 +345,20 @@ let vxm_pull_dense (type a) (dt : a Dtype.t) (sr : Op_spec.semiring)
      such as PageRank, where building the CSC side once is amortized
      over every iteration.  Rows ascend within each column, so the fold
      order (and the result) is identical to the scatter. *)
+  (* Column blocks over the CSC side: each output folds its column in
+     the sequential order, so parallelization is exact for every
+     operator — the PageRank hot loop. *)
+  let par_plan =
+    Pool.plan
+      ~work:(Array.length (Smatrix.unsafe_cvals m))
+      ~n:(Smatrix.ncols m) ()
+  in
   let sig_ =
     Kernel_sig.make ~op:"vxm"
       ~dtypes:[ ("T", Dtype.name dt) ]
       ~operators:(semiring_ops sr)
       ~formats:[ ("a", "csc"); ("u", "dense"); ("w", "dense") ]
-      ()
+      ~par:(par_tag par_plan) ()
   in
   let build () =
     let s = Op_spec.instantiate_semiring dt sr in
@@ -246,11 +370,19 @@ let vxm_pull_dense (type a) (dt : a Dtype.t) (sr : Op_spec.semiring)
             : a array * bool array * int array * int array * a array * int)
         in
         Obj.repr
-          (Array_kernels.vxm_pull_dense ~add ~mul ~dummy ~ncols (acp, ari, avs)
-             (uvls, uocc)))
+          (match par_plan with
+          | Some grain ->
+            Par_kernels.vxm_pull_dense ~grain ~add ~mul ~dummy ~ncols
+              (acp, ari, avs) (uvls, uocc)
+          | None ->
+            Array_kernels.vxm_pull_dense ~add ~mul ~dummy ~ncols
+              (acp, ari, avs) (uvls, uocc)))
   in
   let native_source ~key =
-    Codegen.vxm_pull_dense_source ~dtype:(Dtype.name dt) ~sr ~key
+    match par_plan with
+    | Some grain ->
+      Codegen.vxm_pull_dense_par_source ~dtype:(Dtype.name dt) ~sr ~grain ~key
+    | None -> Codegen.vxm_pull_dense_source ~dtype:(Dtype.name dt) ~sr ~key
   in
   let kernel : Obj.t -> Obj.t =
     Obj.obj (Dispatch.get sig_ ~build ~native_source ())
@@ -275,12 +407,16 @@ let ewise_v_dense (type a) kind (dt : a Dtype.t) ~op
   let kind_name =
     match kind with `Add -> "ewise_add_v" | `Mult -> "ewise_mult_v"
   in
+  (* Index blocks with disjoint in-place writes: exact for every
+     operator. *)
+  let len = Array.length avls in
+  let par_plan = Pool.plan ~work:len ~n:len () in
   let sig_ =
     Kernel_sig.make ~op:kind_name
       ~dtypes:[ ("T", Dtype.name dt) ]
       ~operators:[ ("op", op) ]
       ~formats:[ ("u", "dense"); ("v", "dense") ]
-      ()
+      ~par:(par_tag par_plan) ()
   in
   let build () =
     let f = (Binop.of_name op dt).Binop.f in
@@ -288,18 +424,28 @@ let ewise_v_dense (type a) kind (dt : a Dtype.t) ~op
     Obj.repr (fun (arg : Obj.t) ->
         let avls, aocc, bvls, bocc = (Obj.obj arg : a dense_pair_arg) in
         let result =
-          match kind with
-          | `Add ->
+          match kind, par_plan with
+          | `Add, Some grain ->
+            Par_kernels.ewise_add_dense ~grain ~op:f ~dummy (avls, aocc)
+              (bvls, bocc)
+          | `Mult, Some grain ->
+            Par_kernels.ewise_mult_dense ~grain ~op:f ~dummy (avls, aocc)
+              (bvls, bocc)
+          | `Add, None ->
             Array_kernels.ewise_add_dense ~op:f ~dummy (avls, aocc)
               (bvls, bocc)
-          | `Mult ->
+          | `Mult, None ->
             Array_kernels.ewise_mult_dense ~op:f ~dummy (avls, aocc)
               (bvls, bocc)
         in
         Obj.repr result)
   in
   let native_source ~key =
-    Codegen.ewise_dense_source ~kind ~dtype:(Dtype.name dt) ~op ~key
+    match par_plan with
+    | Some grain ->
+      Codegen.ewise_dense_par_source ~kind ~dtype:(Dtype.name dt) ~op ~grain
+        ~key
+    | None -> Codegen.ewise_dense_source ~kind ~dtype:(Dtype.name dt) ~op ~key
   in
   let kernel : Obj.t -> Obj.t =
     Obj.obj (Dispatch.get sig_ ~build ~native_source ())
@@ -309,22 +455,30 @@ let ewise_v_dense (type a) kind (dt : a Dtype.t) ~op
 
 let apply_v_dense (type a) (dt : a Dtype.t) (f : Op_spec.unary)
     ((avls, aocc) : a array * bool array) : a array * bool array =
+  let len = Array.length avls in
+  let par_plan = Pool.plan ~work:len ~n:len () in
   let sig_ =
     Kernel_sig.make ~op:"apply_v"
       ~dtypes:[ ("T", Dtype.name dt) ]
       ~operators:[ ("f", Op_spec.unary_name f) ]
       ~formats:[ ("u", "dense") ]
-      ()
+      ~par:(par_tag par_plan) ()
   in
   let build () =
     let g = (Op_spec.instantiate_unary dt f).Unaryop.f in
     let dummy = Dtype.zero dt in
     Obj.repr (fun (arg : Obj.t) ->
         let avls, aocc = (Obj.obj arg : a array * bool array) in
-        Obj.repr (Array_kernels.apply_dense ~f:g ~dummy (avls, aocc)))
+        Obj.repr
+          (match par_plan with
+          | Some grain -> Par_kernels.apply_dense ~grain ~f:g ~dummy (avls, aocc)
+          | None -> Array_kernels.apply_dense ~f:g ~dummy (avls, aocc)))
   in
   let native_source ~key =
-    Codegen.apply_dense_source ~dtype:(Dtype.name dt) ~f ~key
+    match par_plan with
+    | Some grain ->
+      Codegen.apply_dense_par_source ~dtype:(Dtype.name dt) ~f ~grain ~key
+    | None -> Codegen.apply_dense_source ~dtype:(Dtype.name dt) ~f ~key
   in
   let kernel : Obj.t -> Obj.t =
     Obj.obj (Dispatch.get sig_ ~build ~native_source ())
@@ -333,22 +487,39 @@ let apply_v_dense (type a) (dt : a Dtype.t) (f : Op_spec.unary)
 
 let reduce_v_scalar_dense (type a) (dt : a Dtype.t) ~op ~identity
     ((avls, aocc) : a array * bool array) : a =
+  (* Chunk-combined reduce: gated to exactly associative ⊕ (float Plus
+     stays sequential, preserving exact PageRank norms). *)
+  let len = Array.length avls in
+  let par_plan =
+    if exact_assoc ~dtype:(Dtype.name dt) ~op then
+      Pool.plan ~work:len ~n:len ()
+    else None
+  in
   let sig_ =
     Kernel_sig.make ~op:"reduce_v_scalar"
       ~dtypes:[ ("T", Dtype.name dt) ]
       ~operators:[ ("op", op); ("identity", identity) ]
       ~formats:[ ("u", "dense") ]
-      ()
+      ~par:(par_tag par_plan) ()
   in
   let build () =
     let m = Op_spec.instantiate_monoid dt ~op ~identity in
     let f = m.Monoid.op.Binop.f and id = m.Monoid.identity in
     Obj.repr (fun (arg : Obj.t) ->
         let avls, aocc = (Obj.obj arg : a array * bool array) in
-        Obj.repr (Array_kernels.reduce_dense ~op:f ~identity:id (avls, aocc)))
+        Obj.repr
+          (match par_plan with
+          | Some grain ->
+            Par_kernels.reduce_dense ~grain ~op:f ~identity:id (avls, aocc)
+          | None -> Array_kernels.reduce_dense ~op:f ~identity:id (avls, aocc)))
   in
   let native_source ~key =
-    Codegen.reduce_dense_source ~dtype:(Dtype.name dt) ~op ~identity ~key
+    match par_plan with
+    | Some grain ->
+      Codegen.reduce_dense_par_source ~dtype:(Dtype.name dt) ~op ~identity
+        ~grain ~key
+    | None ->
+      Codegen.reduce_dense_source ~dtype:(Dtype.name dt) ~op ~identity ~key
   in
   let kernel : Obj.t -> Obj.t =
     Obj.obj (Dispatch.get sig_ ~build ~native_source ())
@@ -510,19 +681,28 @@ let ewise_mult_reduce_v (type a) (dt : a Dtype.t) ~op ~monoid_op ~identity
   (Obj.obj (kernel (Obj.repr arg)) : a)
 
 let apply_v (type a) (dt : a Dtype.t) (f : Op_spec.unary) (u : a Svector.t) =
+  let nvals = Svector.nvals u in
+  let par_plan = Pool.plan ~work:nvals ~n:nvals () in
   let sig_ =
     Kernel_sig.make ~op:"apply_v"
       ~dtypes:[ ("T", Dtype.name dt) ]
       ~operators:[ ("f", Op_spec.unary_name f) ]
-      ()
+      ~par:(par_tag par_plan) ()
   in
   let build () =
     let g = (Op_spec.instantiate_unary dt f).Unaryop.f in
     Obj.repr (fun (arg : Obj.t) ->
         let aidx, avls, an = (Obj.obj arg : int array * a array * int) in
-        Obj.repr (Array_kernels.apply_v ~f:g (aidx, avls, an)))
+        Obj.repr
+          (match par_plan with
+          | Some grain -> Par_kernels.apply_v ~grain ~f:g (aidx, avls, an)
+          | None -> Array_kernels.apply_v ~f:g (aidx, avls, an)))
   in
-  let native_source ~key = Codegen.apply_source ~dtype:(Dtype.name dt) ~f ~key in
+  let native_source ~key =
+    match par_plan with
+    | Some _ -> None (* parallel sparse apply: closure backend *)
+    | None -> Codegen.apply_source ~dtype:(Dtype.name dt) ~f ~key
+  in
   let kernel : Obj.t -> Obj.t =
     Obj.obj (Dispatch.get sig_ ~build ~native_source ())
   in
@@ -533,21 +713,36 @@ let apply_v (type a) (dt : a Dtype.t) (f : Op_spec.unary) (u : a Svector.t) =
 
 let reduce_v_scalar (type a) (dt : a Dtype.t) ~op ~identity (u : a Svector.t) :
     a =
+  (* Chunk-combined reduce, gated to exactly associative ⊕. *)
+  let nvals = Svector.nvals u in
+  let par_plan =
+    if exact_assoc ~dtype:(Dtype.name dt) ~op then
+      Pool.plan ~work:nvals ~n:nvals ()
+    else None
+  in
   let sig_ =
     Kernel_sig.make ~op:"reduce_v_scalar"
       ~dtypes:[ ("T", Dtype.name dt) ]
       ~operators:[ ("op", op); ("identity", identity) ]
-      ()
+      ~par:(par_tag par_plan) ()
   in
   let build () =
     let m = Op_spec.instantiate_monoid dt ~op ~identity in
     let f = m.Monoid.op.Binop.f and id = m.Monoid.identity in
     Obj.repr (fun (arg : Obj.t) ->
         let avls, an = (Obj.obj arg : a array * int) in
-        Obj.repr (Array_kernels.reduce_v ~op:f ~identity:id ([||], avls, an)))
+        Obj.repr
+          (match par_plan with
+          | Some grain ->
+            Par_kernels.reduce_v ~grain ~op:f ~identity:id ([||], avls, an)
+          | None -> Array_kernels.reduce_v ~op:f ~identity:id ([||], avls, an)))
   in
   let native_source ~key =
-    Codegen.reduce_source ~dtype:(Dtype.name dt) ~op ~identity ~key
+    match par_plan with
+    | Some grain ->
+      Codegen.reduce_par_source ~dtype:(Dtype.name dt) ~op ~identity ~grain
+        ~key
+    | None -> Codegen.reduce_source ~dtype:(Dtype.name dt) ~op ~identity ~key
   in
   let kernel : Obj.t -> Obj.t =
     Obj.obj (Dispatch.get sig_ ~build ~native_source ())
@@ -584,11 +779,21 @@ let mxm (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose_a
       Error.raise_dims ~op:"mxm"
         ~expected:(Printf.sprintf "inner dimension %d" (Smatrix.ncols a))
         ~actual:(string_of_int (Smatrix.nrows b));
+    (* Row-partitioned Gustavson: blocks concatenate in row order, exact
+       for every operator.  Work estimate is the combined nonzero count;
+       divisor 4 bounds the per-chunk SPA memory. *)
+    let par_plan =
+      Pool.plan ~divisor:4
+        ~work:
+          (Array.length (Smatrix.unsafe_values a)
+          + Array.length (Smatrix.unsafe_values b))
+        ~n:(Smatrix.nrows a) ()
+    in
     let sig_ =
       Kernel_sig.make ~op:"mxm"
         ~dtypes:[ ("T", Dtype.name dt) ]
         ~operators:(semiring_ops sr)
-        ~flags:[ "gustavson" ] ()
+        ~flags:[ "gustavson" ] ~par:(par_tag par_plan) ()
     in
     let build () =
       let s = Op_spec.instantiate_semiring dt sr in
@@ -599,11 +804,18 @@ let mxm (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose_a
             (Obj.obj arg : a mxm_arg)
           in
           Obj.repr
-            (Array_kernels.mxm_gustavson ~add ~mul ~dummy ~nrows_a ~ncols_b
-               (arp, aci, avs) (brp, bci, bvs)))
+            (match par_plan with
+            | Some grain ->
+              Par_kernels.mxm_gustavson ~grain ~add ~mul ~dummy ~nrows_a
+                ~ncols_b (arp, aci, avs) (brp, bci, bvs)
+            | None ->
+              Array_kernels.mxm_gustavson ~add ~mul ~dummy ~nrows_a ~ncols_b
+                (arp, aci, avs) (brp, bci, bvs)))
     in
     let native_source ~key =
-      Codegen.mxm_source ~dtype:(Dtype.name dt) ~sr ~key
+      match par_plan with
+      | Some _ -> None (* row-partitioned Gustavson: closure backend *)
+      | None -> Codegen.mxm_source ~dtype:(Dtype.name dt) ~sr ~key
     in
     let kernel : Obj.t -> Obj.t =
       Obj.obj (Dispatch.get sig_ ~build ~native_source ())

@@ -1,0 +1,408 @@
+(* Parallel twins of the Array_kernels algorithms, chunked over the
+   shared domain pool (Parallel.Pool).  Loop bodies are kept textually
+   in sync with their sequential counterparts — bit-identical results
+   are the contract, not an aspiration:
+
+   - gather/dense kernels partition the *output* index space; each
+     output position folds its contributions in exactly the sequential
+     order, so results match for every operator, floats included;
+   - scatter and reduce kernels fold per-chunk partials and combine
+     them in ascending chunk order — callers gate these to exactly
+     associative ⊕ (see Kernels.exact_assoc), where regrouping a left
+     fold cannot change the value;
+   - chunk boundaries come from the kernel signature's grain, a pure
+     function of the operand size, so the decomposition (and therefore
+     the result) is independent of the domain count. *)
+
+module Pool = Parallel.Pool
+
+type 'a ventry = 'a Array_kernels.ventry
+type 'a csr = 'a Array_kernels.csr
+
+(* Chunked gather with compaction: evaluate [eval c] over [0, n), keep
+   hits as (index, value) runs per chunk, concatenate in chunk order. *)
+let gather_compact ~grain ~n ~dummy eval =
+  let nchunks = (n + grain - 1) / grain in
+  let parts_idx = Array.make (max nchunks 1) [||] in
+  let parts_vls = Array.make (max nchunks 1) [||] in
+  Pool.parallel_for ~n ~grain (fun lo hi ->
+      let ci = lo / grain in
+      let idx = Array.make (hi - lo) 0 in
+      let vls = Array.make (hi - lo) dummy in
+      let k = ref 0 in
+      for c = lo to hi - 1 do
+        match eval c with
+        | Some v ->
+          idx.(!k) <- c;
+          vls.(!k) <- v;
+          incr k
+        | None -> ()
+      done;
+      parts_idx.(ci) <- Array.sub idx 0 !k;
+      parts_vls.(ci) <- Array.sub vls 0 !k);
+  let total = Array.fold_left (fun a p -> a + Array.length p) 0 parts_idx in
+  let out_idx = Array.make total 0 in
+  let out_vls = Array.make total dummy in
+  let off = ref 0 in
+  for ci = 0 to nchunks - 1 do
+    let len = Array.length parts_idx.(ci) in
+    Array.blit parts_idx.(ci) 0 out_idx !off len;
+    Array.blit parts_vls.(ci) 0 out_vls !off len;
+    off := !off + len
+  done;
+  (out_idx, out_vls)
+
+let densify ~dummy ~size ((uidx, uvls, un) : 'a ventry) =
+  let u_dense = Array.make (max size 1) dummy in
+  let u_occ = Array.make (max size 1) false in
+  for k = 0 to un - 1 do
+    u_dense.(uidx.(k)) <- uvls.(k);
+    u_occ.(uidx.(k)) <- true
+  done;
+  (u_dense, u_occ)
+
+(* Row-blocked gather form of mxv (also serves the CSC pull dispatch,
+   which passes the CSC arrays with swapped dimensions). *)
+let mxv_gather ~grain ~add ~mul ~dummy ~nrows ~ncols
+    ((arp, aci, avs) : 'a csr) (u : 'a ventry) =
+  let u_dense, u_occ = densify ~dummy ~size:ncols u in
+  gather_compact ~grain ~n:nrows ~dummy (fun i ->
+      let acc = ref dummy and hit = ref false in
+      for p = arp.(i) to arp.(i + 1) - 1 do
+        let j = aci.(p) in
+        if u_occ.(j) then begin
+          let v = mul avs.(p) u_dense.(j) in
+          acc := (if !hit then add !acc v else v);
+          hit := true
+        end
+      done;
+      if !hit then Some !acc else None)
+
+(* Gather form of vxm (semantic transpose): ⊗ operand order swapped. *)
+let vxm_gather ~grain ~add ~mul ~dummy ~nrows ~ncols
+    ((arp, aci, avs) : 'a csr) (u : 'a ventry) =
+  let u_dense, u_occ = densify ~dummy ~size:ncols u in
+  gather_compact ~grain ~n:nrows ~dummy (fun i ->
+      let acc = ref dummy and hit = ref false in
+      for p = arp.(i) to arp.(i + 1) - 1 do
+        let j = aci.(p) in
+        if u_occ.(j) then begin
+          let v = mul u_dense.(j) avs.(p) in
+          acc := (if !hit then add !acc v else v);
+          hit := true
+        end
+      done;
+      if !hit then Some !acc else None)
+
+(* Column-blocked masked pull (BFS bottom-up). *)
+let mxv_pull_masked ~grain ~add ~mul ~dummy ~stop ~ncols ~visited
+    ((acp, ari, avs) : 'a csr) ((uvls, uocc) : 'a array * bool array) =
+  gather_compact ~grain ~n:ncols ~dummy (fun c ->
+      if visited.(c) then None
+      else begin
+        let acc = ref dummy and hit = ref false in
+        let p = ref acp.(c) in
+        let stop_p = acp.(c + 1) in
+        while !p < stop_p && not (!hit && stop !acc) do
+          let j = ari.(!p) in
+          if uocc.(j) then begin
+            let v = mul avs.(!p) uvls.(j) in
+            acc := (if !hit then add !acc v else v);
+            hit := true
+          end;
+          incr p
+        done;
+        if !hit then Some !acc else None
+      end)
+
+(* Column-blocked pull form of the dense-frontier product: disjoint
+   in-place writes, exact for every operator. *)
+let vxm_pull_dense ~grain ~add ~mul ~dummy ~ncols ((acp, ari, cvs) : 'a csr)
+    ((uvls, uocc) : 'a array * bool array) =
+  let acc = Array.make (max ncols 1) dummy in
+  let occ = Array.make (max ncols 1) false in
+  let full = ref true in
+  for i = 0 to Array.length uocc - 1 do
+    if not uocc.(i) then full := false
+  done;
+  if !full then
+    Pool.parallel_for ~n:ncols ~grain (fun clo chi ->
+        for c = clo to chi - 1 do
+          let lo = acp.(c) and hi = acp.(c + 1) in
+          if hi > lo then begin
+            let a = ref (mul uvls.(ari.(lo)) cvs.(lo)) in
+            for p = lo + 1 to hi - 1 do
+              a := add !a (mul uvls.(ari.(p)) cvs.(p))
+            done;
+            acc.(c) <- !a;
+            occ.(c) <- true
+          end
+        done)
+  else
+    Pool.parallel_for ~n:ncols ~grain (fun clo chi ->
+        for c = clo to chi - 1 do
+          let a = ref dummy and hit = ref false in
+          for p = acp.(c) to acp.(c + 1) - 1 do
+            let i = ari.(p) in
+            if uocc.(i) then begin
+              let v = mul uvls.(i) cvs.(p) in
+              a := (if !hit then add !a v else v);
+              hit := true
+            end
+          done;
+          if !hit then begin
+            acc.(c) <- !a;
+            occ.(c) <- true
+          end
+        done);
+  (acc, occ)
+
+(* Source-blocked scatter with per-chunk private accumulators, merged in
+   ascending chunk order.  Sequential scatter folds each output's
+   contributions in ascending source order; chunks are ascending source
+   blocks, so for an exactly associative ⊕ the chunk-partial regrouping
+   is the same value bit for bit.  The merge itself writes disjoint
+   output positions, so its own chunking is unconstrained. *)
+let scatter_merge ~grain ~add ~dummy ~nsrc ~ncols chunk_scatter =
+  if nsrc = 0 then
+    (* no chunks run at all; hand back empty dense accumulators *)
+    (Array.make (max ncols 1) dummy, Array.make (max ncols 1) false)
+  else begin
+  let nchunks = (nsrc + grain - 1) / grain in
+  let parts_acc = Array.make (max nchunks 1) [||] in
+  let parts_occ = Array.make (max nchunks 1) [||] in
+  Pool.parallel_for ~n:nsrc ~grain (fun lo hi ->
+      let ci = lo / grain in
+      let acc = Array.make (max ncols 1) dummy in
+      let occ = Array.make (max ncols 1) false in
+      chunk_scatter lo hi acc occ;
+      parts_acc.(ci) <- acc;
+      parts_occ.(ci) <- occ);
+  let acc = parts_acc.(0) and occ = parts_occ.(0) in
+  if nchunks > 1 then
+    Pool.parallel_for ~n:ncols ~grain:(Pool.grain_for ncols) (fun clo chi ->
+        for c = clo to chi - 1 do
+          for ci = 1 to nchunks - 1 do
+            if parts_occ.(ci).(c) then
+              if occ.(c) then acc.(c) <- add acc.(c) parts_acc.(ci).(c)
+              else begin
+                acc.(c) <- parts_acc.(ci).(c);
+                occ.(c) <- true
+              end
+          done
+        done);
+  (acc, occ)
+  end
+
+let compact ~dummy ~ncols (acc : 'a array) (occ : bool array) =
+  let n = ref 0 in
+  for c = 0 to ncols - 1 do
+    if occ.(c) then incr n
+  done;
+  let out_idx = Array.make !n 0 and out_vls = Array.make !n dummy in
+  let k = ref 0 in
+  for c = 0 to ncols - 1 do
+    if occ.(c) then begin
+      out_idx.(!k) <- c;
+      out_vls.(!k) <- acc.(c);
+      incr k
+    end
+  done;
+  (out_idx, out_vls)
+
+(* Frontier-blocked push form of mxv (transposed scatter); ⊕ must be
+   exactly associative (caller-gated). *)
+let mxv_scatter ~grain ~add ~mul ~dummy ~ncols ((arp, aci, avs) : 'a csr)
+    ((uidx, uvls, un) : 'a ventry) =
+  let acc, occ =
+    scatter_merge ~grain ~add ~dummy ~nsrc:un ~ncols (fun lo hi acc occ ->
+        for k = lo to hi - 1 do
+          let j = uidx.(k) in
+          let uj = uvls.(k) in
+          for p = arp.(j) to arp.(j + 1) - 1 do
+            let c = aci.(p) in
+            let v = mul avs.(p) uj in
+            if occ.(c) then acc.(c) <- add acc.(c) v
+            else begin
+              acc.(c) <- v;
+              occ.(c) <- true
+            end
+          done
+        done)
+  in
+  compact ~dummy ~ncols acc occ
+
+(* Frontier-blocked push form of vxm; ⊕ must be exactly associative. *)
+let vxm_scatter ~grain ~add ~mul ~dummy ~ncols ((arp, aci, avs) : 'a csr)
+    ((uidx, uvls, un) : 'a ventry) =
+  let acc, occ =
+    scatter_merge ~grain ~add ~dummy ~nsrc:un ~ncols (fun lo hi acc occ ->
+        for k = lo to hi - 1 do
+          let i = uidx.(k) in
+          let ui = uvls.(k) in
+          for p = arp.(i) to arp.(i + 1) - 1 do
+            let c = aci.(p) in
+            let v = mul ui avs.(p) in
+            if occ.(c) then acc.(c) <- add acc.(c) v
+            else begin
+              acc.(c) <- v;
+              occ.(c) <- true
+            end
+          done
+        done)
+  in
+  compact ~dummy ~ncols acc occ
+
+(* Row-blocked push with a dense frontier; ⊕ must be exactly
+   associative. *)
+let vxm_dense ~grain ~add ~mul ~dummy ~nrows ~ncols
+    ((uvls, uocc) : 'a array * bool array) ((arp, aci, avs) : 'a csr) =
+  scatter_merge ~grain ~add ~dummy ~nsrc:nrows ~ncols (fun lo hi acc occ ->
+      for i = lo to hi - 1 do
+        if uocc.(i) then begin
+          let ui = uvls.(i) in
+          for p = arp.(i) to arp.(i + 1) - 1 do
+            let c = aci.(p) in
+            let v = mul ui avs.(p) in
+            if occ.(c) then acc.(c) <- add acc.(c) v
+            else begin
+              acc.(c) <- v;
+              occ.(c) <- true
+            end
+          done
+        end
+      done)
+
+(* Row-partitioned Gustavson: each chunk runs the sequential algorithm
+   over its row block with a private SPA; blocks concatenate in row
+   order, so the result is exact for every operator. *)
+let mxm_gustavson ~grain ~add ~mul ~dummy ~nrows_a ~ncols_b
+    ((arp, aci, avs) : 'a csr) (b : 'a csr) =
+  let nchunks = (nrows_a + grain - 1) / grain in
+  let parts = Array.make (max nchunks 1) ([||], [||], [||]) in
+  Pool.parallel_for ~n:nrows_a ~grain (fun lo hi ->
+      let ci = lo / grain in
+      (* row-pointer slice keeps absolute positions into aci/avs, which
+         the sequential kernel only uses as ranges *)
+      let arp_slice = Array.sub arp lo (hi - lo + 1) in
+      parts.(ci) <-
+        Array_kernels.mxm_gustavson ~add ~mul ~dummy ~nrows_a:(hi - lo)
+          ~ncols_b (arp_slice, aci, avs) b);
+  let total =
+    Array.fold_left (fun a (_, idx, _) -> a + Array.length idx) 0 parts
+  in
+  let rowptr = Array.make (nrows_a + 1) 0 in
+  let out_idx = Array.make total 0 in
+  let out_vls = Array.make total dummy in
+  let off = ref 0 in
+  Array.iteri
+    (fun ci (rp, idx, vls) ->
+      let lo = ci * grain in
+      for r = 0 to Array.length rp - 2 do
+        rowptr.(lo + r) <- !off + rp.(r)
+      done;
+      Array.blit idx 0 out_idx !off (Array.length idx);
+      Array.blit vls 0 out_vls !off (Array.length vls);
+      off := !off + Array.length idx)
+    parts;
+  rowptr.(nrows_a) <- !off;
+  (rowptr, out_idx, out_vls)
+
+(* Index-blocked dense elementwise/apply: disjoint in-place writes,
+   exact for every operator. *)
+let ewise_add_dense ~grain ~op ~dummy ((avls, aocc) : 'a array * bool array)
+    ((bvls, bocc) : 'a array * bool array) =
+  let n = Array.length avls in
+  let out = Array.make (max n 1) dummy in
+  let occ = Array.make (max n 1) false in
+  Pool.parallel_for ~n ~grain (fun lo hi ->
+      for i = lo to hi - 1 do
+        if aocc.(i) then begin
+          out.(i) <- (if bocc.(i) then op avls.(i) bvls.(i) else avls.(i));
+          occ.(i) <- true
+        end
+        else if bocc.(i) then begin
+          out.(i) <- bvls.(i);
+          occ.(i) <- true
+        end
+      done);
+  (out, occ)
+
+let ewise_mult_dense ~grain ~op ~dummy ((avls, aocc) : 'a array * bool array)
+    ((bvls, bocc) : 'a array * bool array) =
+  let n = Array.length avls in
+  let out = Array.make (max n 1) dummy in
+  let occ = Array.make (max n 1) false in
+  Pool.parallel_for ~n ~grain (fun lo hi ->
+      for i = lo to hi - 1 do
+        if aocc.(i) && bocc.(i) then begin
+          out.(i) <- op avls.(i) bvls.(i);
+          occ.(i) <- true
+        end
+      done);
+  (out, occ)
+
+let apply_dense ~grain ~f ~dummy ((avls, aocc) : 'a array * bool array) =
+  let n = Array.length avls in
+  let out = Array.make (max n 1) dummy in
+  Pool.parallel_for ~n ~grain (fun lo hi ->
+      for i = lo to hi - 1 do
+        if aocc.(i) then out.(i) <- f avls.(i)
+      done);
+  (out, Array.copy aocc)
+
+let apply_v ~grain ~f ((aidx, avls, an) : 'a ventry) =
+  if an = 0 then ([||], [||])
+  else begin
+    let out = Array.make an (f avls.(0)) in
+    Pool.parallel_for ~n:an ~grain (fun lo hi ->
+        for k = lo to hi - 1 do
+          out.(k) <- f avls.(k)
+        done);
+    (Array.sub aidx 0 an, out)
+  end
+
+(* Chunk-combined reduce: per-chunk partials fold without the identity
+   seed (hit flag), combine in ascending chunk order, then seed with the
+   identity exactly as the sequential left fold does.  ⊕ must be
+   exactly associative (caller-gated). *)
+let reduce_dense ~grain ~op ~identity ((avls, aocc) : 'a array * bool array) =
+  let n = Array.length avls in
+  let nchunks = (n + grain - 1) / grain in
+  let hitp = Array.make (max nchunks 1) false in
+  let accp = Array.make (max nchunks 1) identity in
+  Pool.parallel_for ~n ~grain (fun lo hi ->
+      let ci = lo / grain in
+      let acc = ref identity and hit = ref false in
+      for i = lo to hi - 1 do
+        if aocc.(i) then begin
+          acc := (if !hit then op !acc avls.(i) else avls.(i));
+          hit := true
+        end
+      done;
+      hitp.(ci) <- !hit;
+      accp.(ci) <- !acc);
+  let acc = ref identity and any = ref false in
+  for ci = 0 to nchunks - 1 do
+    if hitp.(ci) then begin
+      acc := (if !any then op !acc accp.(ci) else accp.(ci));
+      any := true
+    end
+  done;
+  if !any then op identity !acc else identity
+
+let reduce_v ~grain ~op ~identity ((_, avls, an) : 'a ventry) =
+  let nchunks = (an + grain - 1) / grain in
+  let accp = Array.make (max nchunks 1) identity in
+  Pool.parallel_for ~n:an ~grain (fun lo hi ->
+      let ci = lo / grain in
+      let acc = ref avls.(lo) in
+      for k = lo + 1 to hi - 1 do
+        acc := op !acc avls.(k)
+      done;
+      accp.(ci) <- !acc);
+  let acc = ref identity in
+  for ci = 0 to nchunks - 1 do
+    acc := op !acc accp.(ci)
+  done;
+  !acc

@@ -1,0 +1,148 @@
+(** Parallel twins of the {!Array_kernels} algorithms, chunked over the
+    shared domain pool.  Bit-identity with the sequential kernel is the
+    contract: gather/dense kernels partition the output space (the fold
+    at each output position is unchanged); scatter and reduce kernels
+    combine per-chunk partials in ascending chunk order and must only be
+    dispatched for exactly associative ⊕ (see [Kernels.exact_assoc]).
+    The [grain] argument fixes the chunk decomposition; it must be a
+    pure function of the operand size so results are independent of the
+    domain count. *)
+
+type 'a ventry = 'a Array_kernels.ventry
+type 'a csr = 'a Array_kernels.csr
+
+val mxv_gather :
+  grain:int ->
+  add:('a -> 'a -> 'a) ->
+  mul:('a -> 'a -> 'a) ->
+  dummy:'a ->
+  nrows:int ->
+  ncols:int ->
+  'a csr ->
+  'a ventry ->
+  int array * 'a array
+(** Row-blocked gather [A ⊕.⊗ u]; also serves the CSC pull dispatch
+    (swapped dimensions).  Exact for every operator. *)
+
+val vxm_gather :
+  grain:int ->
+  add:('a -> 'a -> 'a) ->
+  mul:('a -> 'a -> 'a) ->
+  dummy:'a ->
+  nrows:int ->
+  ncols:int ->
+  'a csr ->
+  'a ventry ->
+  int array * 'a array
+(** Gather form of [u ⊕.⊗ A] (⊗ operand order swapped). *)
+
+val mxv_pull_masked :
+  grain:int ->
+  add:('a -> 'a -> 'a) ->
+  mul:('a -> 'a -> 'a) ->
+  dummy:'a ->
+  stop:('a -> bool) ->
+  ncols:int ->
+  visited:bool array ->
+  'a csr ->
+  'a array * bool array ->
+  int array * 'a array
+(** Column-blocked masked CSC pull with per-column early exit. *)
+
+val vxm_pull_dense :
+  grain:int ->
+  add:('a -> 'a -> 'a) ->
+  mul:('a -> 'a -> 'a) ->
+  dummy:'a ->
+  ncols:int ->
+  'a csr ->
+  'a array * bool array ->
+  'a array * bool array
+(** Column-blocked pull form of the dense-frontier product; disjoint
+    in-place writes, exact for every operator. *)
+
+val mxv_scatter :
+  grain:int ->
+  add:('a -> 'a -> 'a) ->
+  mul:('a -> 'a -> 'a) ->
+  dummy:'a ->
+  ncols:int ->
+  'a csr ->
+  'a ventry ->
+  int array * 'a array
+(** Frontier-blocked push form of [Aᵀ ⊕.⊗ u]; requires exactly
+    associative ⊕. *)
+
+val vxm_scatter :
+  grain:int ->
+  add:('a -> 'a -> 'a) ->
+  mul:('a -> 'a -> 'a) ->
+  dummy:'a ->
+  ncols:int ->
+  'a csr ->
+  'a ventry ->
+  int array * 'a array
+(** Frontier-blocked push form of [u ⊕.⊗ A]; requires exactly
+    associative ⊕. *)
+
+val vxm_dense :
+  grain:int ->
+  add:('a -> 'a -> 'a) ->
+  mul:('a -> 'a -> 'a) ->
+  dummy:'a ->
+  nrows:int ->
+  ncols:int ->
+  'a array * bool array ->
+  'a csr ->
+  'a array * bool array
+(** Row-blocked push with a dense frontier; requires exactly associative
+    ⊕. *)
+
+val mxm_gustavson :
+  grain:int ->
+  add:('a -> 'a -> 'a) ->
+  mul:('a -> 'a -> 'a) ->
+  dummy:'a ->
+  nrows_a:int ->
+  ncols_b:int ->
+  'a csr ->
+  'a csr ->
+  'a csr
+(** Row-partitioned Gustavson product; blocks concatenate in row order,
+    exact for every operator. *)
+
+val ewise_add_dense :
+  grain:int ->
+  op:('a -> 'a -> 'a) ->
+  dummy:'a ->
+  'a array * bool array ->
+  'a array * bool array ->
+  'a array * bool array
+
+val ewise_mult_dense :
+  grain:int ->
+  op:('a -> 'a -> 'a) ->
+  dummy:'a ->
+  'a array * bool array ->
+  'a array * bool array ->
+  'a array * bool array
+
+val apply_dense :
+  grain:int ->
+  f:('a -> 'a) ->
+  dummy:'a ->
+  'a array * bool array ->
+  'a array * bool array
+
+val apply_v : grain:int -> f:('a -> 'a) -> 'a ventry -> int array * 'a array
+
+val reduce_dense :
+  grain:int ->
+  op:('a -> 'a -> 'a) ->
+  identity:'a ->
+  'a array * bool array ->
+  'a
+(** Chunk-combined dense reduce; requires exactly associative ⊕. *)
+
+val reduce_v : grain:int -> op:('a -> 'a -> 'a) -> identity:'a -> 'a ventry -> 'a
+(** Chunk-combined sparse reduce; requires exactly associative ⊕. *)

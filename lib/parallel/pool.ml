@@ -1,0 +1,322 @@
+(* Shared, lazily-started domain pool: one set of helper domains sized
+   by OGB_DOMAINS, reused by both the exec scheduler (inter-op node
+   workers) and the kernels (intra-op chunked parallel-for), so the two
+   levels of parallelism cooperate over one budget instead of
+   oversubscribing the machine.
+
+   Determinism contract: {!parallel_for} splits [0, n) into fixed-size
+   chunks whose boundaries are a pure function of [n] and [grain] —
+   never of the domain count or of scheduling order.  Callers either
+   write disjoint output slices per chunk (gather/dense kernels) or
+   combine per-chunk partials with their monoid in ascending chunk
+   order (reduce/scatter kernels, gated to exactly-associative
+   operators by the callers), so results are bit-identical at every
+   OGB_DOMAINS value, including 1.
+
+   Failure containment: a chunk failure (including the par.worker.exn
+   injection point) marks the job failed, remaining chunks are
+   abandoned, in-flight chunks drain, and the caller re-executes every
+   chunk sequentially — chunk bodies are required to be idempotent
+   (pure writes into caller-owned buffers), which every kernel in this
+   repository satisfies. *)
+
+let env_int name =
+  match Sys.getenv_opt name with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> Some n
+    | None -> None)
+
+(* -- domain-count resolution (shared with the exec scheduler) -- *)
+
+let override_domains = ref None
+let set_domains n = override_domains := Some (max 1 n)
+let clear_domains_override () = override_domains := None
+
+let domains () =
+  match !override_domains with
+  | Some n -> n
+  | None -> (
+    match env_int "OGB_DOMAINS" with
+    | Some n when n >= 1 -> n
+    | Some _ -> 1
+    | None -> min 4 (Domain.recommended_domain_count ()))
+
+let workers () = domains () - 1
+
+(* -- size threshold and grain planning -- *)
+
+let default_threshold = 4096
+let override_threshold = ref None
+let set_threshold n = override_threshold := Some (max 0 n)
+let clear_threshold_override () = override_threshold := None
+
+let threshold () =
+  match !override_threshold with
+  | Some n -> n
+  | None -> (
+    match env_int "OGB_PAR_THRESHOLD" with
+    | Some n when n >= 0 -> n
+    | _ -> default_threshold)
+
+let with_threshold n f =
+  let saved = !override_threshold in
+  override_threshold := Some (max 0 n);
+  Fun.protect ~finally:(fun () -> override_threshold := saved) f
+
+let pow2_ceil x =
+  let r = ref 1 in
+  while !r < x do
+    r := !r * 2
+  done;
+  !r
+
+(* Grain is a pure function of the loop length (power-of-two bucketed so
+   per-grain JIT keys stay few): at most [divisor] chunks, at least 64
+   iterations each.  The default divisor 16 over-decomposes a 4-domain
+   pool for load balance; merge-style kernels (scatter push) pass 4 to
+   bound the per-chunk accumulator memory. *)
+let grain_for ?(divisor = 16) n =
+  max 64 (pow2_ceil ((n + divisor - 1) / divisor))
+
+let plan ?divisor ~work ~n () =
+  if workers () < 1 || work < threshold () || n < 2 then None
+  else
+    let g = grain_for ?divisor n in
+    if n <= g then None else Some g
+
+(* -- pool state: task queue + lazily spawned worker domains -- *)
+
+let qlock = Mutex.create ()
+let qcv = Condition.create ()
+let queue : (unit -> unit) Queue.t = Queue.create ()
+let spawned : unit Domain.t list ref = ref []
+let quit = ref false
+let idle = ref 0
+
+(* management operations (spawn/resize/shutdown) serialize here; the
+   queue lock stays fine-grained *)
+let mgmt = Mutex.create ()
+
+(* -- counters (surfaced through Jit_stats / ogb doctor) -- *)
+
+let stats_lock = Mutex.create ()
+let par_jobs = ref 0 (* parallel_for calls that used the pool *)
+let seq_jobs = ref 0 (* parallel_for calls run inline (no pool help) *)
+let chunks_run = ref 0 (* chunk bodies executed (all domains) *)
+let tasks_run = ref 0 (* pool tasks executed by worker domains *)
+let degrades = ref 0 (* jobs re-run sequentially after a chunk failure *)
+let busy = ref 0.0 (* seconds spent inside chunk bodies *)
+
+let bump c = Mutex.protect stats_lock (fun () -> incr c)
+
+let counters () =
+  Mutex.protect stats_lock (fun () ->
+      [ ("par_jobs", !par_jobs);
+        ("seq_jobs", !seq_jobs);
+        ("chunks", !chunks_run);
+        ("tasks", !tasks_run);
+        ("degrades", !degrades) ])
+
+let busy_seconds () = Mutex.protect stats_lock (fun () -> !busy)
+
+let reset_counters () =
+  Mutex.protect stats_lock (fun () ->
+      par_jobs := 0;
+      seq_jobs := 0;
+      chunks_run := 0;
+      tasks_run := 0;
+      degrades := 0;
+      busy := 0.0)
+
+(* -- worker domains -- *)
+
+let rec worker_loop () =
+  Mutex.lock qlock;
+  incr idle;
+  while Queue.is_empty queue && not !quit do
+    Condition.wait qcv qlock
+  done;
+  decr idle;
+  if not (Queue.is_empty queue) then begin
+    let task = Queue.pop queue in
+    Mutex.unlock qlock;
+    bump tasks_run;
+    (try task () with _ -> ());
+    worker_loop ()
+  end
+  else (* quit, queue drained *)
+    Mutex.unlock qlock
+
+let shutdown () =
+  Mutex.protect mgmt @@ fun () ->
+  let ds =
+    Mutex.protect qlock (fun () ->
+        quit := true;
+        Condition.broadcast qcv;
+        let ds = !spawned in
+        spawned := [];
+        ds)
+  in
+  List.iter Domain.join ds;
+  Mutex.protect qlock (fun () -> quit := false)
+
+let () = at_exit shutdown
+
+let spawned_count () = Mutex.protect qlock (fun () -> List.length !spawned)
+
+let ensure_started () =
+  let want = workers () in
+  if spawned_count () <> want then begin
+    if spawned_count () > 0 then shutdown ();
+    if want > 0 then
+      Mutex.protect mgmt (fun () ->
+          Mutex.protect qlock (fun () ->
+              if !spawned = [] then
+                spawned := List.init want (fun _ -> Domain.spawn worker_loop)))
+  end
+
+(* Enqueue up to [min k free-workers] copies of [make_task ()]; stale
+   tasks must be cheap no-ops (every consumer below checks shared job
+   state first), so capping by currently idle workers only bounds queue
+   garbage, not correctness. *)
+let submit_capped k make_task =
+  Mutex.protect qlock (fun () ->
+      let free = max 0 (!idle - Queue.length queue) in
+      let take = min free k in
+      for _ = 1 to take do
+        Queue.push (make_task ()) queue
+      done;
+      if take > 0 then Condition.broadcast qcv;
+      take)
+
+(* -- domain-budget negotiation with the exec scheduler -- *)
+
+let active_nodes = Atomic.make 0
+let enter_node () = Atomic.incr active_nodes
+let leave_node () = Atomic.decr active_nodes
+
+(* A node running alone (or a kernel called outside the scheduler) gets
+   the whole pool; [k] concurrently executing nodes split it. *)
+let budget () =
+  let a = max 1 (Atomic.get active_nodes) in
+  max 1 ((workers () + 1) / a)
+
+(* -- chunked parallel for -- *)
+
+let run_chunks_seq ~n ~grain body =
+  let lo = ref 0 in
+  while !lo < n do
+    let hi = min n (!lo + grain) in
+    body !lo hi;
+    lo := hi
+  done
+
+let parallel_for ~n ~grain body =
+  if n > 0 then begin
+    let g = max 1 grain in
+    let nchunks = (n + g - 1) / g in
+    let helpers_wanted = min (budget () - 1) (nchunks - 1) in
+    if nchunks < 2 || helpers_wanted < 1 || workers () < 1 then begin
+      bump seq_jobs;
+      run_chunks_seq ~n ~grain:g body
+    end
+    else begin
+      ensure_started ();
+      let jm = Mutex.create () in
+      let jcv = Condition.create () in
+      let next = ref 0 in
+      let running = ref 0 in
+      let failed = ref None in
+      let participate () =
+        let continue_ = ref true in
+        while !continue_ do
+          Mutex.lock jm;
+          if !failed <> None || !next >= nchunks then begin
+            Mutex.unlock jm;
+            continue_ := false
+          end
+          else begin
+            let ci = !next in
+            incr next;
+            incr running;
+            Mutex.unlock jm;
+            let res =
+              try
+                if Fault.fire "par.worker.exn" then
+                  raise (Fault.Injected "par.worker.exn");
+                if Fault.fire "par.worker.slow" then Unix.sleepf 0.005;
+                let t0 = Unix.gettimeofday () in
+                body (ci * g) (min n ((ci + 1) * g));
+                let dt = Unix.gettimeofday () -. t0 in
+                Mutex.protect stats_lock (fun () ->
+                    incr chunks_run;
+                    busy := !busy +. dt);
+                None
+              with e -> Some e
+            in
+            Mutex.lock jm;
+            decr running;
+            (match res with
+            | Some e -> if !failed = None then failed := Some e
+            | None -> ());
+            if !running = 0 then Condition.broadcast jcv;
+            Mutex.unlock jm
+          end
+        done
+      in
+      ignore (submit_capped helpers_wanted (fun () -> participate));
+      bump par_jobs;
+      participate ();
+      Mutex.lock jm;
+      while !running > 0 do
+        Condition.wait jcv jm
+      done;
+      let err = !failed in
+      Mutex.unlock jm;
+      match err with
+      | None -> ()
+      | Some _ ->
+        (* containment: chunk bodies are idempotent, so re-running every
+           chunk sequentially (injection sites not consulted — they
+           belong to the pool path) recovers exactly the sequential
+           result; a genuine kernel bug re-raises here. *)
+        bump degrades;
+        run_chunks_seq ~n ~grain:g body
+    end
+  end
+
+(* -- long-lived helper tasks for the exec scheduler -- *)
+
+type handle = { hm : Mutex.t; hcv : Condition.t; mutable left : int }
+
+let spawn_helpers k f =
+  let h = { hm = Mutex.create (); hcv = Condition.create (); left = 0 } in
+  if k > 0 && workers () > 0 then begin
+    ensure_started ();
+    h.left <- k;
+    let task () =
+      (try f () with _ -> ());
+      Mutex.protect h.hm (fun () ->
+          h.left <- h.left - 1;
+          if h.left <= 0 then Condition.broadcast h.hcv)
+    in
+    let took = submit_capped k (fun () -> task) in
+    Mutex.protect h.hm (fun () ->
+        h.left <- h.left - (k - took);
+        if h.left <= 0 then Condition.broadcast h.hcv)
+  end;
+  h
+
+let join h =
+  Mutex.lock h.hm;
+  while h.left > 0 do
+    Condition.wait h.hcv h.hm
+  done;
+  Mutex.unlock h.hm
+
+(* Native plugins (Dynlink'd kernel modules) link only against
+   Jit_plugin_api; installing the pool's parallel-for there at startup
+   lets generated parallel kernels share this pool too. *)
+let () = Jit_plugin_api.par_for := fun ~n ~grain f -> parallel_for ~n ~grain f

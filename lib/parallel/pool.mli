@@ -1,0 +1,87 @@
+(** Shared, lazily-started domain pool for intra-op (chunked kernels)
+    and inter-op (exec scheduler) parallelism.
+
+    Sized by [OGB_DOMAINS] (helper domains = domains − 1; the caller is
+    the remaining worker).  Chunk boundaries in {!parallel_for} are a
+    pure function of the loop length — never of the domain count — so a
+    kernel that writes disjoint slices per chunk, or combines per-chunk
+    partials with an exactly-associative monoid in ascending chunk
+    order, produces bit-identical results at every domain count. *)
+
+val domains : unit -> int
+(** Resolved domain budget: programmatic override, else [OGB_DOMAINS],
+    else [min 4 (Domain.recommended_domain_count ())]. *)
+
+val set_domains : int -> unit
+(** Override the domain budget (clamped to ≥ 1).  The pool resizes
+    lazily on the next use. *)
+
+val clear_domains_override : unit -> unit
+
+val workers : unit -> int
+(** Helper domains the pool may run ([domains () - 1]). *)
+
+val threshold : unit -> int
+(** Minimum work (loop-body executions) below which kernels stay on
+    their sequential twins; override, else [OGB_PAR_THRESHOLD], else
+    4096. *)
+
+val set_threshold : int -> unit
+val clear_threshold_override : unit -> unit
+
+val with_threshold : int -> (unit -> 'a) -> 'a
+(** Run with a temporary threshold override (restored afterwards). *)
+
+val grain_for : ?divisor:int -> int -> int
+(** Chunk length for a loop of the given length: at most [divisor]
+    (default 16) chunks of at least 64 iterations, power-of-two
+    bucketed so per-grain JIT cache keys stay few.  Pure in its
+    arguments — this is what keeps chunked folds deterministic. *)
+
+val plan : ?divisor:int -> work:int -> n:int -> unit -> int option
+(** [Some grain] when a kernel with [work] body executions over a loop
+    of length [n] should dispatch its parallel variant; [None] keeps
+    the sequential twin (small operand, single-domain budget, or a loop
+    too short to split). *)
+
+val parallel_for : n:int -> grain:int -> (int -> int -> unit) -> unit
+(** [parallel_for ~n ~grain body] runs [body lo hi] over consecutive
+    chunks of [0, n).  The caller participates; idle pool workers claim
+    chunks concurrently.  Chunk bodies must be idempotent and must only
+    write caller-owned state disjoint per chunk: on a chunk failure
+    (e.g. the [par.worker.exn] injection point) the job degrades to a
+    sequential re-run of every chunk. *)
+
+type handle
+(** Completion handle for {!spawn_helpers}. *)
+
+val spawn_helpers : int -> (unit -> unit) -> handle
+(** Offer up to [k] copies of a worker function to idle pool domains
+    (the exec scheduler's inter-op workers).  Fewer (possibly zero) may
+    actually start when the pool is busy or smaller; the function must
+    be written so the caller completes all work alone in that case. *)
+
+val join : handle -> unit
+(** Wait until every actually-started helper has returned. *)
+
+val enter_node : unit -> unit
+val leave_node : unit -> unit
+(** Domain-budget negotiation: the scheduler brackets each node's
+    execution so {!budget} can split the pool between concurrently
+    running nodes. *)
+
+val budget : unit -> int
+(** Domains available to one kernel right now: the whole pool when
+    nothing else runs, [pool / active-nodes] under the scheduler. *)
+
+val counters : unit -> (string * int) list
+(** [par_jobs], [seq_jobs], [chunks], [tasks], [degrades]. *)
+
+val busy_seconds : unit -> float
+(** Cumulative wall time spent inside chunk bodies (all domains). *)
+
+val reset_counters : unit -> unit
+
+val shutdown : unit -> unit
+(** Join all pool domains (registered [at_exit]; also used before
+    resizing). *)

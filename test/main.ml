@@ -26,4 +26,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("analysis", Test_analysis.suite);
       ("fault", Test_fault.suite);
+      ("parallel", Test_parallel.suite);
     ]
