@@ -19,6 +19,9 @@
               triangles at 1/2/4 domains), emits BENCH_parallel.json
      faults   resilience: warm-path overhead of the hardening and chaos
               equivalence under injected faults, emits BENCH_faults.json
+     serve    daemon mode: cold one-shot CLI vs resident warm daemon
+              request latency, multi-session zero-compile check and
+              batched vs unbatched throughput, emits BENCH_serve.json
      micro    Bechamel micro-benchmarks of the kernel families *)
 
 open Gbtl
@@ -1160,6 +1163,210 @@ let faults_bench () =
   print_newline ()
 
 (* ---------------------------------------------------------------- *)
+(* Server mode: cold one-shot CLI vs resident warm daemon             *)
+(* ---------------------------------------------------------------- *)
+
+(* The daemon's pitch: one process keeps the loaded graph and the
+   signature→kernel cache resident, warmed at startup, so a request
+   pays only the compute — where a one-shot CLI invocation pays graph
+   construction plus inline JIT compiles every time.  Three
+   measurements:
+
+   - cold: scrubbed caches, one PageRank run (the CLI cost model);
+   - daemon steady state: the same request through [Daemon.handle] and
+     the full JSON codec after warm-up, best-of-[reps] (the acceptance
+     bar is ≥ 10× under [daemon_vs_cold_speedup]);
+   - a 4-session mixed run that must trigger zero compiles
+     ([zero_compiles_after_warm] gates true→false), and batched vs
+     unbatched same-signature mxv throughput (context numbers plus a
+     [batched_identical] correctness gate). *)
+
+let serve_bench () =
+  print_endline "== Server mode: cold one-shot vs resident warm daemon ==";
+  let n = 256 in
+  let compiles () = (Jit.Jit_stats.snapshot ()).Jit.Jit_stats.compiles in
+  let scrub () =
+    Jit.Dispatch.clear_memory_cache ();
+    Jit.Disk_cache.clear ()
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    1000.0 *. (Unix.gettimeofday () -. t0)
+  in
+  (* cold: what a one-shot CLI invocation pays — scrubbed cache, graph
+     from scratch, compiles inline on first use *)
+  scrub ();
+  let c0 = compiles () in
+  let cold_ms =
+    wall (fun () ->
+        let rng = Graphs.Rng.create ~seed:2018 in
+        let g = Graphs.Generators.erdos_renyi_paper rng ~nvertices:n in
+        let adj = Graphs.Convert.matrix_of_edges Dtype.FP64 g in
+        Algorithms.Pagerank.vm_loops (Ogb.Container.of_smatrix adj))
+  in
+  let cold_compiles = compiles () - c0 in
+  (* daemon: warmed shared state, requests through the JSON codec *)
+  scrub ();
+  let cfg =
+    { Server.Daemon.sock_path = "/tmp/ogb-serve-bench-unused.sock";
+      tcp_addr = None;
+      workers = 2;
+      queue_cap = 16;
+      session_budget = Parallel.Pool.domains ();
+      batch_window = 0.0005;
+      warm_n = n;
+      warm = true }
+  in
+  let warmup_ms, st =
+    let t0 = Unix.gettimeofday () in
+    let st = Server.Daemon.create_state cfg in
+    (1000.0 *. (Unix.gettimeofday () -. t0), st)
+  in
+  let sess = Server.Session.create () in
+  let request s =
+    let resp =
+      Server.Daemon.handle st sess (Server.Json.parse s)
+    in
+    ignore (Server.Json.to_string resp);
+    resp
+  in
+  (match
+     Server.Json.str_field "status"
+       (request
+          (Printf.sprintf
+             "{\"op\": \"load\", \"name\": \"g\", \"graph\": \"er:n=%d\", \
+              \"symmetrize\": false}"
+             n))
+   with
+  | Some "ok" -> ()
+  | _ -> failwith "serve bench: load failed");
+  let pagerank_req =
+    "{\"op\": \"run\", \"algo\": \"pagerank\", \"tier\": \"vm\", \"graph\": \
+     \"g\"}"
+  in
+  (* warm-up phase over: everything after this point must be cache hits *)
+  let c_warm = compiles () in
+  let reps = 10 in
+  let steady_ms = ref infinity in
+  for _ = 1 to reps do
+    let ms = wall (fun () -> request pagerank_req) in
+    if ms < !steady_ms then steady_ms := ms
+  done;
+  let steady_ms = !steady_ms in
+  let speedup = cold_ms /. steady_ms in
+  (* multi-session mixed run: 4 concurrent sessions, tier-1 requests,
+     responses must agree across sessions and compile nothing *)
+  let mixed =
+    [ pagerank_req;
+      "{\"op\": \"run\", \"algo\": \"bfs\", \"tier\": \"vm\", \"graph\": \
+       \"g\", \"src\": 0}" ]
+  in
+  let run_session () =
+    List.map
+      (fun r ->
+        let resp = Server.Daemon.handle st (Server.Session.create ())
+            (Server.Json.parse r) in
+        match Server.Json.member "result" resp with
+        | Some j -> Server.Json.to_string j
+        | None -> Server.Json.to_string resp)
+      mixed
+  in
+  let doms = Array.init 4 (fun _ -> Domain.spawn run_session) in
+  let per_session = Array.map Domain.join doms in
+  let identical =
+    Array.for_all (fun r -> r = per_session.(0)) per_session
+  in
+  let compiles_after_warm = compiles () - c_warm in
+  (* batching: same-signature mxv, 4 domains x 8 requests each, fused
+     dispatch vs one dispatch per request *)
+  let m =
+    match Server.Registry.find (Server.Daemon.registry st) "g" with
+    | Some m -> m
+    | None -> failwith "serve bench: graph lost"
+  in
+  let sr = Jit.Op_spec.arithmetic in
+  let u = Svector.of_dense Dtype.FP64 (Array.make n 1.0) in
+  let expected =
+    Entries.to_alist (Jit.Kernels.mxv Dtype.FP64 sr ~transpose:false m u)
+  in
+  let per_domain = 8 and domains = 4 in
+  let requests = per_domain * domains in
+  let unbatched_ms =
+    wall (fun () ->
+        let ds =
+          Array.init domains (fun _ ->
+              Domain.spawn (fun () ->
+                  for _ = 1 to per_domain do
+                    ignore
+                      (Jit.Kernels.mxv Dtype.FP64 sr ~transpose:false m u)
+                  done))
+        in
+        Array.iter Domain.join ds)
+  in
+  let bat = Server.Batcher.create ~window_s:0.0005 () in
+  let key =
+    Server.Batcher.key_of ~op:`Mxv ~graph:"g" ~transpose:false ~sr ~u
+  in
+  let batched_ok = Atomic.make true in
+  let batched_ms =
+    wall (fun () ->
+        let ds =
+          Array.init domains (fun _ ->
+              Domain.spawn (fun () ->
+                  for _ = 1 to per_domain do
+                    match Server.Batcher.run bat key ~sr ~m u with
+                    | Ok entries ->
+                      if entries <> expected then
+                        Atomic.set batched_ok false
+                    | Error _ -> Atomic.set batched_ok false
+                  done))
+        in
+        Array.iter Domain.join ds)
+  in
+  let rps ms = float_of_int requests /. (ms /. 1000.0) in
+  let coalesced =
+    match List.assoc_opt "batched" (Server.Batcher.counters bat) with
+    | Some c -> c
+    | None -> 0
+  in
+  Printf.printf "cold one-shot pagerank: %.1f ms (%d compiles)\n" cold_ms
+    cold_compiles;
+  Printf.printf "daemon warm-up: %.1f ms; steady-state request: %.3f ms \
+                 (%.1fx vs cold)\n"
+    warmup_ms steady_ms speedup;
+  Printf.printf "multi-session: 4 sessions, identical=%b, compiles after \
+                 warm-up: %d\n"
+    identical compiles_after_warm;
+  Printf.printf "mxv throughput: unbatched %.0f req/s, batched %.0f req/s \
+                 (%d of %d coalesced)\n"
+    (rps unbatched_ms) (rps batched_ms) coalesced requests;
+  let oc = open_out "BENCH_serve.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"experiment\": \"serve\",\n";
+  out "  \"n\": %d,\n" n;
+  out "  \"cold\": { \"pagerank_ms\": %.3f, \"compiles\": %d },\n" cold_ms
+    cold_compiles;
+  out "  \"daemon\": { \"warmup_ms\": %.3f, \"steady_ms\": %.3f, \
+       \"reps\": %d },\n"
+    warmup_ms steady_ms reps;
+  out "  \"daemon_vs_cold_speedup\": %.3f,\n" speedup;
+  out "  \"multi_session\": { \"sessions\": 4, \"identical\": %b, \
+       \"compiles_after_warm\": %d },\n"
+    identical compiles_after_warm;
+  out "  \"zero_compiles_after_warm\": %b,\n" (compiles_after_warm = 0);
+  out "  \"batching\": { \"requests\": %d, \"domains\": %d, \
+       \"unbatched_rps\": %.1f, \"batched_rps\": %.1f, \"coalesced\": %d, \
+       \"batched_identical\": %b }\n"
+    requests domains (rps unbatched_ms) (rps batched_ms) coalesced
+    (Atomic.get batched_ok);
+  out "}\n";
+  close_out oc;
+  print_endline "wrote BENCH_serve.json";
+  print_newline ()
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks                                          *)
 (* ---------------------------------------------------------------- *)
 
@@ -1248,7 +1455,7 @@ let () =
          (fun a ->
            List.mem a
              [ "fig10"; "fig11"; "compile"; "table1"; "ablation"; "exec";
-               "formats"; "parallel"; "warmup"; "faults"; "micro" ])
+               "formats"; "parallel"; "warmup"; "faults"; "serve"; "micro" ])
          args)
   in
   Printf.printf "ogb benchmark harness (JIT: %s)\n\n"
@@ -1271,4 +1478,5 @@ let () =
   if all || has "parallel" then parallel_bench max_n;
   if all || has "warmup" then warmup_bench ();
   if all || has "faults" then faults_bench ();
+  if all || has "serve" then serve_bench ();
   if all || has "micro" then micro ()

@@ -5,74 +5,10 @@
 open Cmdliner
 open Gbtl
 
-(* -- graph sources -- *)
-
-let parse_graph_spec spec =
-  (* "er:n=1024[,seed=7]" | "rmat:scale=10[,ef=8][,seed=7]" |
-     "grid:rows=10,cols=10" | "tree:r=2,h=8" | "complete:n=16" |
-     "path:n=100" | "cycle:n=100" | a matrix-market file path *)
-  let params rest =
-    List.filter_map
-      (fun kv ->
-        match String.split_on_char '=' kv with
-        | [ k; v ] -> Some (k, v)
-        | _ -> None)
-      (String.split_on_char ',' rest)
-  in
-  let geti ps key default =
-    match List.assoc_opt key ps with Some v -> int_of_string v | None -> default
-  in
-  match String.index_opt spec ':' with
-  | None -> `File spec
-  | Some i ->
-    let kind = String.sub spec 0 i in
-    let ps = params (String.sub spec (i + 1) (String.length spec - i - 1)) in
-    let seed = geti ps "seed" 2018 in
-    let rng = Graphs.Rng.create ~seed in
-    (match kind with
-    | "er" ->
-      let n = geti ps "n" 1024 in
-      `Edges (Graphs.Generators.erdos_renyi_paper rng ~nvertices:n)
-    | "rmat" ->
-      `Edges
-        (Graphs.Generators.rmat rng ~scale:(geti ps "scale" 10)
-           ~edge_factor:(geti ps "ef" 8))
-    | "grid" ->
-      `Edges
-        (Graphs.Generators.grid2d ~rows:(geti ps "rows" 10)
-           ~cols:(geti ps "cols" 10))
-    | "tree" ->
-      `Edges
-        (Graphs.Generators.balanced_tree ~branching:(geti ps "r" 2)
-           ~height:(geti ps "h" 8))
-    | "complete" -> `Edges (Graphs.Generators.complete (geti ps "n" 16))
-    | "path" -> `Edges (Graphs.Generators.path (geti ps "n" 100))
-    | "cycle" -> `Edges (Graphs.Generators.cycle (geti ps "n" 100))
-    | "ws" ->
-      let beta =
-        match List.assoc_opt "beta" ps with
-        | Some v -> float_of_string v
-        | None -> 0.1
-      in
-      `Edges
-        (Graphs.Generators.watts_strogatz rng ~nvertices:(geti ps "n" 1000)
-           ~k:(geti ps "k" 4) ~beta)
-    | "ba" ->
-      `Edges
-        (Graphs.Generators.barabasi_albert rng ~nvertices:(geti ps "n" 1000)
-           ~m:(geti ps "m" 3))
-    | other -> `Error (Printf.sprintf "unknown generator %S" other))
+(* -- graph sources (spec parsing shared with the daemon's [load]) -- *)
 
 let load_float_matrix spec symmetrize =
-  match parse_graph_spec spec with
-  | `Error e -> Error e
-  | `File path -> (
-    try Ok (Matrix_market.read Dtype.FP64 path) with
-    | Matrix_market.Parse_error e -> Error e
-    | Sys_error e -> Error e)
-  | `Edges g ->
-    let g = if symmetrize then Graphs.Edge_list.symmetrize g else g in
-    Ok (Graphs.Convert.matrix_of_edges Dtype.FP64 g)
+  Server.Graph_spec.load_fp64 spec ~symmetrize
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -286,7 +222,7 @@ let run_cmd =
 (* -- gen subcommand -- *)
 
 let generate spec out symmetrize =
-  match parse_graph_spec spec with
+  match Server.Graph_spec.parse spec with
   | `Error e ->
     Printf.eprintf "error: %s\n" e;
     1
@@ -541,10 +477,16 @@ let exec_cmd =
 
 (* -- doctor subcommand: resilience-layer health report -- *)
 
-let doctor no_probe =
+let doctor no_probe json =
   let report = Jit.Health.collect ~probe:(not no_probe) () in
-  print_string (Jit.Health.to_string report);
-  if Jit.Health.healthy report then 0 else 1
+  if json then print_endline (Jit.Health.to_json report)
+  else print_string (Jit.Health.to_string report);
+  (* exit-code contract: 0 healthy, 1 degraded (breaker open — dispatch
+     still works on closures), 2 hard-failed (corrupt cache plugins) *)
+  match Jit.Health.verdict report with
+  | `Healthy -> 0
+  | `Degraded -> 1
+  | `Failed -> 2
 
 let doctor_cmd =
   let no_probe =
@@ -555,15 +497,227 @@ let doctor_cmd =
             "Skip the native-backend availability probe (which costs one \
              trivial compile on a cold cache).")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the report as one JSON object — the same body the server's \
+             $(b,health) request returns.")
+  in
   Cmd.v
     (Cmd.info "doctor"
        ~doc:
          "Check the JIT/execution resilience layer: backend probe, on-disk \
           cache integrity (checksums), circuit-breaker state, compile \
           timeout/retry configuration, fault-injection status and the \
-          resilience counters.  Exits nonzero when the cache holds corrupt \
-          plugins or the breaker is open.")
-    Term.(const doctor $ no_probe)
+          resilience counters.  Exits 1 when degraded (circuit breaker \
+          open), 2 when hard-failed (corrupt cache plugins).")
+    Term.(const doctor $ no_probe $ json)
+
+(* -- serve subcommand: the multi-tenant graph-service daemon -- *)
+
+let serve sock addr workers queue session_domains batch_window warm_n no_warm =
+  let base = Server.Daemon.default_config () in
+  let cfg =
+    { Server.Daemon.sock_path =
+        (match sock with Some p -> p | None -> base.Server.Daemon.sock_path);
+      tcp_addr =
+        (match addr with
+        | Some a -> (
+          match String.rindex_opt a ':' with
+          | Some i ->
+            let h = String.sub a 0 i in
+            Some
+              ( (if h = "" then "127.0.0.1" else h),
+                int_of_string
+                  (String.sub a (i + 1) (String.length a - i - 1)) )
+          | None -> Some ("127.0.0.1", int_of_string a))
+        | None -> base.Server.Daemon.tcp_addr);
+      workers =
+        (if workers > 0 then workers else base.Server.Daemon.workers);
+      queue_cap = (if queue > 0 then queue else base.Server.Daemon.queue_cap);
+      session_budget =
+        (if session_domains > 0 then session_domains
+         else base.Server.Daemon.session_budget);
+      batch_window =
+        (if batch_window >= 0.0 then batch_window
+         else base.Server.Daemon.batch_window);
+      warm_n = (if warm_n > 0 then warm_n else base.Server.Daemon.warm_n);
+      warm = base.Server.Daemon.warm && not no_warm }
+  in
+  (* Block SIGTERM/SIGINT in every thread (domains and reader threads
+     inherit this mask) and receive them on a dedicated sigwait thread
+     below.  A Sys.set_signal handler would only run once some thread
+     reaches an OCaml safe point — at idle they are all parked in C
+     (Domain.join, pthread_cond_wait, select), which turns a SIGTERM
+     into a minutes-long stall.  sigwait delivers regardless. *)
+  ignore (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigterm; Sys.sigint ]);
+  match Server.Daemon.start cfg with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok running ->
+    let (_ : Thread.t) =
+      Thread.create
+        (fun () ->
+          let (_ : int) = Thread.wait_signal [ Sys.sigterm; Sys.sigint ] in
+          Server.Daemon.stop running)
+        ()
+    in
+    Printf.printf "ogb serve: listening on %s%s (%d workers, queue %d, \
+                   session budget %d)\n%!"
+      cfg.Server.Daemon.sock_path
+      (match cfg.Server.Daemon.tcp_addr with
+      | Some (h, p) -> Printf.sprintf " and tcp %s:%d" h p
+      | None -> "")
+      cfg.Server.Daemon.workers cfg.Server.Daemon.queue_cap
+      cfg.Server.Daemon.session_budget;
+    Server.Daemon.wait running;
+    Printf.printf "ogb serve: stopped\n%!";
+    0
+
+let serve_cmd =
+  let sock =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sock" ] ~doc:"Unix-socket path (default: \\$OGB_SERVE_SOCK).")
+  in
+  let addr =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "addr" ]
+          ~doc:"Also listen on TCP host:port (default: \\$OGB_SERVE_ADDR).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ]
+          ~doc:"Worker domains draining the request queue (0 = env/default).")
+  in
+  let queue =
+    Arg.(
+      value & opt int 0
+      & info [ "queue" ]
+          ~doc:"Admission-queue bound; overflow is shed (0 = env/default).")
+  in
+  let session_domains =
+    Arg.(
+      value & opt int 0
+      & info [ "session-domains" ]
+          ~doc:"Pool-domain budget per session request (0 = whole pool).")
+  in
+  let batch_window =
+    Arg.(
+      value & opt float (-1.0)
+      & info [ "batch-window" ]
+          ~doc:"Seconds a batch leader holds same-signature products open.")
+  in
+  let warm_n =
+    Arg.(
+      value & opt int 0
+      & info [ "warm-n" ]
+          ~doc:"Vertex count the startup JIT warm-up assumes (0 = default).")
+  in
+  let no_warm =
+    Arg.(value & flag & info [ "no-warm" ] ~doc:"Skip the startup warm-up.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the multi-tenant graph-service daemon: line-delimited JSON \
+          over a Unix socket, shared warm JIT cache, per-session operator \
+          contexts, admission control and same-signature request batching. \
+          SIGTERM/SIGINT shut it down cleanly.")
+    Term.(
+      const serve $ sock $ addr $ workers $ queue $ session_domains
+      $ batch_window $ warm_n $ no_warm)
+
+(* -- client subcommand -- *)
+
+let client sock addr abort requests =
+  let addr =
+    Option.bind addr (fun a ->
+        match String.rindex_opt a ':' with
+        | Some i ->
+          let h = String.sub a 0 i in
+          Option.map
+            (fun p -> ((if h = "" then "127.0.0.1" else h), p))
+            (int_of_string_opt
+               (String.sub a (i + 1) (String.length a - i - 1)))
+        | None -> Option.map (fun p -> ("127.0.0.1", p)) (int_of_string_opt a))
+  in
+  match Server.Client.connect ?sock ?addr () with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok c ->
+    let to_line r =
+      let r = String.trim r in
+      if String.length r > 0 && r.[0] = '{' then r
+      else Printf.sprintf "{\"op\": %S}" r
+    in
+    if abort then begin
+      (* ship the requests and vanish without reading a byte back —
+         the CI smoke test's mid-request disconnect *)
+      List.iter (fun r -> ignore (Server.Client.send_raw c (to_line r))) requests;
+      Server.Client.close c;
+      0
+    end
+    else begin
+      let failed = ref false in
+      List.iter
+        (fun r ->
+          match Server.Client.request c (Server.Json.parse (to_line r)) with
+          | Ok resp ->
+            print_endline (Server.Json.to_string resp);
+            (match Server.Json.str_field "status" resp with
+            | Some "ok" -> ()
+            | _ -> failed := true)
+          | Error e ->
+            Printf.eprintf "error: %s\n" e;
+            failed := true)
+        requests;
+      Server.Client.close c;
+      if !failed then 1 else 0
+    end
+
+let client_cmd =
+  let sock =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sock" ] ~doc:"Unix-socket path of the daemon.")
+  in
+  let addr =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "addr" ] ~doc:"TCP host:port of the daemon.")
+  in
+  let abort =
+    Arg.(
+      value & flag
+      & info [ "abort" ]
+          ~doc:
+            "Send the requests, then disconnect immediately without reading \
+             any response (exercises the daemon's disconnect handling).")
+  in
+  let requests =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "A JSON request object, or a bare op name (wrapped as \
+             {\"op\": ...}).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send requests to a running $(b,ogb serve) daemon and print the \
+             responses")
+    Term.(const client $ sock $ addr $ abort $ requests)
 
 (* -- analyze subcommand: static analysis + ahead-of-time warm-up -- *)
 
@@ -702,9 +856,13 @@ let analyze_cmd =
     Term.(const analyze $ algo $ n $ warm)
 
 let () =
+  (* a dying client mid-write must surface as EPIPE, not kill the
+     process — applies to both serve and the plain subcommands, whose
+     stdout may be a broken pipe under `ogb ... | head` *)
+  Server.Wire.ignore_sigpipe ();
   let doc = "GraphBLAS DSL with dynamic kernel compilation (PyGB reproduction)" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "ogb" ~version:"1.0.0" ~doc)
           [ run_cmd; gen_cmd; info_cmd; jit_cmd; exec_cmd; analyze_cmd;
-            doctor_cmd ]))
+            doctor_cmd; serve_cmd; client_cmd ]))

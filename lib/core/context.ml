@@ -51,6 +51,16 @@ let with_ops entries f =
 
 let depth () = List.length !(stack ())
 
+(* Whole-stack save/restore: the server's session isolation.  A session
+   handler installs the session's saved stack before evaluating a
+   request on whatever worker domain picked it up, and captures the
+   (possibly mutated) stack back into the session record afterwards —
+   so one session's pushed operators can never leak into another
+   session served later by the same domain. *)
+let save () = !(stack ())
+let restore entries = stack () := entries
+let reset () = stack () := []
+
 let find_map f = List.find_map f !(stack ())
 
 let current_semiring () =

@@ -50,6 +50,15 @@ val pop : unit -> unit
 
 val depth : unit -> int
 
+val save : unit -> entry list
+val restore : entry list -> unit
+val reset : unit -> unit
+(** Whole-stack capture for the server's per-session isolation: a
+    session's operator stack is [save]d after each request and
+    [restore]d (on whichever domain serves it next) before the next
+    one; [reset] clears the serving domain's stack between sessions.
+    Innermost entry first, as {!push} maintains it. *)
+
 (** {2 Resolution (used by expression construction)} *)
 
 val current_semiring : unit -> Jit.Op_spec.semiring

@@ -22,7 +22,10 @@ let points =
     "sched.worker.exn";  (* worker domain raises mid-plan *)
     "sched.worker.slow";  (* worker domain stalls on a node *)
     "par.worker.exn";  (* pool worker raises mid-chunk (degrade to seq) *)
-    "par.worker.slow" ]  (* pool worker stalls on a chunk *)
+    "par.worker.slow";  (* pool worker stalls on a chunk *)
+    "serve.accept.exn";  (* daemon accept loop raises on a connection *)
+    "serve.session.exn";  (* session handler dies mid-request *)
+    "serve.batch.partial" ]  (* one member of a coalesced batch fails *)
 
 let valid_point p = List.mem p points
 

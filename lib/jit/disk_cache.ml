@@ -173,9 +173,16 @@ let quarantine hash =
 
 (* -- cross-process advisory lock (single-flight compilation) -- *)
 
+(* A daemon with active signal handlers (SIGTERM/SIGPIPE in the server)
+   can see any blocking syscall interrupted; EINTR on open or lockf is a
+   retry, not a failure. *)
+let rec retry_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
 let with_lock hash f =
   match
-    Unix.openfile (lock_path hash) [ Unix.O_CREAT; Unix.O_RDWR ] 0o644
+    retry_eintr (fun () ->
+        Unix.openfile (lock_path hash) [ Unix.O_CREAT; Unix.O_RDWR ] 0o644)
   with
   | exception Unix.Unix_error _ ->
     (* can't lock (read-only cache dir): compile unlocked, duplicated
@@ -184,10 +191,12 @@ let with_lock hash f =
   | fd ->
     Fun.protect
       ~finally:(fun () ->
-        (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
-        Unix.close fd)
+        (try retry_eintr (fun () -> Unix.lockf fd Unix.F_ULOCK 0)
+         with Unix.Unix_error _ -> ());
+        retry_eintr (fun () -> Unix.close fd))
       (fun () ->
-        (try Unix.lockf fd Unix.F_LOCK 0 with Unix.Unix_error _ -> ());
+        (try retry_eintr (fun () -> Unix.lockf fd Unix.F_LOCK 0)
+         with Unix.Unix_error _ -> ());
         f ())
 
 (* -- cache-wide maintenance -- *)

@@ -54,6 +54,74 @@ let collect ?(probe = true) () =
 
 let healthy t = t.cache_mismatch = 0 && Breaker.state () <> Breaker.Open
 
+(* Exit-code contract (ogb doctor, server health endpoint): corrupt
+   artifacts in the cache are a hard failure (integrity is gone until
+   someone clears or quarantines them), while an open breaker is a
+   degradation (every dispatch still succeeds on the closure backend). *)
+let verdict t =
+  if t.cache_mismatch > 0 then `Failed
+  else if Breaker.state () = Breaker.Open then `Degraded
+  else `Healthy
+
+let verdict_string t =
+  match verdict t with
+  | `Healthy -> "healthy"
+  | `Degraded -> "degraded"
+  | `Failed -> "failed"
+
+(* Machine-readable form of the exact same report: [ogb doctor --json]
+   prints it, and the server's [health] response embeds it verbatim. *)
+let to_json t =
+  let b = Buffer.create 2048 in
+  let out fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let str s = Printf.sprintf "%S" s in
+  out "{";
+  out "\"backend\": %s, " (str t.backend);
+  out "\"effective\": %s, " (str t.effective);
+  out "\"breaker\": { \"state\": %s, \"threshold\": %d, \"cooldown_s\": %g }, "
+    (str t.breaker) t.breaker_threshold t.breaker_cooldown;
+  out "\"compile\": { \"timeout_s\": %g, \"retries\": %d }, "
+    t.compile_timeout t.compile_retries;
+  out "\"cache\": { \"dir\": %s, \"ok\": %d, \"no_sum\": %d, \"mismatch\": %d }, "
+    (str t.cache_dir) t.cache_ok t.cache_no_sum t.cache_mismatch;
+  out "\"faults\": %s, " (str t.faults);
+  out "\"fault_counters\": [%s], "
+    (String.concat ", "
+       (List.map
+          (fun (p, a, f) ->
+            Printf.sprintf
+              "{ \"point\": %s, \"attempts\": %d, \"fired\": %d }" (str p) a f)
+          t.fault_counters));
+  let s = t.stats in
+  out
+    "\"stats\": { \"lookups\": %d, \"memory_hits\": %d, \"disk_hits\": %d, \
+     \"compiles\": %d, \"native_compiles\": %d, \"native_failures\": %d, \
+     \"compile_seconds\": %.6f, \"warm_requests\": %d, \"warm_compiles\": %d, \
+     \"cache_write_failures\": %d, \"checksum_quarantines\": %d, \
+     \"compile_timeouts\": %d, \"compile_retries\": %d, \"breaker_trips\": %d, \
+     \"breaker_short_circuits\": %d, \"inflight_waits\": %d, \
+     \"sched_worker_failures\": %d, \"sched_seq_reruns\": %d, \
+     \"blocking_fallbacks\": %d }, "
+    s.Jit_stats.lookups s.Jit_stats.memory_hits s.Jit_stats.disk_hits
+    s.Jit_stats.compiles s.Jit_stats.native_compiles s.Jit_stats.native_failures
+    s.Jit_stats.compile_seconds s.Jit_stats.warm_requests
+    s.Jit_stats.warm_compiles s.Jit_stats.cache_write_failures
+    s.Jit_stats.checksum_quarantines s.Jit_stats.compile_timeouts
+    s.Jit_stats.compile_retries s.Jit_stats.breaker_trips
+    s.Jit_stats.breaker_short_circuits s.Jit_stats.inflight_waits
+    s.Jit_stats.sched_worker_failures s.Jit_stats.sched_seq_reruns
+    s.Jit_stats.blocking_fallbacks;
+  out "\"pool\": { \"domains\": %d, \"threshold\": %d, \"busy_seconds\": %.6f%s }, "
+    t.pool_domains t.pool_threshold t.pool_busy_seconds
+    (String.concat ""
+       (List.map
+          (fun (k, v) -> Printf.sprintf ", %s: %d" (Printf.sprintf "%S" k) v)
+          t.pool_counters));
+  out "\"healthy\": %b, " (healthy t);
+  out "\"verdict\": %s" (str (verdict_string t));
+  out "}";
+  Buffer.contents b
+
 let pp fmt t =
   Format.fprintf fmt "backend:          %s@\n" t.backend;
   Format.fprintf fmt "effective:        %s@\n" t.effective;

@@ -31,5 +31,18 @@ val collect : ?probe:bool -> unit -> t
 val healthy : t -> bool
 (** No corrupt cache entries and the breaker is not open. *)
 
+val verdict : t -> [ `Healthy | `Degraded | `Failed ]
+(** The [ogb doctor] exit-code contract: [`Failed] (exit 2) when the
+    cache scan found corrupt plugins, [`Degraded] (exit 1) when the
+    circuit breaker is open (dispatch still works, on closures),
+    [`Healthy] (exit 0) otherwise. *)
+
+val verdict_string : t -> string
+
+val to_json : t -> string
+(** One JSON object carrying the whole report — what [ogb doctor
+    --json] prints and the server's [health] response embeds
+    verbatim. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

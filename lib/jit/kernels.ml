@@ -48,7 +48,16 @@ let matvec_arg (type a) (m : a Smatrix.t) (u : a Svector.t) flag : a matvec_arg
     Smatrix.ncols m,
     flag )
 
-let mxv (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose m u =
+(* The dispatch half of [mxv], factored out so a coalesced batch of
+   same-signature products (the server's request batcher) pays for one
+   cache lookup and shares one fetched kernel across every member.
+   Layout and grain decisions come from the representative operand
+   [u0]; the returned [run] is correct for any conformant vector (both
+   the pull and the scatter loop accept arbitrary fills), so batch
+   members keyed to the same signature stay bit-identical to their
+   solo dispatches. *)
+let mxv_plan (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose m
+    (u0 : a Svector.t) =
   (* Direction choice for the transposed product: a filled-in frontier
      favors pulling over the CSC side (one gather per output position);
      a sparse frontier favors the CSR scatter.  Both accumulate each
@@ -57,12 +66,9 @@ let mxv (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose m u =
   let use_pull =
     transpose
     && Format_stats.enabled ()
-    && Svector.size u >= 32
-    && 4 * Svector.nvals u >= Svector.size u
+    && Svector.size u0 >= 32
+    && 4 * Svector.nvals u0 >= Svector.size u0
   in
-  if transpose && Format_stats.enabled () then
-    if use_pull then Format_stats.record_pull ()
-    else Format_stats.record_push ();
   (* Row blocks for the gather/pull loops (exact for every operator);
      frontier blocks for the scatter push, gated to exactly associative
      ⊕ because the merge regroups each output's fold. *)
@@ -71,7 +77,7 @@ let mxv (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose m u =
     if use_pull then Pool.plan ~work:nnz ~n:(Smatrix.ncols m) ()
     else if transpose then
       if exact_assoc ~dtype:(Dtype.name dt) ~op:sr.Op_spec.add_op then
-        Pool.plan ~divisor:4 ~work:nnz ~n:(Svector.nvals u) ()
+        Pool.plan ~divisor:4 ~work:nnz ~n:(Svector.nvals u0) ()
       else None
     else Pool.plan ~work:nnz ~n:(Smatrix.nrows m) ()
   in
@@ -126,21 +132,35 @@ let mxv (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose m u =
   (* ABI flag for mxv: true selects the scatter (transposed) loop.  The
      pull dispatch hands the gather loop the CSC arrays with swapped
      dimensions, which computes the transposed product directly. *)
-  let arg : a matvec_arg =
-    if use_pull then
-      ( Smatrix.unsafe_colptr m,
-        Smatrix.unsafe_rowidx m,
-        Smatrix.unsafe_cvals m,
-        Svector.unsafe_indices u,
-        Svector.unsafe_values u,
-        Svector.nvals u,
-        Smatrix.ncols m,
-        Smatrix.nrows m,
-        false )
-    else matvec_arg m u transpose
+  let run (u : a Svector.t) =
+    if transpose && Format_stats.enabled () then
+      if use_pull then Format_stats.record_pull ()
+      else Format_stats.record_push ();
+    let arg : a matvec_arg =
+      if use_pull then
+        ( Smatrix.unsafe_colptr m,
+          Smatrix.unsafe_rowidx m,
+          Smatrix.unsafe_cvals m,
+          Svector.unsafe_indices u,
+          Svector.unsafe_values u,
+          Svector.nvals u,
+          Smatrix.ncols m,
+          Smatrix.nrows m,
+          false )
+      else matvec_arg m u transpose
+    in
+    let result = kernel (Obj.repr arg) in
+    entries_of_pair (Obj.obj result : int array * a array)
   in
-  let result = kernel (Obj.repr arg) in
-  entries_of_pair (Obj.obj result : int array * a array)
+  (sig_, run)
+
+let mxv dt sr ~transpose m u = snd (mxv_plan dt sr ~transpose m u) u
+
+let mxv_batch dt sr ~transpose m = function
+  | [] -> []
+  | u0 :: _ as us ->
+    let _, run = mxv_plan dt sr ~transpose m u0 in
+    List.map run us
 
 (* "⊕ can no longer change this accumulator" — the early-exit predicate
    of the masked pull.  Only saturating monoids have one; constant-false
@@ -217,7 +237,9 @@ let mxv_pull_masked (type a) (dt : a Dtype.t) (sr : Op_spec.semiring)
   in
   entries_of_pair (Obj.obj (kernel (Obj.repr arg)) : int array * a array)
 
-let vxm (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose u m =
+(* Batch seam for [vxm], mirroring {!mxv_plan}. *)
+let vxm_plan (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose
+    (u0 : a Svector.t) m =
   (* Semantic transpose runs the gather loop (row blocks, exact for
      every operator); the plain product is the scatter push, gated to
      exactly associative ⊕. *)
@@ -225,7 +247,7 @@ let vxm (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose u m =
   let par_plan =
     if transpose then Pool.plan ~work:nnz ~n:(Smatrix.nrows m) ()
     else if exact_assoc ~dtype:(Dtype.name dt) ~op:sr.Op_spec.add_op then
-      Pool.plan ~divisor:4 ~work:nnz ~n:(Svector.nvals u) ()
+      Pool.plan ~divisor:4 ~work:nnz ~n:(Svector.nvals u0) ()
     else None
   in
   let sig_ =
@@ -276,8 +298,19 @@ let vxm (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose u m =
   in
   (* Semantic transpose means the gather loop, which the shared kernel
      body runs when the ABI flag is false. *)
-  let result = kernel (Obj.repr (matvec_arg m u (not transpose))) in
-  entries_of_pair (Obj.obj result : int array * a array)
+  let run (u : a Svector.t) =
+    let result = kernel (Obj.repr (matvec_arg m u (not transpose))) in
+    entries_of_pair (Obj.obj result : int array * a array)
+  in
+  (sig_, run)
+
+let vxm dt sr ~transpose u m = snd (vxm_plan dt sr ~transpose u m) u
+
+let vxm_batch dt sr ~transpose m = function
+  | [] -> []
+  | u0 :: _ as us ->
+    let _, run = vxm_plan dt sr ~transpose u0 m in
+    List.map run us
 
 let vxm_dense (type a) (dt : a Dtype.t) (sr : Op_spec.semiring)
     ((uvls, uocc) : a array * bool array) (m : a Smatrix.t) :

@@ -197,11 +197,27 @@ let active_nodes = Atomic.make 0
 let enter_node () = Atomic.incr active_nodes
 let leave_node () = Atomic.decr active_nodes
 
+(* Per-caller budget cap (domain-local): the server brackets each
+   session's request in [with_budget_cap] so one tenant's kernels can
+   claim at most its configured share of the pool, however idle the
+   rest of the machine is.  The cap rides on the calling domain because
+   that is where [parallel_for] decides how many helpers to request. *)
+let budget_cap_key : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref max_int)
+
+let with_budget_cap n f =
+  let cap = Domain.DLS.get budget_cap_key in
+  let saved = !cap in
+  cap := max 1 n;
+  Fun.protect ~finally:(fun () -> cap := saved) f
+
 (* A node running alone (or a kernel called outside the scheduler) gets
-   the whole pool; [k] concurrently executing nodes split it. *)
+   the whole pool; [k] concurrently executing nodes split it; a session
+   cap clamps the result regardless. *)
 let budget () =
   let a = max 1 (Atomic.get active_nodes) in
-  max 1 ((workers () + 1) / a)
+  let cap = !(Domain.DLS.get budget_cap_key) in
+  max 1 (min cap ((workers () + 1) / a))
 
 (* -- chunked parallel for -- *)
 

@@ -72,7 +72,16 @@ val leave_node : unit -> unit
 
 val budget : unit -> int
 (** Domains available to one kernel right now: the whole pool when
-    nothing else runs, [pool / active-nodes] under the scheduler. *)
+    nothing else runs, [pool / active-nodes] under the scheduler —
+    clamped by the calling domain's {!with_budget_cap} if one is
+    active. *)
+
+val with_budget_cap : int -> (unit -> 'a) -> 'a
+(** [with_budget_cap k f] runs [f] with this domain's kernels limited
+    to at most [k] domains of pool help (clamped to ≥ 1; restored
+    afterwards).  The server wraps each session request in this so
+    concurrent tenants split the pool by configuration instead of by
+    arrival order. *)
 
 val counters : unit -> (string * int) list
 (** [par_jobs], [seq_jobs], [chunks], [tasks], [degrades]. *)

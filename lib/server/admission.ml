@@ -1,0 +1,59 @@
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  cap : int;
+  mutable closed : bool;
+  mutable offered : int;
+  mutable shed : int;
+  mutable taken : int;
+}
+
+let create ~cap =
+  { lock = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    cap = max 1 cap;
+    closed = false;
+    offered = 0;
+    shed = 0;
+    taken = 0 }
+
+let offer t x =
+  Mutex.protect t.lock (fun () ->
+      t.offered <- t.offered + 1;
+      if t.closed || Queue.length t.items >= t.cap then begin
+        t.shed <- t.shed + 1;
+        false
+      end
+      else begin
+        Queue.push x t.items;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let take t =
+  Mutex.protect t.lock (fun () ->
+      let rec wait () =
+        if t.closed then None
+        else if Queue.is_empty t.items then begin
+          Condition.wait t.nonempty t.lock;
+          wait ()
+        end
+        else begin
+          t.taken <- t.taken + 1;
+          Some (Queue.pop t.items)
+        end
+      in
+      wait ())
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let depth t = Mutex.protect t.lock (fun () -> Queue.length t.items)
+
+let counters t =
+  Mutex.protect t.lock (fun () ->
+      [ ("offered", t.offered); ("shed", t.shed); ("taken", t.taken) ])

@@ -1,0 +1,27 @@
+(** Admission control: a bounded MPMC queue between connection readers
+    and worker domains.  When the queue is full the offer is refused
+    immediately — the caller sheds the request with a [status: shed]
+    response instead of letting latency grow without bound (the daemon
+    prefers fast rejection over slow acceptance). *)
+
+type 'a t
+
+val create : cap:int -> 'a t
+(** [cap] is clamped to ≥ 1. *)
+
+val offer : 'a t -> 'a -> bool
+(** Non-blocking; [false] means the queue was full (or closed) and the
+    item was shed. *)
+
+val take : 'a t -> 'a option
+(** Block until an item or {!close}; [None] only after close (items
+    still queued at close are dropped — shutdown is tearing the
+    connections down anyway). *)
+
+val close : 'a t -> unit
+(** Wake every blocked {!take} with [None]; subsequent offers shed. *)
+
+val depth : 'a t -> int
+
+val counters : 'a t -> (string * int) list
+(** [offered], [shed], [taken]. *)

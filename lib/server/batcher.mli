@@ -1,0 +1,51 @@
+(** Request batching: concurrent same-signature matrix–vector products
+    from different sessions coalesce into one fused dispatch
+    ({!Jit.Kernels.mxv_batch}/[vxm_batch]) — one cache lookup and one
+    kernel resolution amortized over every member, instead of each
+    session racing the dispatch table separately.
+
+    The first arrival for a signature becomes the batch leader: it
+    holds the batch open for a short window while followers append,
+    then executes the whole batch and distributes results.  Members
+    keyed together are guaranteed to resolve to the same kernel — the
+    key includes everything {!Jit.Kernel_sig} derives from the operand
+    (operation, graph identity, transpose, semiring, size and the
+    density class that picks the pull/push layout).
+
+    Failure containment: the [serve.batch.partial] injection point (and
+    any real per-member failure) degrades only that member's request to
+    an error; the rest of the batch completes, and a failure of the
+    fused call itself falls back to per-member execution. *)
+
+type key
+
+val key_of :
+  op:[ `Mxv | `Vxm ] ->
+  graph:string ->
+  transpose:bool ->
+  sr:Jit.Op_spec.semiring ->
+  u:float Gbtl.Svector.t ->
+  key
+
+type t
+
+val create : ?window_s:float -> unit -> t
+(** [window_s] (default 1 ms) is how long a leader holds the batch
+    open; [0.] disables the wait (only simultaneous arrivals
+    coalesce). *)
+
+val set_window : t -> float -> unit
+
+val run :
+  t ->
+  key ->
+  sr:Jit.Op_spec.semiring ->
+  m:float Gbtl.Smatrix.t ->
+  float Gbtl.Svector.t ->
+  ((int * float) list, string) result
+(** Execute one product, possibly as part of a coalesced batch.
+    Blocks the calling worker until its member's result is ready. *)
+
+val counters : t -> (string * int) list
+(** [batches] (fused dispatches of ≥ 2), [batched] (requests served by
+    those), [singles], [partial_failures]. *)

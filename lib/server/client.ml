@@ -1,0 +1,51 @@
+type t = Wire.conn
+
+let connect ?sock ?addr () =
+  Wire.ignore_sigpipe ();
+  match addr with
+  | Some (host, port) -> (
+    try
+      let ip =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_loopback
+      in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Wire.retry_eintr (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (ip, port)));
+      Ok (Wire.conn fd)
+    with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+  | None -> (
+    let path =
+      match sock with
+      | Some p -> p
+      | None -> (
+        match Sys.getenv_opt "OGB_SERVE_SOCK" with
+        | Some p when p <> "" -> p
+        | _ ->
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "ogb-serve-%d.sock" (Unix.getuid ())))
+    in
+    try
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Wire.retry_eintr (fun () -> Unix.connect fd (Unix.ADDR_UNIX path));
+      Ok (Wire.conn fd)
+    with Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+
+let send_raw t line = Wire.send_line t line
+
+let recv t =
+  match Wire.recv_line t with
+  | `Eof | `Timeout -> None
+  | `Line l -> ( match Json.parse l with j -> Some j | exception _ -> None)
+
+let request t req =
+  match Wire.send_line t (Json.to_string req) with
+  | Error e -> Error e
+  | Ok () -> (
+    match recv t with
+    | Some resp -> Ok resp
+    | None -> Error "connection closed before a response arrived")
+
+let close t = Wire.close t

@@ -1,0 +1,22 @@
+(** Minimal client for the daemon's wire protocol — what [ogb client]
+    and the CI smoke test use.  One request line out, one response
+    line back; {!request} pairs them up. *)
+
+type t
+
+val connect :
+  ?sock:string -> ?addr:string * int -> unit -> (t, string) result
+(** Unix socket by default ([sock], else the [OGB_SERVE_SOCK]/default
+    path); [addr] switches to TCP. *)
+
+val request : t -> Json.t -> (Json.t, string) result
+(** Send one request and block for the next response line. *)
+
+val send_raw : t -> string -> (unit, string) result
+(** Ship one raw line without waiting — for abort-style tests that
+    disconnect mid-exchange. *)
+
+val recv : t -> Json.t option
+(** Next response line, [None] on EOF or unparseable data. *)
+
+val close : t -> unit

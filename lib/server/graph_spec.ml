@@ -1,0 +1,68 @@
+open Gbtl
+
+let parse spec =
+  let params rest =
+    List.filter_map
+      (fun kv ->
+        match String.split_on_char '=' kv with
+        | [ k; v ] -> Some (k, v)
+        | _ -> None)
+      (String.split_on_char ',' rest)
+  in
+  let geti ps key default =
+    match List.assoc_opt key ps with Some v -> int_of_string v | None -> default
+  in
+  match String.index_opt spec ':' with
+  | None -> `File spec
+  | Some i -> (
+    let kind = String.sub spec 0 i in
+    let ps = params (String.sub spec (i + 1) (String.length spec - i - 1)) in
+    let seed = geti ps "seed" 2018 in
+    let rng = Graphs.Rng.create ~seed in
+    try
+      match kind with
+      | "er" ->
+        let n = geti ps "n" 1024 in
+        `Edges (Graphs.Generators.erdos_renyi_paper rng ~nvertices:n)
+      | "rmat" ->
+        `Edges
+          (Graphs.Generators.rmat rng ~scale:(geti ps "scale" 10)
+             ~edge_factor:(geti ps "ef" 8))
+      | "grid" ->
+        `Edges
+          (Graphs.Generators.grid2d ~rows:(geti ps "rows" 10)
+             ~cols:(geti ps "cols" 10))
+      | "tree" ->
+        `Edges
+          (Graphs.Generators.balanced_tree ~branching:(geti ps "r" 2)
+             ~height:(geti ps "h" 8))
+      | "complete" -> `Edges (Graphs.Generators.complete (geti ps "n" 16))
+      | "path" -> `Edges (Graphs.Generators.path (geti ps "n" 100))
+      | "cycle" -> `Edges (Graphs.Generators.cycle (geti ps "n" 100))
+      | "ws" ->
+        let beta =
+          match List.assoc_opt "beta" ps with
+          | Some v -> float_of_string v
+          | None -> 0.1
+        in
+        `Edges
+          (Graphs.Generators.watts_strogatz rng ~nvertices:(geti ps "n" 1000)
+             ~k:(geti ps "k" 4) ~beta)
+      | "ba" ->
+        `Edges
+          (Graphs.Generators.barabasi_albert rng ~nvertices:(geti ps "n" 1000)
+             ~m:(geti ps "m" 3))
+      | other -> `Error (Printf.sprintf "unknown generator %S" other)
+    with Failure _ ->
+      `Error (Printf.sprintf "bad parameter in graph spec %S" spec))
+
+let load_fp64 spec ~symmetrize =
+  match parse spec with
+  | `Error e -> Error e
+  | `File path -> (
+    try Ok (Matrix_market.read Dtype.FP64 path) with
+    | Matrix_market.Parse_error e -> Error e
+    | Sys_error e -> Error e)
+  | `Edges g ->
+    let g = if symmetrize then Graphs.Edge_list.symmetrize g else g in
+    Ok (Graphs.Convert.matrix_of_edges Dtype.FP64 g)

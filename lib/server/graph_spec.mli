@@ -1,0 +1,16 @@
+(** Graph-source specs shared by the CLI and the daemon's [load]
+    request: a generator expression ([er:n=1024], [rmat:scale=10,ef=8],
+    [grid:rows=10,cols=10], [tree:r=2,h=8], [complete:n=16],
+    [path:n=100], [cycle:n=100], [ws:n=1000,k=4,beta=0.1],
+    [ba:n=1000,m=3]; all accept [seed=N]) or a MatrixMarket file
+    path. *)
+
+val parse :
+  string ->
+  [ `File of string | `Edges of Graphs.Edge_list.t | `Error of string ]
+
+val load_fp64 :
+  string -> symmetrize:bool -> (float Gbtl.Smatrix.t, string) result
+(** Resolve a spec all the way to an FP64 adjacency matrix
+    ([symmetrize] mirrors every generated edge; files load as
+    stored). *)

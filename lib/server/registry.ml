@@ -1,0 +1,26 @@
+open Gbtl
+
+type t = { lock : Mutex.t; mutable graphs : (string * float Smatrix.t) list }
+
+let create () = { lock = Mutex.create (); graphs = [] }
+
+let load t ~name ~spec ~symmetrize =
+  match Graph_spec.load_fp64 spec ~symmetrize with
+  | Error e -> Error e
+  | Ok m ->
+    Mutex.protect t.lock (fun () ->
+        if List.mem_assoc name t.graphs then
+          Error (Printf.sprintf "graph %S is already loaded" name)
+        else begin
+          t.graphs <- (name, m) :: t.graphs;
+          Ok m
+        end)
+
+let find t name = Mutex.protect t.lock (fun () -> List.assoc_opt name t.graphs)
+
+let names t =
+  Mutex.protect t.lock (fun () ->
+      List.sort compare
+        (List.map
+           (fun (name, m) -> (name, Smatrix.nrows m, Smatrix.nvals m))
+           t.graphs))

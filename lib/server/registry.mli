@@ -1,0 +1,23 @@
+(** The daemon's shared graph store: named, immutable FP64 adjacency
+    matrices loaded once and read by every session concurrently.
+    Immutability is the isolation story for data — sessions never write
+    into a registered matrix, so no cross-session locking guards the
+    compute path; the mutex below only serializes the name table. *)
+
+type t
+
+val create : unit -> t
+
+val load :
+  t ->
+  name:string ->
+  spec:string ->
+  symmetrize:bool ->
+  (float Gbtl.Smatrix.t, string) result
+(** Parse/generate the graph and bind it to [name].  Rebinding an
+    existing name is refused — a graph another session already computed
+    against must not change identity under it. *)
+
+val find : t -> string -> float Gbtl.Smatrix.t option
+val names : t -> (string * int * int) list
+(** (name, vertices, edges), sorted by name. *)

@@ -1,0 +1,27 @@
+type t = {
+  id : int;
+  lock : Mutex.t;
+  mutable ctx : Ogb.Context.entry list;
+  mutable requests : int;
+  mutable errors : int;
+  mutable closed : bool;
+}
+
+let next_id = Atomic.make 1
+
+let create () =
+  { id = Atomic.fetch_and_add next_id 1;
+    lock = Mutex.create ();
+    ctx = [];
+    requests = 0;
+    errors = 0;
+    closed = false }
+
+let with_context t f =
+  Ogb.Context.reset ();
+  Ogb.Context.restore t.ctx;
+  Fun.protect
+    ~finally:(fun () ->
+      t.ctx <- Ogb.Context.save ();
+      Ogb.Context.reset ())
+    f

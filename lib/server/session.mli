@@ -1,0 +1,32 @@
+(** Per-client session state.  Each connection owns one session; the
+    only mutable things a session carries across requests are its
+    operator-context stack (the DSL's [with] blocks, [Ogb.Context])
+    and its counters.  The stack is captured after every request and
+    re-installed — on whichever worker domain picks the session up next
+    — before the following one, so context pushed by one tenant can
+    never leak into another: the serving domain's stack is reset to
+    empty on entry and exit either way.
+
+    MiniVM environments need no such treatment: every [vm_loops] run
+    builds a fresh environment, so nothing VM-side survives a request.
+
+    Requests from one session are serialized by [lock]; the pipelined
+    reader may enqueue several, but they execute in order. *)
+
+type t = {
+  id : int;
+  lock : Mutex.t;
+  mutable ctx : Ogb.Context.entry list;  (** saved operator stack *)
+  mutable requests : int;
+  mutable errors : int;
+  mutable closed : bool;
+}
+
+val create : unit -> t
+(** Fresh id from a process-wide counter; empty context. *)
+
+val with_context : t -> (unit -> 'a) -> 'a
+(** Install the session's saved operator stack on the calling domain,
+    run [f], capture the (possibly modified) stack back into the
+    session, and leave the domain's stack empty — even when [f]
+    raises. *)

@@ -1,0 +1,71 @@
+let rec retry_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
+let ignore_sigpipe () =
+  match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception (Invalid_argument _ | Sys_error _) -> ()
+
+type conn = { fd : Unix.file_descr; buf : Buffer.t; mutable eof : bool }
+
+let conn fd = { fd; buf = Buffer.create 256; eof = false }
+let fd c = c.fd
+
+(* Pull one buffered line out, if a terminator has arrived. *)
+let take_line c =
+  let s = Buffer.contents c.buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+    Buffer.clear c.buf;
+    Buffer.add_string c.buf (String.sub s (i + 1) (String.length s - i - 1));
+    Some (String.sub s 0 i)
+
+let readable ?timeout_s fd =
+  let t = match timeout_s with Some t -> t | None -> -1.0 in
+  match retry_eintr (fun () -> Unix.select [ fd ] [] [] t) with
+  | [], _, _ -> false
+  | _ -> true
+
+let recv_line ?timeout_s c =
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match take_line c with
+    | Some l -> `Line l
+    | None ->
+      if c.eof then
+        if Buffer.length c.buf > 0 then begin
+          let l = Buffer.contents c.buf in
+          Buffer.clear c.buf;
+          `Line l
+        end
+        else `Eof
+      else if not (readable ?timeout_s c.fd) then `Timeout
+      else begin
+        (match retry_eintr (fun () -> Unix.read c.fd chunk 0 4096) with
+        | 0 -> c.eof <- true
+        | k -> Buffer.add_subbytes c.buf chunk 0 k
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          c.eof <- true);
+        go ()
+      end
+  in
+  go ()
+
+let send_line c s =
+  let data = Bytes.of_string (s ^ "\n") in
+  let len = Bytes.length data in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match retry_eintr (fun () -> Unix.write c.fd data off (len - off)) with
+      | 0 -> Error "short write"
+      | k -> go (off + k)
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  go 0
+
+let shutdown c =
+  try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,36 @@
+(** Line-delimited framing over sockets, hardened for daemon life:
+    every syscall retries [EINTR] (the daemon runs with live SIGTERM
+    handlers) and writes never raise [SIGPIPE] ({!ignore_sigpipe} is
+    installed by both the server and the client entry points, so a peer
+    that disconnects mid-response surfaces as [EPIPE], an exception,
+    instead of killing the process). *)
+
+val retry_eintr : (unit -> 'a) -> 'a
+(** Re-run [f] until it completes without [Unix.EINTR]. *)
+
+val ignore_sigpipe : unit -> unit
+(** Idempotent; no-op on platforms without [SIGPIPE]. *)
+
+type conn
+(** A buffered, line-framed view over one socket. *)
+
+val conn : Unix.file_descr -> conn
+val fd : conn -> Unix.file_descr
+
+val recv_line : ?timeout_s:float -> conn -> [ `Line of string | `Eof | `Timeout ]
+(** Next LF-terminated line (terminator stripped).  Blocks without
+    [timeout_s]; with it, waits at most that long for the next byte.
+    A final unterminated line before EOF is delivered as a [`Line]. *)
+
+val send_line : conn -> string -> (unit, string) result
+(** Write [s ^ "\n"] completely.  [Error] (not an exception) on a
+    disconnected peer ([EPIPE]/[ECONNRESET]) or any other write
+    failure. *)
+
+val shutdown : conn -> unit
+(** Half-close both directions so a blocked {!recv_line} on another
+    thread sees EOF; never raises. *)
+
+val close : conn -> unit
+(** Close the descriptor; never raises, idempotent enough for
+    shutdown races. *)

@@ -27,4 +27,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("fault", Test_fault.suite);
       ("parallel", Test_parallel.suite);
+      ("serve", Test_serve.suite);
     ]
