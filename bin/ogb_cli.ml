@@ -169,6 +169,15 @@ let run_algorithm algo tier spec src symmetrize top =
         ignore labels;
         Printf.printf "done (%.3f ms)\n" (1000.0 *. dt);
         true
+      | "cc", "vm" ->
+        let labels, dt =
+          time (fun () -> Algorithms.Connected_components.vm_loops bool_cont)
+        in
+        Printf.printf "components: %d (%.3f ms)\n"
+          (Algorithms.Connected_components.component_count
+             (Ogb.Container.as_vector Dtype.Int64 labels))
+          (1000.0 *. dt);
+        true
       | _, _ ->
         Printf.eprintf "unsupported algorithm/tier combination %s/%s\n" algo
           tier;
@@ -344,7 +353,40 @@ let print_last_trace () =
   | None -> ()
   | Some t -> print_string (Exec.Trace.to_string t)
 
-let exec_demo demo spec symmetrize domains =
+(* --schedule: pin the serialized schedule for every plan this process
+   builds (the A/B benching hook; OGB_SCHEDULE is the env equivalent) *)
+let apply_schedule_pin = function
+  | None -> true
+  | Some s -> (
+    match Cost.Schedule.parse s with
+    | Ok sch ->
+      Exec.Planner.pin (Some sch);
+      true
+    | Error e ->
+      Printf.eprintf "error: bad --schedule: %s\n" e;
+      false)
+
+let schedule_arg =
+  let doc =
+    "Pin the plan schedule instead of searching (same grammar as \
+     $(b,OGB_SCHEDULE)): comma-separated $(b,fuse=on|off), \
+     $(b,sink_transpose|apply_chain|apply_ewise|mult_reduce|push_mask=on|off), \
+     $(b,layout=auto|pull|push|csr), $(b,node<i>.layout=...); \
+     \"default\" is the greedy all-on schedule."
+  in
+  Arg.(value & opt (some string) None & info [ "schedule" ] ~doc)
+
+let print_planner_summary () =
+  Printf.printf "planner:";
+  List.iter
+    (fun (k, v) -> Printf.printf " %s=%d" k v)
+    (Exec.Planner.counters () @ [ ("cached", Exec.Planner.cache_size ()) ]);
+  Printf.printf "\ncalibration: generation %d (%s)\n"
+    (Cost.Calibration.generation ())
+    (if Cost.Calibration.calibrated () then "loaded" else "defaults")
+
+let exec_demo demo spec symmetrize domains schedule =
+  if not (apply_schedule_pin schedule) then 1 else
   match load_float_matrix spec symmetrize with
   | Error e ->
     Printf.eprintf "error: %s\n" e;
@@ -442,6 +484,7 @@ let exec_demo demo spec symmetrize domains =
       run_mxv ());
     print_newline ();
     print_dispatch_tables ();
+    print_planner_summary ();
     0
 
 let exec_cmd =
@@ -473,7 +516,7 @@ let exec_cmd =
        ~doc:
          "Dump nonblocking execution plans (DAG, fusion rewrites) and run \
           them with a per-node trace")
-    Term.(const exec_demo $ demo $ graph_arg $ sym $ domains)
+    Term.(const exec_demo $ demo $ graph_arg $ sym $ domains $ schedule_arg)
 
 (* -- doctor subcommand: resilience-layer health report -- *)
 
@@ -721,7 +764,8 @@ let client_cmd =
 
 (* -- analyze subcommand: static analysis + ahead-of-time warm-up -- *)
 
-let analyze algo n warm =
+let analyze algo n warm schedule =
+  if not (apply_schedule_pin schedule) then 1 else
   let module T1 = Analysis.Tier1 in
   let module Ks = Jit.Kernel_sig in
   let entries =
@@ -805,6 +849,15 @@ let analyze algo n warm =
           (fun c ->
             Printf.printf "UNREMEDIED race: %s\n" (Analysis.Races.describe c))
           remaining));
+    (* execute the representative plan so predicted and measured cost
+       appear side by side (the --schedule A/B hook reads these lines) *)
+    Printf.printf "schedule: %s\n"
+      (match plan.Exec.Plan.schedule_desc with "" -> "default" | s -> s);
+    Printf.printf "predicted cost: %.6f ms\n"
+      (plan.Exec.Plan.predicted_ns /. 1e6);
+    let (_ : Ogb.Container.t), measured = time (fun () -> Exec.force e) in
+    Printf.printf "measured cost: %.6f ms\n" (measured *. 1e3);
+    print_planner_summary ();
     if warm then begin
       Printf.printf "\n== ahead-of-time warm-up (%d distinct signatures)\n"
         (List.length !sigs);
@@ -827,8 +880,8 @@ let analyze_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ALGORITHM"
           ~doc:
-            "Restrict to one tier-1 encoding (bfs, pagerank, sssp, triangle); \
-             default analyzes all of them.")
+            "Restrict to one tier-1 encoding (bfs, pagerank, sssp, triangle, \
+             cc); default analyzes all of them.")
   in
   let n =
     Arg.(
@@ -851,9 +904,10 @@ let analyze_cmd =
        ~doc:
          "Statically check the tier-1 MiniVM encodings (scope/arity), extract \
           reachable kernel signatures by abstract interpretation, verify a \
-          representative plan (shapes, dtypes, scheduler races), and \
-          optionally pre-warm the JIT")
-    Term.(const analyze $ algo $ n $ warm)
+          representative plan (shapes, dtypes, scheduler races) and report \
+          its schedule with predicted vs measured cost, and optionally \
+          pre-warm the JIT")
+    Term.(const analyze $ algo $ n $ warm $ schedule_arg)
 
 let () =
   (* a dying client mid-write must surface as EPIPE, not kill the

@@ -40,6 +40,43 @@ let dsl graph =
       done);
   labels
 
+let vm_program : Minivm.Ast.block =
+  let open Minivm.Ast in
+  [ Def
+      ( "cc",
+        [ "graph"; "labels" ],
+        [ With
+            ( [ Call
+                  (Var "Semiring", [ Const (Minivm.Value.Str "MinSelect2nd") ]);
+                Call (Var "Accumulator", [ Const (Minivm.Value.Str "Min") ]) ],
+              [ For
+                  ( "i",
+                    Index
+                      (Attr (Var "graph", "shape"), Const (Minivm.Value.Int 0)),
+                    [ ExprStmt
+                        (Method
+                           ( Var "labels",
+                             "update",
+                             [ Const Minivm.Value.Nil;
+                               Binary
+                                 ("@", Attr (Var "graph", "T"), Var "labels")
+                             ] )) ] ) ] );
+          Return (Var "labels") ] ) ]
+
+let seed_labels n =
+  Ogb.Container.vector_coo ~dtype:(Dtype.P Dtype.Int64) ~size:n
+    (List.init n (fun v -> (v, float_of_int v)))
+
+let vm_loops graph =
+  let n = fst (Ogb.Container.shape graph) in
+  let labels = seed_labels n in
+  match
+    Vm_runtime.call_program vm_program "cc"
+      [ Ogb.Vm_bridge.wrap_container graph; Ogb.Vm_bridge.wrap_container labels ]
+  with
+  | Minivm.Value.Foreign (Ogb.Vm_bridge.Cont c) -> c
+  | _ -> labels
+
 let component_count labels =
   let seen = Hashtbl.create 16 in
   Svector.iter (fun _ l -> Hashtbl.replace seen l ()) labels;

@@ -60,7 +60,18 @@ let triangle =
         [ VCont (C.matrix_empty ~dtype:(Dtype.P Dtype.Int64) n n);
           VCont (C.matrix_empty ~dtype:(Dtype.P Dtype.Int64) n n) ]) }
 
-let all = [ bfs; pagerank; sssp; triangle ]
+let cc =
+  { name = "cc";
+    program = Algorithms.Connected_components.vm_program;
+    entrypoint = "cc";
+    args =
+      (fun n ->
+        [ VCont (C.matrix_empty ~dtype:(Dtype.P Dtype.Bool) n n);
+          VCont
+            (C.vector_coo ~dtype:(Dtype.P Dtype.Int64) ~size:n
+               (List.init n (fun v -> (v, float_of_int v)))) ]) }
+
+let all = [ bfs; pagerank; sssp; triangle; cc ]
 
 let find name = List.find_opt (fun e -> e.name = name) all
 

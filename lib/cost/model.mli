@@ -1,0 +1,30 @@
+(** Per-node cost model over neutral node descriptors.
+
+    The planner (lib/exec) summarizes each plan node into a
+    {!node_desc} — kernel family, an item count standing for the work
+    the kernel will touch, plus flags for a CSC build and an expected
+    fresh compile — and this module prices it in nanoseconds using the
+    calibrated coefficients ({!Calibration.ns_per_item}) with built-in
+    defaults as fallback.  The defaults are chosen so the uncalibrated
+    model reproduces the PR 2 push/pull heuristic (pull/push coefficient
+    ratio = the 1/4 fill threshold); calibration is what lets the
+    planner disagree with the greedy choice. *)
+
+type node_desc = {
+  family : string;  (** kernel family, e.g. "mxv_pull", "ewise_v" *)
+  items : int;  (** work estimate: entries the kernel touches *)
+  csc_items : int;  (** nnz to convert if a CSC build is required, else 0 *)
+  fresh_compile : bool;  (** signature likely not yet in the JIT cache *)
+}
+
+val default_ns_per_item : string -> float
+(** Built-in fallback coefficient for a family (ns/item). *)
+
+val ns_per_item : string -> float
+(** Calibrated coefficient when available, else the default. *)
+
+val node_ns : node_desc -> float
+(** Predicted cost of one node in nanoseconds. *)
+
+val families : string list
+(** Families the model knows defaults for (documentation/analyze). *)

@@ -1,0 +1,138 @@
+type layout_choice = Auto | Pull | Push
+
+type t = {
+  rules : (string * bool) list;
+  layout : layout_choice;
+  node_layouts : (int * layout_choice) list;
+}
+
+(* The three fuse=... rules are the multi-op fusions PR 1 gates behind
+   Expr.fusion; sink_transpose and push_mask are the structural
+   rewrites.  Names match Rewrite's pass/event names. *)
+let fusion_rules = [ "apply_chain"; "apply_ewise"; "mult_reduce" ]
+let rule_names = "sink_transpose" :: fusion_rules @ [ "push_mask" ]
+
+let default = { rules = []; layout = Auto; node_layouts = [] }
+
+(* keep only overrides that differ from the default (rules enabled,
+   layout auto), sorted — the canonical form to_string/equal use *)
+let canonical t =
+  { t with
+    rules = List.sort compare (List.filter (fun (_, on) -> not on) t.rules);
+    node_layouts =
+      List.sort compare (List.filter (fun (_, l) -> l <> Auto) t.node_layouts)
+  }
+
+let normalize = canonical
+
+let is_default t =
+  let t = canonical t in
+  t.rules = [] && t.layout = Auto && t.node_layouts = []
+
+let rule_enabled t r =
+  match List.assoc_opt r t.rules with Some on -> on | None -> true
+
+let node_layout t id =
+  match List.assoc_opt id t.node_layouts with
+  | Some l -> l
+  | None -> t.layout
+
+let with_rule t r on =
+  { t with rules = (r, on) :: List.remove_assoc r t.rules }
+
+let with_node_layout t id l =
+  { t with node_layouts = (id, l) :: List.remove_assoc id t.node_layouts }
+
+let layout_to_string = function
+  | Auto -> "auto"
+  | Pull -> "pull"
+  | Push -> "push"
+
+let layout_of_string = function
+  | "auto" -> Ok Auto
+  | "pull" -> Ok Pull
+  | "push" | "csr" -> Ok Push
+  | s -> Error (Printf.sprintf "unknown layout %S" s)
+
+let to_string t =
+  let t = canonical t in
+  let parts =
+    List.map (fun (r, _) -> r ^ "=off") t.rules
+    @ (if t.layout = Auto then []
+       else [ "layout=" ^ layout_to_string t.layout ])
+    @ List.map
+        (fun (id, l) ->
+          Printf.sprintf "node%d.layout=%s" id (layout_to_string l))
+        t.node_layouts
+  in
+  if parts = [] then "default" else String.concat "," parts
+
+let equal a b =
+  let a = canonical a and b = canonical b in
+  a.rules = b.rules && a.layout = b.layout && a.node_layouts = b.node_layouts
+
+let parse s =
+  let s = String.trim s in
+  if s = "" || s = "default" then Ok default
+  else
+    let entries =
+      String.split_on_char ',' s
+      |> List.map String.trim
+      |> List.filter (fun e -> e <> "")
+    in
+    let bool_of = function
+      | "on" -> Ok true
+      | "off" -> Ok false
+      | v -> Error (Printf.sprintf "expected on/off, got %S" v)
+    in
+    let node_prefix k =
+      (* "node<i>.layout" *)
+      if String.length k > 11 && String.sub k 0 4 = "node"
+         && String.sub k (String.length k - 7) 7 = ".layout"
+      then int_of_string_opt (String.sub k 4 (String.length k - 11))
+      else None
+    in
+    let rec go acc = function
+      | [] -> Ok (normalize acc)
+      | entry :: rest -> (
+        match String.index_opt entry '=' with
+        | None ->
+          Error (Printf.sprintf "malformed entry %S (expected key=value)" entry)
+        | Some i -> (
+          let k = String.sub entry 0 i in
+          let v = String.sub entry (i + 1) (String.length entry - i - 1) in
+          match k with
+          | "fuse" -> (
+            match bool_of v with
+            | Ok on ->
+              go
+                (List.fold_left (fun t r -> with_rule t r on) acc fusion_rules)
+                rest
+            | Error e -> Error e)
+          | "layout" -> (
+            match layout_of_string v with
+            | Ok l -> go { acc with layout = l } rest
+            | Error e -> Error e)
+          | _ when List.mem k rule_names -> (
+            match bool_of v with
+            | Ok on -> go (with_rule acc k on) rest
+            | Error e -> Error e)
+          | _ -> (
+            match node_prefix k with
+            | Some id -> (
+              match layout_of_string v with
+              | Ok l -> go (with_node_layout acc id l) rest
+              | Error e -> Error e)
+            | None -> Error (Printf.sprintf "unknown schedule key %S" k))))
+    in
+    go default entries
+
+let of_env () =
+  match Sys.getenv_opt "OGB_SCHEDULE" with
+  | None | Some "" -> None
+  | Some spec -> (
+    match parse spec with
+    | Ok t -> Some t
+    | Error e ->
+      Printf.eprintf "OGB_SCHEDULE ignored: %s\n%!" e;
+      None)

@@ -1,0 +1,58 @@
+(** Serialized execution schedules: which rewrite rules fire and which
+    direction transposed Mat×Vec nodes take.
+
+    This is the value the planner searches over, the value [OGB_SCHEDULE]
+    / [--schedule] pins for A/B benching, and the value the schedule
+    cache stores.  Grammar (comma-separated, order-free):
+
+    {v
+    fuse=on|off                   all three fusion rules at once
+    sink_transpose=on|off         individual rewrite rules
+    apply_chain=on|off
+    apply_ewise=on|off
+    mult_reduce=on|off
+    push_mask=on|off
+    layout=auto|pull|push|csr     direction policy for transposed mxv
+                                  (csr is an alias for push: stay on the
+                                  CSR scatter kernel, build no CSC)
+    node<i>.layout=auto|pull|push per-node pin (planner output)
+    v}
+
+    An empty string or "default" is the all-on, auto-layout schedule. *)
+
+type layout_choice = Auto | Pull | Push
+
+type t = {
+  rules : (string * bool) list;  (** rule overrides; missing = enabled *)
+  layout : layout_choice;  (** global direction policy *)
+  node_layouts : (int * layout_choice) list;  (** per-node pins *)
+}
+
+val rule_names : string list
+val fusion_rules : string list
+(** The three producer-into-consumer fusion rules the planner searches
+    over (subset of {!rule_names}). *)
+
+val default : t
+val is_default : t -> bool
+val rule_enabled : t -> string -> bool
+val node_layout : t -> int -> layout_choice
+(** Per-node pin when present, else the global policy. *)
+
+val with_rule : t -> string -> bool -> t
+val with_node_layout : t -> int -> layout_choice -> t
+
+val canonical : t -> t
+(** Drop redundant overrides (enabled rules, [Auto] pins) and sort, so
+    structurally equal schedules serialize identically. *)
+
+val parse : string -> (t, string) result
+val to_string : t -> string
+(** Canonical serialization ("default" for {!default}); [parse] and
+    [to_string] round-trip. *)
+
+val equal : t -> t -> bool
+
+val of_env : unit -> t option
+(** The schedule pinned by [OGB_SCHEDULE], if any.  A malformed value
+    is a loud no-op on stderr (like [OGB_FAULTS]). *)

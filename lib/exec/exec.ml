@@ -7,6 +7,7 @@
 
 module Plan = Plan
 module Rewrite = Rewrite
+module Planner = Planner
 module Scheduler = Scheduler
 module Trace = Trace
 module Verify_hook = Verify_hook
@@ -22,12 +23,12 @@ let last_trace () = !last_trace_ref
 
 let plan_force ?mask e =
   let p = Plan.of_expr ?mask e in
-  Rewrite.run p;
+  Planner.optimize p;
   p
 
 let plan_reduce ~op ~identity e =
   let p = Plan.of_expr_reduce ~op ~identity e in
-  Rewrite.run p;
+  Planner.optimize p;
   p
 
 (* Failure containment (last rung of the degradation ladder): when the

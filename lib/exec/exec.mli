@@ -3,9 +3,10 @@
     In [Blocking] mode (the default) terminating operations evaluate
     expression trees eagerly, exactly as before.  Under
     [with_mode Nonblocking] they instead lower into a {!Plan} DAG with
-    common-subexpression sharing, run the {!Rewrite} fusion passes, and
-    execute ready nodes concurrently on a domain pool ({!Scheduler}) —
-    producing bit-identical containers.
+    common-subexpression sharing, choose a schedule with the
+    cost-model-driven {!Planner} (which applies the {!Rewrite} passes),
+    and execute ready nodes concurrently on a domain pool
+    ({!Scheduler}) — producing bit-identical containers.
 
     Loading this module registers the engine with the core library
     ({!Ogb.Exec_hook}), which is what lets [Ops.set]/[update] and
@@ -13,6 +14,7 @@
 
 module Plan = Plan
 module Rewrite = Rewrite
+module Planner = Planner
 module Scheduler = Scheduler
 module Trace = Trace
 module Verify_hook = Verify_hook

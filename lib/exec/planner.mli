@@ -1,0 +1,42 @@
+(** Cost-model-driven schedule search over the plan DAG.
+
+    {!optimize} replaces the direct [Rewrite.run] call in plan lowering:
+    it resolves a schedule — an [OGB_SCHEDULE]/programmatic pin, a
+    cached choice, or a fresh bounded branch-and-bound search over
+    fusion-rule subsets with per-node pull/push direction pins — prices
+    it with {!Cost.Model} over static cardinality estimates, applies it
+    through {!Rewrite.run_with}, and stamps the plan's
+    [schedule_desc]/[predicted_ns].  Every search candidate is a
+    {!Plan.copy} re-checked by the installed {!Verify_hook} (stage
+    ["candidate"]) before its schedule can win; rejected candidates are
+    counted and discarded. *)
+
+val optimize : Plan.t -> unit
+(** Choose, apply and record a schedule for a freshly lowered plan. *)
+
+val price : Plan.t -> float
+(** Model cost (ns) of a plan as currently rewritten/annotated. *)
+
+val pin : Cost.Schedule.t option -> unit
+(** Programmatic schedule pin (the CLI's [--schedule]); [None] returns
+    control to [OGB_SCHEDULE]/search. *)
+
+val pinned : unit -> Cost.Schedule.t option
+(** Effective pin: the programmatic one, else [OGB_SCHEDULE]. *)
+
+val plan_cap : unit -> int
+(** Node-count cap above which branch-and-bound yields to the
+    greedy-plus-single-flip fallback ([OGB_PLAN_CAP], default 96). *)
+
+val counters : unit -> (string * int) list
+(** [searches], [cache_hits], [pinned], [candidates], [rejected]. *)
+
+val reset_counters : unit -> unit
+
+val cache_size : unit -> int
+val clear_cache : unit -> unit
+
+val candidate_tamper : (Plan.t -> unit) option ref
+(** Test hook: runs on each candidate copy after the rewrite and before
+    the verify gate, so tests can prove a shape-changing candidate is
+    rejected rather than adopted. *)

@@ -5,7 +5,10 @@
    gated on the producer having exactly one consumer. *)
 
 let record plan name =
-  Jit.Jit_stats.record_fusion name;
+  (* candidate copies the planner prices must stay invisible to the
+     global fusion statistics; their private event list still fills in
+     so a rejected candidate can be dumped for debugging *)
+  if not plan.Plan.mute_stats then Jit.Jit_stats.record_fusion name;
   plan.Plan.events <-
     (match plan.Plan.events with
     | (n, c) :: rest when n = name -> (n, c + 1) :: rest
@@ -204,14 +207,15 @@ let push_mask plan =
    With the format layer on, a Mat×Vec matmul carrying a transpose_a
    flag (sunk there by sink_transpose from an explicit Transpose node)
    dispatches on the matrix's lazily cached CSC side rather than
-   materializing Aᵀ.  Annotate those nodes so plan dumps and traces show
-   the physical dispatch; when the vector operand is a plan leaf its
-   fill ratio is known now, so the push/pull direction the kernel will
-   take is recorded too (same threshold as Jit.Kernels.mxv: pull once
-   fill reaches 1/4 of a size-≥32 vector).  Descriptive only — the node
-   still executes through the same kernel entry point, whose runtime
-   heuristic agrees with this one. *)
-let select_layout plan =
+   materializing Aᵀ.  The direction each such node takes comes from the
+   schedule: an explicit per-node or global pull/push pin (the planner's
+   cost-model choice, or an OGB_SCHEDULE pin) wins; [Auto] falls back to
+   the PR 2 fill heuristic when the vector operand is a plan leaf (pull
+   once fill reaches 1/4 of a size-≥32 vector) and otherwise leaves the
+   kernel's runtime heuristic in charge ([L_csc]).  Plan.execute_node
+   forces pinned directions through the kernel's [direction] override;
+   both directions are bit-identical, so this trades time only. *)
+let select_layout ?(schedule = Cost.Schedule.default) plan =
   if Gbtl.Format_stats.enabled () then
     List.iter
       (fun id ->
@@ -220,7 +224,7 @@ let select_layout plan =
         | Plan.MatMul ({ transpose_a = true; layout = Plan.L_default; _ } as m)
           when (Plan.node plan n.Plan.deps.(0)).Plan.kind = Plan.K_mat
                && (Plan.node plan n.Plan.deps.(1)).Plan.kind = Plan.K_vec ->
-          let layout =
+          let heuristic () =
             match (Plan.node plan n.Plan.deps.(1)).Plan.op with
             | Plan.Leaf c when not (Ogb.Container.is_matrix c) ->
               let size = Ogb.Container.size c in
@@ -228,6 +232,12 @@ let select_layout plan =
                 Plan.L_csc_pull
               else Plan.L_csc_push
             | _ -> Plan.L_csc
+          in
+          let layout =
+            match Cost.Schedule.node_layout schedule id with
+            | Cost.Schedule.Pull -> Plan.L_csc_pull
+            | Cost.Schedule.Push -> Plan.L_csc_push
+            | Cost.Schedule.Auto -> heuristic ()
           in
           n.Plan.op <- Plan.MatMul { m with layout };
           record plan "csc_dispatch";
@@ -238,31 +248,47 @@ let select_layout plan =
         | _ -> ())
       (Plan.topo plan)
 
-let run plan =
+(* Apply the rewrite pipeline under a schedule: each pass fires only
+   when the schedule enables its rule (all on by default — the greedy
+   pipeline), and layout selection takes the schedule's direction
+   choices.  Each stage re-checks the plan through the installed static
+   verifier (no-op when none): a pass that changes a surviving node's
+   inferred shape or dtype is a miscompile and aborts here. *)
+let run_with ?(schedule = Cost.Schedule.default) plan =
+  let enabled r = Cost.Schedule.rule_enabled schedule r in
   let dead = ref 0 in
   let sweep () = dead := !dead + Plan.drop_dead plan in
-  (* Each stage re-checks the plan through the installed static verifier
-     (no-op when none): a pass that changes a surviving node's inferred
-     shape or dtype is a miscompile and aborts here. *)
   let verify stage = Verify_hook.run plan ~stage in
   verify "lower";
-  sink_transpose plan;
-  sweep ();
-  verify "sink_transpose";
-  if Ogb.Expr.fusion () then begin
-    fuse_apply_chain plan;
+  if enabled "sink_transpose" then begin
+    sink_transpose plan;
     sweep ();
-    verify "apply_chain";
-    fuse_apply_ewise plan;
-    sweep ();
-    verify "apply_ewise";
-    fuse_mult_reduce plan;
-    sweep ();
-    verify "mult_reduce"
+    verify "sink_transpose"
   end;
-  push_mask plan;
-  sweep ();
-  verify "push_mask";
-  select_layout plan;
+  if Ogb.Expr.fusion () then begin
+    if enabled "apply_chain" then begin
+      fuse_apply_chain plan;
+      sweep ();
+      verify "apply_chain"
+    end;
+    if enabled "apply_ewise" then begin
+      fuse_apply_ewise plan;
+      sweep ();
+      verify "apply_ewise"
+    end;
+    if enabled "mult_reduce" then begin
+      fuse_mult_reduce plan;
+      sweep ();
+      verify "mult_reduce"
+    end
+  end;
+  if enabled "push_mask" then begin
+    push_mask plan;
+    sweep ();
+    verify "push_mask"
+  end;
+  select_layout ~schedule plan;
   verify "select_layout";
   Plan.record_event plan "dce" !dead
+
+let run plan = run_with plan

@@ -24,14 +24,20 @@ val push_mask : Plan.t -> unit
 (** Move the sink's write mask into the producing root Mat×Mat matmul,
     exactly when the blocking evaluator would. *)
 
-val select_layout : Plan.t -> unit
+val select_layout : ?schedule:Cost.Schedule.t -> Plan.t -> unit
 (** When the format layer is on ([Gbtl.Format_stats.enabled]), annotate
     transposed Mat×Vec matmuls with the CSC dispatch the kernel will
-    use ({!Plan.layout}), refining to push/pull when the vector
-    operand's fill ratio is known at planning time.  Records
-    [csc_dispatch] and [dir_pull]/[dir_push] events. *)
+    use ({!Plan.layout}).  The schedule's per-node/global pull/push pins
+    win; [Auto] refines by the fill heuristic when the vector operand's
+    fill ratio is known at planning time.  Records [csc_dispatch] and
+    [dir_pull]/[dir_push] events. *)
+
+val run_with : ?schedule:Cost.Schedule.t -> Plan.t -> unit
+(** The pipeline under a schedule: transpose sinking, then (when
+    {!Ogb.Expr.fusion} is enabled) the three fusion passes, mask
+    push-down, layout selection, and dead-node elimination — each pass
+    gated on its schedule rule (all enabled in the default schedule).
+    The installed {!Verify_hook} re-checks the plan after every pass. *)
 
 val run : Plan.t -> unit
-(** The full pipeline: transpose sinking, then (when {!Ogb.Expr.fusion}
-    is enabled) the three fusion passes, mask push-down, layout
-    selection, and dead-node elimination. *)
+(** [run_with] under the default (greedy, all-passes-on) schedule. *)

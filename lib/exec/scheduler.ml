@@ -39,6 +39,27 @@ let nvals_of_value = function
   | Plan.V_cont c -> Ogb.Container.nvals c
   | Plan.V_scal _ -> 1
 
+(* Feed the calibration store: every timed node execution becomes an
+   (items, seconds) observation for its kernel family, measured with the
+   same {!Plan.node_items} formula the planner predicts with — so
+   calibrated coefficients and model predictions price the same
+   quantity. *)
+let observe plan n vals seconds =
+  if not plan.Plan.mute_stats then begin
+    let dep_nvals i = nvals_of_value vals.(i) in
+    let dep_size i =
+      match vals.(i) with
+      | Plan.V_cont c when not (Ogb.Container.is_matrix c) ->
+        Ogb.Container.size c
+      | v -> nvals_of_value v
+    in
+    let items = Plan.node_items plan n ~dep_nvals ~dep_size in
+    if items > 0 then
+      Jit.Jit_stats.record_kernel_time
+        ~family:(Plan.node_family plan n)
+        ~items ~seconds
+  end
+
 (* Execute one node, threading the scheduler's injection points and
    locating any failure.  The fault points fire on the sequential path
    too: under a persistent fault the sequential re-run fails the same
@@ -66,10 +87,12 @@ let run_sequential plan order =
       let vals = Array.map (Hashtbl.find results) n.Plan.deps in
       let t0 = now () in
       let v = exec_node plan id n vals in
+      let seconds = now () -. t0 in
+      observe plan n vals seconds;
       events :=
         { Trace.id;
           label = Plan.op_label n.Plan.op;
-          seconds = now () -. t0;
+          seconds;
           nvals = nvals_of_value v }
         :: !events;
       Hashtbl.replace results id v)
@@ -124,6 +147,7 @@ let run_parallel plan order ndomains =
           (v, now () -. t0)
         with
         | v, seconds ->
+          observe plan n vals seconds;
           Mutex.lock m;
           Hashtbl.replace results id v;
           events :=
@@ -191,7 +215,8 @@ let run plan =
   let after = Jit.Jit_stats.snapshot () in
   let trace =
     Trace.make ~domains ~degraded ~total_seconds ~nodes:node_events
-      ~rewrites:(Plan.events plan) ~cse_merged:(Plan.cse_merged plan) ~before
-      ~after
+      ~rewrites:(Plan.events plan) ~cse_merged:(Plan.cse_merged plan)
+      ~schedule:plan.Plan.schedule_desc ~predicted_ns:plan.Plan.predicted_ns
+      ~before ~after
   in
   (value, trace)

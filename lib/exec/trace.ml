@@ -7,13 +7,15 @@ type t = {
   nodes : node_event list;
   rewrites : (string * int) list;
   cse_merged : int;
+  schedule : string;
+  predicted_ns : float;
   lookups : int;
   cache_hits : int;
   compiles : int;
 }
 
-let make ~domains ~degraded ~total_seconds ~nodes ~rewrites ~cse_merged ~before
-    ~after =
+let make ~domains ~degraded ~total_seconds ~nodes ~rewrites ~cse_merged
+    ~schedule ~predicted_ns ~before ~after =
   let d f = f after - f before in
   { domains;
     degraded;
@@ -21,6 +23,8 @@ let make ~domains ~degraded ~total_seconds ~nodes ~rewrites ~cse_merged ~before
     nodes = List.sort (fun a b -> compare a.id b.id) nodes;
     rewrites;
     cse_merged;
+    schedule;
+    predicted_ns;
     lookups = d (fun (s : Jit.Jit_stats.snapshot) -> s.lookups);
     cache_hits =
       d (fun (s : Jit.Jit_stats.snapshot) -> s.memory_hits + s.disk_hits);
@@ -37,6 +41,9 @@ let pp fmt t =
      else "");
   Format.fprintf fmt "kernel cache: %d lookups, %d hits, %d compiles@\n"
     t.lookups t.cache_hits t.compiles;
+  if t.schedule <> "" then
+    Format.fprintf fmt "schedule: %s (predicted %.3fms, measured %.3fms)@\n"
+      t.schedule (t.predicted_ns /. 1e6) (t.total_seconds *. 1e3);
   (match t.rewrites with
   | [] -> ()
   | rs ->

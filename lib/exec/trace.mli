@@ -16,6 +16,10 @@ type t = {
   nodes : node_event list;  (** sorted by node id *)
   rewrites : (string * int) list;
   cse_merged : int;
+  schedule : string;
+      (** serialized schedule the planner committed ("" when the plan
+          bypassed the planner) *)
+  predicted_ns : float;  (** cost model's prediction for that schedule *)
   lookups : int;
   cache_hits : int;  (** memory + disk hits during this run *)
   compiles : int;
@@ -28,6 +32,8 @@ val make :
   nodes:node_event list ->
   rewrites:(string * int) list ->
   cse_merged:int ->
+  schedule:string ->
+  predicted_ns:float ->
   before:Jit.Jit_stats.snapshot ->
   after:Jit.Jit_stats.snapshot ->
   t

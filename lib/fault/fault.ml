@@ -25,7 +25,8 @@ let points =
     "par.worker.slow";  (* pool worker stalls on a chunk *)
     "serve.accept.exn";  (* daemon accept loop raises on a connection *)
     "serve.session.exn";  (* session handler dies mid-request *)
-    "serve.batch.partial" ]  (* one member of a coalesced batch fails *)
+    "serve.batch.partial";  (* one member of a coalesced batch fails *)
+    "cost.calib.corrupt" ]  (* calibration file truncated/garbage on load *)
 
 let valid_point p = List.mem p points
 

@@ -81,6 +81,44 @@ let record_fusion kind =
   Hashtbl.replace fusion_table kind
     (1 + Option.value ~default:0 (Hashtbl.find_opt fusion_table kind))
 
+(* Per-family kernel timing tallies: the raw observations behind the
+   cost model's calibration (lib/cost reads these, normalizes them to
+   ns/item coefficients and persists them next to the JIT disk cache).
+   Families are coarser than full signature keys — "mxv_pull",
+   "ewise_v", … — because the planner needs a coefficient before it has
+   chosen the exact signature. *)
+
+type time_tally = {
+  mutable t_items : float;  (* float: totals overflow int on long runs *)
+  mutable t_seconds : float;
+  mutable t_samples : int;
+}
+
+let time_table : (string, time_tally) Hashtbl.t = Hashtbl.create 32
+
+let record_kernel_time ~family ~items ~seconds =
+  if items > 0 && seconds >= 0.0 then
+    Mutex.protect tally_lock @@ fun () ->
+    let t =
+      match Hashtbl.find_opt time_table family with
+      | Some t -> t
+      | None ->
+        let t = { t_items = 0.0; t_seconds = 0.0; t_samples = 0 } in
+        Hashtbl.add time_table family t;
+        t
+    in
+    t.t_items <- t.t_items +. float_of_int items;
+    t.t_seconds <- t.t_seconds +. seconds;
+    t.t_samples <- t.t_samples + 1
+
+let kernel_times () =
+  Mutex.protect tally_lock @@ fun () ->
+  List.sort compare
+    (Hashtbl.fold
+       (fun family t acc ->
+         (family, t.t_items, t.t_seconds, t.t_samples) :: acc)
+       time_table [])
+
 let per_signature () =
   Mutex.protect tally_lock @@ fun () ->
   List.sort compare
@@ -169,7 +207,8 @@ let reset () =
   Atomic.set blocking_fallbacks 0;
   Mutex.protect tally_lock (fun () ->
       Hashtbl.reset sig_table;
-      Hashtbl.reset fusion_table)
+      Hashtbl.reset fusion_table;
+      Hashtbl.reset time_table)
 
 let pp fmt s =
   Format.fprintf fmt

@@ -58,6 +58,15 @@ val record_fusion : string -> unit
 val per_signature : unit -> (string * int * int) list
 (** [(signature key, hits, misses)] sorted by key. *)
 
+val record_kernel_time : family:string -> items:int -> seconds:float -> unit
+(** Tally one timed kernel execution under a coarse family name
+    ("mxv_pull", "ewise_v", …): the raw observations the cost model's
+    calibration (lib/cost) normalizes into ns/item coefficients.
+    Non-positive item counts are dropped. *)
+
+val kernel_times : unit -> (string * float * float * int) list
+(** [(family, total items, total seconds, samples)] sorted by family. *)
+
 val fusions : unit -> (string * int) list
 (** [(rewrite name, firings)] sorted by name. *)
 

@@ -56,18 +56,24 @@ let matvec_arg (type a) (m : a Smatrix.t) (u : a Svector.t) flag : a matvec_arg
    the pull and the scatter loop accept arbitrary fills), so batch
    members keyed to the same signature stay bit-identical to their
    solo dispatches. *)
-let mxv_plan (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose m
-    (u0 : a Svector.t) =
+let mxv_plan (type a) (dt : a Dtype.t) (sr : Op_spec.semiring)
+    ?(direction = `Auto) ~transpose m (u0 : a Svector.t) =
   (* Direction choice for the transposed product: a filled-in frontier
      favors pulling over the CSC side (one gather per output position);
      a sparse frontier favors the CSR scatter.  Both accumulate each
      output's contributions in ascending source-index order, so the
-     results are bit-identical. *)
+     results are bit-identical — which is what lets the plan optimizer
+     override the fill heuristic through [direction] without changing
+     results.  The override is only meaningful for the transposed
+     product with the format layer on; elsewhere it is ignored. *)
   let use_pull =
     transpose
     && Format_stats.enabled ()
-    && Svector.size u0 >= 32
-    && 4 * Svector.nvals u0 >= Svector.size u0
+    &&
+    match direction with
+    | `Pull -> true
+    | `Push -> false
+    | `Auto -> Svector.size u0 >= 32 && 4 * Svector.nvals u0 >= Svector.size u0
   in
   (* Row blocks for the gather/pull loops (exact for every operator);
      frontier blocks for the scatter push, gated to exactly associative
@@ -154,7 +160,8 @@ let mxv_plan (type a) (dt : a Dtype.t) (sr : Op_spec.semiring) ~transpose m
   in
   (sig_, run)
 
-let mxv dt sr ~transpose m u = snd (mxv_plan dt sr ~transpose m u) u
+let mxv dt sr ?direction ~transpose m u =
+  snd (mxv_plan dt sr ?direction ~transpose m u) u
 
 let mxv_batch dt sr ~transpose m = function
   | [] -> []

@@ -12,6 +12,7 @@ open Gbtl
 val mxv :
   'a Dtype.t ->
   Op_spec.semiring ->
+  ?direction:[ `Auto | `Pull | `Push ] ->
   transpose:bool ->
   'a Smatrix.t ->
   'a Svector.t ->
@@ -19,7 +20,10 @@ val mxv :
 (** Raw result [T = A ⊕.⊗ u] as entries; masking/accumulation happen in
     the caller's write step.  With [transpose] and the format layer on,
     a filled-in operand (fill ≥ 1/4, size ≥ 32) dispatches the CSC pull
-    kernel instead of the CSR scatter; results are bit-identical. *)
+    kernel instead of the CSR scatter; results are bit-identical.
+    [direction] (default [`Auto], the fill heuristic) lets the plan
+    optimizer force pull or push for the transposed product; it is
+    ignored when [transpose] is false or the format layer is off. *)
 
 val mxv_pull_masked :
   'a Dtype.t ->

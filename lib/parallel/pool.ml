@@ -76,9 +76,27 @@ let pow2_ceil x =
    per-grain JIT keys stay few): at most [divisor] chunks, at least 64
    iterations each.  The default divisor 16 over-decomposes a 4-domain
    pool for load balance; merge-style kernels (scatter push) pass 4 to
-   bound the per-chunk accumulator memory. *)
+   bound the per-chunk accumulator memory.
+
+   A calibration hook (installed by lib/cost, which sits above this
+   library) may coarsen the grain from measured per-item chunk timings.
+   Coarsen only: the [divisor] bound exists so merge-style kernels cap
+   their per-chunk accumulator memory at [divisor] buffers, and a finer
+   grain would break that.  The result stays a power of two (bucketed
+   JIT keys) and never exceeds the loop, so determinism and the chunk
+   contract are unchanged — only chunk boundaries move, and kernels are
+   bit-identical across chunkings by construction. *)
+let grain_hook : (n:int -> base:int -> int option) ref =
+  ref (fun ~n:_ ~base:_ -> None)
+
+let set_grain_hook f = grain_hook := f
+let clear_grain_hook () = grain_hook := fun ~n:_ ~base:_ -> None
+
 let grain_for ?(divisor = 16) n =
-  max 64 (pow2_ceil ((n + divisor - 1) / divisor))
+  let base = max 64 (pow2_ceil ((n + divisor - 1) / divisor)) in
+  match !grain_hook ~n ~base with
+  | None -> base
+  | Some g -> min (pow2_ceil (max g base)) (pow2_ceil (max 1 n))
 
 let plan ?divisor ~work ~n () =
   if workers () < 1 || work < threshold () || n < 2 then None
@@ -108,6 +126,7 @@ let chunks_run = ref 0 (* chunk bodies executed (all domains) *)
 let tasks_run = ref 0 (* pool tasks executed by worker domains *)
 let degrades = ref 0 (* jobs re-run sequentially after a chunk failure *)
 let busy = ref 0.0 (* seconds spent inside chunk bodies *)
+let items_run = ref 0 (* loop iterations covered by those chunk bodies *)
 
 let bump c = Mutex.protect stats_lock (fun () -> incr c)
 
@@ -117,7 +136,8 @@ let counters () =
         ("seq_jobs", !seq_jobs);
         ("chunks", !chunks_run);
         ("tasks", !tasks_run);
-        ("degrades", !degrades) ])
+        ("degrades", !degrades);
+        ("items", !items_run) ])
 
 let busy_seconds () = Mutex.protect stats_lock (fun () -> !busy)
 
@@ -128,7 +148,8 @@ let reset_counters () =
       chunks_run := 0;
       tasks_run := 0;
       degrades := 0;
-      busy := 0.0)
+      busy := 0.0;
+      items_run := 0)
 
 (* -- worker domains -- *)
 
@@ -263,11 +284,13 @@ let parallel_for ~n ~grain body =
                 if Fault.fire "par.worker.exn" then
                   raise (Fault.Injected "par.worker.exn");
                 if Fault.fire "par.worker.slow" then Unix.sleepf 0.005;
+                let lo = ci * g and hi = min n ((ci + 1) * g) in
                 let t0 = Unix.gettimeofday () in
-                body (ci * g) (min n ((ci + 1) * g));
+                body lo hi;
                 let dt = Unix.gettimeofday () -. t0 in
                 Mutex.protect stats_lock (fun () ->
                     incr chunks_run;
+                    items_run := !items_run + (hi - lo);
                     busy := !busy +. dt);
                 None
               with e -> Some e

@@ -36,7 +36,19 @@ val grain_for : ?divisor:int -> int -> int
 (** Chunk length for a loop of the given length: at most [divisor]
     (default 16) chunks of at least 64 iterations, power-of-two
     bucketed so per-grain JIT cache keys stay few.  Pure in its
-    arguments — this is what keeps chunked folds deterministic. *)
+    arguments given a fixed {!set_grain_hook} installation — this is
+    what keeps chunked folds deterministic. *)
+
+val set_grain_hook : (n:int -> base:int -> int option) -> unit
+(** Install a calibration-aware grain policy (lib/cost does this at
+    startup from persisted per-item chunk timings).  The hook receives
+    the loop length and the power-of-two [base] grain and may return a
+    coarser suggestion; {!grain_for} clamps the result to
+    [[base, pow2_ceil n]] and re-buckets it to a power of two, so the
+    hook can only merge chunks, never fragment below the [divisor]
+    memory bound.  [None] keeps the default formula. *)
+
+val clear_grain_hook : unit -> unit
 
 val plan : ?divisor:int -> work:int -> n:int -> unit -> int option
 (** [Some grain] when a kernel with [work] body executions over a loop
@@ -84,7 +96,9 @@ val with_budget_cap : int -> (unit -> 'a) -> 'a
     arrival order. *)
 
 val counters : unit -> (string * int) list
-(** [par_jobs], [seq_jobs], [chunks], [tasks], [degrades]. *)
+(** [par_jobs], [seq_jobs], [chunks], [tasks], [degrades], [items]
+    (loop iterations covered by timed chunk bodies — with
+    {!busy_seconds} this is the pool's per-item calibration signal). *)
 
 val busy_seconds : unit -> float
 (** Cumulative wall time spent inside chunk bodies (all domains). *)

@@ -28,4 +28,5 @@ let () =
       ("fault", Test_fault.suite);
       ("parallel", Test_parallel.suite);
       ("serve", Test_serve.suite);
+      ("cost", Test_cost.suite);
     ]
