@@ -596,6 +596,10 @@ let serve sock addr workers queue session_domains batch_window warm_n no_warm =
      (Domain.join, pthread_cond_wait, select), which turns a SIGTERM
      into a minutes-long stall.  sigwait delivers regardless. *)
   ignore (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigterm; Sys.sigint ]);
+  (* every session plan runs under the analyzer: shape/dtype
+     verification at each stage plus the mandatory effect/race stage
+     with the Prebuild remedy at pre-schedule *)
+  Analysis.Hook.install ();
   match Server.Daemon.start cfg with
   | Error e ->
     Printf.eprintf "error: %s\n" e;
@@ -764,7 +768,7 @@ let client_cmd =
 
 (* -- analyze subcommand: static analysis + ahead-of-time warm-up -- *)
 
-let analyze algo n warm schedule =
+let analyze algo n warm effects schedule =
   if not (apply_schedule_pin schedule) then 1 else
   let module T1 = Analysis.Tier1 in
   let module Ks = Jit.Kernel_sig in
@@ -808,13 +812,16 @@ let analyze algo n warm schedule =
         print_newline ())
       entries;
     (* representative plan: a shape the scheduler runs concurrently and
-       whose pull dispatch races on the shared CSC cache *)
+       whose pull dispatch races on the shared CSC cache.  Filled-in
+       64-vectors make layout selection choose pull (which builds the
+       index); under the observe-only hook the planner rejects every
+       racy candidate, so the rejection counter below is exercised *)
     let m =
-      Graphs.Convert.matrix_of_edges Dtype.FP64 (Graphs.Generators.complete 8)
+      Graphs.Convert.matrix_of_edges Dtype.FP64 (Graphs.Generators.complete 64)
     in
     let ac = Ogb.Container.of_smatrix m in
     let dense x =
-      Ogb.Container.of_svector (Svector.of_dense Dtype.FP64 (Array.make 8 x))
+      Ogb.Container.of_svector (Svector.of_dense Dtype.FP64 (Array.make 64 x))
     in
     let uc = dense 1.0 and vc = dense 2.0 in
     let open Ogb.Ops.Infix in
@@ -849,6 +856,18 @@ let analyze algo n warm schedule =
           (fun c ->
             Printf.printf "UNREMEDIED race: %s\n" (Analysis.Races.describe c))
           remaining));
+    if effects then begin
+      Printf.printf
+        "== effect footprints (per node, canonical by physical storage)\n%s"
+        (Analysis.Effects.report ~assume_formats:true plan);
+      match Analysis.Effects.find ~assume_formats:true plan with
+      | [] -> Printf.printf "effect hazards: none\n"
+      | hs ->
+        List.iter
+          (fun h ->
+            Printf.printf "effect hazard: %s\n" (Analysis.Effects.describe h))
+          hs
+    end;
     (* execute the representative plan so predicted and measured cost
        appear side by side (the --schedule A/B hook reads these lines) *)
     Printf.printf "schedule: %s\n"
@@ -858,6 +877,10 @@ let analyze algo n warm schedule =
     let (_ : Ogb.Container.t), measured = time (fun () -> Exec.force e) in
     Printf.printf "measured cost: %.6f ms\n" (measured *. 1e3);
     print_planner_summary ();
+    let st = Jit.Jit_stats.snapshot () in
+    Printf.printf "effects: checks=%d hazards=%d rejections=%d degraded=%d\n"
+      st.Jit.Jit_stats.effects_checks st.Jit.Jit_stats.effects_hazards
+      st.Jit.Jit_stats.effects_rejections st.Jit.Jit_stats.effects_degraded;
     if warm then begin
       Printf.printf "\n== ahead-of-time warm-up (%d distinct signatures)\n"
         (List.length !sigs);
@@ -899,15 +922,61 @@ let analyze_cmd =
             "After analysis, drive the JIT over every reachable kernel \
              signature so the first real iteration compiles nothing.")
   in
+  let effects =
+    Arg.(
+      value & flag
+      & info [ "effects" ]
+          ~doc:
+            "Print the representative plan's per-node effect footprints \
+             (reads/writes per location, canonical by physical storage) and \
+             any hazards the effect analysis finds between \
+             scheduler-concurrent nodes.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Statically check the tier-1 MiniVM encodings (scope/arity), extract \
           reachable kernel signatures by abstract interpretation, verify a \
-          representative plan (shapes, dtypes, scheduler races) and report \
-          its schedule with predicted vs measured cost, and optionally \
-          pre-warm the JIT")
-    Term.(const analyze $ algo $ n $ warm $ schedule_arg)
+          representative plan (shapes, dtypes, effect footprints, scheduler \
+          races) and report its schedule with predicted vs measured cost, and \
+          optionally pre-warm the JIT")
+    Term.(const analyze $ algo $ n $ warm $ effects $ schedule_arg)
+
+(* -- lint subcommand: effect-analysis self-tests, parallel-kernel
+   certification, and the daemon shared-state audit -- *)
+
+let lint () =
+  Analysis.Lint.apply_env_tamper ();
+  let findings =
+    List.map Analysis.Lint.describe (Analysis.Lint.run ())
+    @ List.map Server.Audit.describe (Server.Audit.run ())
+  in
+  Printf.printf
+    "lint: %d parallel kernel descriptor(s), %d audited handler state(s)\n"
+    (List.length (Jit.Par_kernels.Certify.registry ()))
+    (List.length Server.Audit.manifest);
+  match findings with
+  | [] ->
+    Printf.printf "lint: ok (effects self-tests, parallel-safety \
+                   certification, daemon audit)\n";
+    0
+  | fs ->
+    List.iter (fun f -> Printf.printf "lint: FINDING %s\n" f) fs;
+    Printf.printf "lint: %d finding(s)\n" (List.length fs);
+    1
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Re-prove the static safety arguments: the effect analysis still \
+          flags every seeded hazard class (and passes hazard-free plans), \
+          every parallel kernel's chunk decomposition is disjoint and \
+          covering with chunk-combined kernels gated on exact \
+          associativity, and the serve daemon's handlers touch no shared \
+          mutable state outside the immutable registry and per-session \
+          context.  Exits nonzero on any finding.")
+    Term.(const lint $ const ())
 
 let () =
   (* a dying client mid-write must surface as EPIPE, not kill the
@@ -919,4 +988,4 @@ let () =
     (Cmd.eval'
        (Cmd.group (Cmd.info "ogb" ~version:"1.0.0" ~doc)
           [ run_cmd; gen_cmd; info_cmd; jit_cmd; exec_cmd; analyze_cmd;
-            doctor_cmd; serve_cmd; client_cmd ]))
+            lint_cmd; doctor_cmd; serve_cmd; client_cmd ]))

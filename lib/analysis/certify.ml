@@ -1,0 +1,134 @@
+(* Parallel-safety certifier for the pool-chunked kernel twins.
+
+   Every kernel in [Jit.Par_kernels] publishes its decomposition as data
+   ([Certify.registry]); this module checks, statically, the two
+   arguments that make each one bit-identical to its sequential twin:
+
+   - output-partitioned kernels: the chunk write-sets are pairwise
+     disjoint and tile the index space [0, n) exactly, for a grid of
+     sizes and grains (including n = 0, n < grain, n = k*grain, and
+     n = k*grain + 1 edges);
+   - chunk-combined kernels: every dispatch site gates on
+     [Kernels.exact_assoc] (the registry's gate table says so), and the
+     judgment itself matches the ground truth — regrouping a left fold
+     is bit-identical exactly for the monoids the table licenses.
+
+   Findings carry the kernel name and the violated rule, so a broken
+   decomposition or a widened gate is located, not just detected. *)
+
+module PK = Jit.Par_kernels.Certify
+
+type finding = { kernel : string; rule : string; detail : string }
+
+let describe f =
+  Printf.sprintf "par kernel %s: %s: %s" f.kernel f.rule f.detail
+
+(* size/grain grid: empty, singleton, sub-grain, exact multiples, off-by-
+   one around chunk boundaries, and large-n/large-grain combinations *)
+let samples =
+  [ (0, 16); (1, 1); (1, 16); (5, 2); (7, 3); (16, 16); (17, 16); (31, 16);
+    (64, 16); (100, 1); (1000, 64); (1000, 1024); (33, 0) ]
+
+let check_chunks (d : PK.descriptor) =
+  List.concat_map
+    (fun (n, grain) ->
+      let where rule detail =
+        { kernel = d.PK.name;
+          rule;
+          detail = Printf.sprintf "%s (n=%d grain=%d)" detail n grain }
+      in
+      let chunks = d.PK.chunks ~n ~grain in
+      let findings = ref [] in
+      let expected = ref 0 in
+      Array.iter
+        (fun (lo, hi) ->
+          if lo > hi || lo < 0 || hi > n then
+            findings :=
+              where "chunk bounds"
+                (Printf.sprintf "chunk [%d,%d) outside [0,%d)" lo hi n)
+              :: !findings
+          else if lo < !expected then
+            findings :=
+              where "chunk disjointness"
+                (Printf.sprintf "chunk [%d,%d) overlaps indices below %d" lo hi
+                   !expected)
+              :: !findings
+          else if lo > !expected then
+            findings :=
+              where "index coverage"
+                (Printf.sprintf "indices [%d,%d) belong to no chunk" !expected
+                   lo)
+              :: !findings;
+          expected := max !expected hi)
+        chunks;
+      if !expected < n then
+        findings :=
+          where "index coverage"
+            (Printf.sprintf "indices [%d,%d) belong to no chunk" !expected n)
+          :: !findings;
+      List.rev !findings)
+    samples
+
+(* ground truth for the associativity judgment: machine-exact monoids
+   regroup freely; float ⊕/⊗ do not *)
+let assoc_probes =
+  [ ("double", "Plus", false); ("float", "Plus", false);
+    ("double", "Times", false); ("int64_t", "Plus", true);
+    ("int32_t", "Times", true); ("uint64_t", "Plus", true);
+    ("double", "Min", true); ("double", "Max", true);
+    ("bool", "LogicalOr", true); ("bool", "LogicalAnd", true);
+    ("double", "Div", false) ]
+
+let check_assoc_judgment () =
+  List.filter_map
+    (fun (dtype, op, expect) ->
+      let got = Jit.Kernels.exact_assoc ~dtype ~op in
+      if got = expect then None
+      else
+        Some
+          { kernel = "exact_assoc";
+            rule = "associativity licence";
+            detail =
+              Printf.sprintf "(%s, %s) judged %b, ground truth %b" dtype op
+                got expect })
+    assoc_probes
+
+let check_gates (ds : PK.descriptor list) =
+  let gate name = List.assoc_opt name Jit.Kernels.par_gates in
+  let from_registry =
+    List.filter_map
+      (fun (d : PK.descriptor) ->
+        match d.PK.decomposition, gate d.PK.name with
+        | _, None ->
+          Some
+            { kernel = d.PK.name;
+              rule = "gate table";
+              detail = "kernel has no dispatch-gate entry" }
+        | PK.Chunk_combined, Some Jit.Kernels.Ungated ->
+          Some
+            { kernel = d.PK.name;
+              rule = "exact_assoc gate";
+              detail =
+                "chunk-combined kernel dispatches without the exact_assoc \
+                 licence" }
+        | PK.Chunk_combined, Some Jit.Kernels.Gated_exact_assoc
+        | PK.Output_partitioned, Some _ -> None)
+      ds
+  in
+  let from_table =
+    List.filter_map
+      (fun (name, _) ->
+        if List.exists (fun (d : PK.descriptor) -> d.PK.name = name) ds then
+          None
+        else
+          Some
+            { kernel = name;
+              rule = "gate table";
+              detail = "gate entry names no registered kernel" })
+      Jit.Kernels.par_gates
+  in
+  from_registry @ from_table
+
+let run () =
+  let ds = PK.registry () in
+  List.concat_map check_chunks ds @ check_gates ds @ check_assoc_judgment ()

@@ -1,0 +1,21 @@
+(** Parallel-safety certifier over {!Jit.Par_kernels.Certify.registry}.
+
+    For every output-partitioned kernel twin: chunk write-sets are
+    pairwise disjoint, within bounds, and tile [0, n) exactly across a
+    grid of sizes and grains.  For every chunk-combined twin: its
+    dispatch sites gate on {!Jit.Kernels.exact_assoc} (per the gate
+    table), and the judgment agrees with the ground-truth associativity
+    of the machine representation.  Run by [ogb lint] and the test
+    suite; the seeded-defect tests break a decomposition and a gate
+    through the registry's tamper hooks and assert findings appear. *)
+
+type finding = {
+  kernel : string;  (** kernel (or judgment) the finding locates in *)
+  rule : string;  (** violated rule, e.g. ["chunk disjointness"] *)
+  detail : string;
+}
+
+val describe : finding -> string
+
+val run : unit -> finding list
+(** Empty on a sound kernel set. *)

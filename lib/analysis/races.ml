@@ -1,6 +1,10 @@
-module Plan = Exec.Plan
+(* Scheduler race detection on leaf matrices' CSC caches — since PR 8 a
+   thin view over {!Effects}, which generalizes the footprint/conflict
+   machinery that used to live here to every mutable location class.
+   This module keeps the original leaf-matrix surface (and diagnostic
+   wording) for callers and tests that predate the effect system. *)
+
 module C = Ogb.Container
-module IS = Set.Make (Int)
 
 type kind = Write_write | Read_write
 
@@ -14,129 +18,21 @@ type conflict = {
 
 type strategy = Prebuild | Edge
 
-(* A node "touches" a leaf matrix's CSC cache when executing it may
-   build the index: transposed Mat×Vec (pull dispatch decides at
-   runtime) and unmasked Mat×Mat reading a transposed operand through
-   [Smatrix.unsafe_transpose_view].  Both paths only exist under
-   format-aware dispatch, and only matter while the cache is absent. *)
-
-let find ?(assume_formats = false) plan =
-  if not (assume_formats || Gbtl.Format_stats.enabled ()) then []
-  else begin
-    let order = Plan.topo plan in
-    let anc : (int, IS.t) Hashtbl.t = Hashtbl.create 32 in
-    List.iter
-      (fun id ->
-        let n = Plan.node plan id in
-        let s =
-          Array.fold_left
-            (fun acc d ->
-              let da =
-                match Hashtbl.find_opt anc d with
-                | Some s -> s
-                | None -> IS.empty
-              in
-              IS.add d (IS.union acc da))
-            IS.empty n.Plan.deps
-        in
-        Hashtbl.replace anc id s)
-      order;
-    let ancestors id =
-      match Hashtbl.find_opt anc id with Some s -> s | None -> IS.empty
-    in
-    let unordered a b =
-      (not (IS.mem a (ancestors b))) && not (IS.mem b (ancestors a))
-    in
-    let uncached_leaf_matrix id =
-      match (Plan.node plan id).Plan.op with
-      | Plan.Leaf (C.Mat (_, m) as c) when not (Gbtl.Smatrix.csc_cached m) ->
-        Some c
-      | _ -> None
-    in
-    let leaf_matrix id =
-      match (Plan.node plan id).Plan.op with
-      | Plan.Leaf (C.Mat (_, _) as c) -> Some c
-      | _ -> None
-    in
-    let touchers : (int, IS.t) Hashtbl.t = Hashtbl.create 8 in
-    let readers : (int, IS.t) Hashtbl.t = Hashtbl.create 8 in
-    let containers : (int, C.t) Hashtbl.t = Hashtbl.create 8 in
-    let add tbl leaf id =
-      let cur =
-        match Hashtbl.find_opt tbl leaf with Some s -> s | None -> IS.empty
-      in
-      Hashtbl.replace tbl leaf (IS.add id cur)
-    in
-    let touch node dep_idx =
-      let n = Plan.node plan node in
-      if dep_idx < Array.length n.Plan.deps then begin
-        let leaf = n.Plan.deps.(dep_idx) in
-        match uncached_leaf_matrix leaf with
-        | Some c ->
-          Hashtbl.replace containers leaf c;
-          add touchers leaf node
-        | None -> ()
-      end
-    in
-    List.iter
-      (fun id ->
-        let n = Plan.node plan id in
-        Array.iter
-          (fun d ->
-            match leaf_matrix d with
-            | Some c ->
-              Hashtbl.replace containers d c;
-              add readers d id
-            | None -> ())
-          n.Plan.deps;
-        match n.Plan.op with
-        | Plan.MatMul { transpose_a; transpose_b; masked; _ }
-          when Array.length n.Plan.deps >= 2 -> (
-          let ka = (Plan.node plan n.Plan.deps.(0)).Plan.kind in
-          let kb = (Plan.node plan n.Plan.deps.(1)).Plan.kind in
-          match ka, kb, masked with
-          | Plan.K_mat, Plan.K_vec, _ -> if transpose_a then touch id 0
-          | Plan.K_mat, Plan.K_mat, None ->
-            if transpose_a then touch id 0;
-            if transpose_b then touch id 1
-          | _, _, _ -> ())
-        | _ -> ())
-      order;
-    let out : (int * int * int, conflict) Hashtbl.t = Hashtbl.create 8 in
-    let emit kind x y leaf =
-      let a, b = if x <= y then (x, y) else (y, x) in
-      if a <> b then begin
-        let key = (a, b, leaf) in
-        if (not (Hashtbl.mem out key)) && unordered a b then
-          Hashtbl.replace out key
-            { a; b; leaf; kind; container = Hashtbl.find containers leaf }
-      end
-    in
-    (* write-write pairs first so they win the dedup over read-write *)
-    Hashtbl.iter
-      (fun leaf ts ->
-        IS.iter
-          (fun t1 ->
-            IS.iter (fun t2 -> if t1 < t2 then emit Write_write t1 t2 leaf) ts)
-          ts)
-      touchers;
-    Hashtbl.iter
-      (fun leaf ts ->
-        let rs =
-          match Hashtbl.find_opt readers leaf with
-          | Some s -> s
-          | None -> IS.empty
-        in
-        IS.iter
-          (fun t ->
-            IS.iter
-              (fun r -> if not (IS.mem r ts) then emit Read_write t r leaf)
-              rs)
-          ts)
-      touchers;
-    let lst = Hashtbl.fold (fun _ c acc -> c :: acc) out [] in
-    List.sort (fun x y -> compare (x.a, x.b, x.leaf) (y.a, y.b, y.leaf)) lst
-  end
+let find ?assume_formats plan =
+  Effects.find ?assume_formats plan
+  |> List.filter_map (fun (h : Effects.hazard) ->
+         match h.Effects.cls, h.Effects.container with
+         | Effects.Csc_cache, Some container ->
+           Some
+             { a = h.Effects.a;
+               b = h.Effects.b;
+               leaf = h.Effects.owner;
+               kind =
+                 (match h.Effects.kind with
+                 | Effects.Write_write -> Write_write
+                 | Effects.Read_write -> Read_write);
+               container }
+         | _, _ -> None)
 
 let enforce ~strategy plan =
   let conflicts = find plan in
@@ -155,16 +51,16 @@ let enforce ~strategy plan =
        cycle.  Extra trailing deps are harmless: [execute_node] reads
        its operands positionally from the front. *)
     let pos : (int, int) Hashtbl.t = Hashtbl.create 32 in
-    List.iteri (fun i id -> Hashtbl.replace pos id i) (Plan.topo plan);
+    List.iteri (fun i id -> Hashtbl.replace pos id i) (Exec.Plan.topo plan);
     List.iter
       (fun c ->
         let p id =
           match Hashtbl.find_opt pos id with Some p -> p | None -> max_int
         in
         let first, second = if p c.a < p c.b then (c.a, c.b) else (c.b, c.a) in
-        let n = Plan.node plan second in
-        if not (Array.exists (fun d -> d = first) n.Plan.deps) then
-          n.Plan.deps <- Array.append n.Plan.deps [| first |])
+        let n = Exec.Plan.node plan second in
+        if not (Array.exists (fun d -> d = first) n.Exec.Plan.deps) then
+          n.Exec.Plan.deps <- Array.append n.Exec.Plan.deps [| first |])
       conflicts);
   conflicts
 

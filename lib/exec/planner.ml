@@ -261,6 +261,9 @@ let eval_candidate plan base_sched =
     Verify_hook.run cand ~stage:"candidate";
     let ests = estimates cand in
     let sched = choose_directions cand ests base_sched in
+    (* the direction choice rewrote layout annotations: re-verify (and
+       re-run the effect analysis on) the candidate the pricing sees *)
+    Verify_hook.run cand ~stage:"candidate-final";
     let per_family = Hashtbl.create 8 in
     let total =
       List.fold_left

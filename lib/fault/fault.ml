@@ -26,7 +26,8 @@ let points =
     "serve.accept.exn";  (* daemon accept loop raises on a connection *)
     "serve.session.exn";  (* session handler dies mid-request *)
     "serve.batch.partial";  (* one member of a coalesced batch fails *)
-    "cost.calib.corrupt" ]  (* calibration file truncated/garbage on load *)
+    "cost.calib.corrupt";  (* calibration file truncated/garbage on load *)
+    "analysis.effects.exn" ]  (* effect analysis dies mid-check (degrade loudly) *)
 
 let valid_point p = List.mem p points
 

@@ -19,6 +19,11 @@ type snapshot = {
   sched_worker_failures : int;
   sched_seq_reruns : int;
   blocking_fallbacks : int;
+  (* effect-analysis counters (the static footprint/race stage) *)
+  effects_checks : int;
+  effects_hazards : int;
+  effects_rejections : int;
+  effects_degraded : int;
 }
 
 (* Counters are atomics: the scheduler's worker domains and the pool's
@@ -43,6 +48,10 @@ let inflight_waits = Atomic.make 0
 let sched_worker_failures = Atomic.make 0
 let sched_seq_reruns = Atomic.make 0
 let blocking_fallbacks = Atomic.make 0
+let effects_checks = Atomic.make 0
+let effects_hazards = Atomic.make 0
+let effects_rejections = Atomic.make 0
+let effects_degraded = Atomic.make 0
 
 (* Float accumulation has no atomic fetch-and-add; a mutex is fine at
    compile frequency. *)
@@ -159,6 +168,14 @@ let record_sched_worker_failure () = Atomic.incr sched_worker_failures
 let record_sched_seq_rerun () = Atomic.incr sched_seq_reruns
 let record_blocking_fallback () = Atomic.incr blocking_fallbacks
 
+(* Effect-analysis bookkeeping (lib/analysis runs the checks; the
+   counters live here so doctor/health report them with the rest). *)
+let record_effects_check () = Atomic.incr effects_checks
+let record_effects_hazard ~count =
+  if count > 0 then ignore (Atomic.fetch_and_add effects_hazards count)
+let record_effects_rejection () = Atomic.incr effects_rejections
+let record_effects_degraded () = Atomic.incr effects_degraded
+
 (* Ahead-of-time warm-up bookkeeping (lib/analysis drives the warm-up;
    the counters live here next to the compile counters they offset). *)
 let record_warm_request () = Atomic.incr warm_requests
@@ -183,7 +200,11 @@ let snapshot () =
     inflight_waits = Atomic.get inflight_waits;
     sched_worker_failures = Atomic.get sched_worker_failures;
     sched_seq_reruns = Atomic.get sched_seq_reruns;
-    blocking_fallbacks = Atomic.get blocking_fallbacks }
+    blocking_fallbacks = Atomic.get blocking_fallbacks;
+    effects_checks = Atomic.get effects_checks;
+    effects_hazards = Atomic.get effects_hazards;
+    effects_rejections = Atomic.get effects_rejections;
+    effects_degraded = Atomic.get effects_degraded }
 
 let reset () =
   Atomic.set lookups 0;
@@ -205,6 +226,10 @@ let reset () =
   Atomic.set sched_worker_failures 0;
   Atomic.set sched_seq_reruns 0;
   Atomic.set blocking_fallbacks 0;
+  Atomic.set effects_checks 0;
+  Atomic.set effects_hazards 0;
+  Atomic.set effects_rejections 0;
+  Atomic.set effects_degraded 0;
   Mutex.protect tally_lock (fun () ->
       Hashtbl.reset sig_table;
       Hashtbl.reset fusion_table;
@@ -228,4 +253,11 @@ let pp fmt s =
        seq_reruns=%d blocking_fallbacks=%d"
       s.cache_write_failures s.checksum_quarantines s.compile_timeouts
       s.compile_retries s.breaker_trips s.breaker_short_circuits
-      s.sched_worker_failures s.sched_seq_reruns s.blocking_fallbacks
+      s.sched_worker_failures s.sched_seq_reruns s.blocking_fallbacks;
+  if s.effects_checks + s.effects_hazards + s.effects_rejections
+     + s.effects_degraded > 0
+  then
+    Format.fprintf fmt
+      "@\neffects: checks=%d hazards=%d rejections=%d degraded=%d"
+      s.effects_checks s.effects_hazards s.effects_rejections
+      s.effects_degraded

@@ -22,6 +22,10 @@ type snapshot = {
   sched_worker_failures : int;  (** plan-node failures on worker domains *)
   sched_seq_reruns : int;  (** plans re-executed sequentially after a failure *)
   blocking_fallbacks : int;  (** expressions re-evaluated on the blocking path *)
+  effects_checks : int;  (** effect-analysis passes over a plan *)
+  effects_hazards : int;  (** footprint hazards found (pre-remedy) *)
+  effects_rejections : int;  (** planner candidates rejected for a hazard *)
+  effects_degraded : int;  (** analysis crashes contained (loud degrade) *)
 }
 
 val record_lookup : unit -> unit
@@ -46,6 +50,15 @@ val record_sched_seq_rerun : unit -> unit
 val record_blocking_fallback : unit -> unit
 (** Resilience bookkeeping (fed by the hardened cache/compile pipeline,
     the circuit breaker and the scheduler's failure containment). *)
+
+val record_effects_check : unit -> unit
+val record_effects_hazard : count:int -> unit
+val record_effects_rejection : unit -> unit
+val record_effects_degraded : unit -> unit
+(** Effect-analysis bookkeeping (fed by [Analysis.Effects] through the
+    verifier hook: checks run, hazards found before any remedy, planner
+    candidates rejected for a footprint hazard, and analysis failures
+    contained as loud degrades). *)
 
 val record_signature : string -> hit:bool -> unit
 (** Tally one dispatch of the given {!Kernel_sig.key} as a cache hit

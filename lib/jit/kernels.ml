@@ -20,11 +20,45 @@ let float_dtype = function
   | "float" | "double" | "f32" | "f64" -> true
   | _ -> false
 
+(* Test hook: the seeded-defect suite replaces the associativity
+   judgment to prove the parallel-safety certifier notices a broken
+   gate; the dispatch sites below consult it too, so the defect is the
+   real thing, not a simulation. *)
+let assoc_override : (dtype:string -> op:string -> bool) option ref = ref None
+let set_assoc_override f = assoc_override := f
+
 let exact_assoc ~dtype ~op =
-  match op with
-  | "Min" | "Max" | "LogicalOr" | "LogicalAnd" -> true
-  | "Plus" | "Times" -> not (float_dtype dtype)
-  | _ -> false
+  match !assoc_override with
+  | Some f -> f ~dtype ~op
+  | None -> (
+    match op with
+    | "Min" | "Max" | "LogicalOr" | "LogicalAnd" -> true
+    | "Plus" | "Times" -> not (float_dtype dtype)
+    | _ -> false)
+
+(* Which safety argument licenses each parallel twin's dispatch: the
+   chunk-combined kernels are reachable only behind an [exact_assoc]
+   test at their dispatch site (mxv_plan's transposed scatter,
+   vxm_plan's, vxm_dense's, and both scalar reduces below); the
+   output-partitioned ones dispatch unconditionally.  The certifier
+   cross-checks this table against [Par_kernels.Certify.registry]. *)
+type par_gate = Ungated | Gated_exact_assoc
+
+let par_gates =
+  [ ("mxv_gather", Ungated);
+    ("vxm_gather", Ungated);
+    ("mxv_pull_masked", Ungated);
+    ("vxm_pull_dense", Ungated);
+    ("mxm_gustavson", Ungated);
+    ("ewise_add_dense", Ungated);
+    ("ewise_mult_dense", Ungated);
+    ("apply_dense", Ungated);
+    ("apply_v", Ungated);
+    ("mxv_scatter", Gated_exact_assoc);
+    ("vxm_scatter", Gated_exact_assoc);
+    ("vxm_dense", Gated_exact_assoc);
+    ("reduce_dense", Gated_exact_assoc);
+    ("reduce_v", Gated_exact_assoc) ]
 
 let par_tag = function
   | Some grain -> "g" ^ string_of_int grain

@@ -391,6 +391,63 @@ let reduce_dense ~grain ~op ~identity ((avls, aocc) : 'a array * bool array) =
   done;
   if !any then op identity !acc else identity
 
+(* -- static certification surface --
+
+   Every kernel above decomposes its index space with the same
+   [Pool.parallel_for] arithmetic; [Certify] exposes that decomposition
+   (and which of the two safety arguments each kernel relies on) as
+   data, so the static analyzer can re-derive the PR 5 safety claims —
+   chunk write-set disjointness for output-partitioned kernels, an
+   exactly associative ⊕ for chunk-combined ones — instead of trusting
+   the comments.  [set_tamper] lets the seeded-defect tests hand the
+   certifier a deliberately broken decomposition. *)
+
+module Certify = struct
+  type decomposition =
+    | Output_partitioned
+    | Chunk_combined
+
+  type descriptor = {
+    name : string;
+    decomposition : decomposition;
+    chunks : n:int -> grain:int -> (int * int) array;
+  }
+
+  (* Mirrors Pool.parallel_for: chunk ci covers [ci*g, min(n, ci*g+g)). *)
+  let pool_chunks ~n ~grain =
+    if n <= 0 then [||]
+    else begin
+      let g = max 1 grain in
+      let nchunks = (n + g - 1) / g in
+      Array.init nchunks (fun ci ->
+          let lo = ci * g in
+          (lo, min n (lo + g)))
+    end
+
+  let tamper : (descriptor -> descriptor) option ref = ref None
+  let set_tamper f = tamper := f
+
+  let base =
+    let k name decomposition = { name; decomposition; chunks = pool_chunks } in
+    [ k "mxv_gather" Output_partitioned;
+      k "vxm_gather" Output_partitioned;
+      k "mxv_pull_masked" Output_partitioned;
+      k "vxm_pull_dense" Output_partitioned;
+      k "mxm_gustavson" Output_partitioned;
+      k "ewise_add_dense" Output_partitioned;
+      k "ewise_mult_dense" Output_partitioned;
+      k "apply_dense" Output_partitioned;
+      k "apply_v" Output_partitioned;
+      k "mxv_scatter" Chunk_combined;
+      k "vxm_scatter" Chunk_combined;
+      k "vxm_dense" Chunk_combined;
+      k "reduce_dense" Chunk_combined;
+      k "reduce_v" Chunk_combined ]
+
+  let registry () =
+    match !tamper with None -> base | Some f -> List.map f base
+end
+
 let reduce_v ~grain ~op ~identity ((_, avls, an) : 'a ventry) =
   let nchunks = (an + grain - 1) / grain in
   let accp = Array.make (max nchunks 1) identity in

@@ -146,3 +146,37 @@ val reduce_dense :
 
 val reduce_v : grain:int -> op:('a -> 'a -> 'a) -> identity:'a -> 'a ventry -> 'a
 (** Chunk-combined sparse reduce; requires exactly associative ⊕. *)
+
+(** Static certification surface: the chunk decomposition and the safety
+    argument of every kernel in this module, as data.  The analyzer's
+    parallel-safety certifier ({!Analysis.Certify}) checks chunk
+    write-set disjointness and [0, n) coverage for [Output_partitioned]
+    kernels and [Kernels.exact_assoc] gating for [Chunk_combined] ones. *)
+module Certify : sig
+  type decomposition =
+    | Output_partitioned
+        (** chunks own disjoint output slices; exact for every ⊕ *)
+    | Chunk_combined
+        (** per-chunk partials combined in chunk order; needs exactly
+            associative ⊕, so dispatch must gate on
+            [Kernels.exact_assoc] *)
+
+  type descriptor = {
+    name : string;
+    decomposition : decomposition;
+    chunks : n:int -> grain:int -> (int * int) array;
+        (** the index-space split, [(lo, hi)] half-open per chunk —
+            must tile [0, n) exactly as [Pool.parallel_for] does *)
+  }
+
+  val pool_chunks : n:int -> grain:int -> (int * int) array
+  (** The canonical [Pool.parallel_for] decomposition
+      ([ci*g, min (n, ci*g+g))). *)
+
+  val registry : unit -> descriptor list
+  (** One descriptor per kernel in this module. *)
+
+  val set_tamper : (descriptor -> descriptor) option -> unit
+  (** Test hook: rewrite descriptors on their way out of {!registry}
+      (seeded-defect tests hand the certifier a broken decomposition). *)
+end

@@ -1,0 +1,103 @@
+(* Daemon shared-state audit: the claim that concurrent session handlers
+   touch no shared mutable state outside the immutable graph registry
+   and the per-session context stack, stated as data and then probed.
+
+   The manifest enumerates, per request handler, every piece of state
+   that outlives one request together with its isolation class; the
+   probes then exercise the two claims that carry the whole argument —
+   registry bindings are write-once, and [Session.with_context] never
+   leaks an operator stack onto the serving domain — against scratch
+   instances, so [ogb lint] re-proves them on every run instead of
+   trusting the comment. *)
+
+type cls =
+  | Immutable_registry  (* written once at load, read-only after *)
+  | Session_private  (* reached only under the session's lock *)
+  | Lock_protected  (* explicit mutex around every access *)
+  | Atomic_counter  (* lock-free monotonic counters *)
+
+type claim = { handler : string; state : string; cls : cls }
+
+type finding = { probe : string; detail : string }
+
+let cls_to_string = function
+  | Immutable_registry -> "immutable-registry"
+  | Session_private -> "session-private"
+  | Lock_protected -> "lock-protected"
+  | Atomic_counter -> "atomic-counter"
+
+let describe f = Printf.sprintf "audit %s: %s" f.probe f.detail
+
+let manifest =
+  [ { handler = "ping"; state = "none"; cls = Session_private };
+    { handler = "load"; state = "registry name table"; cls = Lock_protected };
+    { handler = "load"; state = "registered matrices"; cls = Immutable_registry };
+    { handler = "graphs"; state = "registry name table"; cls = Lock_protected };
+    { handler = "run"; state = "registered matrices"; cls = Immutable_registry };
+    { handler = "run"; state = "session operator stack"; cls = Session_private };
+    { handler = "run"; state = "JIT dispatch statistics"; cls = Atomic_counter };
+    { handler = "mxv"; state = "registered matrices"; cls = Immutable_registry };
+    { handler = "mxv"; state = "session operator stack"; cls = Session_private };
+    { handler = "vxm"; state = "registered matrices"; cls = Immutable_registry };
+    { handler = "vxm"; state = "session operator stack"; cls = Session_private };
+    { handler = "context"; state = "session operator stack"; cls = Session_private };
+    { handler = "health"; state = "JIT dispatch statistics"; cls = Atomic_counter };
+    { handler = "stats"; state = "session request/error counters"; cls = Session_private };
+    { handler = "session"; state = "session id counter"; cls = Atomic_counter };
+    { handler = "shutdown"; state = "daemon stop flag"; cls = Atomic_counter } ]
+
+(* probe: a registry binding, once made, cannot change identity *)
+let probe_registry () =
+  let r = Registry.create () in
+  match Registry.load r ~name:"audit" ~spec:"path:n=4" ~symmetrize:false with
+  | Error e ->
+    [ { probe = "registry";
+        detail = Printf.sprintf "scratch load failed: %s" e } ]
+  | Ok first -> (
+    match Registry.load r ~name:"audit" ~spec:"complete:n=4" ~symmetrize:false with
+    | Ok _ ->
+      [ { probe = "registry";
+          detail = "rebinding a bound name was accepted — a graph can \
+                    change identity under a running session" } ]
+    | Error _ -> (
+      match Registry.find r "audit" with
+      | Some m when m == first -> []
+      | Some _ ->
+        [ { probe = "registry";
+            detail = "refused rebind still replaced the stored matrix" } ]
+      | None ->
+        [ { probe = "registry"; detail = "bound name vanished after rebind" } ]))
+
+(* probe: the session context protocol parks the operator stack in the
+   session record and leaves the serving domain's stack empty — on
+   normal return and on raise *)
+let probe_session_context () =
+  let fs = ref [] in
+  let fail detail = fs := { probe = "session-context"; detail } :: !fs in
+  let saved = Ogb.Context.save () in
+  Ogb.Context.reset ();
+  let s = Session.create () in
+  Session.with_context s (fun () -> Ogb.Context.push (Ogb.Context.binary "Plus"));
+  if Ogb.Context.depth () <> 0 then
+    fail "operator stack leaked onto the domain after with_context";
+  if List.length s.Session.ctx <> 1 then
+    fail "session did not capture the operator stack it ran under";
+  Session.with_context s (fun () ->
+      if Ogb.Context.depth () <> 1 then
+        fail "saved session stack was not re-installed on re-entry");
+  (try
+     Session.with_context s (fun () ->
+         Ogb.Context.push (Ogb.Context.binary "Min");
+         failwith "audit")
+   with Failure _ -> ());
+  if Ogb.Context.depth () <> 0 then
+    fail "operator stack leaked onto the domain after a raising request";
+  let t = Session.create () in
+  if t.Session.id = s.Session.id then fail "session ids are not distinct";
+  Session.with_context t (fun () ->
+      if Ogb.Context.depth () <> 0 then
+        fail "one session's operator stack is visible to another");
+  Ogb.Context.restore saved;
+  List.rev !fs
+
+let run () = probe_registry () @ probe_session_context ()

@@ -1,0 +1,26 @@
+(** Daemon shared-state audit: per-handler manifest of every piece of
+    state that outlives one request (with its isolation class), plus
+    executable probes for the claims the isolation argument rests on —
+    registry bindings are write-once, and the session context protocol
+    never leaks an operator stack onto a serving domain.  Run by
+    [ogb lint]. *)
+
+type cls =
+  | Immutable_registry  (** written once at load, read-only after *)
+  | Session_private  (** reached only under the session's lock *)
+  | Lock_protected  (** explicit mutex around every access *)
+  | Atomic_counter  (** lock-free monotonic counters *)
+
+type claim = { handler : string; state : string; cls : cls }
+
+type finding = { probe : string; detail : string }
+
+val cls_to_string : cls -> string
+val describe : finding -> string
+
+val manifest : claim list
+(** One row per (handler, shared state) pair the daemon reaches. *)
+
+val run : unit -> finding list
+(** Probe the manifest's claims against scratch registry/session
+    instances; empty when the isolation argument holds. *)

@@ -25,6 +25,7 @@ let () =
       ("formats", Test_formats.suite);
       ("extensions", Test_extensions.suite);
       ("analysis", Test_analysis.suite);
+      ("effects", Test_effects.suite);
       ("fault", Test_fault.suite);
       ("parallel", Test_parallel.suite);
       ("serve", Test_serve.suite);

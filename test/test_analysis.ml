@@ -83,17 +83,22 @@ let test_defect_miscompile_between_stages () =
 let race_plan () =
   (* y = A.T@u + A.T@v: after transpose sinking both matmuls dispatch on
      A's lazily built CSC index, and the scheduler runs them
-     concurrently *)
-  let m = Smatrix.of_coo f64 8 8 [ (0, 1, 1.0); (3, 2, 2.0); (7, 5, 1.0) ] in
+     concurrently.  The operands are filled-in 64-vectors so layout
+     selection picks the pull direction (push never builds the index and
+     the layout-aware analysis knows it); the plan is rewritten without
+     the planner so the fixture's layouts are deterministic. *)
+  let m = Smatrix.of_coo f64 64 64 [ (0, 1, 1.0); (3, 2, 2.0); (7, 5, 1.0) ] in
   let ac = Ogb.Container.of_smatrix m in
   let e =
     with_arith (fun () ->
         let a = leaf ac in
         Ogb.Expr.add
-          (Ogb.Expr.matmul (Ogb.Expr.transpose a) (leaf (vec 8 1.0)))
-          (Ogb.Expr.matmul (Ogb.Expr.transpose a) (leaf (vec 8 2.0))))
+          (Ogb.Expr.matmul (Ogb.Expr.transpose a) (leaf (vec 64 1.0)))
+          (Ogb.Expr.matmul (Ogb.Expr.transpose a) (leaf (vec 64 2.0))))
   in
-  Exec.plan_force e
+  let plan = Plan.of_expr e in
+  Exec.Rewrite.run plan;
+  plan
 
 let test_race_found () =
   let plan = race_plan () in
