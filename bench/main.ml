@@ -25,6 +25,10 @@
      cost     cost-model planner: calibrate kernel coefficients from
               timings, then A/B the calibrated schedule search against
               the frozen greedy pipeline, emits BENCH_cost.json
+     oocore   out-of-core tiled PageRank: in-memory vs streamed under a
+              memory budget (bit-identity + eviction counts), plus the
+              checkpointed and delta-restart variants,
+              emits BENCH_oocore.json
      micro    Bechamel micro-benchmarks of the kernel families *)
 
 open Gbtl
@@ -1661,6 +1665,141 @@ let cost_bench max_n =
 
 (* ---------------------------------------------------------------- *)
 
+(* Out-of-core (tiled) execution: the streamed PageRank must return the
+   in-memory ranks bit-for-bit both unbounded and under a memory budget
+   small enough to force tile eviction, and the incremental layer's
+   certified warm restart must converge in no more iterations than the
+   cold rerun it replaces. *)
+let oocore_bench () =
+  print_endline "== Out-of-core: tiled streaming, eviction, delta ==";
+  let n = 512 in
+  let tile = (64, 64) in
+  let budget = 64 * 1024 in
+  (* the default 1e-5 threshold converges in one step on a near-regular
+     ER graph; tighten it so iteration, checkpointing and warm restart
+     have something to measure *)
+  let threshold = 1.e-12 in
+  let rng = Graphs.Rng.create ~seed:4242 in
+  let g = Graphs.Generators.erdos_renyi_paper rng ~nvertices:n in
+  let m = Graphs.Convert.matrix_of_edges Dtype.FP64 g in
+  let fresh_dir =
+    let k = ref 0 in
+    fun () ->
+      incr k;
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ogb-bench-tiles-%d-%d" (Unix.getpid ()) !k)
+  in
+  let expect, base_iters =
+    Format_stats.with_enabled true (fun () ->
+        Algorithms.Pagerank.native ~threshold m)
+  in
+  let inmem_ms =
+    ms
+      (best_of (fun () ->
+           Format_stats.with_enabled true (fun () ->
+               Algorithms.Pagerank.native ~threshold m)))
+  in
+  let with_tiled ?budget f =
+    let t = Tmatrix.of_smatrix ~dir:(fresh_dir ()) ~tile ?budget m in
+    Fun.protect ~finally:(fun () -> Tmatrix.destroy t) (fun () -> f t)
+  in
+  (* unbounded: every tile stays resident *)
+  let unbounded_ranks, unbounded_ms =
+    with_tiled (fun t ->
+        let r, _ = Oocore.Stream.pagerank ~threshold t in
+        (r, ms (best_of (fun () -> Oocore.Stream.pagerank ~threshold t))))
+  in
+  let agree_unbounded = Svector.equal unbounded_ranks expect in
+  (* bounded: the budget forces streaming through the tile store *)
+  Tile_stats.reset ();
+  let bounded_ranks, bounded_iters, bounded_ms =
+    with_tiled ~budget (fun t ->
+        let r, it = Oocore.Stream.pagerank ~threshold t in
+        (r, it, ms (best_of (fun () -> Oocore.Stream.pagerank ~threshold t))))
+  in
+  let counters = Tile_stats.counters () in
+  let evictions = List.assoc "tile_evictions" counters in
+  let tile_loads = List.assoc "tile_loads" counters in
+  let tile_stores = List.assoc "tile_stores" counters in
+  let agree_bounded =
+    Svector.equal bounded_ranks expect && bounded_iters = base_iters
+  in
+  Printf.printf
+    "pagerank n=%d: in-memory %.3fms, tiled-unbounded %.3fms, tiled under \
+     %dKiB budget %.3fms (%d evictions, %d loads, %d stores) — identical: \
+     %s/%s\n"
+    n inmem_ms unbounded_ms (budget / 1024) bounded_ms evictions tile_loads
+    tile_stores
+    (if agree_unbounded then "yes" else "NO")
+    (if agree_bounded then "yes" else "NO");
+  (* checkpointed run: same ranks, overhead visible, saves counted *)
+  Tile_stats.reset ();
+  let ckpt_ranks, ckpt_ms =
+    with_tiled (fun t ->
+        let r, _ = Oocore.Stream.pagerank ~threshold ~ckpt:"bench-pr" ~every:4 t in
+        (r, ms (best_of (fun () -> Oocore.Stream.pagerank ~threshold ~ckpt:"bench-pr" ~every:4 t))))
+  in
+  let ckpt_saves = List.assoc "ckpt_saves" (Tile_stats.counters ()) in
+  let agree_ckpt = Svector.equal ckpt_ranks expect in
+  Printf.printf
+    "checkpointed pagerank: %.3fms (plain tiled %.3fms, %d checkpoint \
+     saves) — identical: %s\n"
+    ckpt_ms unbounded_ms ckpt_saves
+    (if agree_ckpt then "yes" else "NO");
+  (* delta layer: converged prev + small batch, warm restart vs cold *)
+  let prev = Array.make n 0.0 in
+  Svector.iter (fun i v -> prev.(i) <- v) expect;
+  let batch = [ (1, n - 2, Some 1.0); (n - 2, 1, Some 1.0) ] in
+  let warm_iters, cold_iters, delta_ms, full_ms =
+    with_tiled ~budget (fun t ->
+        let ((_, warm_iters), _), delta_dt =
+          time_once (fun () -> Oocore.Delta.pagerank_after ~threshold ~prev ~batch t)
+        in
+        let (_, cold_iters), full_dt =
+          time_once (fun () -> Oocore.Stream.pagerank ~threshold t)
+        in
+        (warm_iters, cold_iters, ms delta_dt, ms full_dt))
+  in
+  let iter_speedup = float_of_int cold_iters /. float_of_int warm_iters in
+  let delta_ok = warm_iters <= cold_iters in
+  Printf.printf
+    "delta restart after 1-edge batch: %d iters warm vs %d cold \
+     (iteration speedup %.2fx, %.3fms vs %.3fms): %s\n"
+    warm_iters cold_iters iter_speedup delta_ms full_ms
+    (if delta_ok then "ok" else "SLOWER");
+  let oc = open_out "BENCH_oocore.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"experiment\": \"oocore\",\n";
+  out "  \"n\": %d,\n" n;
+  out "  \"tile\": \"%dx%d\",\n" (fst tile) (snd tile);
+  out "  \"budget_bytes\": %d,\n" budget;
+  out "  \"base_iters\": %d,\n" base_iters;
+  out "  \"inmem_ms\": %.3f,\n" inmem_ms;
+  out "  \"tiled_unbounded_ms\": %.3f,\n" unbounded_ms;
+  out "  \"tiled_bounded_ms\": %.3f,\n" bounded_ms;
+  out "  \"agree_unbounded\": %b,\n" agree_unbounded;
+  out "  \"agree_bounded\": %b,\n" agree_bounded;
+  out "  \"evictions\": %d,\n" evictions;
+  out "  \"evictions_nonzero\": %b,\n" (evictions > 0);
+  out "  \"tile_loads\": %d,\n" tile_loads;
+  out "  \"tile_stores\": %d,\n" tile_stores;
+  out
+    "  \"ckpt\": { \"ms\": %.3f, \"saves\": %d, \"agree\": %b },\n"
+    ckpt_ms ckpt_saves agree_ckpt;
+  out
+    "  \"delta\": { \"warm_iters\": %d, \"cold_iters\": %d, \
+     \"iter_speedup\": %.3f, \"warm_not_slower\": %b, \"delta_ms\": %.3f, \
+     \"full_ms\": %.3f }\n"
+    warm_iters cold_iters iter_speedup delta_ok delta_ms full_ms;
+  out "}\n";
+  close_out oc;
+  print_endline "wrote BENCH_oocore.json";
+  print_newline ()
+
+(* ---------------------------------------------------------------- *)
+
 let default_sizes max_n =
   let rec build n acc =
     if n > max_n then List.rev acc else build (2 * n) (n :: acc)
@@ -1685,7 +1824,7 @@ let () =
            List.mem a
              [ "fig10"; "fig11"; "compile"; "table1"; "ablation"; "exec";
                "formats"; "parallel"; "warmup"; "faults"; "serve"; "cost";
-               "micro" ])
+               "oocore"; "micro" ])
          args)
   in
   Printf.printf "ogb benchmark harness (JIT: %s)\n\n"
@@ -1710,4 +1849,5 @@ let () =
   if all || has "faults" then faults_bench ();
   if all || has "serve" then serve_bench ();
   if all || has "cost" then cost_bench max_n;
+  if all || has "oocore" then oocore_bench ();
   if all || has "micro" then micro ()

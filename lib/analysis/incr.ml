@@ -1,0 +1,63 @@
+type algo = Pagerank | Bfs | Cc
+
+type verdict =
+  | Exact_incremental of string
+  | Warm_restart of string
+  | Full_recompute of string
+
+let algo_name = function
+  | Pagerank -> "pagerank"
+  | Bfs -> "bfs"
+  | Cc -> "cc"
+
+(* The obligations, stated as the text the doctor/tests surface.  BFS
+   levels and CC labels are least fixed points of monotone (value-
+   decreasing) operators: edge additions only add constraints, so
+   propagation reseeded from the previous fixed point at the new edges'
+   endpoints reaches the new least fixed point exactly.  A deletion can
+   raise values, which reseeding cannot express.  PageRank's iteration
+   is a contraction (damping < 1), so any start vector — in particular
+   the previous ranks — converges to the unique fixed point of the
+   updated matrix. *)
+let certify algo ~additions ~deletions =
+  Gbtl.Tile_stats.record_delta_plan ();
+  let reject why =
+    Gbtl.Tile_stats.record_delta_rejection ();
+    Full_recompute why
+  in
+  if additions < 0 || deletions < 0 then
+    reject "malformed batch: negative edge counts"
+  else
+    match algo with
+    | Pagerank ->
+      Warm_restart
+        "pagerank: iteration is a contraction for damping < 1; warm \
+         restart from the previous ranks converges to the unique fixed \
+         point of the updated matrix (equal to full recompute within the \
+         convergence threshold)"
+    | Bfs | Cc ->
+      let name = algo_name algo in
+      if deletions > 0 then
+        reject
+          (Printf.sprintf
+             "%s: edge deletions can raise levels/labels; reseeded \
+              propagation is monotone decreasing and cannot express that \
+              — full recompute required"
+             name)
+      else
+        Exact_incremental
+          (Printf.sprintf
+             "%s: additions only — the operator is monotone decreasing, \
+              so propagation reseeded from the previous fixed point at \
+              the %d new edges' endpoints reaches the new least fixed \
+              point exactly (bit-equal to full recompute)"
+             name additions)
+
+let usable = function
+  | Exact_incremental _ | Warm_restart _ -> true
+  | Full_recompute _ -> false
+
+let explain = function
+  | Exact_incremental why -> "exact-incremental: " ^ why
+  | Warm_restart why -> "warm-restart: " ^ why
+  | Full_recompute why -> "full-recompute: " ^ why

@@ -1,0 +1,43 @@
+(** Delta-recompute certifier — the Verify-stage extension for the
+    incremental layer.  Before a delta plan (re-running an algorithm
+    after an edge batch by reusing the previous result) is allowed to
+    execute, this module proves it equivalent to a full recompute, or
+    rejects it so the caller falls back to the full run.
+
+    The proofs are monotonicity arguments:
+    - {b BFS} (levels) and {b CC} (min-labels) are least fixed points of
+      monotone operators.  Adding edges only adds constraints that can
+      {e lower} a level/label; re-running the propagation seeded from
+      the previous fixed point plus the frontier affected by the new
+      edges reaches exactly the new least fixed point.  Deleting an edge
+      can raise values, which reseeding cannot express — rejected.
+    - {b PageRank} is a contraction for damping < 1: from {e any}
+      starting vector (in particular the previous ranks) the iteration
+      converges to the unique fixed point of the updated matrix; a delta
+      run is a warm restart, equal to the full recompute within the
+      convergence threshold (not bitwise).
+
+    Certified plans and rejections are counted in
+    {!Gbtl.Tile_stats}. *)
+
+type algo = Pagerank | Bfs | Cc
+
+type verdict =
+  | Exact_incremental of string
+      (** provably the same fixed point, bit-exact; the payload is the
+          proof sketch *)
+  | Warm_restart of string
+      (** same unique fixed point within the convergence threshold *)
+  | Full_recompute of string
+      (** rejected; the payload says which obligation failed *)
+
+val certify : algo -> additions:int -> deletions:int -> verdict
+(** Certify a delta plan for [algo] over a batch with the given edge
+    addition/deletion counts.  Counts one delta plan; a
+    [Full_recompute] verdict also counts one rejection. *)
+
+val usable : verdict -> bool
+(** Whether the delta plan may run ([Full_recompute] may not). *)
+
+val explain : verdict -> string
+val algo_name : algo -> string

@@ -18,6 +18,7 @@ module Planner = Planner
 module Scheduler = Scheduler
 module Trace = Trace
 module Verify_hook = Verify_hook
+module Iterate = Iterate
 
 type mode = Ogb.Exec_hook.mode = Blocking | Nonblocking
 

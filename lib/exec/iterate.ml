@@ -1,0 +1,87 @@
+open Gbtl
+
+type 's codec = { encode : 's -> string; decode : string -> 's }
+
+let marshal_codec () =
+  { encode = (fun s -> Marshal.to_string s []);
+    decode = (fun b -> Marshal.from_string b 0) }
+
+type 's outcome = {
+  state : 's;
+  iters : int;
+  resumed_from : int;
+  converged : bool;
+}
+
+let default_store () = Tile_store.open_store "ckpt"
+
+(* One checkpoint blob: iteration index + encoded state.  The store
+   verifies the checksum sidecar before these bytes are decoded. *)
+let save store ~name ~iter ~(codec : _ codec) state =
+  let blob = Marshal.to_string (iter, codec.encode state) [] in
+  match Tile_store.put store ~key:name blob with
+  | Ok () ->
+    Tile_stats.record_ckpt_save ();
+    Tile_stats.set_ckpt_generation iter
+  | Error _ -> ()  (* counted by the store; the loop goes on *)
+  | exception Fault.Injected _ -> Tile_stats.record_write_failure ()
+
+let load store ~name ~(codec : _ codec) =
+  match Tile_store.get store ~key:name with
+  | exception Fault.Injected _ -> None
+  | `Missing | `Corrupt -> None
+  | `Ok blob -> (
+    match
+      let iter, enc = (Marshal.from_string blob 0 : int * string) in
+      (iter, codec.decode enc)
+    with
+    | iter, state when iter >= 1 -> Some (iter, state)
+    | _ -> None
+    | exception _ ->
+      (* verified bytes that still fail to decode: stale codec — drop
+         the checkpoint and start fresh *)
+      Tile_store.delete store ~key:name;
+      Tile_stats.record_quarantine ();
+      None)
+
+let clear ?store ~name () =
+  let store = match store with Some s -> s | None -> default_store () in
+  Tile_store.delete store ~key:name
+
+let run ?store ?(every = 1) ?(keep = false) ~name ~codec ~init ~step
+    ~max_iters () =
+  let store = match store with Some s -> s | None -> default_store () in
+  let every = max 1 every in
+  let start_iter, state0, resumed_from =
+    match load store ~name ~codec with
+    | Some (iter, state) ->
+      Tile_stats.record_ckpt_resume ();
+      Tile_stats.set_ckpt_generation iter;
+      (iter + 1, state, iter)
+    | None -> (1, init (), 0)
+  in
+  let state = ref state0 in
+  let iters = ref (start_iter - 1) in
+  let converged = ref false in
+  (try
+     for i = start_iter to max_iters do
+       iters := i;
+       match step ~iter:i !state with
+       | `Done s ->
+         state := s;
+         converged := true;
+         raise Exit
+       | `Continue s ->
+         state := s;
+         if i mod every = 0 then save store ~name ~iter:i ~codec s
+     done
+   with Exit -> ());
+  if !converged then begin
+    if keep then save store ~name ~iter:!iters ~codec !state
+    else Tile_store.delete store ~key:name
+  end
+  else if !iters >= start_iter then
+    (* ran out of budget: persist the newest state so a relaunch
+       continues instead of restarting *)
+    save store ~name ~iter:!iters ~codec !state;
+  { state = !state; iters = !iters; resumed_from; converged = !converged }

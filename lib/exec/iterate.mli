@@ -1,0 +1,53 @@
+(** Checkpointed iteration: a driver for convergence loops (PageRank,
+    label propagation, …) that persists its state every few iterations
+    through the crash-safe {!Gbtl.Tile_store} (atomic write + checksum
+    sidecar) and, when relaunched after a crash, resumes from the last
+    good checkpoint instead of iteration 0.
+
+    Crash model: the step function dying (exception, process kill)
+    leaves the newest completed checkpoint on disk; a corrupt or
+    torn checkpoint fails its checksum on reload, is quarantined, and
+    the run falls back to [init] — a bad checkpoint can delay a run,
+    never wreck it.  Checkpoint I/O failures (device full, injected
+    faults) are contained and counted in {!Gbtl.Tile_stats}; the
+    iteration itself never stops because a checkpoint could not be
+    written. *)
+
+type 's codec = { encode : 's -> string; decode : string -> 's }
+
+val marshal_codec : unit -> 's codec
+(** [Marshal]-based codec — safe here because checkpoints are verified
+    against their checksum sidecar before the bytes reach
+    [Marshal.from_string]. *)
+
+type 's outcome = {
+  state : 's;
+  iters : int;  (** iterations reflected in [state] (total, both runs) *)
+  resumed_from : int;  (** checkpoint generation resumed from; 0 = fresh *)
+  converged : bool;
+}
+
+val run :
+  ?store:Gbtl.Tile_store.t ->
+  ?every:int ->
+  ?keep:bool ->
+  name:string ->
+  codec:'s codec ->
+  init:(unit -> 's) ->
+  step:(iter:int -> 's -> [ `Continue of 's | `Done of 's ]) ->
+  max_iters:int ->
+  unit ->
+  's outcome
+(** [run ~name ~codec ~init ~step ~max_iters ()] iterates
+    [step ~iter state] from [iter = 1], checkpointing the state every
+    [every] (default 1) completed iterations under [name] in [store]
+    (default: the shared ["ckpt"] store under
+    {!Gbtl.Tile_store.root_dir}).  A fresh run starts from [init ()]; a
+    relaunch finds the newest verified checkpoint and continues after
+    it.  On [`Done] the checkpoint is deleted unless [keep] is true
+    (the run is over; a later identically-named run should start
+    fresh); on hitting [max_iters] the newest state is checkpointed so
+    a relaunch continues the loop. *)
+
+val clear : ?store:Gbtl.Tile_store.t -> name:string -> unit -> unit
+(** Drop [name]'s checkpoint (tests, or explicit fresh starts). *)

@@ -27,7 +27,11 @@ let points =
     "serve.session.exn";  (* session handler dies mid-request *)
     "serve.batch.partial";  (* one member of a coalesced batch fails *)
     "cost.calib.corrupt";  (* calibration file truncated/garbage on load *)
-    "analysis.effects.exn" ]  (* effect analysis dies mid-check (degrade loudly) *)
+    "analysis.effects.exn";  (* effect analysis dies mid-check (degrade loudly) *)
+    "tile.read.corrupt";  (* on-disk tile truncated/garbage before verify *)
+    "tile.write.enospc";  (* tile-store device full on a spill/checkpoint *)
+    "tile.io.exn";  (* tile/checkpoint I/O raises mid-operation *)
+    "tile.evict.slow" ]  (* eviction writeback stalls *)
 
 let valid_point p = List.mem p points
 

@@ -17,3 +17,20 @@ let shape_str nrows ncols = Printf.sprintf "%dx%d" nrows ncols
 let size_str n = Printf.sprintf "size %d" n
 
 let message = function Dim_mismatch m -> Some m | _ -> None
+
+(* Located error values for the [_result] I/O entry points: malformed
+   external input is data, so it comes back as [Error] pointing at the
+   offending file and line rather than an exception from inside a
+   parser. *)
+
+type t = { what : string; file : string option; line : int option }
+
+let msg what = { what; file = None; line = None }
+let in_file ~file what = { what; file = Some file; line = None }
+let at_line ~file ~line what = { what; file = Some file; line = Some line }
+
+let to_string e =
+  match (e.file, e.line) with
+  | Some f, Some l -> Printf.sprintf "%s:%d: %s" f l e.what
+  | Some f, None -> Printf.sprintf "%s: %s" f e.what
+  | None, _ -> e.what

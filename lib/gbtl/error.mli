@@ -1,11 +1,17 @@
 (** Unified gbtl error channel.
 
-    All dimension conformance failures across svector/smatrix and the
-    GraphBLAS operations raise [Dim_mismatch] with a uniform
-    ["op: expected E, actual A"] message.  [Svector.Dimension_mismatch]
-    and [Smatrix.Dimension_mismatch] are rebindings of this exception,
-    kept for source compatibility: matching either catches the same
-    failures. *)
+    Two shapes live here.  [Dim_mismatch] is the one exception every
+    dimension conformance failure across svector/smatrix and the
+    GraphBLAS operations raises, with a uniform
+    ["op: expected E, actual A"] message; [Svector.Dimension_mismatch]
+    and [Smatrix.Dimension_mismatch] are rebindings kept for source
+    compatibility.
+
+    {!t} is the located error value the [_result] I/O entry points
+    return (Matrix Market ingest, tiled-file construction): malformed
+    external input is data, not a programming error, so it surfaces as
+    [Error] carrying the file and line that offended instead of an
+    exception from deep inside a parser. *)
 
 exception Dim_mismatch of string
 
@@ -23,3 +29,19 @@ val size_str : int -> string
 
 val message : exn -> string option
 (** [Some msg] for [Dim_mismatch msg], [None] otherwise. *)
+
+(** {2 Located errors} *)
+
+type t = {
+  what : string;  (** what went wrong, human-readable *)
+  file : string option;  (** offending file, when known *)
+  line : int option;  (** 1-based line within [file], when known *)
+}
+
+val msg : string -> t
+val in_file : file:string -> string -> t
+val at_line : file:string -> line:int -> string -> t
+
+val to_string : t -> string
+(** ["file:line: what"], degrading gracefully when location is
+    partial. *)

@@ -11,97 +11,171 @@ type header = {
   nnz : int;
 }
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+(* The parser is written against located error values; the legacy
+   exception entry points wrap them.  [Located] never escapes this
+   module. *)
+exception Located of Error.t
+
+let fail_at file line fmt =
+  Printf.ksprintf (fun s -> raise (Located (Error.at_line ~file ~line s))) fmt
 
 let split_ws s =
   String.split_on_char ' ' s
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun t -> t <> "")
 
-let read_header ic =
-  let banner = try input_line ic with End_of_file -> fail "empty file" in
-  (match split_ws (String.lowercase_ascii banner) with
-  | [ "%%matrixmarket"; "matrix"; "coordinate"; _; _ ] -> ()
-  | _ -> fail "unsupported banner: %s" banner);
+(* Line-counting reader so every diagnostic can point at its line. *)
+type cursor = { ic : in_channel; file : string; mutable lineno : int }
+
+let next_line cur =
+  match input_line cur.ic with
+  | line ->
+    cur.lineno <- cur.lineno + 1;
+    Some line
+  | exception End_of_file -> None
+
+let parse_header cur =
+  let banner =
+    match next_line cur with
+    | Some l -> l
+    | None -> fail_at cur.file 1 "empty file"
+  in
   let field, symmetry =
     match split_ws (String.lowercase_ascii banner) with
-    | [ _; _; _; f; s ] ->
+    | [ "%%matrixmarket"; "matrix"; "coordinate"; f; s ] ->
       let field =
         match f with
         | "real" -> Real
         | "integer" -> Integer
         | "pattern" -> Pattern
-        | _ -> fail "unsupported field type: %s" f
+        | _ -> fail_at cur.file cur.lineno "unsupported field type: %s" f
       in
       let symmetry =
         match s with
         | "general" -> General
         | "symmetric" -> Symmetric
         | "skew-symmetric" -> Skew_symmetric
-        | _ -> fail "unsupported symmetry: %s" s
+        | _ -> fail_at cur.file cur.lineno "unsupported symmetry: %s" s
       in
       (field, symmetry)
-    | _ -> fail "malformed banner"
+    | _ -> fail_at cur.file cur.lineno "unsupported banner: %s" banner
   in
   let rec size_line () =
-    let line = try input_line ic with End_of_file -> fail "missing size line" in
-    let line = String.trim line in
-    if line = "" || line.[0] = '%' then size_line () else line
+    match next_line cur with
+    | None -> fail_at cur.file cur.lineno "missing size line"
+    | Some line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '%' then size_line () else line
+  in
+  let dim what tok =
+    match int_of_string_opt tok with
+    | Some v when v >= 0 -> v
+    | Some v -> fail_at cur.file cur.lineno "negative %s: %d" what v
+    | None -> fail_at cur.file cur.lineno "size line: bad %s %S" what tok
   in
   match split_ws (size_line ()) with
-  | [ r; c; n ] -> (
-    try { field; symmetry; nrows = int_of_string r; ncols = int_of_string c;
-          nnz = int_of_string n }
-    with Failure _ -> fail "malformed size line")
-  | _ -> fail "malformed size line"
+  | [ r; c; n ] ->
+    { field; symmetry; nrows = dim "row count" r; ncols = dim "column count" c;
+      nnz = dim "entry count" n }
+  | toks ->
+    fail_at cur.file cur.lineno "malformed size line (%d fields, want 3)"
+      (List.length toks)
 
-let parse_value (type a) (dt : a Dtype.t) field tokens : a =
-  match field, tokens with
+let parse_value (type a) (dt : a Dtype.t) cur field tokens : a =
+  match (field, tokens) with
   | Pattern, [] -> Dtype.one dt
   | (Real | Integer), [ tok ] -> (
     match float_of_string_opt tok with
     | Some f -> Dtype.of_float dt f
-    | None -> fail "bad value token: %s" tok)
-  | _ -> fail "wrong number of value tokens"
+    | None -> fail_at cur.file cur.lineno "bad value token: %s" tok)
+  | Pattern, _ :: _ ->
+    fail_at cur.file cur.lineno "pattern entry carries a value"
+  | (Real | Integer), _ ->
+    fail_at cur.file cur.lineno "entry has %d value tokens, want 1"
+      (List.length tokens)
+
+(* One-based in the file; anything non-numeric (including an integer too
+   big for native int) or outside [1, bound] is malformed input, not a
+   crash further down in of_coo. *)
+let parse_index cur what bound tok =
+  match int_of_string_opt tok with
+  | None -> fail_at cur.file cur.lineno "%s index is not a number: %S" what tok
+  | Some i when i < 1 || i > bound ->
+    fail_at cur.file cur.lineno "%s index %d outside [1, %d]" what i bound
+  | Some i -> i - 1
+
+let parse_coo dt cur =
+  let h = parse_header cur in
+  let entries = ref [] in
+  let count = ref 0 in
+  let rec loop () =
+    match next_line cur with
+    | None -> ()
+    | Some raw ->
+      let line = String.trim raw in
+      if line <> "" && line.[0] <> '%' then begin
+        (match split_ws line with
+        | rt :: ct :: rest ->
+          if !count >= h.nnz then
+            fail_at cur.file cur.lineno "more entries than the declared %d"
+              h.nnz;
+          let r = parse_index cur "row" h.nrows rt in
+          let c = parse_index cur "column" h.ncols ct in
+          let v = parse_value dt cur h.field rest in
+          entries := (r, c, v) :: !entries;
+          (match h.symmetry with
+          | General -> ()
+          | Symmetric -> if r <> c then entries := (c, r, v) :: !entries
+          | Skew_symmetric ->
+            if r <> c then
+              entries :=
+                (c, r, Unaryop.(apply (additive_inverse dt) v)) :: !entries);
+          incr count
+        | _ -> fail_at cur.file cur.lineno "malformed entry line: %s" line)
+      end;
+      loop ()
+  in
+  loop ();
+  if !count < h.nnz then
+    fail_at cur.file cur.lineno
+      "truncated file: %d entries read, %d declared" !count h.nnz;
+  (h, List.rev !entries)
+
+let read_coo_result dt path =
+  match open_in path with
+  | exception Sys_error m -> Result.Error (Error.in_file ~file:path m)
+  | ic -> (
+    match
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> parse_coo dt { ic; file = path; lineno = 0 })
+    with
+    | result -> Ok result
+    | exception Located e -> Result.Error e
+    | exception Sys_error m ->
+      (* I/O failure mid-read (device error, file shrank under us) *)
+      Result.Error (Error.in_file ~file:path m))
+
+let read_result dt path =
+  match read_coo_result dt path with
+  | Result.Error _ as e -> e
+  | Ok (h, coo) -> Ok (Smatrix.of_coo dt h.nrows h.ncols coo)
+
+(* Legacy exception-raising entry points. *)
+
+let read_header ic =
+  try parse_header { ic; file = "<channel>"; lineno = 0 }
+  with Located e -> raise (Parse_error e.Error.what)
 
 let read_coo dt path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let h = read_header ic in
-      let entries = ref [] in
-      let count = ref 0 in
-      (try
-         while true do
-           let line = String.trim (input_line ic) in
-           if line <> "" && line.[0] <> '%' then begin
-             (match split_ws line with
-             | r :: c :: rest ->
-               let r = int_of_string r - 1 and c = int_of_string c - 1 in
-               let v = parse_value dt h.field rest in
-               entries := (r, c, v) :: !entries;
-               (match h.symmetry with
-               | General -> ()
-               | Symmetric ->
-                 if r <> c then entries := (c, r, v) :: !entries
-               | Skew_symmetric ->
-                 if r <> c then
-                   entries :=
-                     (c, r, Unaryop.(apply (additive_inverse dt) v))
-                     :: !entries);
-               incr count
-             | _ -> fail "malformed entry line: %s" line)
-           end
-         done
-       with End_of_file -> ());
-      if !count <> h.nnz then
-        fail "entry count %d does not match declared %d" !count h.nnz;
-      (h, List.rev !entries))
+  match read_coo_result dt path with
+  | Ok r -> r
+  | Result.Error e -> raise (Parse_error (Error.to_string e))
 
 let read dt path =
-  let h, coo = read_coo dt path in
-  Smatrix.of_coo dt h.nrows h.ncols coo
+  match read_result dt path with
+  | Ok m -> m
+  | Result.Error e -> raise (Parse_error (Error.to_string e))
 
 let write ?comment m path =
   let oc = open_out path in

@@ -3,7 +3,15 @@
 
     Supported: [matrix coordinate real|integer|pattern
     general|symmetric|skew-symmetric].  Symmetric inputs are expanded to
-    both triangles on read.  One-based indices per the format. *)
+    both triangles on read.  One-based indices per the format.
+
+    Malformed input is data, not a programming error: the [_result]
+    entry points reject bad banners, non-numeric / out-of-range /
+    overflowing indices, bad value tokens, and truncated files with a
+    located {!Error.t} ([file:line: what]) instead of letting a raw
+    exception escape the parser.  {!read}/{!read_coo} are thin wrappers
+    that raise {!Parse_error} with the same located message, kept for
+    source compatibility. *)
 
 exception Parse_error of string
 
@@ -21,15 +29,27 @@ type header = {
 val read_header : in_channel -> header
 (** Consumes the banner, comments and size line. @raise Parse_error *)
 
+val read_coo_result :
+  'a Dtype.t -> string -> (header * (int * int * 'a) list, Error.t) result
+(** Parse a file down to the (symmetry-expanded, zero-based) coordinate
+    list — the DSL's "load into interpreter lists first" path measures
+    this stage separately.  Every malformation comes back as a located
+    [Error]: unreadable file, bad banner / size line, an entry line with
+    the wrong arity, an index that is not a number / overflows native
+    int / lies outside the declared shape, a bad value token, more
+    entries than declared, or a truncated file (fewer entries than
+    declared). *)
+
+val read_result : 'a Dtype.t -> string -> ('a Smatrix.t, Error.t) result
+(** {!read_coo_result} assembled into a matrix of the given dtype
+    (values cast from the file's field type; [Pattern] entries become
+    the dtype's one). *)
+
 val read : 'a Dtype.t -> string -> 'a Smatrix.t
-(** Read a file into a matrix of the given dtype (values cast from the
-    file's field type; [Pattern] entries become the dtype's one).
-    @raise Parse_error | Sys_error *)
+(** @raise Parse_error | Sys_error *)
 
 val read_coo : 'a Dtype.t -> string -> header * (int * int * 'a) list
-(** Like {!read} but stops at the coordinate list (already expanded for
-    symmetry and zero-based) — the DSL's "load into interpreter lists
-    first" path measures this stage separately. *)
+(** @raise Parse_error | Sys_error *)
 
 val write : ?comment:string -> 'a Smatrix.t -> string -> unit
 (** Writes [matrix coordinate real general] (or [integer] for integral

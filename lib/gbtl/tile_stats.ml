@@ -1,0 +1,62 @@
+(* Counters for the out-of-core tile layer.  Same discipline as
+   Format_stats: atomics for monotone tallies, a fixed-order [counters]
+   list for the health report. *)
+
+let loads = Atomic.make 0
+let stores = Atomic.make 0
+let evictions = Atomic.make 0
+let write_failures = Atomic.make 0
+let quarantines = Atomic.make 0
+let rebuilds = Atomic.make 0
+let ckpt_saves = Atomic.make 0
+let ckpt_resumes = Atomic.make 0
+let ckpt_generation = Atomic.make 0
+let delta_plans = Atomic.make 0
+let delta_rejections = Atomic.make 0
+let resident_tiles = Atomic.make 0
+let resident_bytes = Atomic.make 0
+
+let record_load () = Atomic.incr loads
+let record_store () = Atomic.incr stores
+let record_eviction () = Atomic.incr evictions
+let record_write_failure () = Atomic.incr write_failures
+let record_quarantine () = Atomic.incr quarantines
+let record_rebuild () = Atomic.incr rebuilds
+let record_ckpt_save () = Atomic.incr ckpt_saves
+let record_ckpt_resume () = Atomic.incr ckpt_resumes
+let set_ckpt_generation g = Atomic.set ckpt_generation g
+let record_delta_plan () = Atomic.incr delta_plans
+let record_delta_rejection () = Atomic.incr delta_rejections
+
+let set_resident ~tiles ~bytes =
+  Atomic.set resident_tiles tiles;
+  Atomic.set resident_bytes bytes
+
+let add_resident ~tiles ~bytes =
+  ignore (Atomic.fetch_and_add resident_tiles tiles);
+  ignore (Atomic.fetch_and_add resident_bytes bytes)
+
+let get_evictions () = Atomic.get evictions
+let get_resident_tiles () = Atomic.get resident_tiles
+
+let counters () =
+  [ ("tile_loads", Atomic.get loads);
+    ("tile_stores", Atomic.get stores);
+    ("tile_evictions", Atomic.get evictions);
+    ("tile_write_failures", Atomic.get write_failures);
+    ("tile_quarantines", Atomic.get quarantines);
+    ("tile_rebuilds", Atomic.get rebuilds);
+    ("ckpt_saves", Atomic.get ckpt_saves);
+    ("ckpt_resumes", Atomic.get ckpt_resumes);
+    ("ckpt_generation", Atomic.get ckpt_generation);
+    ("delta_plans", Atomic.get delta_plans);
+    ("delta_rejections", Atomic.get delta_rejections);
+    ("resident_tiles", Atomic.get resident_tiles);
+    ("resident_bytes", Atomic.get resident_bytes) ]
+
+let reset () =
+  List.iter
+    (fun c -> Atomic.set c 0)
+    [ loads; stores; evictions; write_failures; quarantines; rebuilds;
+      ckpt_saves; ckpt_resumes; ckpt_generation; delta_plans;
+      delta_rejections; resident_tiles; resident_bytes ]

@@ -1,0 +1,190 @@
+type t = { path : string }
+
+let root_dir () =
+  match Sys.getenv_opt "OGB_TILE_DIR" with
+  | Some d when d <> "" -> d
+  | _ ->
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ogb-tiles-%d" (Unix.getuid ()))
+
+(* mkdir -p with EEXIST treated as success (concurrent creators are
+   fine), mirroring the JIT disk cache. *)
+let rec mkdir_p d =
+  if d = "" || d = Filename.dirname d then ()
+  else
+    match Unix.mkdir d 0o755 with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+      mkdir_p (Filename.dirname d);
+      (try Unix.mkdir d 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+
+(* Key hygiene: keys become file names, so anything outside the safe
+   alphabet is mapped away — a key can never escape the store dir. *)
+let sanitize key =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' -> c
+      | _ -> '_')
+    key
+
+let open_store ?dir name =
+  let base = match dir with Some d -> d | None -> root_dir () in
+  let path = Filename.concat base (sanitize name) in
+  mkdir_p path;
+  { path }
+
+let dir t = t.path
+
+let blob_path t key = Filename.concat t.path (sanitize key ^ ".blob")
+let sum_path t key = Filename.concat t.path (sanitize key ^ ".sum")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file_atomic path contents =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () -> output_string oc contents);
+     Unix.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e)
+
+let put t ~key blob =
+  if Fault.fire "tile.io.exn" then raise (Fault.Injected "tile.io.exn");
+  if Fault.fire "tile.write.enospc" then begin
+    Tile_stats.record_write_failure ();
+    Error "ENOSPC (injected): tile store device full"
+  end
+  else
+    try
+      write_file_atomic (blob_path t key) blob;
+      write_file_atomic (sum_path t key) (Digest.to_hex (Digest.string blob));
+      Tile_stats.record_store ();
+      Ok ()
+    with Sys_error _ | Unix.Unix_error _ ->
+      Tile_stats.record_write_failure ();
+      (* a half-written pair must not verify later: drop the sidecar *)
+      (try Sys.remove (sum_path t key) with Sys_error _ -> ());
+      Error (Printf.sprintf "tile store write failed for %S" key)
+
+let quarantine t key =
+  Tile_stats.record_quarantine ();
+  let blob = blob_path t key in
+  (* rename to a new inode rather than truncating in place, like the JIT
+     cache: nothing mmaps tiles today, but the discipline is uniform *)
+  (try Unix.rename blob (blob ^ ".bad")
+   with Unix.Unix_error _ | Sys_error _ -> (
+     try Sys.remove blob with Sys_error _ -> ()));
+  try Sys.remove (sum_path t key) with Sys_error _ -> ()
+
+(* Deterministic corruption: garble the on-disk blob through a rename so
+   the verify-quarantine-rebuild machinery runs against real corruption,
+   not a simulated flag. *)
+let maybe_corrupt t key =
+  if Fault.fire "tile.read.corrupt" && Sys.file_exists (blob_path t key) then begin
+    try write_file_atomic (blob_path t key) "\x00corrupt tile"
+    with Sys_error _ | Unix.Unix_error _ -> ()
+  end
+
+let get t ~key =
+  if Fault.fire "tile.io.exn" then raise (Fault.Injected "tile.io.exn");
+  maybe_corrupt t key;
+  let blob = blob_path t key in
+  if not (Sys.file_exists blob) then `Missing
+  else
+    match read_file blob with
+    | exception Sys_error _ -> `Missing
+    | contents -> (
+      let expected =
+        match read_file (sum_path t key) with
+        | s -> Some (String.trim s)
+        | exception Sys_error _ -> None
+      in
+      match expected with
+      | Some sum when sum = Digest.to_hex (Digest.string contents) ->
+        Tile_stats.record_load ();
+        `Ok contents
+      | Some _ | None ->
+        (* no sidecar is treated as corrupt: unverified bytes must never
+           reach Marshal.from_string *)
+        quarantine t key;
+        `Corrupt)
+
+let mem t ~key = Sys.file_exists (blob_path t key)
+
+let delete t ~key =
+  (try Sys.remove (blob_path t key) with Sys_error _ -> ());
+  try Sys.remove (sum_path t key) with Sys_error _ -> ()
+
+let list_dir path =
+  match Sys.readdir path with
+  | files -> Array.to_list files
+  | exception Sys_error _ -> []
+
+let keys t =
+  List.sort compare
+    (List.filter_map
+       (fun f ->
+         if Filename.check_suffix f ".blob" then
+           Some (Filename.chop_suffix f ".blob")
+         else None)
+       (list_dir t.path))
+
+let has_sub hay needle =
+  let hn = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= hn && (String.sub hay i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+let clear t =
+  List.iter
+    (fun f ->
+      if
+        Filename.check_suffix f ".blob" || Filename.check_suffix f ".sum"
+        || Filename.check_suffix f ".bad" || has_sub f ".tmp."
+      then try Sys.remove (Filename.concat t.path f) with Sys_error _ -> ())
+    (list_dir t.path)
+
+type footprint = { blobs : int; bytes : int; quarantined : int }
+
+let scan_dir path =
+  List.fold_left
+    (fun acc f ->
+      let full = Filename.concat path f in
+      let size () = try (Unix.stat full).Unix.st_size with Unix.Unix_error _ -> 0 in
+      if Filename.check_suffix f ".blob" then
+        { acc with blobs = acc.blobs + 1; bytes = acc.bytes + size () }
+      else if Filename.check_suffix f ".bad" then
+        { acc with quarantined = acc.quarantined + 1; bytes = acc.bytes + size () }
+      else if Filename.check_suffix f ".sum" then
+        { acc with bytes = acc.bytes + size () }
+      else acc)
+    { blobs = 0; bytes = 0; quarantined = 0 }
+    (list_dir path)
+
+let scan t = scan_dir t.path
+
+let scan_root () =
+  let root = root_dir () in
+  List.fold_left
+    (fun acc sub ->
+      let full = Filename.concat root sub in
+      if try Sys.is_directory full with Sys_error _ -> false then begin
+        let f = scan_dir full in
+        { blobs = acc.blobs + f.blobs;
+          bytes = acc.bytes + f.bytes;
+          quarantined = acc.quarantined + f.quarantined }
+      end
+      else acc)
+    { blobs = 0; bytes = 0; quarantined = 0 }
+    (list_dir root)

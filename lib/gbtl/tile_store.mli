@@ -1,0 +1,60 @@
+(** Crash-safe on-disk blob store — the persistence layer under the
+    tiled matrix ({!Tmatrix}) and the checkpointed-iteration driver.
+
+    Same discipline as the hardened JIT disk cache (PR 4): every write
+    is atomic (temp file + rename), every blob carries an MD5 [.sum]
+    sidecar that is verified before the payload is ever decoded, and a
+    blob that fails verification is quarantined ([.bad]) rather than
+    returned — the caller rebuilds from its authoritative source.
+    Blobs are [Marshal]-encoded by callers; the checksum gate is what
+    makes that safe: unverified bytes never reach [Marshal.from_string].
+
+    Write failures never escape as exceptions: a store that cannot be
+    written degrades the tile cache to keeping pages resident (counted
+    in {!Tile_stats}), it does not crash the computation.
+
+    Fault injection: [tile.write.enospc] fails a write as a full
+    device, [tile.read.corrupt] garbles the on-disk blob before
+    verification looks at it (so quarantine-and-rebuild runs against
+    real corruption), and [tile.io.exn] raises {!Fault.Injected} from
+    the middle of a read or write — callers contain it. *)
+
+type t
+
+val root_dir : unit -> string
+(** [$OGB_TILE_DIR] or [<tmpdir>/ogb-tiles-<uid>]; stores opened with
+    {!open_store} live in subdirectories of this root, so one scan
+    ({!scan_root}) gives the doctor the whole on-disk footprint. *)
+
+val open_store : ?dir:string -> string -> t
+(** [open_store name] — create/open [dir/name] ([dir] defaults to
+    {!root_dir}; created as needed, EEXIST-tolerant). *)
+
+val dir : t -> string
+
+val put : t -> key:string -> string -> (unit, string) result
+(** Atomic write of [blob] and its checksum sidecar.  [Error] on any
+    I/O failure (counted as a write failure, never raised) — except the
+    injected [tile.io.exn], which raises {!Fault.Injected} to exercise
+    caller containment. *)
+
+val get : t -> key:string -> [ `Ok of string | `Missing | `Corrupt ]
+(** Read and verify.  A checksum mismatch (or a blob with no sidecar)
+    quarantines the blob as [<key>.blob.bad] and returns [`Corrupt].
+    Raises {!Fault.Injected} only under [tile.io.exn]. *)
+
+val mem : t -> key:string -> bool
+val delete : t -> key:string -> unit
+
+val keys : t -> string list
+(** Keys with a blob present (sorted). *)
+
+val clear : t -> unit
+(** Remove blobs, sidecars and quarantined artifacts of this store. *)
+
+type footprint = { blobs : int; bytes : int; quarantined : int }
+
+val scan : t -> footprint
+val scan_root : unit -> footprint
+(** Aggregate footprint over every store under {!root_dir} — the
+    doctor's "bytes on disk / quarantined tiles" line. *)

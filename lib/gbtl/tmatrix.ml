@@ -1,0 +1,424 @@
+(* Blocked sparse matrix: a grid of CSR tiles behind a bounded LRU cache
+   backed by the crash-safe Tile_store.  Entry counts (and the grid
+   geometry) are plain in-memory metadata that survive eviction; the
+   tile payloads move between the cache and the store. *)
+
+type 'a slot = {
+  mutable m : 'a Smatrix.t option;  (* resident payload *)
+  mutable dirty : bool;  (* resident copy newer than the store blob *)
+  mutable stamp : int;  (* LRU clock at last touch *)
+  mutable bytes : int;  (* estimated resident footprint *)
+  mutable nv : int;  (* authoritative entry count, survives eviction *)
+}
+
+type 'a t = {
+  dt : 'a Dtype.t;
+  nrows : int;
+  ncols : int;
+  trows : int;
+  tcols : int;
+  brows : int;
+  bcols : int;
+  budget : int;  (* bytes; 0 = unlimited *)
+  store : Tile_store.t;
+  slots : 'a slot array array;
+  mutable clock : int;
+  mutable res_tiles : int;
+  mutable res_bytes : int;
+  mutable nv_total : int;
+  mutable pinned : (int * int) option;
+  (* Source authority: local (tile-relative) triples for a block, used to
+     rebuild quarantined/lost tiles.  Edits applied since construction
+     are kept per tile (oldest first) and replayed after a rebuild so a
+     rebuild never resurrects stale data. *)
+  mutable rebuild : (int -> int -> (int * int * 'a) list) option;
+  overlays : (int * int, (int * int * 'a option) list) Hashtbl.t;
+}
+
+let parse_bytes s =
+  let s = String.trim (String.lowercase_ascii s) in
+  let n = String.length s in
+  if n = 0 then None
+  else
+    let mult, digits =
+      match s.[n - 1] with
+      | 'k' -> (1024, String.sub s 0 (n - 1))
+      | 'm' -> (1024 * 1024, String.sub s 0 (n - 1))
+      | 'g' -> (1024 * 1024 * 1024, String.sub s 0 (n - 1))
+      | _ -> (1, s)
+    in
+    match int_of_string_opt (String.trim digits) with
+    | Some v when v >= 0 -> Some (v * mult)
+    | _ -> None
+
+let env_dim name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some v when v > 0 -> v
+    | _ -> default)
+  | None -> default
+
+let default_tile () = (env_dim "OGB_TILE_ROWS" 1024, env_dim "OGB_TILE_COLS" 1024)
+
+let default_budget () =
+  match Sys.getenv_opt "OGB_MEM_BUDGET" with
+  | Some s -> ( match parse_bytes s with Some v -> v | None -> 0)
+  | None -> 0
+
+let store_ctr = Atomic.make 0
+
+let fresh_store dir =
+  let name =
+    Printf.sprintf "m%d-%d" (Unix.getpid ()) (Atomic.fetch_and_add store_ctr 1)
+  in
+  Tile_store.open_store ?dir name
+
+let cdiv a b = (a + b - 1) / b
+
+let make ?dir ?tile ?budget dt nrows ncols =
+  let trows, tcols = match tile with Some t -> t | None -> default_tile () in
+  let trows = max 1 (min trows (max 1 nrows))
+  and tcols = max 1 (min tcols (max 1 ncols)) in
+  let brows = max 1 (cdiv (max 1 nrows) trows)
+  and bcols = max 1 (cdiv (max 1 ncols) tcols) in
+  let budget = match budget with Some b -> b | None -> default_budget () in
+  { dt; nrows; ncols; trows; tcols; brows; bcols; budget;
+    store = fresh_store dir;
+    slots =
+      Array.init brows (fun _ ->
+          Array.init bcols (fun _ ->
+              { m = None; dirty = false; stamp = 0; bytes = 0; nv = 0 }));
+    clock = 0; res_tiles = 0; res_bytes = 0; nv_total = 0; pinned = None;
+    rebuild = None; overlays = Hashtbl.create 8 }
+
+let create ?dir ?tile ?budget dt nrows ncols =
+  make ?dir ?tile ?budget dt nrows ncols
+
+let dtype t = t.dt
+let nrows t = t.nrows
+let ncols t = t.ncols
+let shape t = (t.nrows, t.ncols)
+let nvals t = t.nv_total
+let tile_shape t = (t.trows, t.tcols)
+let grid t = (t.brows, t.bcols)
+let format_tag t = Printf.sprintf "%dx%d" t.trows t.tcols
+let budget t = t.budget
+let resident_tiles t = t.res_tiles
+let resident_bytes t = t.res_bytes
+let tile_nvals t bi bj = t.slots.(bi).(bj).nv
+
+let key bi bj = Printf.sprintf "t%d_%d" bi bj
+let tile_rows t bi = min t.trows (t.nrows - (bi * t.trows))
+let tile_cols t bj = min t.tcols (t.ncols - (bj * t.tcols))
+
+(* rowptr + colidx + values + headers, in words-ish; an estimate is all
+   the budget needs. *)
+let est_bytes rows nv = 96 + (8 * (rows + 1)) + (16 * nv)
+
+let encode m =
+  Marshal.to_string (Smatrix.nrows m, Smatrix.ncols m, Smatrix.to_coo m) []
+
+let decode (type a) (dt : a Dtype.t) blob : a Smatrix.t =
+  let r, c, (coo : (int * int * a) list) = Marshal.from_string blob 0 in
+  Smatrix.of_coo dt r c coo
+
+let touch t slot =
+  t.clock <- t.clock + 1;
+  slot.stamp <- t.clock
+
+let note_resident t slot m =
+  slot.m <- Some m;
+  slot.bytes <- est_bytes (Smatrix.nrows m) (Smatrix.nvals m);
+  t.res_tiles <- t.res_tiles + 1;
+  t.res_bytes <- t.res_bytes + slot.bytes;
+  Tile_stats.add_resident ~tiles:1 ~bytes:slot.bytes;
+  touch t slot
+
+let drop_resident t slot =
+  slot.m <- None;
+  t.res_tiles <- t.res_tiles - 1;
+  t.res_bytes <- t.res_bytes - slot.bytes;
+  Tile_stats.add_resident ~tiles:(-1) ~bytes:(-slot.bytes);
+  slot.bytes <- 0
+
+(* Write a resident tile back to the store.  Failures (including the
+   injected tile.io.exn) are contained: the tile just stays resident and
+   dirty, counted as a write failure. *)
+let writeback t bi bj slot m =
+  if Fault.fire "tile.evict.slow" then Unix.sleepf 0.02;
+  match Tile_store.put t.store ~key:(key bi bj) (encode m) with
+  | Ok () ->
+    slot.dirty <- false;
+    true
+  | Error _ -> false
+  | exception Fault.Injected _ ->
+    Tile_stats.record_write_failure ();
+    false
+
+let enforce_budget t =
+  if t.budget > 0 && t.res_bytes > t.budget then begin
+    let stuck = Hashtbl.create 4 in
+    let continue = ref true in
+    while !continue && t.res_bytes > t.budget do
+      let best = ref None in
+      for bi = 0 to t.brows - 1 do
+        for bj = 0 to t.bcols - 1 do
+          let slot = t.slots.(bi).(bj) in
+          match slot.m with
+          | Some _
+            when t.pinned <> Some (bi, bj)
+                 && not (Hashtbl.mem stuck (bi, bj)) -> (
+            match !best with
+            | Some (_, _, s) when s.stamp <= slot.stamp -> ()
+            | _ -> best := Some (bi, bj, slot))
+          | _ -> ()
+        done
+      done;
+      match !best with
+      | None -> continue := false
+      | Some (bi, bj, slot) ->
+        let m = Option.get slot.m in
+        if (not slot.dirty) || writeback t bi bj slot m then begin
+          drop_resident t slot;
+          Tile_stats.record_eviction ()
+        end
+        else
+          (* writeback failed (e.g. device full): keep the tile resident
+             rather than lose data; don't retry it this pass *)
+          Hashtbl.replace stuck (bi, bj) ()
+    done
+  end
+
+let local_edits t bi bj =
+  List.rev
+    (match Hashtbl.find_opt t.overlays (bi, bj) with
+    | Some l -> l
+    | None -> [])
+
+let replay_edits t bi bj m =
+  List.iter
+    (fun (r, c, v) ->
+      let lr = r - (bi * t.trows) and lc = c - (bj * t.tcols) in
+      match v with
+      | Some x -> Smatrix.set m lr lc x
+      | None -> Smatrix.remove m lr lc)
+    (local_edits t bi bj)
+
+let rebuild_tile t bi bj slot =
+  let rows = tile_rows t bi and cols = tile_cols t bj in
+  match t.rebuild with
+  | Some src ->
+    let m = Smatrix.of_coo t.dt rows cols (src bi bj) in
+    replay_edits t bi bj m;
+    Tile_stats.record_rebuild ();
+    t.nv_total <- t.nv_total - slot.nv + Smatrix.nvals m;
+    slot.nv <- Smatrix.nvals m;
+    (* the store blob is gone or bad: resident copy is the newest *)
+    slot.dirty <- true;
+    m
+  | None ->
+    if slot.nv > 0 then
+      failwith
+        (Printf.sprintf
+           "tmatrix: tile (%d,%d) lost (%d entries, no rebuild source)" bi bj
+           slot.nv)
+    else Smatrix.create t.dt rows cols
+
+let materialize t bi bj =
+  let slot = t.slots.(bi).(bj) in
+  match slot.m with
+  | Some m ->
+    touch t slot;
+    m
+  | None ->
+    let fetched =
+      if slot.nv = 0 && not (Hashtbl.mem t.overlays (bi, bj)) then `Empty
+      else
+        match Tile_store.get t.store ~key:(key bi bj) with
+        | exception Fault.Injected _ -> `Missing
+        | `Ok blob -> (
+          match decode t.dt blob with
+          | m -> `Ok m
+          | exception _ ->
+            (* verified bytes that still fail to decode: stale format or
+               store bug — same recovery as corruption *)
+            Tile_store.delete t.store ~key:(key bi bj);
+            Tile_stats.record_quarantine ();
+            `Corrupt)
+        | (`Missing | `Corrupt) as r -> r
+    in
+    let m =
+      match fetched with
+      | `Empty -> Smatrix.create t.dt (tile_rows t bi) (tile_cols t bj)
+      | `Ok m ->
+        (* store blobs already include every applied edit (tiles are
+           written back dirty), so no replay here *)
+        slot.dirty <- false;
+        m
+      | `Missing | `Corrupt -> rebuild_tile t bi bj slot
+    in
+    note_resident t slot m;
+    m
+
+let with_tile t bi bj f =
+  if bi < 0 || bi >= t.brows || bj < 0 || bj >= t.bcols then
+    invalid_arg "Tmatrix.with_tile: tile index out of grid";
+  let m = materialize t bi bj in
+  t.pinned <- Some (bi, bj);
+  Fun.protect
+    ~finally:(fun () ->
+      t.pinned <- None;
+      enforce_budget t)
+    (fun () -> f m)
+
+let oob t r c =
+  r < 0 || r >= t.nrows || c < 0 || c >= t.ncols
+
+let update_edges t edits =
+  List.iter
+    (fun (r, c, _) ->
+      if oob t r c then
+        raise
+          (Smatrix.Index_out_of_bounds
+             (Printf.sprintf "Tmatrix.update_edges: (%d,%d) outside %dx%d" r c
+                t.nrows t.ncols)))
+    edits;
+  let touched = Hashtbl.create 8 in
+  List.iter
+    (fun (r, c, v) ->
+      let bi = r / t.trows and bj = c / t.tcols in
+      if not (Hashtbl.mem touched (bi, bj)) then
+        Hashtbl.add touched (bi, bj) ();
+      with_tile t bi bj (fun m ->
+          let slot = t.slots.(bi).(bj) in
+          let before = Smatrix.nvals m in
+          let lr = r - (bi * t.trows) and lc = c - (bj * t.tcols) in
+          (match v with
+          | Some x -> Smatrix.set m lr lc x
+          | None -> Smatrix.remove m lr lc);
+          let after = Smatrix.nvals m in
+          slot.dirty <- true;
+          slot.nv <- after;
+          t.res_bytes <- t.res_bytes - slot.bytes;
+          Tile_stats.add_resident ~tiles:0 ~bytes:(-slot.bytes);
+          slot.bytes <- est_bytes (Smatrix.nrows m) after;
+          t.res_bytes <- t.res_bytes + slot.bytes;
+          Tile_stats.add_resident ~tiles:0 ~bytes:slot.bytes;
+          t.nv_total <- t.nv_total - before + after);
+      (* journal for rebuild replay *)
+      let prev =
+        match Hashtbl.find_opt t.overlays (bi, bj) with
+        | Some l -> l
+        | None -> []
+      in
+      Hashtbl.replace t.overlays (bi, bj) ((r, c, v) :: prev))
+    edits;
+  Hashtbl.length touched
+
+let flush t =
+  for bi = 0 to t.brows - 1 do
+    for bj = 0 to t.bcols - 1 do
+      let slot = t.slots.(bi).(bj) in
+      match slot.m with
+      | Some m when slot.dirty -> ignore (writeback t bi bj slot m)
+      | _ -> ()
+    done
+  done
+
+let get t r c =
+  if oob t r c then None
+  else
+    let bi = r / t.trows and bj = c / t.tcols in
+    with_tile t bi bj (fun m ->
+        Smatrix.get m (r - (bi * t.trows)) (c - (bj * t.tcols)))
+
+let to_smatrix t =
+  let acc = ref [] in
+  for bi = t.brows - 1 downto 0 do
+    for bj = t.bcols - 1 downto 0 do
+      if t.slots.(bi).(bj).nv > 0 then
+        with_tile t bi bj (fun m ->
+            let r0 = bi * t.trows and c0 = bj * t.tcols in
+            Smatrix.iter (fun r c v -> acc := (r0 + r, c0 + c, v) :: !acc) m)
+    done
+  done;
+  Smatrix.of_coo t.dt t.nrows t.ncols !acc
+
+let destroy t =
+  (* forget resident payloads first so gauges stay honest *)
+  for bi = 0 to t.brows - 1 do
+    for bj = 0 to t.bcols - 1 do
+      let slot = t.slots.(bi).(bj) in
+      if slot.m <> None then drop_resident t slot
+    done
+  done;
+  Tile_store.clear t.store
+
+(* Bucket global triples into per-tile local triples. *)
+let bucket t iter_src =
+  let buckets = Array.make_matrix t.brows t.bcols [] in
+  iter_src (fun r c v ->
+      let bi = r / t.trows and bj = c / t.tcols in
+      buckets.(bi).(bj) <-
+        (r - (bi * t.trows), c - (bj * t.tcols), v) :: buckets.(bi).(bj));
+  buckets
+
+let install_tiles t buckets =
+  for bi = 0 to t.brows - 1 do
+    for bj = 0 to t.bcols - 1 do
+      match buckets.(bi).(bj) with
+      | [] -> ()
+      | coo ->
+        let m =
+          Smatrix.of_coo t.dt (tile_rows t bi) (tile_cols t bj) (List.rev coo)
+        in
+        let slot = t.slots.(bi).(bj) in
+        slot.nv <- Smatrix.nvals m;
+        slot.dirty <- true;
+        t.nv_total <- t.nv_total + slot.nv;
+        note_resident t slot m;
+        enforce_budget t
+    done
+  done
+
+let slice_of_iter t iter_src bi bj =
+  let r0 = bi * t.trows and c0 = bj * t.tcols in
+  let r1 = r0 + tile_rows t bi and c1 = c0 + tile_cols t bj in
+  let acc = ref [] in
+  iter_src (fun r c v ->
+      if r >= r0 && r < r1 && c >= c0 && c < c1 then
+        acc := (r - r0, c - c0, v) :: !acc);
+  List.rev !acc
+
+let of_smatrix ?dir ?tile ?budget src =
+  let t =
+    make ?dir ?tile ?budget (Smatrix.dtype src) (Smatrix.nrows src)
+      (Smatrix.ncols src)
+  in
+  install_tiles t (bucket t (fun f -> Smatrix.iter f src));
+  t.rebuild <- Some (fun bi bj -> slice_of_iter t (fun f -> Smatrix.iter f src) bi bj);
+  t
+
+let of_mm_file ?dir ?tile ?budget dt path =
+  match Matrix_market.read_coo_result dt path with
+  | Error e -> Error e
+  | Ok (h, coo) ->
+    let t = make ?dir ?tile ?budget dt h.Matrix_market.nrows h.Matrix_market.ncols in
+    install_tiles t
+      (bucket t (fun f -> List.iter (fun (r, c, v) -> f r c v) coo));
+    t.rebuild <-
+      Some
+        (fun bi bj ->
+          (* the file is the authority: re-read it rather than holding the
+             triples in memory *)
+          match Matrix_market.read_coo_result dt path with
+          | Ok (_, coo) ->
+            slice_of_iter t
+              (fun f -> List.iter (fun (r, c, v) -> f r c v) coo)
+              bi bj
+          | Error e ->
+            failwith
+              (Printf.sprintf "tmatrix: rebuild source unreadable: %s"
+                 (Error.to_string e)));
+    Ok t

@@ -1,0 +1,88 @@
+(** Blocked/tiled sparse matrix: a [brows × bcols] grid of CSR tiles
+    ({!Smatrix.t}) behind the same access idioms as the in-memory
+    containers, whose tiles live in a bounded in-memory cache backed by
+    a crash-safe on-disk {!Tile_store} — the out-of-core physical
+    layout behind the format-polymorphism seam (PR 2): kernels that
+    stream tiles put the tile shape in their JIT cache keys
+    ({!format_tag}) exactly as CSR/CSC landed there.
+
+    Residency: a tile is materialized on first touch (memory cache →
+    verified store blob → rebuild-from-source), and the least recently
+    used unpinned tiles are evicted (dirty ones written back first)
+    whenever the estimated resident footprint exceeds the byte budget
+    ([OGB_MEM_BUDGET], or [~budget]).  A corrupt store blob is
+    quarantined and the tile rebuilt from the matrix's authoritative
+    source (the original file for {!of_mm_file}) with any edge-batch
+    edits replayed on top, so streamed execution stays bit-identical to
+    the in-memory path even across injected corruption.
+
+    Mutation: {!update_edges} applies an edge batch, invalidating and
+    marking dirty only the touched tiles — the physical half of the
+    incremental-recompute layer. *)
+
+type 'a t
+
+val create :
+  ?dir:string -> ?tile:int * int -> ?budget:int ->
+  'a Dtype.t -> int -> int -> 'a t
+(** Empty matrix.  [tile] defaults to [OGB_TILE_ROWS]/[OGB_TILE_COLS]
+    (1024 each); [budget] in bytes defaults to [OGB_MEM_BUDGET]
+    (accepts [K]/[M]/[G] suffixes; 0 = unlimited). *)
+
+val of_smatrix :
+  ?dir:string -> ?tile:int * int -> ?budget:int -> 'a Smatrix.t -> 'a t
+(** Tile an in-memory matrix.  The source matrix is retained as the
+    rebuild authority for quarantined tiles (the genuinely out-of-core
+    construction is {!of_mm_file}, whose authority is the file). *)
+
+val of_mm_file :
+  ?dir:string -> ?tile:int * int -> ?budget:int ->
+  'a Dtype.t -> string -> ('a t, Error.t) result
+(** Ingest a Matrix Market file through the tiled path.  Rebuilding a
+    quarantined tile re-reads the file and replays any edge-batch edits
+    applied since. *)
+
+val dtype : 'a t -> 'a Dtype.t
+val nrows : _ t -> int
+val ncols : _ t -> int
+val shape : _ t -> int * int
+val nvals : _ t -> int
+
+val tile_shape : _ t -> int * int
+val grid : _ t -> int * int
+(** Block-row and block-column counts. *)
+
+val format_tag : _ t -> string
+(** ["512x512"] — the tile-shape component tiled kernels put in their
+    {!Jit.Kernel_sig} cache keys. *)
+
+val budget : _ t -> int
+val resident_tiles : _ t -> int
+val resident_bytes : _ t -> int
+
+val with_tile : 'a t -> int -> int -> ('a Smatrix.t -> 'b) -> 'b
+(** [with_tile t bi bj f] — materialize tile [(bi, bj)] (cache → store
+    → rebuild), pin it for the duration of [f], then re-enforce the
+    budget.  The tile must be treated as read-only; mutation goes
+    through {!update_edges}.  Not reentrant. *)
+
+val tile_nvals : _ t -> int -> int -> int
+(** Entry count of a tile without materializing it. *)
+
+val update_edges : 'a t -> (int * int * 'a option) list -> int
+(** Apply an edge batch ([Some v] upserts, [None] deletes), invalidating
+    only the touched tiles; returns how many tiles were invalidated.
+    @raise Smatrix.Index_out_of_bounds on an out-of-range endpoint. *)
+
+val flush : 'a t -> unit
+(** Write every dirty resident tile back to the store (checkpoint the
+    matrix itself).  Write failures are contained and counted. *)
+
+val to_smatrix : 'a t -> 'a Smatrix.t
+(** Materialize the whole logical matrix (tests and small extracts). *)
+
+val get : 'a t -> int -> int -> 'a option
+
+val destroy : _ t -> unit
+(** Drop the on-disk store contents (the matrix value itself remains
+    usable only for metadata queries afterwards). *)

@@ -209,6 +209,34 @@ let vxm_pull_dense ~add ~mul ~dummy ~ncols ((acp, ari, cvs) : 'a csr)
     done;
   (acc, occ)
 
+(* Tile continuation of [vxm_pull_dense]: fold one tile's CSC columns
+   into the caller's (acc, occ) accumulator in place.  [r0]/[c0] place
+   the tile in the global index space.  Seeding each column's local
+   accumulator from the entry already in [acc] (when occupied) makes the
+   fold a continuation: streaming a block column's tiles in ascending
+   block-row order reproduces exactly the sequential column fold of the
+   full-matrix kernel — same order, same result, bit for bit, even for
+   non-associative ⊕ on floats. *)
+let vxm_tile_acc ~add ~mul ~r0 ~c0 ~tncols ((acp, ari, tvs) : 'a csr)
+    ((uvls, uocc) : 'a array * bool array) ((acc, occ) : 'a array * bool array)
+    =
+  for lc = 0 to tncols - 1 do
+    let c = c0 + lc in
+    let a = ref acc.(c) and hit = ref occ.(c) in
+    for p = acp.(lc) to acp.(lc + 1) - 1 do
+      let i = r0 + ari.(p) in
+      if uocc.(i) then begin
+        let v = mul uvls.(i) tvs.(p) in
+        a := (if !hit then add !a v else v);
+        hit := true
+      end
+    done;
+    if !hit then begin
+      acc.(c) <- !a;
+      occ.(c) <- true
+    end
+  done
+
 let vxm ~add ~mul ~dummy ~nrows ~ncols ~transpose ((uidx, uvls, un) : 'a ventry)
     (arp, aci, avs) =
   if not transpose then begin

@@ -77,6 +77,23 @@ val vxm_dense :
 (** [w = u ⊕.⊗ A] with a dense operand and dense (values, occupancy)
     result. *)
 
+val vxm_tile_acc :
+  add:('a -> 'a -> 'a) ->
+  mul:('a -> 'a -> 'a) ->
+  r0:int ->
+  c0:int ->
+  tncols:int ->
+  'a csr ->
+  'a array * bool array ->
+  'a array * bool array ->
+  unit
+(** Tile continuation of {!vxm_pull_dense}: fold one tile's CSC arrays
+    (tile-local indices; [r0]/[c0] place it globally) into the caller's
+    global (values, occupancy) accumulator {e in place}, seeding each
+    column from the value already accumulated.  Streaming a block
+    column's tiles in ascending block-row order therefore reproduces the
+    full-matrix column fold exactly — bit-identical even for float ⊕. *)
+
 val vxm :
   add:('a -> 'a -> 'a) ->
   mul:('a -> 'a -> 'a) ->

@@ -382,6 +382,53 @@ let vxm_pull_dense_source ~dtype ~(sr : Op_spec.semiring) ~key =
              ])
       | _, _, _ -> None)
 
+(* Tile continuation of the pull product — the monomorphized text of
+   Array_kernels.vxm_tile_acc.  Folds one tile's CSC columns into the
+   caller's global accumulator in place; the cache key carries the tile
+   shape in its formats field, so each tiling is its own module. *)
+let vxm_tile_acc_source ~dtype ~(sr : Op_spec.semiring) ~key =
+  with_cls dtype (fun cls ->
+      match
+        ( binop_expr_cls cls sr.Op_spec.add_op,
+          binop_expr_cls cls sr.Op_spec.mul_op )
+      with
+      | Some add, Some mul ->
+        let t = ty cls in
+        Some
+          (String.concat ""
+             [ header key;
+               Printf.sprintf "let add_ = %s\n" add;
+               Printf.sprintf "let mul_ = %s\n" mul;
+               Printf.sprintf
+                 {|let kernel (arg : Obj.t) : Obj.t =
+  let (uvls, uocc, r0, acp, ari, avs, c0, tncols, acc, occ) =
+    (Obj.obj arg
+      : %s array * bool array * int * int array * int array * %s array
+        * int * int * %s array * bool array)
+  in
+  for lc = 0 to tncols - 1 do
+    let c = c0 + lc in
+    let a = ref acc.(c) and hit = ref occ.(c) in
+    for p = acp.(lc) to acp.(lc + 1) - 1 do
+      let i = r0 + ari.(p) in
+      if uocc.(i) then begin
+        let v = mul_ uvls.(i) avs.(p) in
+        a := (if !hit then add_ !a v else v);
+        hit := true
+      end
+    done;
+    if !hit then begin
+      acc.(c) <- !a;
+      occ.(c) <- true
+    end
+  done;
+  Obj.repr ()
+|}
+                 t t t;
+               register key;
+             ])
+      | _, _ -> None)
+
 (* Predicate text for "⊕ can no longer change this accumulator" — the
    early-exit test of the masked pull.  Only saturating monoids have
    one; for everything else the constant-false predicate keeps the loop

@@ -40,6 +40,12 @@ val vxm_pull_dense_source :
     is a dense (values, occupancy) pair, bit-identical to
     {!vxm_dense_source}. *)
 
+val vxm_tile_acc_source :
+  dtype:string -> sr:Op_spec.semiring -> key:string -> string option
+(** Tile continuation of the pull product: folds one tile's CSC columns
+    into the caller's global (values, occupancy) accumulator in place.
+    Keyed per tile shape through the signature's formats field. *)
+
 val mxv_pull_masked_source :
   dtype:string -> sr:Op_spec.semiring -> key:string -> string option
 (** Masked CSC pull with a dense frontier, a validity bitmap as the

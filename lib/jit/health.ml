@@ -17,11 +17,17 @@ type t = {
   pool_threshold : int;
   pool_counters : (string * int) list;
   pool_busy_seconds : float;
+  tile_store_dir : string;
+  tile_disk_blobs : int;
+  tile_disk_bytes : int;
+  tile_disk_quarantined : int;
+  tile_counters : (string * int) list;
 }
 
 let collect ?(probe = true) () =
   let scan = Disk_cache.integrity_scan () in
   let count v = List.length (List.filter (fun (_, s) -> s = v) scan) in
+  let tile_fp = Gbtl.Tile_store.scan_root () in
   { backend =
       (if probe then Native_backend.explain ()
        else "not probed (pass --probe)");
@@ -50,7 +56,12 @@ let collect ?(probe = true) () =
     pool_domains = Parallel.Pool.domains ();
     pool_threshold = Parallel.Pool.threshold ();
     pool_counters = Jit_stats.pool ();
-    pool_busy_seconds = Jit_stats.pool_busy_seconds () }
+    pool_busy_seconds = Jit_stats.pool_busy_seconds ();
+    tile_store_dir = Gbtl.Tile_store.root_dir ();
+    tile_disk_blobs = tile_fp.Gbtl.Tile_store.blobs;
+    tile_disk_bytes = tile_fp.Gbtl.Tile_store.bytes;
+    tile_disk_quarantined = tile_fp.Gbtl.Tile_store.quarantined;
+    tile_counters = Jit_stats.tiles () }
 
 let healthy t = t.cache_mismatch = 0 && Breaker.state () <> Breaker.Open
 
@@ -121,6 +132,15 @@ let to_json t =
        (List.map
           (fun (k, v) -> Printf.sprintf ", %s: %d" (Printf.sprintf "%S" k) v)
           t.pool_counters));
+  out
+    "\"tiles\": { \"store_dir\": %s, \"disk_blobs\": %d, \"disk_bytes\": %d, \
+     \"disk_quarantined\": %d%s }, "
+    (str t.tile_store_dir) t.tile_disk_blobs t.tile_disk_bytes
+    t.tile_disk_quarantined
+    (String.concat ""
+       (List.map
+          (fun (k, v) -> Printf.sprintf ", %S: %d" k v)
+          t.tile_counters));
   out "\"healthy\": %b, " (healthy t);
   out "\"verdict\": %s" (str (verdict_string t));
   out "}";
@@ -150,6 +170,12 @@ let pp fmt t =
     (String.concat " "
        (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) t.pool_counters))
     t.pool_busy_seconds;
+  Format.fprintf fmt "tile store:       %s (%d blobs, %d bytes, %d quarantined)@\n"
+    t.tile_store_dir t.tile_disk_blobs t.tile_disk_bytes
+    t.tile_disk_quarantined;
+  Format.fprintf fmt "tile stats:       %s@\n"
+    (String.concat " "
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) t.tile_counters));
   Format.fprintf fmt "verdict:          %s@\n"
     (if healthy t then "healthy" else "DEGRADED")
 

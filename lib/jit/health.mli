@@ -22,6 +22,13 @@ type t = {
   pool_threshold : int;  (** parallel-dispatch work threshold *)
   pool_counters : (string * int) list;  (** jobs/chunks/tasks/degrades *)
   pool_busy_seconds : float;  (** wall time inside chunk bodies *)
+  tile_store_dir : string;  (** root of the out-of-core tile stores *)
+  tile_disk_blobs : int;  (** tile/checkpoint blobs on disk *)
+  tile_disk_bytes : int;  (** on-disk footprint of the tile stores *)
+  tile_disk_quarantined : int;  (** quarantined ([.bad]) tile blobs *)
+  tile_counters : (string * int) list;
+      (** loads/stores/evictions/quarantines/rebuilds/checkpoints/
+          delta plans + resident gauges ({!Jit_stats.tiles}) *)
 }
 
 val collect : ?probe:bool -> unit -> t

@@ -149,6 +149,11 @@ let formats = Gbtl.Format_stats.counters
 let pool = Parallel.Pool.counters
 let pool_busy_seconds = Parallel.Pool.busy_seconds
 
+(* Out-of-core tile counters live in Gbtl.Tile_stats (the tiled
+   containers and the checkpointed driver record their own traffic);
+   re-exported for the same one-stop reason. *)
+let tiles = Gbtl.Tile_stats.counters
+
 let record_compile ~native ~seconds =
   Atomic.incr compiles;
   if native then Atomic.incr native_compiles;

@@ -92,6 +92,11 @@ val pool : unit -> (string * int) list
 (** Domain-pool counters (parallel/sequential jobs, chunks, tasks,
     sequential degrades) — re-exported from [Parallel.Pool]. *)
 
+val tiles : unit -> (string * int) list
+(** Out-of-core tile counters (loads, stores, evictions, quarantines,
+    rebuilds, checkpoint generations, delta plans, resident gauges) —
+    re-exported from [Gbtl.Tile_stats]. *)
+
 val pool_busy_seconds : unit -> float
 (** Cumulative wall time pool domains spent inside chunk bodies —
     re-exported from [Parallel.Pool]. *)

@@ -471,6 +471,58 @@ let vxm_pull_dense (type a) (dt : a Dtype.t) (sr : Op_spec.semiring)
   in
   (Obj.obj (kernel (Obj.repr arg)) : a array * bool array)
 
+let vxm_tile_acc (type a) (dt : a Dtype.t) (sr : Op_spec.semiring)
+    ~(tile_tag : string) ~(r0 : int) ~(c0 : int) (tile : a Smatrix.t)
+    ((uvls, uocc) : a array * bool array)
+    ((acc, occ) : a array * bool array) : unit =
+  (* Tile continuation of [vxm_pull_dense]: the tile shape rides in the
+     signature's formats field, so each tiling compiles (and caches) its
+     own module — the out-of-core analogue of the CSR/CSC format key.
+     Sequential on purpose: exactness of the streamed product rests on
+     folding each output column in ascending global row order across
+     tiles, which a per-tile continuation preserves and chunk merging
+     would not. *)
+  let sig_ =
+    Kernel_sig.make ~op:"vxm_tile"
+      ~dtypes:[ ("T", Dtype.name dt) ]
+      ~operators:(semiring_ops sr)
+      ~formats:
+        [ ("a", "csc"); ("u", "dense"); ("w", "dense"); ("tile", tile_tag) ]
+      ()
+  in
+  let build () =
+    let s = Op_spec.instantiate_semiring dt sr in
+    let add = Semiring.add s and mul = Semiring.mul s in
+    Obj.repr (fun (arg : Obj.t) ->
+        let uvls, uocc, r0, acp, ari, avs, c0, tncols, acc, occ =
+          (Obj.obj arg
+            : a array * bool array * int * int array * int array * a array
+              * int * int * a array * bool array)
+        in
+        Array_kernels.vxm_tile_acc ~add ~mul ~r0 ~c0 ~tncols (acp, ari, avs)
+          (uvls, uocc) (acc, occ);
+        Obj.repr ())
+  in
+  let native_source ~key =
+    Codegen.vxm_tile_acc_source ~dtype:(Dtype.name dt) ~sr ~key
+  in
+  let kernel : Obj.t -> Obj.t =
+    Obj.obj (Dispatch.get sig_ ~build ~native_source ())
+  in
+  let arg =
+    ( uvls,
+      uocc,
+      r0,
+      Smatrix.unsafe_colptr tile,
+      Smatrix.unsafe_rowidx tile,
+      Smatrix.unsafe_cvals tile,
+      c0,
+      Smatrix.ncols tile,
+      acc,
+      occ )
+  in
+  ignore (kernel (Obj.repr arg))
+
 type 'a ewise_arg = int array * 'a array * int * int array * 'a array * int
 
 type 'a dense_pair_arg = 'a array * bool array * 'a array * bool array

@@ -107,6 +107,25 @@ val vxm_pull_dense :
     {!vxm_dense}.  Preferable when the CSC build is amortized over many
     products against the same matrix (PageRank's iteration). *)
 
+val vxm_tile_acc :
+  'a Dtype.t ->
+  Op_spec.semiring ->
+  tile_tag:string ->
+  r0:int ->
+  c0:int ->
+  'a Smatrix.t ->
+  'a array * bool array ->
+  'a array * bool array ->
+  unit
+(** Tile continuation of {!vxm_pull_dense}: fold one CSR tile (placed at
+    global offset [(r0, c0)]) into the caller's global dense
+    (values, occupancy) accumulator in place, reading the tile's cached
+    CSC side.  [tile_tag] (e.g. ["512x512"], {!Gbtl.Tmatrix.format_tag})
+    rides in the signature's formats field, so each tiling caches its
+    own compiled module.  Streaming every tile of a block column in
+    ascending block-row order is bit-identical to {!vxm_pull_dense} on
+    the untiled matrix — the out-of-core streaming product. *)
+
 val ewise_v :
   [ `Add | `Mult ] ->
   'a Dtype.t ->

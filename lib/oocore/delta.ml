@@ -1,0 +1,138 @@
+open Gbtl
+
+let update = Tmatrix.update_edges
+
+let batch_counts batch =
+  List.fold_left
+    (fun (a, d) (_, _, v) ->
+      match v with Some _ -> (a + 1, d) | None -> (a, d + 1))
+    (0, 0) batch
+
+(* Stream the rows of a frontier through the tile grid: group the rows
+   by block row, then touch each tile of those block rows once and scan
+   all grouped rows inside it — tile-friendly neighborhood expansion. *)
+let expand (g : _ Tmatrix.t) rows f =
+  let trows, tcols = Tmatrix.tile_shape g in
+  let brows, bcols = Tmatrix.grid g in
+  let by_block = Array.make brows [] in
+  List.iter (fun r -> by_block.(r / trows) <- r :: by_block.(r / trows)) rows;
+  for bi = 0 to brows - 1 do
+    match by_block.(bi) with
+    | [] -> ()
+    | group ->
+      let r0 = bi * trows in
+      for bj = 0 to bcols - 1 do
+        if Tmatrix.tile_nvals g bi bj > 0 then
+          Tmatrix.with_tile g bi bj (fun tile ->
+              List.iter
+                (fun r ->
+                  Smatrix.iter_row
+                    (fun c v -> f r ((bj * tcols) + c) v)
+                    tile (r - r0))
+                group)
+      done
+  done
+
+(* Monotone relaxation to the least fixed point: every improved vertex
+   re-enters the frontier, so the result is order-independent — exactly
+   the fixed point a from-scratch run reaches (the certifier's
+   equivalence argument). *)
+let relax g values ~improves seeds =
+  let frontier = ref (List.sort_uniq compare seeds) in
+  while !frontier <> [] do
+    let next = ref [] in
+    expand g !frontier (fun u c _ ->
+        match improves values.(u) values.(c) with
+        | Some better ->
+          values.(c) <- better;
+          next := c :: !next
+        | None -> ());
+    frontier := List.sort_uniq compare !next
+  done
+
+let dense_of_svector ~n ~fill v =
+  let a = Array.make n fill in
+  Svector.iter (fun i x -> a.(i) <- x) v;
+  a
+
+let bfs_full g ~src =
+  let n = Tmatrix.nrows g in
+  dense_of_svector ~n ~fill:0
+    (Algorithms.Bfs.native (Tmatrix.to_smatrix g) ~src)
+
+let cc_full g =
+  let n = Tmatrix.nrows g in
+  dense_of_svector ~n ~fill:0
+    (Algorithms.Connected_components.native (Tmatrix.to_smatrix g))
+
+let bfs_after ~src ~prev ~batch g =
+  let additions, deletions = batch_counts batch in
+  ignore (update g batch);
+  let verdict = Analysis.Incr.certify Analysis.Incr.Bfs ~additions ~deletions in
+  match verdict with
+  | Analysis.Incr.Exact_incremental _ ->
+    let level = Array.copy prev in
+    (* a new edge (u, v) can only help v through u: level 0 means
+       unreachable, anything reachable improves on it *)
+    let seeds =
+      List.filter_map
+        (fun (u, v, _) ->
+          if
+            level.(u) > 0
+            && (level.(v) = 0 || level.(v) > level.(u) + 1)
+          then begin
+            level.(v) <- level.(u) + 1;
+            Some v
+          end
+          else None)
+        batch
+    in
+    relax g level
+      ~improves:(fun lu lc ->
+        if lu > 0 && (lc = 0 || lc > lu + 1) then Some (lu + 1) else None)
+      seeds;
+    (level, verdict)
+  | Analysis.Incr.Warm_restart _ | Analysis.Incr.Full_recompute _ ->
+    (bfs_full g ~src, verdict)
+
+let cc_after ~prev ~batch g =
+  let additions, deletions = batch_counts batch in
+  ignore (update g batch);
+  let verdict = Analysis.Incr.certify Analysis.Incr.Cc ~additions ~deletions in
+  match verdict with
+  | Analysis.Incr.Exact_incremental _ ->
+    let comp = Array.copy prev in
+    let seeds =
+      List.filter_map
+        (fun (u, v, _) ->
+          if comp.(v) > comp.(u) then begin
+            comp.(v) <- comp.(u);
+            Some v
+          end
+          else if comp.(u) > comp.(v) then begin
+            comp.(u) <- comp.(v);
+            Some u
+          end
+          else None)
+        batch
+    in
+    relax g comp
+      ~improves:(fun cu cc -> if cc > cu then Some cu else None)
+      seeds;
+    (comp, verdict)
+  | Analysis.Incr.Warm_restart _ | Analysis.Incr.Full_recompute _ ->
+    (cc_full g, verdict)
+
+let pagerank_after ?damping ?threshold ?max_iters ~prev ~batch g =
+  let additions, deletions = batch_counts batch in
+  ignore (update g batch);
+  let verdict =
+    Analysis.Incr.certify Analysis.Incr.Pagerank ~additions ~deletions
+  in
+  let prev =
+    match verdict with
+    | Analysis.Incr.Warm_restart _ | Analysis.Incr.Exact_incremental _ ->
+      Some prev
+    | Analysis.Incr.Full_recompute _ -> None
+  in
+  (Stream.pagerank ?damping ?threshold ?max_iters ?prev g, verdict)

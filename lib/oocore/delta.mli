@@ -1,0 +1,68 @@
+(** Incremental (delta) recompute after an edge batch.
+
+    An edge batch lands through {!Gbtl.Tmatrix.update_edges}, which
+    invalidates only the touched tiles; the algorithms here then reuse
+    the previous result instead of recomputing from scratch — but only
+    after {!Analysis.Incr.certify} proves the delta plan equivalent to
+    the full recompute (monotone reseeding for BFS/CC additions,
+    contraction warm-restart for PageRank).  A rejected plan (e.g.
+    BFS/CC with deletions) falls back to the full recompute
+    automatically, so every entry point is total: the verdict in the
+    result says which path ran.
+
+    BFS levels are 1-based with 0 = unreachable
+    ({!Algorithms.Bfs.native} semantics); CC labels are minimum member
+    vertex ids ({!Algorithms.Connected_components.native} semantics);
+    both assume the adjacency is symmetric, as those algorithms do. *)
+
+open Gbtl
+
+val update : 'a Tmatrix.t -> (int * int * 'a option) list -> int
+(** Apply an edge batch ([Some v] upserts, [None] deletes); returns the
+    number of tiles invalidated — {!Gbtl.Tmatrix.update_edges}. *)
+
+val batch_counts : (int * int * 'a option) list -> int * int
+(** (additions, deletions) of a batch, as fed to the certifier. *)
+
+val dense_of_svector : n:int -> fill:'a -> 'a Svector.t -> 'a array
+(** Densify a result vector into the [prev] arrays the deltas consume. *)
+
+val bfs_full : bool Tmatrix.t -> src:int -> int array
+(** Full (from-scratch) BFS levels of the tiled graph — the reference
+    the incremental path is proven against. *)
+
+val cc_full : bool Tmatrix.t -> int array
+(** Full connected-components labels, same role. *)
+
+val pagerank_after :
+  ?damping:float ->
+  ?threshold:float ->
+  ?max_iters:int ->
+  prev:float array ->
+  batch:(int * int * float option) list ->
+  float Tmatrix.t ->
+  (float Svector.t * int) * Analysis.Incr.verdict
+(** Apply [batch] to the graph, then recompute PageRank restarting from
+    [prev] (certified warm restart: same unique fixed point as the full
+    recompute, within the convergence threshold). *)
+
+val bfs_after :
+  src:int ->
+  prev:int array ->
+  batch:(int * int * bool option) list ->
+  bool Tmatrix.t ->
+  int array * Analysis.Incr.verdict
+(** Apply [batch], then update the BFS level array.  Additions-only
+    batches run the certified affected-frontier reseeding (bit-equal to
+    a full BFS); a batch with deletions is rejected by the certifier
+    and recomputed in full.  [prev] must be the exact levels of the
+    graph before the batch, with [prev.(src) = 1]. *)
+
+val cc_after :
+  prev:int array ->
+  batch:(int * int * bool option) list ->
+  bool Tmatrix.t ->
+  int array * Analysis.Incr.verdict
+(** Same contract for connected components: additions merge components
+    by propagating the smaller min-label from the new edges' endpoints;
+    deletions force the full recompute. *)

@@ -1,0 +1,156 @@
+open Gbtl
+
+let f64 = Dtype.FP64
+
+(* Per-tile damped normalization: a scaled copy of the tile (the stored
+   tile stays raw), sharing nothing mutable with the cache.  The arrays
+   are cut to exact length so the adopted CSR is well-formed. *)
+let scaled_tile (type a) (dt : a Dtype.t) ~r0 ~(scale : int -> a -> a) tile =
+  let nr = Smatrix.nrows tile and nv = Smatrix.nvals tile in
+  let rp = Array.sub (Smatrix.unsafe_rowptr tile) 0 (nr + 1) in
+  let ci = Array.sub (Smatrix.unsafe_colidx tile) 0 nv in
+  let vs = Array.sub (Smatrix.unsafe_values tile) 0 nv in
+  for r = 0 to nr - 1 do
+    for p = rp.(r) to rp.(r + 1) - 1 do
+      vs.(p) <- scale (r0 + r) vs.(p)
+    done
+  done;
+  Smatrix.of_csr_unsafe dt ~nrows:nr ~ncols:(Smatrix.ncols tile) ~rowptr:rp
+    ~colidx:ci ~values:vs
+
+let vxm_tiled (type a) ?scale (dt : a Dtype.t) (sr : Jit.Op_spec.semiring)
+    ((uvls, uocc) : a array * bool array) (t : a Tmatrix.t) :
+    a array * bool array =
+  let n = Tmatrix.ncols t in
+  let zero = Semiring.zero (Jit.Op_spec.instantiate_semiring dt sr) in
+  let acc = Array.make (max n 1) zero in
+  let occ = Array.make (max n 1) false in
+  let trows, tcols = Tmatrix.tile_shape t in
+  let brows, bcols = Tmatrix.grid t in
+  let tag = Tmatrix.format_tag t in
+  (* Block-row-major: for every output column, tile contributions arrive
+     in ascending global row order — the exact fold order of the
+     in-memory pull kernel, which is what makes streaming bit-exact. *)
+  for bi = 0 to brows - 1 do
+    let r0 = bi * trows in
+    for bj = 0 to bcols - 1 do
+      if Tmatrix.tile_nvals t bi bj > 0 then
+        Tmatrix.with_tile t bi bj (fun tile ->
+            let tile =
+              match scale with
+              | Some f -> scaled_tile dt ~r0 ~scale:f tile
+              | None -> tile
+            in
+            Jit.Kernels.vxm_tile_acc dt sr ~tile_tag:tag ~r0 ~c0:(bj * tcols)
+              tile (uvls, uocc) (acc, occ))
+    done
+  done;
+  (acc, occ)
+
+let row_sums (t : float Tmatrix.t) =
+  let sums = Array.make (Tmatrix.nrows t) 0.0 in
+  let trows, _ = Tmatrix.tile_shape t in
+  let brows, bcols = Tmatrix.grid t in
+  for bi = 0 to brows - 1 do
+    let r0 = bi * trows in
+    (* bj ascending: each row's entries fold left in ascending column
+       order, matching Utilities.normalize_rows on the assembled
+       matrix *)
+    for bj = 0 to bcols - 1 do
+      if Tmatrix.tile_nvals t bi bj > 0 then
+        Tmatrix.with_tile t bi bj (fun tile ->
+            let rp = Smatrix.unsafe_rowptr tile
+            and vs = Smatrix.unsafe_values tile in
+            for r = 0 to Smatrix.nrows tile - 1 do
+              for p = rp.(r) to rp.(r + 1) - 1 do
+                sums.(r0 + r) <- sums.(r0 + r) +. vs.(p)
+              done
+            done)
+    done
+  done;
+  sums
+
+(* One PageRank iteration over the dense state, mirroring
+   Algorithms.Pagerank.native_dense statement for statement; the only
+   difference is the streamed product (and the scale hook standing in
+   for the pre-scaled matrix m — same per-entry floats, same order). *)
+type pr_state = float array * bool array * float array * bool array
+
+let pr_step g ~scale ~teleport ~threshold ~rows_f ((pv, po, nv, no) : pr_state)
+    =
+  let arith = Jit.Op_spec.arithmetic in
+  let t_vals, t_occ = vxm_tiled ~scale f64 arith (pv, po) g in
+  (* new_rank[None] += page_rank @ m, accumulating with Second *)
+  let nv = Array.copy nv and no = Array.copy no in
+  for j = 0 to Array.length nv - 1 do
+    if t_occ.(j) then begin
+      nv.(j) <- t_vals.(j);
+      no.(j) <- true
+    end
+  done;
+  let av, ao = Jit.Kernels.apply_v_dense f64 teleport (nv, no) in
+  let d = Jit.Kernels.ewise_v_dense `Add f64 ~op:"Minus" (pv, po) (av, ao) in
+  let d2 = Jit.Kernels.ewise_v_dense `Mult f64 ~op:"Times" d d in
+  let squared_error =
+    Jit.Kernels.reduce_v_scalar_dense f64 ~op:"Plus" ~identity:"Zero" d2
+  in
+  let st : pr_state = (Array.copy av, Array.copy ao, av, ao) in
+  if squared_error /. rows_f < threshold then `Done st else `Continue st
+
+let pagerank ?(damping = 0.85) ?(threshold = 1.e-5) ?(max_iters = 100000)
+    ?prev ?ckpt ?(every = 4) (g : float Tmatrix.t) =
+  let rows = Tmatrix.nrows g in
+  let rows_f = float_of_int rows in
+  let sums = row_sums g in
+  let scale r v = (if sums.(r) <> 0.0 then v /. sums.(r) else v) *. damping in
+  let teleport =
+    Jit.Op_spec.Bound
+      { op = "Plus"; side = `Second; const = (1.0 -. damping) /. rows_f }
+  in
+  let init () : pr_state =
+    let pv =
+      match prev with
+      | Some p when Array.length p = rows -> Array.copy p
+      | Some _ | None -> Array.make rows (1.0 /. rows_f)
+    in
+    (pv, Array.make rows true, Array.make rows 0.0, Array.make rows false)
+  in
+  let step = pr_step g ~scale ~teleport ~threshold ~rows_f in
+  let (pv, po, _, _), iters =
+    match ckpt with
+    | Some name ->
+      let o =
+        Exec.Iterate.run ~name
+          ~codec:(Exec.Iterate.marshal_codec ())
+          ~every ~init
+          ~step:(fun ~iter:_ st -> step st)
+          ~max_iters ()
+      in
+      (o.Exec.Iterate.state, o.Exec.Iterate.iters)
+    | None ->
+      let st = ref (init ()) in
+      let iters = ref 0 in
+      (try
+         for i = 1 to max_iters do
+           iters := i;
+           match step !st with
+           | `Done s ->
+             st := s;
+             raise Exit
+           | `Continue s -> st := s
+         done
+       with Exit -> ());
+      (!st, !iters)
+  in
+  let page_rank = Svector.of_dense_unsafe f64 ~vals:pv ~valid:po in
+  (* page_rank<~page_rank> = page_rank + teleport: fill untouched
+     entries, as in the in-memory pipelines *)
+  let new_rank = Svector.create f64 rows in
+  Assign.vector_scalar ~out:new_rank ((1.0 -. damping) /. rows_f)
+    Index_set.All;
+  let mask =
+    Mask.Vmask { dense = Svector.to_bool_dense page_rank; complemented = true }
+  in
+  Output.write_vector ~mask ~accum:None ~replace:false ~out:page_rank
+    ~t:(Jit.Kernels.ewise_v `Add f64 ~op:"Plus" page_rank new_rank);
+  (page_rank, iters)

@@ -1,0 +1,59 @@
+(** Streamed (out-of-core) execution over tiled matrices.
+
+    The streaming product {!vxm_tiled} visits tiles in block-row-major
+    order and folds each tile into the global accumulator with the
+    continuation kernel {!Jit.Kernels.vxm_tile_acc}: for every output
+    column, contributions arrive in ascending global row order — exactly
+    the fold order of the in-memory {!Jit.Kernels.vxm_pull_dense} — so
+    the streamed result is {e bit-identical} to the unconstrained
+    in-memory run, for every operator including float [Plus], no matter
+    how small the tile cache's memory budget is.
+
+    {!pagerank} is the paper's PageRank pipeline
+    ({!Algorithms.Pagerank.native_dense}) restaged over tiles: the
+    damped row normalization is applied per streamed tile from an O(n)
+    row-sum vector (the matrix itself stays raw and immutable on disk),
+    and the iteration state can be checkpointed through
+    {!Exec.Iterate} so a crashed run resumes from its last good
+    iteration. *)
+
+open Gbtl
+
+val vxm_tiled :
+  ?scale:(int -> 'a -> 'a) ->
+  'a Dtype.t ->
+  Jit.Op_spec.semiring ->
+  'a array * bool array ->
+  'a Tmatrix.t ->
+  'a array * bool array
+(** [vxm_tiled dt sr (uvls, uocc) t] — dense-operand [u ⊕.⊗ T] streamed
+    over the tiles of [t]; bit-identical to
+    [Jit.Kernels.vxm_pull_dense dt sr (uvls, uocc) (Tmatrix.to_smatrix t)].
+    [scale] (given the {e global} row index and the stored value) is
+    applied to each tile entry before the product — the hook the
+    PageRank driver uses for damped row normalization without mutating
+    the stored tiles. *)
+
+val row_sums : float Tmatrix.t -> float array
+(** Per-row entry sums, streamed one tile at a time in ascending column
+    order — the same left fold as {!Gbtl.Utilities.normalize_rows} on
+    the assembled matrix, hence bitwise-equal sums. *)
+
+val pagerank :
+  ?damping:float ->
+  ?threshold:float ->
+  ?max_iters:int ->
+  ?prev:float array ->
+  ?ckpt:string ->
+  ?every:int ->
+  float Tmatrix.t ->
+  float Svector.t * int
+(** Streamed PageRank over a tiled graph; same defaults, same iteration
+    and same results as {!Algorithms.Pagerank.native_dense} on the
+    assembled matrix — bit-identical ranks under any memory budget.
+    [prev] warm-starts the iteration from previous ranks (the certified
+    delta plan for edge batches); [ckpt] names a checkpoint stream: the
+    iteration state is persisted every [every] (default 4) iterations
+    through {!Exec.Iterate}, and a relaunch with the same [ckpt]
+    resumes after the last good checkpoint instead of iteration 0 (the
+    checkpoint is cleared once the run converges). *)

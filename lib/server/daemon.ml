@@ -413,6 +413,40 @@ let handle_load s id req =
       ("warmed_signatures", Json.Num (float_of_int warmed));
       ("warm_compiles", Json.Num (float_of_int compiled)) ]
 
+(* Edge batches arrive as [[r, c, v]] (upsert) / [[r, c]] (delete)
+   triples; the registry applies them copy-on-write so in-flight
+   computations on the old matrix are unaffected. *)
+let parse_batch req =
+  match Json.member "edges" req with
+  | Some (Json.Arr elems) -> (
+    try
+      Ok
+        (List.map
+           (fun e ->
+             match e with
+             | Json.Arr [ Json.Num r; Json.Num c; Json.Num v ] ->
+               (int_of_float r, int_of_float c, Some v)
+             | Json.Arr [ Json.Num r; Json.Num c ] ->
+               (int_of_float r, int_of_float c, None)
+             | _ ->
+               failwith
+                 "edges entries must be [row, col, value] or [row, col]")
+           elems)
+    with Failure m -> Error m)
+  | Some _ | None -> Error "update needs an \"edges\" list"
+
+let handle_update s id req =
+  let ( let* ) r f = match r with Error e -> err id e | Ok v -> f v in
+  let* name = require_str req "name" in
+  let* batch = parse_batch req in
+  let* m, additions, deletions = Registry.update s.reg ~name ~batch in
+  ok id
+    [ ("name", Json.Str name);
+      ("vertices", Json.Num (float_of_int (Smatrix.nrows m)));
+      ("edges", Json.Num (float_of_int (Smatrix.nvals m)));
+      ("additions", Json.Num (float_of_int additions));
+      ("deletions", Json.Num (float_of_int deletions)) ]
+
 let handle_stats s id =
   let st = Jit.Jit_stats.snapshot () in
   ok id
@@ -438,6 +472,7 @@ let dispatch s session id req =
     match op with
     | "ping" -> ok id [ ("pong", Json.Bool true) ]
     | "load" -> handle_load s id req
+    | "update" -> handle_update s id req
     | "graphs" ->
       ok id
         [ ( "graphs",

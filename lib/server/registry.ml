@@ -16,6 +16,40 @@ let load t ~name ~spec ~symmetrize =
           Ok m
         end)
 
+let update t ~name ~batch =
+  Mutex.protect t.lock (fun () ->
+      match List.assoc_opt name t.graphs with
+      | None -> Error (Printf.sprintf "no graph named %S" name)
+      | Some m -> (
+        let nr = Smatrix.nrows m and nc = Smatrix.ncols m in
+        match
+          List.find_opt
+            (fun (r, c, _) -> r < 0 || r >= nr || c < 0 || c >= nc)
+            batch
+        with
+        | Some (r, c, _) ->
+          Error
+            (Printf.sprintf "edge (%d, %d) out of range for %dx%d graph" r c
+               nr nc)
+        | None ->
+          (* Copy-on-write: sessions computing against the old matrix
+             keep it untouched; the name is rebound to the edited copy
+             so only later [find]s observe the batch. *)
+          let m' = Smatrix.of_coo Gbtl.Dtype.FP64 nr nc (Smatrix.to_coo m) in
+          let additions = ref 0 and deletions = ref 0 in
+          List.iter
+            (fun (r, c, v) ->
+              match v with
+              | Some v ->
+                incr additions;
+                Smatrix.set m' r c v
+              | None ->
+                incr deletions;
+                Smatrix.remove m' r c)
+            batch;
+          t.graphs <- (name, m') :: List.remove_assoc name t.graphs;
+          Ok (m', !additions, !deletions)))
+
 let find t name = Mutex.protect t.lock (fun () -> List.assoc_opt name t.graphs)
 
 let names t =

@@ -18,6 +18,18 @@ val load :
     existing name is refused — a graph another session already computed
     against must not change identity under it. *)
 
+val update :
+  t ->
+  name:string ->
+  batch:(int * int * float option) list ->
+  (float Gbtl.Smatrix.t * int * int, string) result
+(** Apply an edge batch ([Some v] upserts, [None] deletes) to the named
+    graph, copy-on-write: the stored matrix is never mutated — the name
+    is rebound to an edited copy, so sessions mid-computation on the old
+    matrix are unaffected and later {!find}s see the batch.  Returns the
+    new matrix and the (additions, deletions) split.  The whole batch is
+    bounds-checked before any edit lands (all-or-nothing). *)
+
 val find : t -> string -> float Gbtl.Smatrix.t option
 val names : t -> (string * int * int) list
 (** (name, vertices, edges), sorted by name. *)

@@ -30,4 +30,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("serve", Test_serve.suite);
       ("cost", Test_cost.suite);
+      ("oocore", Test_oocore.suite);
     ]
