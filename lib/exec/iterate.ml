@@ -15,10 +15,21 @@ type 's outcome = {
 
 let default_store () = Tile_store.open_store "ckpt"
 
-(* One checkpoint blob: iteration index + encoded state.  The store
-   verifies the checksum sidecar before these bytes are decoded. *)
-let save store ~name ~iter ~(codec : _ codec) state =
-  let blob = Marshal.to_string (iter, codec.encode state) [] in
+(* Checkpoint blob format version; bumped whenever the layout below
+   changes so older blobs fail decode and are dropped, never misread. *)
+let magic = "ogb-ckpt/v2"
+
+(* One checkpoint blob: format magic + job fingerprint + iteration
+   index + encoded state.  The store verifies the checksum sidecar
+   before these bytes are decoded; the fingerprint then proves the
+   checkpoint belongs to THIS job — checkpoints are keyed only by a
+   caller-supplied name in a shared store, so a stale or foreign blob
+   (same name, different graph/run/state shape) must read as "no
+   checkpoint", not be resumed into out-of-bounds indexing. *)
+let save store ~name ~fingerprint ~iter ~(codec : _ codec) state =
+  let blob =
+    Marshal.to_string (magic, fingerprint, iter, codec.encode state) []
+  in
   match Tile_store.put store ~key:name blob with
   | Ok () ->
     Tile_stats.record_ckpt_save ();
@@ -26,34 +37,36 @@ let save store ~name ~iter ~(codec : _ codec) state =
   | Error _ -> ()  (* counted by the store; the loop goes on *)
   | exception Fault.Injected _ -> Tile_stats.record_write_failure ()
 
-let load store ~name ~(codec : _ codec) =
+let load store ~name ~fingerprint ~(codec : _ codec) =
+  let stale () =
+    (* verified bytes that are not this job's checkpoint (stale codec,
+       old format, foreign fingerprint) — drop them and start fresh *)
+    Tile_store.delete store ~key:name;
+    Tile_stats.record_quarantine ();
+    None
+  in
   match Tile_store.get store ~key:name with
   | exception Fault.Injected _ -> None
   | `Missing | `Corrupt -> None
   | `Ok blob -> (
-    match
-      let iter, enc = (Marshal.from_string blob 0 : int * string) in
-      (iter, codec.decode enc)
-    with
-    | iter, state when iter >= 1 -> Some (iter, state)
-    | _ -> None
-    | exception _ ->
-      (* verified bytes that still fail to decode: stale codec — drop
-         the checkpoint and start fresh *)
-      Tile_store.delete store ~key:name;
-      Tile_stats.record_quarantine ();
-      None)
+    match (Marshal.from_string blob 0 : string * string * int * string) with
+    | m, fp, iter, enc when m = magic && fp = fingerprint && iter >= 1 -> (
+      match codec.decode enc with
+      | state -> Some (iter, state)
+      | exception _ -> stale ())
+    | _ -> stale ()
+    | exception _ -> stale ())
 
 let clear ?store ~name () =
   let store = match store with Some s -> s | None -> default_store () in
   Tile_store.delete store ~key:name
 
-let run ?store ?(every = 1) ?(keep = false) ~name ~codec ~init ~step
-    ~max_iters () =
+let run ?store ?(every = 1) ?(keep = false) ?(fingerprint = "") ~name ~codec
+    ~init ~step ~max_iters () =
   let store = match store with Some s -> s | None -> default_store () in
   let every = max 1 every in
   let start_iter, state0, resumed_from =
-    match load store ~name ~codec with
+    match load store ~name ~fingerprint ~codec with
     | Some (iter, state) ->
       Tile_stats.record_ckpt_resume ();
       Tile_stats.set_ckpt_generation iter;
@@ -73,15 +86,16 @@ let run ?store ?(every = 1) ?(keep = false) ~name ~codec ~init ~step
          raise Exit
        | `Continue s ->
          state := s;
-         if i mod every = 0 then save store ~name ~iter:i ~codec s
+         if i mod every = 0 then
+           save store ~name ~fingerprint ~iter:i ~codec s
      done
    with Exit -> ());
   if !converged then begin
-    if keep then save store ~name ~iter:!iters ~codec !state
+    if keep then save store ~name ~fingerprint ~iter:!iters ~codec !state
     else Tile_store.delete store ~key:name
   end
   else if !iters >= start_iter then
     (* ran out of budget: persist the newest state so a relaunch
        continues instead of restarting *)
-    save store ~name ~iter:!iters ~codec !state;
+    save store ~name ~fingerprint ~iter:!iters ~codec !state;
   { state = !state; iters = !iters; resumed_from; converged = !converged }

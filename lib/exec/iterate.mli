@@ -31,6 +31,7 @@ val run :
   ?store:Gbtl.Tile_store.t ->
   ?every:int ->
   ?keep:bool ->
+  ?fingerprint:string ->
   name:string ->
   codec:'s codec ->
   init:(unit -> 's) ->
@@ -47,7 +48,15 @@ val run :
     it.  On [`Done] the checkpoint is deleted unless [keep] is true
     (the run is over; a later identically-named run should start
     fresh); on hitting [max_iters] the newest state is checkpointed so
-    a relaunch continues the loop. *)
+    a relaunch continues the loop.
+
+    [fingerprint] (default [""]) identifies the job: state shape,
+    graph dimensions, algorithm parameters — whatever makes a
+    checkpoint safe to resume.  It is marshalled into every blob and
+    compared on load; checkpoints live in a shared store keyed only by
+    [name], so a blob whose fingerprint differs (a stale run, a
+    different graph under the same name) is deleted and the run starts
+    from [init ()] instead of resuming foreign state. *)
 
 val clear : ?store:Gbtl.Tile_store.t -> name:string -> unit -> unit
 (** Drop [name]'s checkpoint (tests, or explicit fresh starts). *)

@@ -4,22 +4,50 @@ let root_dir () =
   match Sys.getenv_opt "OGB_TILE_DIR" with
   | Some d when d <> "" -> d
   | _ ->
-    Filename.concat
-      (Filename.get_temp_dir_name ())
-      (Printf.sprintf "ogb-tiles-%d" (Unix.getuid ()))
+    (* prefer the per-user runtime dir (already 0700, owned by us) over
+       the world-writable temp dir *)
+    let base =
+      match Sys.getenv_opt "XDG_RUNTIME_DIR" with
+      | Some d when d <> "" -> d
+      | _ -> Filename.get_temp_dir_name ()
+    in
+    Filename.concat base (Printf.sprintf "ogb-tiles-%d" (Unix.getuid ()))
 
 (* mkdir -p with EEXIST treated as success (concurrent creators are
-   fine), mirroring the JIT disk cache. *)
+   fine), mirroring the JIT disk cache.  Tiles are private data, so
+   everything is created 0700. *)
 let rec mkdir_p d =
   if d = "" || d = Filename.dirname d then ()
   else
-    match Unix.mkdir d 0o755 with
+    match Unix.mkdir d 0o700 with
     | () -> ()
     | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
     | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
       mkdir_p (Filename.dirname d);
-      (try Unix.mkdir d 0o755
+      (try Unix.mkdir d 0o700
        with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+
+(* The default root lives under a shared, world-writable temp dir, so a
+   pre-created directory there may belong to someone else — and the MD5
+   sidecars prove integrity, not authenticity: blobs planted by another
+   user would sail through verification into [Marshal.from_string].
+   Refuse any default root that is not a real directory (no symlink)
+   owned by the current uid, and pull its permissions back to 0700. *)
+let check_owned_root root =
+  match Unix.lstat root with
+  | { Unix.st_kind = Unix.S_DIR; st_uid; st_perm; _ }
+    when st_uid = Unix.getuid () ->
+    if st_perm land 0o077 <> 0 then (
+      try Unix.chmod root 0o700 with Unix.Unix_error _ -> ())
+  | _ ->
+    failwith
+      (Printf.sprintf
+         "tile store root %S exists but is not a directory owned by uid %d \
+          — refusing to trust its contents (set OGB_TILE_DIR to a private \
+          location)"
+         root (Unix.getuid ()))
+  | exception Unix.Unix_error _ ->
+    failwith (Printf.sprintf "tile store root %S cannot be created" root)
 
 (* Key hygiene: keys become file names, so anything outside the safe
    alphabet is mapped away — a key can never escape the store dir. *)
@@ -32,7 +60,19 @@ let sanitize key =
     key
 
 let open_store ?dir name =
-  let base = match dir with Some d -> d | None -> root_dir () in
+  let base, caller_chosen =
+    match dir with
+    | Some d -> (d, true)
+    | None ->
+      ( root_dir (),
+        match Sys.getenv_opt "OGB_TILE_DIR" with
+        | Some d -> d <> ""
+        | None -> false )
+  in
+  mkdir_p base;
+  (* an explicitly chosen directory is the caller's trust decision; the
+     ambient default must prove it is ours before any blob is decoded *)
+  if not caller_chosen then check_owned_root base;
   let path = Filename.concat base (sanitize name) in
   mkdir_p path;
   { path }

@@ -22,13 +22,19 @@
 type t
 
 val root_dir : unit -> string
-(** [$OGB_TILE_DIR] or [<tmpdir>/ogb-tiles-<uid>]; stores opened with
-    {!open_store} live in subdirectories of this root, so one scan
-    ({!scan_root}) gives the doctor the whole on-disk footprint. *)
+(** [$OGB_TILE_DIR], else [$XDG_RUNTIME_DIR/ogb-tiles-<uid>], else
+    [<tmpdir>/ogb-tiles-<uid>]; stores opened with {!open_store} live
+    in subdirectories of this root, so one scan ({!scan_root}) gives
+    the doctor the whole on-disk footprint. *)
 
 val open_store : ?dir:string -> string -> t
 (** [open_store name] — create/open [dir/name] ([dir] defaults to
-    {!root_dir}; created as needed, EEXIST-tolerant). *)
+    {!root_dir}; created as needed 0700, EEXIST-tolerant).  When the
+    root is the ambient default (neither [?dir] nor [OGB_TILE_DIR]
+    chose it), it must be a real directory owned by the current uid —
+    a pre-created root belonging to someone else raises [Failure]
+    instead of trusting planted blob/sidecar pairs (the checksum
+    proves integrity, not authenticity). *)
 
 val dir : t -> string
 

@@ -205,25 +205,44 @@ let replay_edits t bi bj m =
       | None -> Smatrix.remove m lr lc)
     (local_edits t bi bj)
 
+(* Edits are last-write-wins per cell, so replaying only the newest
+   edit of each (r, c) is equivalent to replaying the whole history.
+   Compacting after every batch bounds a tile's journal by its distinct
+   edited cells instead of the total edit count — a long-running daemon
+   applies unboundedly many batches. *)
+let compact_overlay t bij =
+  match Hashtbl.find_opt t.overlays bij with
+  | None -> ()
+  | Some l ->
+    let seen = Hashtbl.create 16 in
+    let kept =
+      (* the list is newest-first: a cell's first occurrence is its
+         live edit *)
+      List.filter
+        (fun (r, c, _) ->
+          if Hashtbl.mem seen (r, c) then false
+          else begin
+            Hashtbl.add seen (r, c) ();
+            true
+          end)
+        l
+    in
+    Hashtbl.replace t.overlays bij kept
+
 let rebuild_tile t bi bj slot =
   let rows = tile_rows t bi and cols = tile_cols t bj in
-  match t.rebuild with
-  | Some src ->
-    let m = Smatrix.of_coo t.dt rows cols (src bi bj) in
-    replay_edits t bi bj m;
-    Tile_stats.record_rebuild ();
-    t.nv_total <- t.nv_total - slot.nv + Smatrix.nvals m;
-    slot.nv <- Smatrix.nvals m;
-    (* the store blob is gone or bad: resident copy is the newest *)
-    slot.dirty <- true;
-    m
-  | None ->
-    if slot.nv > 0 then
-      failwith
-        (Printf.sprintf
-           "tmatrix: tile (%d,%d) lost (%d entries, no rebuild source)" bi bj
-           slot.nv)
-    else Smatrix.create t.dt rows cols
+  (* With no construction-time source ([create]) the matrix started
+     empty, so the overlays journal IS the tile's full history: replay
+     onto an empty tile reconstructs it exactly. *)
+  let base = match t.rebuild with Some src -> src bi bj | None -> [] in
+  let m = Smatrix.of_coo t.dt rows cols base in
+  replay_edits t bi bj m;
+  Tile_stats.record_rebuild ();
+  t.nv_total <- t.nv_total - slot.nv + Smatrix.nvals m;
+  slot.nv <- Smatrix.nvals m;
+  (* the store blob is gone or bad: resident copy is the newest *)
+  slot.dirty <- true;
+  m
 
 let materialize t bi bj =
   let slot = t.slots.(bi).(bj) in
@@ -314,6 +333,7 @@ let update_edges t edits =
       in
       Hashtbl.replace t.overlays (bi, bj) ((r, c, v) :: prev))
     edits;
+  Hashtbl.iter (fun bij () -> compact_overlay t bij) touched;
   Hashtbl.length touched
 
 let flush t =

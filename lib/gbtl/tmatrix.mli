@@ -27,7 +27,10 @@ val create :
   'a Dtype.t -> int -> int -> 'a t
 (** Empty matrix.  [tile] defaults to [OGB_TILE_ROWS]/[OGB_TILE_COLS]
     (1024 each); [budget] in bytes defaults to [OGB_MEM_BUDGET]
-    (accepts [K]/[M]/[G] suffixes; 0 = unlimited). *)
+    (accepts [K]/[M]/[G] suffixes; 0 = unlimited).  The matrix starts
+    empty, so the per-tile edit journal is its rebuild authority: a
+    quarantined or lost tile is reconstructed by replaying the journal
+    onto an empty tile. *)
 
 val of_smatrix :
   ?dir:string -> ?tile:int * int -> ?budget:int -> 'a Smatrix.t -> 'a t

@@ -102,16 +102,17 @@ let cc_after ~prev ~batch g =
   match verdict with
   | Analysis.Incr.Exact_incremental _ ->
     let comp = Array.copy prev in
+    (* Seed strictly along the edge direction: the full algorithm only
+       propagates labels from u to v across an edge (u, v)
+       (next[v] min= labels of in-neighbors), so an asymmetric edge must
+       not pull v's label back into u — a symmetric batch carries the
+       reverse edge explicitly and seeds it on its own. *)
     let seeds =
       List.filter_map
         (fun (u, v, _) ->
           if comp.(v) > comp.(u) then begin
             comp.(v) <- comp.(u);
             Some v
-          end
-          else if comp.(u) > comp.(v) then begin
-            comp.(u) <- comp.(v);
-            Some u
           end
           else None)
         batch

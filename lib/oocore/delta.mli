@@ -12,8 +12,11 @@
 
     BFS levels are 1-based with 0 = unreachable
     ({!Algorithms.Bfs.native} semantics); CC labels are minimum member
-    vertex ids ({!Algorithms.Connected_components.native} semantics);
-    both assume the adjacency is symmetric, as those algorithms do. *)
+    vertex ids ({!Algorithms.Connected_components.native} semantics).
+    Both reseed strictly along edge direction — exactly how the full
+    algorithms propagate — so the bit-equality guarantee holds for
+    general (asymmetric) adjacencies too; symmetric input gives the
+    usual undirected reading. *)
 
 open Gbtl
 
@@ -63,6 +66,6 @@ val cc_after :
   batch:(int * int * bool option) list ->
   bool Tmatrix.t ->
   int array * Analysis.Incr.verdict
-(** Same contract for connected components: additions merge components
-    by propagating the smaller min-label from the new edges' endpoints;
-    deletions force the full recompute. *)
+(** Same contract for connected components: an added edge [(u, v)]
+    propagates [u]'s smaller label to [v] (edge direction only, like
+    the native iteration); deletions force the full recompute. *)

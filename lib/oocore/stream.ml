@@ -119,8 +119,16 @@ let pagerank ?(damping = 0.85) ?(threshold = 1.e-5) ?(max_iters = 100000)
   let (pv, po, _, _), iters =
     match ckpt with
     | Some name ->
+      (* ties the checkpoint to this graph and parameterization, so a
+         leftover blob under the same name (different graph, different
+         damping) reads as "no checkpoint" rather than resuming a
+         wrong-length state *)
+      let fingerprint =
+        Printf.sprintf "pr_state/v1 n=%d damping=%h threshold=%h" rows damping
+          threshold
+      in
       let o =
-        Exec.Iterate.run ~name
+        Exec.Iterate.run ~name ~fingerprint
           ~codec:(Exec.Iterate.marshal_codec ())
           ~every ~init
           ~step:(fun ~iter:_ st -> step st)

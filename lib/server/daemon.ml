@@ -417,20 +417,33 @@ let handle_load s id req =
    triples; the registry applies them copy-on-write so in-flight
    computations on the old matrix are unaffected. *)
 let parse_batch req =
+  (* int_of_float would silently truncate 1.7 to 1 (and map NaN to an
+     unspecified int): a malformed coordinate must be rejected, not
+     become a different edge *)
+  let coord which i n =
+    if Float.is_integer n && Float.abs n < 1e15 then int_of_float n
+    else
+      failwith
+        (Printf.sprintf "edges[%d]: %s coordinate %g is not an integer" i
+           which n)
+  in
   match Json.member "edges" req with
   | Some (Json.Arr elems) -> (
     try
       Ok
-        (List.map
-           (fun e ->
+        (List.mapi
+           (fun i e ->
              match e with
              | Json.Arr [ Json.Num r; Json.Num c; Json.Num v ] ->
-               (int_of_float r, int_of_float c, Some v)
+               (coord "row" i r, coord "col" i c, Some v)
              | Json.Arr [ Json.Num r; Json.Num c ] ->
-               (int_of_float r, int_of_float c, None)
+               (coord "row" i r, coord "col" i c, None)
              | _ ->
                failwith
-                 "edges entries must be [row, col, value] or [row, col]")
+                 (Printf.sprintf
+                    "edges[%d]: entries must be [row, col, value] or [row, \
+                     col]"
+                    i))
            elems)
     with Failure m -> Error m)
   | Some _ | None -> Error "update needs an \"edges\" list"

@@ -152,6 +152,31 @@ let test_fault_write_enospc () =
 let test_fault_io_exn () = pagerank_under_fault "tile.io.exn" (Fault.Times 2)
 let test_fault_evict_slow () = pagerank_under_fault "tile.evict.slow" Fault.Once
 
+(* a matrix built with [create] has no construction-time source: the
+   per-tile edit journal must rebuild a corrupted tile instead of
+   hard-failing, including overwrites and deletes *)
+let test_create_rebuilds_from_journal () =
+  let t =
+    Tmatrix.create ~dir:(fresh_dir ()) ~tile:(4, 4) ~budget:1 f64 12 12
+  in
+  Fun.protect ~finally:(fun () -> Tmatrix.destroy t) @@ fun () ->
+  ignore
+    (Tmatrix.update_edges t
+       (List.init 24 (fun k ->
+            ((k * 5) mod 12, ((k * 7) + 1) mod 12, Some (float_of_int (k + 1))))));
+  ignore (Tmatrix.update_edges t [ (0, 1, Some 99.0); (5, 8, None) ]);
+  let expect = Tmatrix.to_smatrix t in
+  Tmatrix.flush t;
+  let r0 = counter "tile_rebuilds" in
+  Fault.arm [ ("tile.read.corrupt", Fault.Times 4) ];
+  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  let got = Tmatrix.to_smatrix t in
+  Alcotest.(check bool)
+    "journal rebuild happened" true
+    (counter "tile_rebuilds" > r0);
+  Alcotest.check (Helpers.smatrix_testable f64) "rebuilt content identical"
+    expect got
+
 (* -- 5. checkpointed iteration: a crash mid-run resumes from the last
    good checkpoint, and the resumed result equals the uninterrupted
    one -- *)
@@ -181,6 +206,31 @@ let test_checkpoint_resume_after_crash () =
   Alcotest.(check int) "same fixed point" straight.Exec.Iterate.state
     resumed.Exec.Iterate.state;
   Alcotest.(check bool) "converged" true resumed.Exec.Iterate.converged
+
+(* a checkpoint left by a different job under the same name (foreign
+   fingerprint) must read as "no checkpoint" and be dropped, not
+   resumed into the wrong run *)
+let test_checkpoint_fingerprint_mismatch () =
+  let store = Tile_store.open_store ~dir:(fresh_dir ()) "ckpt" in
+  let codec = Exec.Iterate.marshal_codec () in
+  let step ~crash_at ~iter st =
+    if iter = crash_at then failwith "simulated crash";
+    let st = st * 3 in
+    if iter >= 9 then `Done st else `Continue st
+  in
+  let run ?(crash_at = -1) ~fingerprint () =
+    Exec.Iterate.run ~store ~name:"t" ~codec ~every:2 ~fingerprint
+      ~init:(fun () -> 1) ~step:(step ~crash_at) ~max_iters:50 ()
+  in
+  (* crash mid-run under job A: job A's checkpoints exist under "t" *)
+  (match run ~crash_at:6 ~fingerprint:"job-a n=10" () with
+  | _ -> Alcotest.fail "crash did not propagate"
+  | exception Failure _ -> ());
+  let fresh = run ~fingerprint:"job-b n=99" () in
+  Alcotest.(check int) "foreign checkpoint not resumed" 0
+    fresh.Exec.Iterate.resumed_from;
+  Alcotest.(check int) "job B ran from scratch" 19683
+    fresh.Exec.Iterate.state
 
 let test_checkpointed_pagerank () =
   let n = 40 in
@@ -222,6 +272,38 @@ let qcheck_delta_bfs_cc =
       && (batch = [] || Analysis.Incr.usable vc)
       && bfs = Oocore.Delta.bfs_full t ~src:0
       && cc = Oocore.Delta.cc_full t)
+
+(* the same equivalence on directed (asymmetric) graphs with a one-way
+   batch edge: the full algorithms only propagate labels along edge
+   direction, so the delta seeding must not push backwards *)
+let qcheck_delta_bfs_cc_directed =
+  Helpers.qtest ~count:60
+    "delta BFS/CC on asymmetric graphs equal full recompute" graph_arb
+    (fun (n, coo, tile, budget) ->
+      let m =
+        Smatrix.of_coo Dtype.Bool n n
+          (List.filter_map
+             (fun (r, c, _) -> if r = c then None else Some (r, c, true))
+             coo)
+      in
+      let t = Tmatrix.of_smatrix ~dir:(fresh_dir ()) ~tile ~budget m in
+      Fun.protect ~finally:(fun () -> Tmatrix.destroy t) @@ fun () ->
+      let prev_bfs =
+        Oocore.Delta.dense_of_svector ~n ~fill:0
+          (Algorithms.Bfs.native m ~src:0)
+      in
+      let prev_cc =
+        Oocore.Delta.dense_of_svector ~n ~fill:0
+          (Algorithms.Connected_components.native m)
+      in
+      (* a single directed edge, no reverse: label v's component must
+         not leak back into u *)
+      let a = (List.length coo * 5 + 2) mod n
+      and b = (List.length coo * 11 + 3) mod n in
+      let batch = if a = b then [] else [ (a, b, Some true) ] in
+      let bfs, _ = Oocore.Delta.bfs_after ~src:0 ~prev:prev_bfs ~batch t in
+      let cc, _ = Oocore.Delta.cc_after ~prev:prev_cc ~batch t in
+      bfs = Oocore.Delta.bfs_full t ~src:0 && cc = Oocore.Delta.cc_full t)
 
 let test_delta_deletion_falls_back () =
   let n = 10 in
@@ -384,11 +466,16 @@ let suite =
     Alcotest.test_case "fault: tile.io.exn contained" `Quick test_fault_io_exn;
     Alcotest.test_case "fault: tile.evict.slow tolerated" `Quick
       test_fault_evict_slow;
+    Alcotest.test_case "create-built tiles rebuild from edit journal" `Quick
+      test_create_rebuilds_from_journal;
     Alcotest.test_case "checkpoint resumes after crash" `Quick
       test_checkpoint_resume_after_crash;
+    Alcotest.test_case "foreign checkpoint fingerprint starts fresh" `Quick
+      test_checkpoint_fingerprint_mismatch;
     Alcotest.test_case "checkpointed pagerank bit-identical" `Quick
       test_checkpointed_pagerank;
     Helpers.to_alcotest qcheck_delta_bfs_cc;
+    Helpers.to_alcotest qcheck_delta_bfs_cc_directed;
     Alcotest.test_case "delta with deletions falls back to full" `Quick
       test_delta_deletion_falls_back;
     Alcotest.test_case "delta pagerank warm restart" `Quick

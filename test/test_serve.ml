@@ -323,6 +323,30 @@ let test_batching () =
   Alcotest.(check bool) "fused dispatch happened" true
     (List.assoc "batches" c >= 1)
 
+(* ---- update op: malformed coordinates are rejected, not truncated ---- *)
+
+let test_update_rejects_fractional_coords () =
+  with_fresh_jit @@ fun () ->
+  let st = mk_state () in
+  let sess = Server.Session.create () in
+  check_ok "load"
+    (handle st sess
+       "{\"op\": \"load\", \"name\": \"g\", \"graph\": \"path:n=8\"}");
+  (* int_of_float would have turned [1.7, 2.3] into edge (1, 2) *)
+  let r =
+    handle st sess
+      "{\"op\": \"update\", \"name\": \"g\", \"edges\": [[1.7, 2.3, 1.0]]}"
+  in
+  Alcotest.(check string) "fractional coordinates rejected" "error" (status r);
+  let r =
+    handle st sess
+      "{\"op\": \"update\", \"name\": \"g\", \"edges\": [[1, 2.5]]}"
+  in
+  Alcotest.(check string) "fractional delete rejected" "error" (status r);
+  check_ok "integral coordinates accepted"
+    (handle st sess
+       "{\"op\": \"update\", \"name\": \"g\", \"edges\": [[1, 3, 1.0]]}")
+
 (* ---- fault containment: serve.session.exn ---- *)
 
 let test_session_exn_containment () =
@@ -503,6 +527,8 @@ let suite =
       test_shared_cache_sessions;
     Alcotest.test_case "context isolation" `Quick test_context_isolation;
     Alcotest.test_case "request batching" `Quick test_batching;
+    Alcotest.test_case "update rejects non-integral coordinates" `Quick
+      test_update_rejects_fractional_coords;
     Alcotest.test_case "serve.session.exn containment" `Quick
       test_session_exn_containment;
     Alcotest.test_case "serve.batch.partial containment" `Quick
