@@ -17,7 +17,15 @@
      slack floor so micro-times don't flake: fresh <= max(base * (1 +
      tolerance), base + 1.0);
    - every other numeric leaf (sizes, counters, core counts) is
-     context, not a metric, and is ignored.
+     context, not a metric, and is ignored;
+   - a metric leaf (boolean, or a "speedup"/"ms" path) present in the
+     fresh artifact but absent from the baseline is a failure: a new
+     metric must ship with its reference, or the gate would silently
+     never cover it.  [--allow-missing] is the explicit escape hatch
+     for the run that introduces the metric;
+   - speedup gates are skipped — loudly, not silently passed — when
+     the fresh artifact records fewer than 2 cores: parallel-vs-serial
+     ratios on a single-core runner measure scheduling noise.
 
    [--update-baselines] rewrites the baselines from the fresh artifacts
    instead of checking (commit the result).  A missing baseline is an
@@ -200,12 +208,12 @@ let contains_sub hay needle =
 
 type verdict = Pass | Fail of string
 
-let check_leaf ~tolerance ~absolute path base fresh =
+let check_leaf ~tolerance ~absolute ~gate_speedups path base fresh =
   match (base, fresh) with
   | L_bool true, L_bool false ->
     Fail (Printf.sprintf "%s: regressed true -> false" path)
   | L_bool _, L_bool _ -> Pass
-  | L_num b, L_num f when contains_sub path "speedup" ->
+  | L_num b, L_num f when gate_speedups && contains_sub path "speedup" ->
     let floor_ = b *. (1.0 -. tolerance) in
     if f >= floor_ then Pass
     else
@@ -221,9 +229,39 @@ let check_leaf ~tolerance ~absolute path base fresh =
            path f b (100.0 *. tolerance))
   | _ -> Pass
 
-let check_artifact ~tolerance ~absolute ~baseline_path ~fresh_path =
+(* A leaf the gate would actually compare: correctness flags and the
+   speedup/ms metric paths.  Context numerics (sizes, counters, core
+   counts) are exempt from baseline-coverage checking. *)
+let is_metric path = function
+  | L_bool _ -> true
+  | L_num _ -> contains_sub path "speedup" || contains_sub path "ms"
+
+(* The "cores" leaf every artifact row records (satellite of the
+   workload harness): below 2 cores a parallel-vs-serial ratio is
+   scheduling noise, so speedup gates are skipped with a loud notice. *)
+let recorded_cores fresh =
+  List.fold_left
+    (fun acc (path, leaf) ->
+      match leaf with
+      | L_num c when path = "cores" || Filename.check_suffix path ".cores" ->
+        Some (match acc with Some a -> Float.min a c | None -> c)
+      | _ -> acc)
+    None fresh
+
+let check_artifact ~tolerance ~absolute ~allow_missing ~baseline_path
+    ~fresh_path =
   let base = flatten (parse_json (read_file baseline_path)) in
   let fresh = flatten (parse_json (read_file fresh_path)) in
+  let gate_speedups =
+    match recorded_cores fresh with
+    | Some c when c < 2.0 ->
+      Printf.printf
+        "NOTICE %s: runner records %.0f core(s); speedup gates skipped \
+         (correctness flags and absolute gates still active)\n"
+        fresh_path c;
+      false
+    | _ -> true
+  in
   let failures = ref [] in
   let checked = ref 0 in
   List.iter
@@ -235,10 +273,28 @@ let check_artifact ~tolerance ~absolute ~baseline_path ~fresh_path =
           :: !failures
       | Some f -> (
         incr checked;
-        match check_leaf ~tolerance ~absolute path b f with
+        match check_leaf ~tolerance ~absolute ~gate_speedups path b f with
         | Pass -> ()
         | Fail msg -> failures := msg :: !failures))
     base;
+  (* the reverse direction: a gated metric with no committed reference
+     would otherwise never be compared, silently, forever *)
+  List.iter
+    (fun (path, f) ->
+      if is_metric path f && not (List.mem_assoc path base) then
+        if allow_missing then
+          Printf.printf
+            "NOTICE %s: metric %s has no baseline leaf (allowed by \
+             --allow-missing; refresh the baseline to start gating it)\n"
+            fresh_path path
+        else
+          failures :=
+            Printf.sprintf
+              "%s: metric present in fresh run but missing from baseline \
+               (refresh with --update-baselines, or pass --allow-missing)"
+              path
+            :: !failures)
+    fresh;
   (!checked, List.rev !failures)
 
 let () =
@@ -257,6 +313,7 @@ let () =
     Option.value ~default:"bench/baselines" (opt "--baseline-dir" args)
   in
   let absolute = List.mem "--absolute" args in
+  let allow_missing = List.mem "--allow-missing" args in
   let update = List.mem "--update-baselines" args in
   let files =
     List.filter
@@ -268,7 +325,7 @@ let () =
   if files = [] then begin
     prerr_endline
       "usage: check_regress [--baseline-dir DIR] [--tolerance F] \
-       [--absolute] [--update-baselines] BENCH_x.json ...";
+       [--absolute] [--allow-missing] [--update-baselines] BENCH_x.json ...";
     exit 2
   end;
   let failed = ref false in
@@ -295,7 +352,8 @@ let () =
       end
       else begin
         match
-          check_artifact ~tolerance ~absolute ~baseline_path ~fresh_path
+          check_artifact ~tolerance ~absolute ~allow_missing ~baseline_path
+            ~fresh_path
         with
         | checked, [] ->
           Printf.printf "ok   %s: %d leaves within %.0f%% of %s\n" fresh_path

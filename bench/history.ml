@@ -1,0 +1,59 @@
+(* Fold timestamped bench/results artifacts into the cumulative
+   BENCH_history.json trajectory and optionally gate on trend decay.
+
+     dune exec bench/history.exe --
+       [--results-dir bench/results] [--history FILE]
+       [--check-decay] [--print]
+
+   Merge semantics: runs already present in the history (same workload
+   and timestamp) are kept as-is; fresh artifacts append.  CI restores
+   the previous BENCH_history.json from its cache, runs this after the
+   bench matrix, and fails the build when [--check-decay] finds a
+   workload whose headline speedup fell strictly on each of the last
+   three recorded runs — one slow run is noise, three in a row is a
+   trend someone introduced. *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec opt name = function
+    | a :: v :: _ when a = name -> Some v
+    | _ :: rest -> opt name rest
+    | [] -> None
+  in
+  let results_dir =
+    Option.value ~default:"bench/results" (opt "--results-dir" args)
+  in
+  let history_path =
+    Option.value ~default:Bench_workloads.History_core.history_file
+      (opt "--history" args)
+  in
+  let check_decay = List.mem "--check-decay" args in
+  let print = List.mem "--print" args in
+  let prior = Bench_workloads.History_core.load_history history_path in
+  let history, fresh =
+    Bench_workloads.History_core.fold_results ~results_dir prior
+  in
+  Bench_workloads.History_core.save history_path history;
+  Printf.printf "history: %d fresh run(s) folded into %s\n" fresh history_path;
+  if print then Bench_workloads.History_core.print_summary history;
+  if check_decay then begin
+    match Bench_workloads.History_core.decaying history with
+    | [] ->
+      Printf.printf
+        "decay check: no workload decayed monotonically over the last %d \
+         runs\n"
+        Bench_workloads.History_core.decay_window
+    | offenders ->
+      List.iter
+        (fun (wl, recent) ->
+          Printf.printf
+            "FAIL %s: speedup decayed monotonically over the last %d runs: %s\n"
+            wl
+            Bench_workloads.History_core.decay_window
+            (String.concat " -> "
+               (List.map
+                  (fun (ts, v) -> Printf.sprintf "%.3f (%s)" v ts)
+                  recent)))
+        offenders;
+      exit 1
+  end

@@ -29,6 +29,12 @@
               memory budget (bit-identity + eviction counts), plus the
               checkpointed and delta-restart variants,
               emits BENCH_oocore.json
+     workloads all eight tier-1 workloads (bfs, pagerank, sssp,
+              triangle, cc, labelprop, ktruss, betweenness), blocking
+              vs nonblocking, one timestamped artifact each under
+              bench/results/ plus a stable -latest alias; restrict to
+              one with --only NAME; tune via OGB_BENCH_REPS /
+              OGB_BENCH_N (see bench/workloads/ and bench/history.ml)
      micro    Bechamel micro-benchmarks of the kernel families *)
 
 open Gbtl
@@ -626,6 +632,7 @@ let exec_bench () =
   in
   out "{\n";
   out "  \"experiment\": \"exec\",\n";
+  out "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"domains\": %d,\n" (Exec.Scheduler.domain_count ());
   out "  \"algorithms\": [\n";
   out "%s"
@@ -792,6 +799,7 @@ let formats_bench sizes =
   in
   out "{\n";
   out "  \"experiment\": \"formats\",\n";
+  out "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"algorithms\": [\n";
   out "%s"
     (String.concat ",\n"
@@ -1028,6 +1036,7 @@ let warmup_bench () =
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"experiment\": \"warmup\",\n";
+  out "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"n\": %d,\n" n;
   out "  \"rows\": [\n%s\n  ],\n"
     (String.concat ",\n"
@@ -1145,6 +1154,7 @@ let faults_bench () =
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"experiment\": \"faults\",\n";
+  out "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"n\": %d,\n" n;
   out
     "  \"warm\": { \"disarmed_ms\": %.3f, \"armed_inert_ms\": %.3f, \
@@ -1354,6 +1364,7 @@ let serve_bench () =
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"experiment\": \"serve\",\n";
+  out "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"n\": %d,\n" n;
   out "  \"cold\": { \"pagerank_ms\": %.3f, \"compiles\": %d },\n" cold_ms
     cold_compiles;
@@ -1373,6 +1384,27 @@ let serve_bench () =
   out "}\n";
   close_out oc;
   print_endline "wrote BENCH_serve.json";
+  print_newline ()
+
+(* ---------------------------------------------------------------- *)
+(* Per-workload experiments (bench/workloads): all eight tier-1       *)
+(* workloads, blocking vs nonblocking, timestamped JSON artifacts     *)
+(* ---------------------------------------------------------------- *)
+
+let workloads_bench ~only () =
+  (match only with
+  | None ->
+    Printf.printf "== Workload experiments: %s ==\n"
+      (String.concat ", " Bench_workloads.Registry.names)
+  | Some name -> Printf.printf "== Workload experiment: %s ==\n" name);
+  Printf.printf "   (reps OGB_BENCH_REPS=%d, size override OGB_BENCH_N%s)\n"
+    (Bench_workloads.Bench_core.reps ())
+    (match Sys.getenv_opt "OGB_BENCH_N" with
+    | Some v -> "=" ^ v
+    | None -> " unset");
+  (match only with
+  | None -> Bench_workloads.Registry.run_all ()
+  | Some name -> Bench_workloads.Registry.run_one name);
   print_newline ()
 
 (* ---------------------------------------------------------------- *)
@@ -1635,6 +1667,7 @@ let cost_bench max_n =
   in
   out "{\n";
   out "  \"experiment\": \"cost\",\n";
+  out "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"n\": %d,\n" n;
   out "  \"domains\": %d,\n" (Exec.Scheduler.domain_count ());
   out "  \"calibration\": {\n";
@@ -1772,6 +1805,7 @@ let oocore_bench () =
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"experiment\": \"oocore\",\n";
+  out "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"n\": %d,\n" n;
   out "  \"tile\": \"%dx%d\",\n" (fst tile) (snd tile);
   out "  \"budget_bytes\": %d,\n" budget;
@@ -1824,7 +1858,7 @@ let () =
            List.mem a
              [ "fig10"; "fig11"; "compile"; "table1"; "ablation"; "exec";
                "formats"; "parallel"; "warmup"; "faults"; "serve"; "cost";
-               "oocore"; "micro" ])
+               "oocore"; "workloads"; "micro" ])
          args)
   in
   Printf.printf "ogb benchmark harness (JIT: %s)\n\n"
@@ -1850,4 +1884,14 @@ let () =
   if all || has "serve" then serve_bench ();
   if all || has "cost" then cost_bench max_n;
   if all || has "oocore" then oocore_bench ();
+  if all || has "workloads" then
+    workloads_bench
+      ~only:
+        (let rec find = function
+           | "--only" :: v :: _ -> Some v
+           | _ :: rest -> find rest
+           | [] -> None
+         in
+         find args)
+      ();
   if all || has "micro" then micro ()

@@ -1,0 +1,172 @@
+(* Shared core for the per-workload benchmark experiments: each module
+   in bench/workloads times one tier-1 workload (blocking evaluator vs
+   nonblocking engine), verifies the two results agree, and emits a
+   JSON artifact under bench/results/ — once under a timestamped name
+   (the raw material for BENCH_history.json) and once as the stable
+   <name>-latest.json alias the check_regress gate compares against its
+   committed baseline.
+
+   Reps and problem size are environment-tunable so the same binaries
+   serve CI smoke runs and real measurement sessions:
+
+     OGB_BENCH_REPS   best-of repetitions per timing (default 3)
+     OGB_BENCH_N      vertex count override (default per workload)
+
+   Every artifact records the runner's core count: speedup gates are
+   meaningless on a single-core box, and check_regress uses the
+   recorded value to skip them loudly instead of passing silently. *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> (
+    match int_of_string_opt (String.trim v) with
+    | Some k -> k
+    | None -> default)
+  | None -> default
+
+let reps () = max 1 (env_int "OGB_BENCH_REPS" 3)
+let size ~default = max 16 (env_int "OGB_BENCH_N" default)
+let cores () = Domain.recommended_domain_count ()
+
+(* ---- timing (the harness-wide best-of-reps methodology) ---- *)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let best_of f =
+  ignore (f ());
+  Gc.full_major ();
+  let best = ref infinity in
+  for _ = 1 to reps () do
+    let _, dt = time_once f in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let ms dt = 1000.0 *. dt
+
+(* ---- minimal JSON writer ---- *)
+
+type json =
+  | Bool of bool
+  | Int of int
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let rec render buf = function
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Num f ->
+    (* finite fixed-point keeps artifacts diff-friendly; metrics are
+       milliseconds and ratios, where 3 decimals is plenty *)
+    Buffer.add_string buf (Printf.sprintf "%.3f" f)
+  | Str s ->
+    Buffer.add_char buf '"';
+    String.iter
+      (function
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+  | Arr xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string buf ", ";
+        render buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (Printf.sprintf "  %S: " k);
+        render buf v)
+      kvs;
+    Buffer.add_string buf "\n}"
+
+let to_string json =
+  let buf = Buffer.create 256 in
+  render buf json;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ---- result files ---- *)
+
+let results_dir = "bench/results"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let timestamp () =
+  let tm = Unix.localtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d%02d%02d-%02d%02d%02d" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data)
+
+(* Write the artifact twice: timestamped (appended to history) and as
+   the stable -latest alias (gated against the committed baseline). *)
+let write_results ~experiment json =
+  mkdir_p results_dir;
+  let data = to_string json in
+  let stamped =
+    Filename.concat results_dir
+      (Printf.sprintf "%s-%s.json" experiment (timestamp ()))
+  in
+  let latest =
+    Filename.concat results_dir (Printf.sprintf "%s-latest.json" experiment)
+  in
+  write_file stamped data;
+  write_file latest data;
+  Printf.printf "wrote %s (+ %s)\n%!" stamped latest
+
+(* ---- the standard workload row ---- *)
+
+(* Blocking-vs-nonblocking is the headline comparison every workload
+   shares; [extra] carries workload-specific metrics (iteration counts,
+   community counts, ...). *)
+let emit ~workload ~n ?(extra = []) ~blocking_ms ~nonblocking_ms ~agree () =
+  let speedup = if nonblocking_ms > 0.0 then blocking_ms /. nonblocking_ms else 1.0 in
+  write_results ~experiment:workload
+    (Obj
+       ([ ("experiment", Str workload);
+          ("timestamp", Str (timestamp ()));
+          ("n", Int n);
+          ("reps", Int (reps ()));
+          ("cores", Int (cores ()));
+          ("blocking_ms", Num blocking_ms);
+          ("nonblocking_ms", Num nonblocking_ms);
+          ("speedup", Num speedup);
+          ("agree", Bool agree) ]
+       @ extra));
+  Printf.printf
+    "  %-12s n=%-6d blocking %8.3f ms  nonblocking %8.3f ms  speedup %5.2fx  agree %b\n%!"
+    workload n blocking_ms nonblocking_ms speedup agree
+
+(* Paper-scale ER graph (|E| = |V|^1.5) fixtures shared by the
+   workload modules. *)
+let er_graph ~seed n =
+  Graphs.Generators.erdos_renyi_paper (Graphs.Rng.create ~seed) ~nvertices:n
+
+let sym_graph ~seed n =
+  let rng = Graphs.Rng.create ~seed in
+  let g =
+    Graphs.Generators.erdos_renyi_gnm rng ~nvertices:n ~nedges:(4 * n)
+  in
+  Graphs.Convert.bool_adjacency (Graphs.Edge_list.symmetrize g)

@@ -1,0 +1,25 @@
+(* The eight tier-1 workload experiments, in registry order.  The CI
+   bench matrix fans one job out per name; [run_all] is the local
+   `bench workloads` entry point. *)
+
+let all : (string * (unit -> unit)) list =
+  [ (Wl_bfs.name, Wl_bfs.run);
+    (Wl_pagerank.name, Wl_pagerank.run);
+    (Wl_sssp.name, Wl_sssp.run);
+    (Wl_triangle.name, Wl_triangle.run);
+    (Wl_cc.name, Wl_cc.run);
+    (Wl_labelprop.name, Wl_labelprop.run);
+    (Wl_ktruss.name, Wl_ktruss.run);
+    (Wl_bc.name, Wl_bc.run) ]
+
+let names = List.map fst all
+
+let run_one name =
+  match List.assoc_opt name all with
+  | Some run -> run ()
+  | None ->
+    Printf.eprintf "unknown workload %S (expected one of: %s)\n" name
+      (String.concat ", " names);
+    exit 2
+
+let run_all () = List.iter (fun (_, run) -> run ()) all

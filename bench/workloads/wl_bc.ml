@@ -1,0 +1,15 @@
+(* Workload: single-source betweenness centrality (forward BFS
+   wavefronts plus backward dependency accumulation). *)
+
+let name = "betweenness"
+
+let run () =
+  let n = Bench_core.size ~default:256 in
+  let adj = Graphs.Convert.bool_adjacency (Bench_core.er_graph ~seed:2025 n) in
+  let cont = Ogb.Container.of_smatrix adj in
+  let blocking () = Algorithms.Bc.dsl cont ~src:0 in
+  let nonblocking () = Algorithms.Bc.nonblocking cont ~src:0 in
+  let agree = Ogb.Container.equal (blocking ()) (nonblocking ()) in
+  let blocking_ms = Bench_core.(ms (best_of blocking)) in
+  let nonblocking_ms = Bench_core.(ms (best_of nonblocking)) in
+  Bench_core.emit ~workload:name ~n ~blocking_ms ~nonblocking_ms ~agree ()

@@ -1,0 +1,16 @@
+(* Workload: BFS levels (Boolean Or/And semiring frontier expansion). *)
+
+let name = "bfs"
+
+let run () =
+  let n = Bench_core.size ~default:512 in
+  let adj = Graphs.Convert.bool_adjacency (Bench_core.er_graph ~seed:2018 n) in
+  let cont = Ogb.Container.of_smatrix adj in
+  let blocking () = Algorithms.Bfs.dsl cont ~src:0 in
+  let nonblocking () =
+    Exec.with_mode Exec.Nonblocking (fun () -> Algorithms.Bfs.dsl cont ~src:0)
+  in
+  let agree = Ogb.Container.equal (blocking ()) (nonblocking ()) in
+  let blocking_ms = Bench_core.(ms (best_of blocking)) in
+  let nonblocking_ms = Bench_core.(ms (best_of nonblocking)) in
+  Bench_core.emit ~workload:name ~n ~blocking_ms ~nonblocking_ms ~agree ()

@@ -1,0 +1,17 @@
+(* Workload: connected components (MinSelect2nd label pulls). *)
+
+let name = "cc"
+
+let run () =
+  let n = Bench_core.size ~default:512 in
+  let adj = Bench_core.sym_graph ~seed:2022 n in
+  let cont = Ogb.Container.of_smatrix adj in
+  let blocking () = Algorithms.Connected_components.dsl cont in
+  let nonblocking () =
+    Exec.with_mode Exec.Nonblocking (fun () ->
+        Algorithms.Connected_components.dsl cont)
+  in
+  let agree = Ogb.Container.equal (blocking ()) (nonblocking ()) in
+  let blocking_ms = Bench_core.(ms (best_of blocking)) in
+  let nonblocking_ms = Bench_core.(ms (best_of nonblocking)) in
+  Bench_core.emit ~workload:name ~n ~blocking_ms ~nonblocking_ms ~agree ()

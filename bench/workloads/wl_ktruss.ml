@@ -1,0 +1,19 @@
+(* Workload: 3-truss (iterated triangle-support filtering). *)
+
+let name = "ktruss"
+
+let run () =
+  let n = Bench_core.size ~default:256 in
+  let adj = Bench_core.sym_graph ~seed:2024 n in
+  let cont = Ogb.Container.of_smatrix adj in
+  let blocking () = Algorithms.Ktruss.dsl ~k:3 cont in
+  let nonblocking () = Algorithms.Ktruss.nonblocking ~k:3 cont in
+  let eb = blocking () in
+  let agree = Ogb.Container.equal eb (nonblocking ()) in
+  let blocking_ms = Bench_core.(ms (best_of (fun () -> ignore (blocking ())))) in
+  let nonblocking_ms =
+    Bench_core.(ms (best_of (fun () -> ignore (nonblocking ()))))
+  in
+  Bench_core.emit ~workload:name ~n
+    ~extra:[ ("truss_edges", Bench_core.Int (Ogb.Container.nvals eb / 2)) ]
+    ~blocking_ms ~nonblocking_ms ~agree ()

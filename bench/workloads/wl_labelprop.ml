@@ -1,0 +1,20 @@
+(* Workload: label propagation (argmax-of-neighbour-labels encoding). *)
+
+let name = "labelprop"
+
+let run () =
+  let n = Bench_core.size ~default:256 in
+  let adj = Bench_core.sym_graph ~seed:2023 n in
+  let cont = Ogb.Container.of_smatrix adj in
+  let blocking () = Algorithms.Labelprop.dsl cont in
+  let nonblocking () = Algorithms.Labelprop.nonblocking cont in
+  let lb, rb = blocking () in
+  let ln, rn = nonblocking () in
+  let agree = Ogb.Container.equal lb ln && rb = rn in
+  let blocking_ms = Bench_core.(ms (best_of (fun () -> ignore (blocking ())))) in
+  let nonblocking_ms =
+    Bench_core.(ms (best_of (fun () -> ignore (nonblocking ()))))
+  in
+  Bench_core.emit ~workload:name ~n
+    ~extra:[ ("rounds", Bench_core.Int rb) ]
+    ~blocking_ms ~nonblocking_ms ~agree ()

@@ -1,0 +1,22 @@
+(* Workload: PageRank (Plus/Times iteration with convergence check). *)
+
+let name = "pagerank"
+
+let run () =
+  let n = Bench_core.size ~default:512 in
+  let adj =
+    Graphs.Convert.matrix_of_edges Gbtl.Dtype.FP64 (Bench_core.er_graph ~seed:2019 n)
+  in
+  let cont = Ogb.Container.of_smatrix adj in
+  let blocking () = Algorithms.Pagerank.dsl cont in
+  let nonblocking () = Algorithms.Pagerank.nonblocking cont in
+  let rb, ib = blocking () in
+  let rn, in_ = nonblocking () in
+  let agree = Ogb.Container.equal rb rn && ib = in_ in
+  let blocking_ms = Bench_core.(ms (best_of (fun () -> ignore (blocking ())))) in
+  let nonblocking_ms =
+    Bench_core.(ms (best_of (fun () -> ignore (nonblocking ()))))
+  in
+  Bench_core.emit ~workload:name ~n
+    ~extra:[ ("iterations", Bench_core.Int ib) ]
+    ~blocking_ms ~nonblocking_ms ~agree ()

@@ -1,0 +1,21 @@
+(* Workload: single-source shortest paths (MinPlus semiring). *)
+
+let name = "sssp"
+
+let run () =
+  let n = Bench_core.size ~default:512 in
+  let rng = Graphs.Rng.create ~seed:2020 in
+  let g =
+    Graphs.Generators.erdos_renyi_gnm rng ~nvertices:n ~nedges:(6 * n)
+      ~weight:(fun r -> 1.0 +. float_of_int (Graphs.Rng.int r 9))
+  in
+  let adj = Graphs.Convert.matrix_of_edges Gbtl.Dtype.FP64 g in
+  let cont = Ogb.Container.of_smatrix adj in
+  let blocking () = Algorithms.Sssp.dsl cont ~src:0 in
+  let nonblocking () =
+    Exec.with_mode Exec.Nonblocking (fun () -> Algorithms.Sssp.dsl cont ~src:0)
+  in
+  let agree = Ogb.Container.equal (blocking ()) (nonblocking ()) in
+  let blocking_ms = Bench_core.(ms (best_of blocking)) in
+  let nonblocking_ms = Bench_core.(ms (best_of nonblocking)) in
+  Bench_core.emit ~workload:name ~n ~blocking_ms ~nonblocking_ms ~agree ()

@@ -1,0 +1,20 @@
+(* Workload: triangle counting (masked mxm over the lower triangle). *)
+
+let name = "triangle"
+
+let run () =
+  let n = Bench_core.size ~default:512 in
+  let adj = Bench_core.sym_graph ~seed:2021 n in
+  let lower = Algorithms.Triangle.of_undirected adj in
+  let cont = Ogb.Container.of_smatrix lower in
+  let blocking () = Algorithms.Triangle.dsl cont in
+  let nonblocking () = Algorithms.Triangle.nonblocking cont in
+  let tb = blocking () and tn = nonblocking () in
+  let agree = tb = tn in
+  let blocking_ms = Bench_core.(ms (best_of (fun () -> ignore (blocking ())))) in
+  let nonblocking_ms =
+    Bench_core.(ms (best_of (fun () -> ignore (nonblocking ()))))
+  in
+  Bench_core.emit ~workload:name ~n
+    ~extra:[ ("triangles", Bench_core.Num tb) ]
+    ~blocking_ms ~nonblocking_ms ~agree ()

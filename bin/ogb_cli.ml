@@ -178,6 +178,73 @@ let run_algorithm algo tier spec src symmetrize top =
              (Ogb.Container.as_vector Dtype.Int64 labels))
           (1000.0 *. dt);
         true
+      | "labelprop", "native" ->
+        let labels, dt = time (fun () -> Algorithms.Labelprop.native bool_m) in
+        Printf.printf "communities: %d (%.3f ms)\n"
+          (Algorithms.Labelprop.community_count labels)
+          (1000.0 *. dt);
+        true
+      | "labelprop", ("dsl" | "nonblocking") ->
+        let runner =
+          if tier = "dsl" then Algorithms.Labelprop.dsl
+          else Algorithms.Labelprop.nonblocking
+        in
+        let (labels, rounds), dt = time (fun () -> runner bool_cont) in
+        Printf.printf "%d communities after %d sweeps (%.3f ms)\n"
+          (List.length
+             (List.sort_uniq compare
+                (List.map snd (Ogb.Container.vector_entries labels))))
+          rounds (1000.0 *. dt);
+        true
+      | "labelprop", "vm" ->
+        let labels, dt =
+          time (fun () -> Algorithms.Labelprop.vm_loops bool_cont)
+        in
+        Printf.printf "communities: %d (%.3f ms)\n"
+          (List.length
+             (List.sort_uniq compare
+                (List.map snd (Ogb.Container.vector_entries labels))))
+          (1000.0 *. dt);
+        true
+      | "ktruss", ("dsl" | "nonblocking") ->
+        let runner =
+          if tier = "dsl" then Algorithms.Ktruss.dsl
+          else Algorithms.Ktruss.nonblocking
+        in
+        let truss, dt = time (fun () -> runner ~k:4 bool_cont) in
+        Printf.printf "4-truss has %d edges (%.3f ms)\n"
+          (Ogb.Container.nvals truss / 2)
+          (1000.0 *. dt);
+        true
+      | "ktruss", "vm" ->
+        let truss, dt =
+          time (fun () -> Algorithms.Ktruss.vm_loops ~k:4 bool_cont)
+        in
+        Printf.printf "4-truss has %d edges (%.3f ms)\n"
+          (Ogb.Container.nvals truss / 2)
+          (1000.0 *. dt);
+        true
+      | "bc", ("dsl" | "nonblocking") ->
+        let runner =
+          if tier = "dsl" then Algorithms.Bc.dsl else Algorithms.Bc.nonblocking
+        in
+        let c, dt = time (fun () -> runner bool_cont ~src) in
+        Printf.printf
+          "single-source betweenness from %d in %.3f ms; top vertices:\n" src
+          (1000.0 *. dt);
+        show_vector
+          (List.sort (fun (_, a) (_, b) -> compare b a)
+             (Ogb.Container.vector_entries c));
+        true
+      | "bc", "vm" ->
+        let c, dt = time (fun () -> Algorithms.Bc.vm_loops bool_cont ~src) in
+        Printf.printf
+          "single-source betweenness from %d in %.3f ms; top vertices:\n" src
+          (1000.0 *. dt);
+        show_vector
+          (List.sort (fun (_, a) (_, b) -> compare b a)
+             (Ogb.Container.vector_entries c));
+        true
       | _, _ ->
         Printf.eprintf "unsupported algorithm/tier combination %s/%s\n" algo
           tier;
@@ -201,7 +268,8 @@ let run_cmd =
       & pos 0 (some (enum [ ("bfs", "bfs"); ("sssp", "sssp");
                             ("pagerank", "pagerank"); ("tc", "tc");
                             ("cc", "cc"); ("mis", "mis"); ("bc", "bc");
-                            ("ktruss", "ktruss") ])) None
+                            ("ktruss", "ktruss");
+                            ("labelprop", "labelprop") ])) None
       & info [] ~docv:"ALGORITHM")
   in
   let tier =
@@ -894,6 +962,14 @@ let analyze algo n warm effects schedule =
       Printf.printf "warm requests: %d, warm compiles: %d\n"
         st.Jit.Jit_stats.warm_requests st.Jit.Jit_stats.warm_compiles
     end;
+    (* perf trajectory: the cumulative per-workload series the bench
+       harness folds into BENCH_history.json (bench/history.exe) *)
+    if Sys.file_exists Bench_workloads.History_core.history_file then begin
+      print_newline ();
+      Bench_workloads.History_core.print_summary
+        (Bench_workloads.History_core.load_history
+           Bench_workloads.History_core.history_file)
+    end;
     if !failed then 1 else 0
 
 let analyze_cmd =
@@ -904,7 +980,7 @@ let analyze_cmd =
       & info [] ~docv:"ALGORITHM"
           ~doc:
             "Restrict to one tier-1 encoding (bfs, pagerank, sssp, triangle, \
-             cc); default analyzes all of them.")
+             cc, labelprop, ktruss, bc); default analyzes all of them.")
   in
   let n =
     Arg.(

@@ -11,3 +11,31 @@ open Gbtl
 val native : ?sources:int list -> bool Smatrix.t -> float Svector.t
 (** Dense centrality vector.  [sources] selects a batch (default: every
     vertex, i.e. exact BC). *)
+
+(** {2 Single-source tiers (the eighth tier-1 workload)}
+
+    One source's dependency contribution: the partial centrality
+    [delta_s(v) = sum_t sigma_st(v) / sigma_st].  The forward sweep
+    starts from the unit vector [e_src] and expands through the masked
+    [vxm] uniformly, so a self-loop at the source is dropped (it is
+    never on a shortest path); on loop-free graphs this matches the
+    batched {!native} restricted to one source exactly. *)
+
+val single_source : bool Smatrix.t -> src:int -> float Svector.t
+(** Tier 3 reference over the specialized kernels. *)
+
+val dsl : Ogb.Container.t -> src:int -> Ogb.Container.t
+(** The deferred-expression program (blocking evaluator): forward
+    masked [vxm] wavefronts accumulating path counts, backward [mxv] /
+    eWiseMult dependency flow over Plus/Times. *)
+
+val nonblocking : Ogb.Container.t -> src:int -> Ogb.Container.t
+(** {!dsl} under the nonblocking engine. *)
+
+val vm_program : Minivm.Ast.block
+(** The MiniVM script: the forward sweep stamps a levels vector (the
+    BFS idiom) and the backward sweep recovers wave [i] as
+    [select("eq", i, levels)]. *)
+
+val vm_loops : Ogb.Container.t -> src:int -> Ogb.Container.t
+(** Run {!vm_program} through the VM bridge. *)

@@ -52,3 +52,63 @@ let dsl ~k graph =
         end
       done);
   !e
+
+(* The same computation under the nonblocking engine: the masked mxm,
+   the select and the re-oneing apply all lower to plan nodes. *)
+let nonblocking ~k graph = Exec.with_mode Exec.Nonblocking (fun () -> dsl ~k graph)
+
+(* Tier 1: the filtering loop as a MiniVM script.  The edge matrix is
+   pruned in place, so the masked support recomputation runs under
+   Replace (stale support entries outside the shrinking mask must not
+   survive); pruning an already-fixed edge set is a no-op, so a round
+   budget [rounds >= the fixpoint depth] is bit-identical to the
+   fixpoint loops above. *)
+let vm_program : Minivm.Ast.block =
+  let open Minivm.Ast in
+  let str s = Const (Minivm.Value.Str s) in
+  [ Def
+      ( "ktruss",
+        [ "e"; "support"; "thresh"; "rounds" ],
+        [ With
+            ( [ Call (Var "Semiring", [ str "Arithmetic" ]) ],
+              [ For
+                  ( "i",
+                    Var "rounds",
+                    [ With
+                        ( [ Var "Replace" ],
+                          [ SetIndex
+                              ( Var "support",
+                                Var "e",
+                                Binary ("@", Var "e", Attr (Var "e", "T")) )
+                          ] );
+                      With
+                        ( [ Call (Var "UnaryOp", [ str "Second"; Const (Minivm.Value.Float 1.0) ]) ],
+                          [ SetIndex
+                              ( Var "e",
+                                Const Minivm.Value.Nil,
+                                Call
+                                  ( Var "apply",
+                                    [ Call
+                                        ( Var "select",
+                                          [ str "ge"; Var "thresh"; Var "support" ] )
+                                    ] ) ) ] ) ] ) ] );
+          Return (Var "e") ] ) ]
+
+let default_rounds = 32
+
+let vm_loops ?(rounds = default_rounds) ~k graph =
+  if k < 3 then invalid_arg "Ktruss.vm_loops: k must be >= 3";
+  let nrows, ncols = Ogb.Container.shape graph in
+  let e = Ogb.Container.cast (Dtype.P Dtype.Int64) graph in
+  let support =
+    Ogb.Container.matrix_empty ~dtype:(Dtype.P Dtype.Int64) nrows ncols
+  in
+  match
+    Vm_runtime.call_program vm_program "ktruss"
+      [ Ogb.Vm_bridge.wrap_container e;
+        Ogb.Vm_bridge.wrap_container support;
+        Minivm.Value.Float (float_of_int (k - 2));
+        Minivm.Value.Int rounds ]
+  with
+  | Minivm.Value.Foreign (Ogb.Vm_bridge.Cont c) -> c
+  | _ -> e

@@ -16,3 +16,19 @@ val dsl : k:int -> Ogb.Container.t -> Ogb.Container.t
 (** The same computation written in the DSL:
     [support[E] = E @ E.T; E = select (>= k-2) support] iterated to a
     fixpoint. *)
+
+val nonblocking : k:int -> Ogb.Container.t -> Ogb.Container.t
+(** {!dsl} under the nonblocking engine (the seventh tier-1
+    workload). *)
+
+val vm_program : Minivm.Ast.block
+(** The filtering loop as a MiniVM script: [rounds] bounded iterations
+    of the Replace-masked support mxm and the select/re-one apply;
+    pruning a fixed edge set is a no-op, so any budget at or beyond the
+    fixpoint depth is bit-identical to the fixpoint loops. *)
+
+val default_rounds : int
+
+val vm_loops : ?rounds:int -> k:int -> Ogb.Container.t -> Ogb.Container.t
+(** Run {!vm_program} through the VM bridge on an Int64 copy of the
+    adjacency. *)

@@ -71,7 +71,50 @@ let cc =
             (C.vector_coo ~dtype:(Dtype.P Dtype.Int64) ~size:n
                (List.init n (fun v -> (v, float_of_int v)))) ]) }
 
-let all = [ bfs; pagerank; sssp; triangle; cc ]
+let labelprop =
+  { name = "labelprop";
+    program = Algorithms.Labelprop.vm_program;
+    entrypoint = "labelprop";
+    args =
+      (fun n ->
+        let i64 = Dtype.P Dtype.Int64 in
+        [ VCont (C.matrix_empty ~dtype:i64 n n);
+          VCont (Algorithms.Labelprop.tie_break_diagonal n);
+          VCont (Algorithms.Labelprop.seed_labels n);
+          VNum (Some (float_of_int Algorithms.Labelprop.default_rounds)) ]) }
+
+let ktruss =
+  { name = "ktruss";
+    program = Algorithms.Ktruss.vm_program;
+    entrypoint = "ktruss";
+    args =
+      (fun n ->
+        let i64 = Dtype.P Dtype.Int64 in
+        [ VCont (C.matrix_empty ~dtype:i64 n n);
+          VCont (C.matrix_empty ~dtype:i64 n n);
+          VNum (Some 1.0);
+          VNum (Some (float_of_int Algorithms.Ktruss.default_rounds)) ]) }
+
+let bc =
+  { name = "bc";
+    program = Algorithms.Bc.vm_program;
+    entrypoint = "bc";
+    args =
+      (fun n ->
+        let f64 = Dtype.P Dtype.FP64 in
+        let i64 = Dtype.P Dtype.Int64 in
+        [ VCont (C.matrix_empty ~dtype:f64 n n);
+          VCont (C.vector_coo ~dtype:f64 ~size:n [ (0, 1.0) ]);
+          VCont (C.vector_coo ~dtype:f64 ~size:n [ (0, 1.0) ]);
+          VCont (C.vector_empty ~dtype:i64 n);
+          VCont (C.vector_dense ~dtype:f64 (List.init n (fun _ -> 1.0)));
+          VCont (C.vector_empty ~dtype:f64 n);
+          VCont (C.vector_empty ~dtype:f64 n);
+          VCont (C.vector_empty ~dtype:f64 n);
+          VCont (C.vector_empty ~dtype:i64 n);
+          VCont (C.vector_empty ~dtype:i64 n) ]) }
+
+let all = [ bfs; pagerank; sssp; triangle; cc; labelprop; ktruss; bc ]
 
 let find name = List.find_opt (fun e -> e.name = name) all
 

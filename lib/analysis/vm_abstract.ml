@@ -441,6 +441,25 @@ let builtin_call st name args =
     | Some e -> VExpr (Ogb.Ops.reduce_rows e)
     | None -> VUnknown)
   | "normalize_rows", _ -> VNil
+  | "select", [ VStr (Some pred); VNum k; v ] -> (
+    (* the predicate threshold does not reach any kernel signature (the
+       select itself is a library pass), so an unknown constant is
+       folded to 0 *)
+    match as_expr v with
+    | Some e ->
+      let k = Option.value k ~default:0.0 in
+      let p =
+        match pred with
+        | "gt" -> Gbtl.Select.Value_gt k
+        | "eq" -> Gbtl.Select.Value_eq k
+        | _ -> Gbtl.Select.Value_ge k
+      in
+      VExpr (Ogb.Ops.select p e)
+    | None -> VUnknown)
+  | "select", _ -> VUnknown
+  | ("label_onehot" | "label_decode"), _ ->
+    (* host-side scatter/decode: library writes, no kernels *)
+    VNil
   | "abs", args -> VNum (Option.map Float.abs (num_arg args))
   | "float", [ VNum x ] -> VNum x
   | "int", [ VNum x ] ->

@@ -148,6 +148,32 @@ let context_exit = function
   | Value.Foreign (Op_entry _) -> Context.pop ()
   | _ -> ()
 
+(* Host-side glue shared by the label-propagation DSL tier and the VM
+   builtins of the same names: the one-hot scatter and the
+   argmax-encoding decode are library writes (no kernels), and both
+   tiers must perform them identically for bit-identity. *)
+
+let select_predicate name threshold =
+  match name with
+  | "gt" -> Gbtl.Select.Value_gt threshold
+  | "ge" -> Gbtl.Select.Value_ge threshold
+  | "eq" -> Gbtl.Select.Value_eq threshold
+  | s -> terr "select: unknown predicate %S (gt, ge, eq)" s
+
+let label_onehot_into labels onehot =
+  Container.clear onehot;
+  List.iter
+    (fun (v, l) -> Container.set_matrix_element onehot v (int_of_float l) 1.0)
+    (Container.vector_entries labels)
+
+let label_decode_into best labels =
+  let n = Container.size labels in
+  List.iter
+    (fun (v, b) ->
+      let l = n - (int_of_float b mod (n + 1)) in
+      Container.set_vector_element labels v (float_of_int l))
+    (Container.vector_entries best)
+
 let hooks =
   { Interp.foreign_binary;
     foreign_unary;
@@ -234,7 +260,24 @@ let install env =
     | [ Value.Foreign (Cont (Container.Mat (Gbtl.Dtype.FP64, m))) ] ->
       Gbtl.Utilities.normalize_rows m;
       Value.Nil
-    | _ -> terr "normalize_rows: expected a double matrix")
+    | _ -> terr "normalize_rows: expected a double matrix");
+  def "select" (function
+    | [ Value.Str pred; k; e ] -> (
+      match as_number k, as_expr e with
+      | Some threshold, Some e ->
+        Value.Foreign (Ex (Ops.select (select_predicate pred threshold) e))
+      | _, _ -> terr "select: expected (predicate, threshold, expression)")
+    | _ -> terr "select: bad arguments");
+  def "label_onehot" (function
+    | [ Value.Foreign (Cont labels); Value.Foreign (Cont onehot) ] ->
+      label_onehot_into labels onehot;
+      Value.Nil
+    | _ -> terr "label_onehot: expected (labels vector, one-hot matrix)");
+  def "label_decode" (function
+    | [ Value.Foreign (Cont best); Value.Foreign (Cont labels) ] ->
+      label_decode_into best labels;
+      Value.Nil
+    | _ -> terr "label_decode: expected (encoded vector, labels vector)")
 
 (* Static registry of the bridge surface for the analyzer's scope/arity
    checker (lib/analysis).  Kept in sync with [install] and the hooks
@@ -251,4 +294,5 @@ let builtin_arities =
   [ ("Vector", [ 1; 2 ]); ("Matrix", [ 2; 3 ]); ("Semiring", [ 1; 3 ]);
     ("Monoid", [ 2 ]); ("BinaryOp", [ 1 ]); ("UnaryOp", [ 1; 2 ]);
     ("Accumulator", [ 1 ]); ("reduce", [ 1 ]); ("apply", [ 1 ]);
-    ("reduce_rows", [ 1 ]); ("normalize_rows", [ 1 ]) ]
+    ("reduce_rows", [ 1 ]); ("normalize_rows", [ 1 ]); ("select", [ 3 ]);
+    ("label_onehot", [ 2 ]); ("label_decode", [ 2 ]) ]

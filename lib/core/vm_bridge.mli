@@ -21,11 +21,26 @@ val install : Minivm.Env.t -> unit
     environment with the [gb]-style builtins: [Vector], [Matrix],
     [Semiring], [Monoid], [BinaryOp], [UnaryOp], [Accumulator],
     [Replace], [NoMask], [AllIndices], [reduce], [apply],
-    [reduce_rows]. *)
+    [reduce_rows], [select], [label_onehot], [label_decode]. *)
 
 val wrap_container : Container.t -> Minivm.Value.t
 val unwrap_container : Minivm.Value.t -> Container.t
 (** @raise Minivm.Value.Type_error *)
+
+(** {2 Host-side glue}
+
+    Shared by the label-propagation DSL tier and the VM builtins of the
+    same names — both tiers must scatter and decode identically for
+    bit-identity. *)
+
+val label_onehot_into : Container.t -> Container.t -> unit
+(** [label_onehot_into labels onehot] clears [onehot] and sets
+    [onehot[v, labels v] = 1] for every entry of [labels]. *)
+
+val label_decode_into : Container.t -> Container.t -> unit
+(** [label_decode_into best labels] decodes the argmax encoding
+    [count * (n+1) + (n - label)]: for every entry [(v, b)] of [best],
+    sets [labels v := n - (b mod (n+1))]. *)
 
 (** {2 Registry for static analysis}
 

@@ -92,6 +92,11 @@ let grain_hook : (n:int -> base:int -> int option) ref =
 let set_grain_hook f = grain_hook := f
 let clear_grain_hook () = grain_hook := fun ~n:_ ~base:_ -> None
 
+let with_grain_hook f k =
+  let saved = !grain_hook in
+  grain_hook := f;
+  Fun.protect ~finally:(fun () -> grain_hook := saved) k
+
 let grain_for ?(divisor = 16) n =
   let base = max 64 (pow2_ceil ((n + divisor - 1) / divisor)) in
   match !grain_hook ~n ~base with

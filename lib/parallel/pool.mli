@@ -50,6 +50,12 @@ val set_grain_hook : (n:int -> base:int -> int option) -> unit
 
 val clear_grain_hook : unit -> unit
 
+val with_grain_hook : (n:int -> base:int -> int option) -> (unit -> 'a) -> 'a
+(** Run with a temporary grain hook, restoring whatever hook was
+    installed before (e.g. the lib/cost calibration hook) afterwards —
+    unlike {!clear_grain_hook}, which would drop it for good.  Tests
+    that force a specific grain use this. *)
+
 val plan : ?divisor:int -> work:int -> n:int -> unit -> int option
 (** [Some grain] when a kernel with [work] body executions over a loop
     of length [n] should dispatch its parallel variant; [None] keeps

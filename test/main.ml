@@ -22,6 +22,7 @@ let () =
       ("pprint", Test_pprint.suite);
       ("notation (Table I)", Test_notation.suite);
       ("algorithms", Test_algorithms.suite);
+      ("workloads", Test_workloads.suite);
       ("formats", Test_formats.suite);
       ("extensions", Test_extensions.suite);
       ("analysis", Test_analysis.suite);
